@@ -1,0 +1,141 @@
+// Ablation studies on the §6 design choices (DESIGN.md calls these out):
+//
+//  A1. Grid diagonals: the wrapping diagonal edges are what let an input
+//      route around dead rows (Lemma 3). Without them the grid is a bundle
+//      of independent rows; survival collapses.
+//  A2. Expander degree: the paper uses degree 10; sweep the core degree and
+//      watch the majority-access margin trade against size.
+//  A3. Gamma (grid rows scale): the paper's gamma = ceil(log4 34 nu) is the
+//      union-bound knob; sweep gamma at fixed nu.
+//  A4. Repair policy: discard faulty vertices vs also their neighbors (§4
+//      mentions the stricter variant) — measures the capability cost.
+#include <atomic>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fault/fault_instance.hpp"
+#include "fault/repair.hpp"
+#include "ftcs/majority_access.hpp"
+#include "ftcs/monte_carlo.hpp"
+#include "graph/algorithms.hpp"
+#include "reliability/directed_grid.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftcs;
+
+double success_rate(const core::FtNetwork& ft, double eps, std::size_t trials,
+                    std::uint64_t seed) {
+  std::atomic<std::size_t> ok{0};
+  util::parallel_for(0, trials, [&](std::size_t t) {
+    if (core::theorem2_trial(ft, fault::FaultModel::symmetric(eps),
+                             util::derive_seed(seed, t))
+            .success())
+      ok.fetch_add(1, std::memory_order_relaxed);
+  });
+  return static_cast<double>(ok.load()) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t trials = bench::scaled(100);
+
+  bench::banner("A2 (core expander degree)",
+                "Theorem-2 success vs eps as the expander out-degree varies;\n"
+                "size scales linearly with degree.");
+  {
+    util::Table t({"degree", "edges", "eps=3e-3", "eps=1e-2", "eps=3e-2"});
+    for (std::uint32_t degree : {4u, 6u, 8u, 10u}) {
+      const auto ft =
+          core::build_ft_network(core::FtParams::sim(2, 8, degree, 1, 3));
+      t.add(degree, ft.net.size(), success_rate(ft, 3e-3, trials, 1),
+            success_rate(ft, 1e-2, trials, 2), success_rate(ft, 3e-2, trials, 3));
+    }
+    t.print(std::cout);
+  }
+
+  bench::banner("A3 (gamma: grid-rows scale)",
+                "Success vs eps as gamma grows: each step quadruples grid rows\n"
+                "(Lemma 3's (144 eps)^rows) and the stage width.");
+  {
+    util::Table t({"gamma", "grid rows", "edges", "eps=1e-2", "eps=3e-2"});
+    for (std::uint32_t gamma : {0u, 1u, 2u}) {
+      const auto ft =
+          core::build_ft_network(core::FtParams::sim(2, 8, 6, gamma, 4));
+      t.add(gamma, ft.params.grid_rows(), ft.net.size(),
+            success_rate(ft, 1e-2, trials, 5), success_rate(ft, 3e-2, trials, 6));
+    }
+    t.print(std::cout);
+  }
+
+  bench::banner("A1 (grid diagonals)",
+                "Lemma-3 grid access with and without diagonal edges under an\n"
+                "EQUAL vertex-fault model (each grid vertex dead w.p. q, so both\n"
+                "variants face identical damage): the diagonals are what let\n"
+                "flow route around dead vertices; straight-only rows die\n"
+                "independently like (1-q)^stages.");
+  {
+    util::Table t({"rows", "stages", "q(vertex)", "P(majority) with diag",
+                   "without diag"});
+    const std::size_t gtrials = bench::scaled(3000);
+    for (std::uint32_t rows : {8u, 16u}) {
+      const std::uint32_t stages = 16;
+      for (double q : {0.02, 0.05, 0.1}) {
+        double results[2] = {0, 0};
+        for (int variant = 0; variant < 2; ++variant) {
+          const reliability::GridSpec spec{rows, stages, true};
+          const auto full = reliability::build_directed_grid(spec);
+          graph::Network use;
+          use.g.add_vertices(full.g.vertex_count());
+          for (graph::EdgeId e = 0; e < full.g.edge_count(); ++e) {
+            const auto& ed = full.g.edge(e);
+            const bool is_straight = (ed.to % rows) == (ed.from % rows);
+            if (variant == 0 || is_straight) use.g.add_edge(ed.from, ed.to);
+          }
+          std::atomic<std::size_t> ok{0};
+          util::parallel_for(0, gtrials, [&](std::size_t trial) {
+            util::Xoshiro256 rng(util::derive_seed(70 + variant, trial));
+            std::vector<std::uint8_t> dead(use.g.vertex_count(), 0);
+            for (auto& d : dead) d = rng.bernoulli(q) ? 1 : 0;
+            std::vector<graph::VertexId> sources;
+            for (std::uint32_t i = 0; i < rows; ++i)
+              if (!dead[i]) sources.push_back(i);
+            const auto dist = graph::bfs_directed(use.g, sources, dead);
+            std::size_t reach = 0;
+            for (std::uint32_t i = 0; i < rows; ++i) {
+              const auto v = spec.vertex(i, stages - 1);
+              if (!dead[v] && dist[v] != graph::kUnreachable) ++reach;
+            }
+            if (2 * reach > rows) ok.fetch_add(1, std::memory_order_relaxed);
+          });
+          results[variant] =
+              static_cast<double>(ok.load()) / static_cast<double>(gtrials);
+        }
+        t.add(rows, stages, q, results[0], results[1]);
+      }
+    }
+    t.print(std::cout);
+  }
+
+  bench::banner("A4 (repair policy)",
+                "Capability retained after repair: discard faulty vertices vs\n"
+                "faulty + neighbors (stricter, per the §4 remark).");
+  {
+    util::Table t({"eps", "discarded (basic)", "discarded (strict)",
+                   "surviving edges (basic)", "surviving edges (strict)"});
+    const auto ft = core::build_ft_network(core::FtParams::sim(2, 8, 6, 1, 8));
+    for (double eps : {1e-3, 5e-3, 2e-2}) {
+      fault::FaultInstance inst(ft.net, fault::FaultModel::symmetric(eps), 9);
+      const auto basic = fault::repair_by_discard(inst);
+      const auto strict = fault::repair_by_discard_with_neighbors(inst);
+      t.add(eps, basic.discarded_vertices, strict.discarded_vertices,
+            basic.net.g.edge_count(), strict.net.g.edge_count());
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Shared helpers for the experiment benches. Each bench binary regenerates
+// one row-group of EXPERIMENTS.md: it prints the experiment id, the paper's
+// claim, and a table of measured values.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace ftcs::bench {
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n==== " << id << " ====\n" << claim << "\n\n";
+}
+
+/// Trials scale factor from FTCS_BENCH_SCALE (default 1); lets CI run the
+/// benches fast while a full reproduction can crank accuracy up.
+inline double scale() {
+  if (const char* env = std::getenv("FTCS_BENCH_SCALE")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t base) {
+  return static_cast<std::size_t>(static_cast<double>(base) * scale());
+}
+
+}  // namespace ftcs::bench

@@ -1,0 +1,96 @@
+// E12 — the paper's raison d'être: protected vs unprotected networks under
+// the same switch failure model.
+//
+// For each eps, the survival probability of:
+//   - N-hat (Theorem 2 criterion: no short + majority access + probes);
+//   - crossbar, Benes, butterfly, multibutterfly and the recursive
+//     nonblocking baseline (survival = no terminal short AND a random
+//     probe permutation routes greedily around faults).
+// The unprotected O(n log n) networks pay ~1 failed switch per routed path
+// as eps grows; the FT construction holds until its redundancy margins are
+// overwhelmed. Size overhead is reported alongside: the price of the extra
+// (log n) factor.
+#include <atomic>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ftcs/monte_carlo.hpp"
+#include "networks/benes.hpp"
+#include "networks/butterfly.hpp"
+#include "networks/cantor.hpp"
+#include "networks/clos.hpp"
+#include "networks/crossbar.hpp"
+#include "networks/multibutterfly.hpp"
+#include "networks/pippenger_recursive.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftcs;
+  bench::banner("E12 (protected vs unprotected survival)",
+                "Survival probability under the random switch failure model,\n"
+                "n = 16 terminals everywhere. Baselines: survive = no terminal\n"
+                "short AND an 8-pair random probe routes greedily around faults.\n"
+                "N-hat: the Theorem 2 criterion.");
+
+  struct Entry {
+    std::string name;
+    graph::Network net;
+  };
+  std::vector<Entry> baselines;
+  baselines.push_back({"crossbar", networks::build_crossbar(16)});
+  baselines.push_back({"benes", networks::Benes(4).network()});
+  baselines.push_back({"butterfly", networks::build_butterfly(4)});
+  baselines.push_back(
+      {"multibutterfly-d2", networks::build_multibutterfly({4, 2, 3})});
+  baselines.push_back({"clos-strict", networks::build_clos({4, 7, 4})});
+  baselines.push_back({"cantor", networks::build_cantor({4, 0})});
+  {
+    networks::RecursiveNonblockingParams rp;
+    rp.levels = 2;
+    rp.radix = 4;
+    rp.width_mult = 4;
+    rp.degree = 6;
+    rp.seed = 5;
+    baselines.push_back({"recursive-nb", networks::build_recursive_nonblocking(rp)});
+  }
+  const auto ft = core::build_ft_network(core::FtParams::sim(2, 8, 6, 1, 10));
+
+  std::cout << "sizes: ";
+  for (const auto& b : baselines)
+    std::cout << b.name << "=" << b.net.g.edge_count() << "  ";
+  std::cout << "ftcs-nhat=" << ft.net.size() << "\n\n";
+
+  util::Table t({"eps", "crossbar", "benes", "butterfly", "multibutterfly-d2",
+                 "clos-strict", "cantor", "recursive-nb", "ftcs-nhat"});
+  const std::size_t trials = bench::scaled(200);
+  for (double eps : {1e-4, 1e-3, 3e-3, 1e-2, 3e-2}) {
+    const auto model = fault::FaultModel::symmetric(eps);
+    std::vector<std::string> row{util::format_sig(eps)};
+    for (const auto& b : baselines) {
+      std::atomic<std::size_t> ok{0};
+      util::parallel_for(0, trials, [&](std::size_t trial) {
+        if (core::baseline_survival_trial(b.net, model, 8,
+                                          util::derive_seed(41, trial)))
+          ok.fetch_add(1, std::memory_order_relaxed);
+      });
+      row.push_back(util::format_sig(static_cast<double>(ok.load()) / trials));
+    }
+    core::Theorem2TrialOptions opts;
+    opts.busy_probes = 1;
+    const auto p = core::theorem2_success_probability(ft, model, trials, 43, opts);
+    row.push_back(util::format_sig(p.estimate()));
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (who wins): unique-path networks (butterfly) fall first;\n"
+         "path-diverse but unprotected networks (benes, clos, recursive-nb)\n"
+         "degrade through the 1e-3..1e-2 decade; the multibutterfly's expander\n"
+         "splitters buy it margin (Leighton-Maggs); N-hat holds majority access\n"
+         "deepest into the sweep while ALSO guaranteeing strict nonblockingness\n"
+         "of the survivor — the paper's qualitative separation. Crossbars survive\n"
+         "probes by sheer n^2 redundancy but cost Theta(n^2) switches.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Construction-time benchmarks: how fast each network builds, including the
+// full 𝒩̂ at both sim and paper profiles — the practical cost of the
+// explicit construction ("not merely an existence proof", §4).
+#include <benchmark/benchmark.h>
+
+#include "ftcs/ft_network.hpp"
+#include "networks/benes.hpp"
+#include "networks/multibutterfly.hpp"
+#include "networks/superconcentrator.hpp"
+
+namespace {
+
+using namespace ftcs;
+
+void BM_BuildBenes(benchmark::State& state) {
+  for (auto _ : state) {
+    networks::Benes b(static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(b.network().g.edge_count());
+  }
+}
+BENCHMARK(BM_BuildBenes)->Arg(6)->Arg(10);
+
+void BM_BuildMultibutterfly(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto net = networks::build_multibutterfly(
+        {static_cast<std::uint32_t>(state.range(0)), 2, 3});
+    benchmark::DoNotOptimize(net.g.edge_count());
+  }
+}
+BENCHMARK(BM_BuildMultibutterfly)->Arg(6)->Arg(10);
+
+void BM_BuildSuperconcentrator(benchmark::State& state) {
+  networks::SuperconcentratorParams p;
+  p.n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto net = networks::build_superconcentrator(p);
+    benchmark::DoNotOptimize(net.g.edge_count());
+  }
+}
+BENCHMARK(BM_BuildSuperconcentrator)->Arg(256)->Arg(4096);
+
+void BM_BuildFtNetworkSim(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto ft = core::build_ft_network(
+        core::FtParams::sim(static_cast<std::uint32_t>(state.range(0)), 8, 6, 1, 1));
+    benchmark::DoNotOptimize(ft.net.g.edge_count());
+  }
+}
+BENCHMARK(BM_BuildFtNetworkSim)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_BuildFtNetworkPaper(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto ft = core::build_ft_network(
+        core::FtParams::paper(static_cast<std::uint32_t>(state.range(0))));
+    benchmark::DoNotOptimize(ft.net.g.edge_count());
+  }
+}
+BENCHMARK(BM_BuildFtNetworkPaper)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// E5 — expanding-graph quality across constructions.
+//
+// Regenerates the paper's expander requirements table: for random-regular
+// (Bassalygo–Pinsker style), Gabber–Galil and Margulis graphs at matched
+// sizes, the adversarially-found minimum neighborhood of half-size inlet
+// sets, the spectral second singular value, and the Tanner certified bound,
+// against the §6 contract (32·4^i, 33.07·4^i, 64·4^i) — i.e. a 64t-set must
+// expand a t/2-subset by factor >= 1.0334.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "expander/gabber_galil.hpp"
+#include "expander/margulis.hpp"
+#include "expander/random_regular.hpp"
+#include "expander/verify.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftcs;
+  bench::banner("E5 (expanding graphs)",
+                "min |N(S)| over |S| = t/2 (adversarial search: upper bound on the\n"
+                "true min), second singular value, and Tanner certified bound.\n"
+                "Paper contract at degree 10: expand t/2 to >= 0.5167 t.");
+
+  util::Table t({"construction", "t", "degree", "c=t/2", "adv min |N(S)|",
+                 "ratio", "sigma2", "tanner bound", "meets 1.0334x"});
+  const std::size_t restarts = bench::scaled(30);
+
+  auto row = [&](const std::string& name, const expander::Bipartite& b,
+                 std::uint32_t degree) {
+    const std::size_t c = b.inlets / 2;
+    const auto adv = expander::min_neighborhood_adversarial(b, c, restarts, 11);
+    const auto sigma2 = expander::second_singular_value(b, 300, 5);
+    const double tanner =
+        sigma2 ? expander::tanner_bound(degree, *sigma2, static_cast<double>(c),
+                                        static_cast<double>(b.inlets))
+               : 0.0;
+    const double ratio =
+        static_cast<double>(adv.min_neighborhood) / static_cast<double>(c);
+    t.add(name, b.inlets, degree, c, adv.min_neighborhood, ratio,
+          sigma2.value_or(-1.0), tanner, ratio >= 1.0334 ? "yes" : "no");
+  };
+
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    row("random-10", expander::random_regular(n, 10, 1), 10);
+    row("random-5", expander::random_regular(n, 5, 2), 5);
+  }
+  for (std::uint32_t m : {8u, 16u, 32u}) {
+    row("gabber-galil", expander::gabber_galil(m), 5);
+    row("margulis", expander::margulis(m), 8);
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: random degree-10 graphs comfortably meet the paper's\n"
+               "(32,33.07,64)-style half-set expansion; the explicit GG/Margulis\n"
+               "constructions expand too (at their own degrees), matching the\n"
+               "paper's remark that explicit constructions may replace random ones.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E6 — Lemmas 4 and 5: faulty-outlet tails of the expander columns.
+//
+// Lemma 4: in a (32·4^u, 33.07·4^u, 64·4^u)-expanding graph whose outlets
+// have 20 incident switches each (10 in + 10 out), the probability that
+// more than 0.07·4^u outlets are faulty is at most e^(-0.06·4^u) at
+// eps = 10^-6. We measure the faulty-outlet count distribution by Monte
+// Carlo at matched structure (an expander column of the 𝒩̂ core) for a sweep
+// of eps, and compare against the Chernoff-style bound the paper derives.
+#include <atomic>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fault/fault_model.hpp"
+#include "ftcs/ft_network.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftcs;
+  bench::banner(
+      "E6 (Lemmas 4-5: faulty outlets per expander)",
+      "P[> 7/64 of a column block's outlets faulty] by Monte Carlo vs the\n"
+      "paper's e^(-0.06 t / 64)-style tail; outlets have ~2*degree incident\n"
+      "switches. Structure: the stage-1 blocks of a sim-profile core.");
+
+  // Build one ft network; examine the outlet blocks between core stages.
+  const auto ft = core::build_ft_network(core::FtParams::sim(2, 16, 10, 1, 5));
+  // Parent blocks at core stage nu+1 (first expander column's outlets):
+  // every vertex there has in-degree 10 and out-degree 10.
+  const auto& net = ft.net;
+  std::vector<graph::VertexId> outlets;
+  const std::int32_t target_stage = static_cast<std::int32_t>(ft.params.nu) + 1;
+  for (graph::VertexId v = 0; v < net.g.vertex_count(); ++v)
+    if (net.stage[v] == target_stage) outlets.push_back(v);
+  const std::size_t block = outlets.size() / 4;  // one structural block
+
+  util::Table t({"eps", "outlets t", "threshold 7t/64", "mean faulty",
+                 "P[> threshold] MC", "binomial tail bound"});
+  const std::size_t trials = bench::scaled(2000);
+  for (double eps : {1e-5, 1e-4, 1e-3, 5e-3, 2e-2}) {
+    const auto model = fault::FaultModel::symmetric(eps);
+    const std::size_t threshold = block * 7 / 64;
+    std::atomic<std::size_t> over{0}, total_faulty{0};
+    util::parallel_for(0, trials, [&](std::size_t trial) {
+      thread_local std::vector<fault::Failure> failures;
+      fault::sample_failures_into(model, net.g.edge_count(),
+                                  util::derive_seed(33, trial), failures);
+      thread_local std::vector<std::uint8_t> faulty;
+      faulty.assign(net.g.vertex_count(), 0);
+      for (const auto& f : failures) {
+        faulty[net.g.edge(f.edge).from] = 1;
+        faulty[net.g.edge(f.edge).to] = 1;
+      }
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < block; ++i)
+        if (faulty[outlets[i]]) ++count;
+      total_faulty.fetch_add(count, std::memory_order_relaxed);
+      if (count > threshold) over.fetch_add(1, std::memory_order_relaxed);
+    });
+    // Each outlet is faulty if any of its ~20 incident switches failed:
+    // p_faulty <= 1 - (1 - 2 eps)^20; the count is dominated by Bin(block, p).
+    const double p_faulty = 1.0 - std::pow(1.0 - 2 * eps, 20.0);
+    const double bound =
+        util::binomial_upper_tail(block, p_faulty, threshold + 1);
+    t.add(eps, block, threshold,
+          static_cast<double>(total_faulty.load()) / static_cast<double>(trials),
+          static_cast<double>(over.load()) / static_cast<double>(trials), bound);
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: the measured exceedance probability sits below the\n"
+               "binomial tail bound and collapses super-exponentially as eps\n"
+               "drops — the engine behind Lemma 5's union bound over all\n"
+               "columns (at the paper's eps = 1e-6 the tail is ~0 at any size).\n";
+  return 0;
+}

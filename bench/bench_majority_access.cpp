@@ -1,0 +1,83 @@
+// E7 + E8 — Lemma 3 (grid access) and Lemma 6 / Corollary 2 (majority
+// access of 𝒩̂ and its mirror).
+//
+// Lemma 3: an idle input reaches strictly more than half of its grid's last
+// column with probability >= 1 − c₁ν(144ε)^rows. We measure grid access by
+// Monte Carlo over fault instances for a sweep of eps and grid sizes.
+// Lemma 6/Cor. 2: majority access of the whole network, with and without
+// established (busy) paths.
+#include <atomic>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fault/fault_instance.hpp"
+#include "ftcs/majority_access.hpp"
+#include "ftcs/monte_carlo.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftcs;
+
+  bench::banner("E7 (Lemma 3: grid access)",
+                "P[input reaches > half of its grid's last column through idle\n"
+                "grid vertices], Monte Carlo over fault instances.");
+  {
+    util::Table t({"profile", "nu", "rows", "eps", "P(majority grid access)",
+                   "wilson lo", "wilson hi"});
+    const std::size_t trials = bench::scaled(400);
+    for (std::uint32_t width : {4u, 8u, 16u}) {
+      const auto ft = core::build_ft_network(core::FtParams::sim(2, width, 6, 1, 6));
+      for (double eps : {1e-3, 5e-3, 2e-2}) {
+        const auto model = fault::FaultModel::symmetric(eps);
+        std::atomic<std::size_t> ok{0};
+        util::parallel_for(0, trials, [&](std::size_t trial) {
+          fault::FaultInstance inst(ft.net, model, util::derive_seed(17, trial));
+          const auto mask = inst.faulty_non_terminal_mask();
+          const std::size_t terminal = trial % ft.n();
+          if (core::grid_access(ft, terminal, mask).majority())
+            ok.fetch_add(1, std::memory_order_relaxed);
+        });
+        util::Proportion p{ok.load(), trials};
+        const auto [lo, hi] = p.wilson();
+        t.add("sim", 2, ft.params.grid_rows(), eps, p.estimate(), lo, hi);
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\nShape check: access probability rises toward 1 as rows grow at\n"
+                 "fixed eps (the (144 eps)^rows collapse of Lemma 3).\n";
+  }
+
+  bench::banner("E8 (Lemma 6 / Corollary 2: majority access of N-hat)",
+                "Forward and mirror majority access over fault instances; the\n"
+                "busy-probe columns re-check with random established paths\n"
+                "(the 'given any set of paths' quantifier, sampled).");
+  {
+    util::Table t({"nu", "eps", "P(fwd)", "P(bwd)", "P(fwd&bwd&busy-probes)"});
+    const std::size_t trials = bench::scaled(150);
+    for (std::uint32_t nu : {1u, 2u}) {
+      const auto ft = core::build_ft_network(core::FtParams::sim(nu, 8, 6, 1, 7));
+      for (double eps : {1e-4, 1e-3, 1e-2}) {
+        const auto model = fault::FaultModel::symmetric(eps);
+        std::atomic<std::size_t> fwd{0}, bwd{0}, full{0};
+        util::parallel_for(0, trials, [&](std::size_t trial) {
+          const auto seed = util::derive_seed(19, trial);
+          core::Theorem2TrialOptions opts;
+          opts.busy_probes = 1;
+          opts.busy_paths_per_probe = std::max<std::size_t>(1, ft.n() / 4);
+          const auto r = core::theorem2_trial(ft, model, seed, opts);
+          if (r.majority_fwd) fwd.fetch_add(1, std::memory_order_relaxed);
+          if (r.majority_bwd) bwd.fetch_add(1, std::memory_order_relaxed);
+          if (r.success()) full.fetch_add(1, std::memory_order_relaxed);
+        });
+        t.add(nu, eps, static_cast<double>(fwd.load()) / trials,
+              static_cast<double>(bwd.load()) / trials,
+              static_cast<double>(full.load()) / trials);
+      }
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

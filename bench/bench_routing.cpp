@@ -1,0 +1,117 @@
+// E13 — "no difficult computations are involved": greedy routing cost on
+// repaired instances, as google-benchmark timings plus a success table.
+//
+// The paper's §4 observations: (1) repair = discard faulty vertices (no
+// search), (2) routing on the surviving strictly-nonblocking network =
+// greedy BFS. We time both primitives and report the success rate of
+// routing full random permutations on damaged instances.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <numeric>
+
+#include "fault/fault_instance.hpp"
+#include "fault/repair.hpp"
+#include "ftcs/monte_carlo.hpp"
+#include "ftcs/router.hpp"
+#include "ftcs/verify.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftcs;
+
+const core::FtNetwork& shared_ft(std::uint32_t nu) {
+  static std::map<std::uint32_t, core::FtNetwork> cache;
+  auto it = cache.find(nu);
+  if (it == cache.end())
+    it = cache.emplace(nu, core::build_ft_network(core::FtParams::sim(nu, 8, 6, 1, 3)))
+             .first;
+  return it->second;
+}
+
+void BM_FaultSampling(benchmark::State& state) {
+  const auto& ft = shared_ft(static_cast<std::uint32_t>(state.range(0)));
+  const auto model = fault::FaultModel::symmetric(1e-4);
+  std::uint64_t seed = 0;
+  std::vector<fault::Failure> buffer;
+  for (auto _ : state) {
+    fault::sample_failures_into(model, ft.net.g.edge_count(), ++seed, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ft.net.g.edge_count()));
+}
+BENCHMARK(BM_FaultSampling)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_RepairByDiscard(benchmark::State& state) {
+  const auto& ft = shared_ft(static_cast<std::uint32_t>(state.range(0)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    fault::FaultInstance inst(ft.net, fault::FaultModel::symmetric(1e-3), ++seed);
+    benchmark::DoNotOptimize(inst.faulty_vertices().data());
+  }
+}
+BENCHMARK(BM_RepairByDiscard)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_GreedyConnect(benchmark::State& state) {
+  const auto& ft = shared_ft(static_cast<std::uint32_t>(state.range(0)));
+  core::GreedyRouter router(ft.net);
+  const auto n = static_cast<std::uint32_t>(ft.n());
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const auto call = router.connect(i % n, (i * 7 + 3) % n);
+    if (call != core::GreedyRouter::kNoCall) router.disconnect(call);
+    ++i;
+  }
+}
+BENCHMARK(BM_GreedyConnect)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Theorem2Trial(benchmark::State& state) {
+  const auto& ft = shared_ft(static_cast<std::uint32_t>(state.range(0)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto r =
+        core::theorem2_trial(ft, fault::FaultModel::symmetric(1e-4), ++seed);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Theorem2Trial)->Arg(1)->Arg(2);
+
+void print_success_table() {
+  std::cout << "\n==== E13 (greedy routing on damaged instances) ====\n"
+               "Full random permutation, greedy BFS, restart budget 20.\n\n";
+  util::Table t({"nu", "n", "eps", "routed", "attempts"});
+  for (std::uint32_t nu : {1u, 2u}) {
+    const auto& ft = shared_ft(nu);
+    for (double eps : {1e-4, 1e-3}) {
+      std::size_t ok = 0;
+      const std::size_t attempts = 20;
+      for (std::uint64_t s = 0; s < attempts; ++s) {
+        fault::FaultInstance inst(ft.net, fault::FaultModel::symmetric(eps),
+                                  util::derive_seed(5, s));
+        util::Xoshiro256 rng(util::derive_seed(6, s));
+        std::vector<std::uint32_t> perm(ft.n());
+        std::iota(perm.begin(), perm.end(), 0u);
+        util::shuffle(perm, rng);
+        const auto faulty = inst.faulty_non_terminal_mask();
+        if (core::route_permutation_greedy(
+                ft.net, perm, 20, s,
+                std::vector<std::uint8_t>(faulty.begin(), faulty.end())))
+          ++ok;
+      }
+      t.add(nu, ft.n(), eps, ok, attempts);
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_success_table();
+  return 0;
+}

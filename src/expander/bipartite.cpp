@@ -1,0 +1,64 @@
+#include "expander/bipartite.hpp"
+
+#include <algorithm>
+
+namespace ftcs::expander {
+
+std::size_t Bipartite::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& a : adj) total += a.size();
+  return total;
+}
+
+std::size_t Bipartite::max_out_degree() const {
+  std::size_t best = 0;
+  for (const auto& a : adj) best = std::max(best, a.size());
+  return best;
+}
+
+std::vector<std::uint32_t> Bipartite::in_degrees() const {
+  std::vector<std::uint32_t> deg(outlets, 0);
+  for (const auto& a : adj)
+    for (std::uint32_t o : a) ++deg[o];
+  return deg;
+}
+
+std::size_t Bipartite::max_in_degree() const {
+  const auto deg = in_degrees();
+  return deg.empty() ? 0 : *std::max_element(deg.begin(), deg.end());
+}
+
+std::size_t Bipartite::neighborhood_size(const std::vector<std::uint32_t>& set) const {
+  std::vector<std::uint8_t> seen(outlets, 0);
+  std::size_t count = 0;
+  for (std::uint32_t i : set)
+    for (std::uint32_t o : adj[i])
+      if (!seen[o]) {
+        seen[o] = 1;
+        ++count;
+      }
+  return count;
+}
+
+void Bipartite::embed(graph::Network& net, graph::VertexId inlet_base,
+                      graph::VertexId outlet_base) const {
+  for (std::uint32_t i = 0; i < inlets; ++i)
+    for (std::uint32_t o : adj[i])
+      net.g.add_edge(inlet_base + i, outlet_base + o);
+}
+
+graph::Network Bipartite::to_network() const {
+  graph::Network net;
+  net.name = "bipartite";
+  net.g.add_vertices(static_cast<std::size_t>(inlets) + outlets);
+  embed(net, 0, inlets);
+  net.inputs.resize(inlets);
+  net.outputs.resize(outlets);
+  for (std::uint32_t i = 0; i < inlets; ++i) net.inputs[i] = i;
+  for (std::uint32_t o = 0; o < outlets; ++o) net.outputs[o] = inlets + o;
+  net.stage.assign(net.g.vertex_count(), 0);
+  for (std::uint32_t o = 0; o < outlets; ++o) net.stage[inlets + o] = 1;
+  return net;
+}
+
+}  // namespace ftcs::expander

@@ -1,0 +1,44 @@
+// Bipartite graphs with distinguished inlets and outlets, the raw material
+// of (c, c', t)-expanding graphs (paper §6): a bipartite directed graph
+// where every set of c inlets is joined by edges to at least c' outlets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::expander {
+
+struct Bipartite {
+  std::uint32_t inlets = 0;
+  std::uint32_t outlets = 0;
+  /// adj[i] = outlet indices adjacent to inlet i.
+  std::vector<std::vector<std::uint32_t>> adj;
+
+  [[nodiscard]] std::size_t edge_count() const;
+  [[nodiscard]] std::size_t max_out_degree() const;
+  [[nodiscard]] std::size_t max_in_degree() const;
+  /// In-degrees of all outlets.
+  [[nodiscard]] std::vector<std::uint32_t> in_degrees() const;
+
+  /// Neighborhood size of an inlet subset.
+  [[nodiscard]] std::size_t neighborhood_size(const std::vector<std::uint32_t>& set) const;
+
+  /// Embeds the bipartite graph into `net`: inlet i becomes vertex
+  /// inlet_base + i, outlet j becomes outlet_base + j; one edge per pair.
+  void embed(graph::Network& net, graph::VertexId inlet_base,
+             graph::VertexId outlet_base) const;
+
+  /// As a standalone network: inlets are the inputs, outlets the outputs.
+  [[nodiscard]] graph::Network to_network() const;
+};
+
+/// The (c, c', t) expansion contract of the paper.
+struct ExpansionSpec {
+  std::size_t c = 0;   // inlet set size
+  std::size_t cp = 0;  // required outlet neighborhood size
+  std::size_t t = 0;   // number of inlets (and outlets)
+};
+
+}  // namespace ftcs::expander

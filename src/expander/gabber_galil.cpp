@@ -1,0 +1,34 @@
+#include "expander/gabber_galil.hpp"
+
+#include <cmath>
+
+namespace ftcs::expander {
+
+Bipartite gabber_galil(std::uint32_t m) {
+  Bipartite b;
+  const std::uint32_t t = m * m;
+  b.inlets = t;
+  b.outlets = t;
+  b.adj.assign(t, {});
+  auto id = [m](std::uint32_t x, std::uint32_t y) { return x * m + y; };
+  for (std::uint32_t x = 0; x < m; ++x) {
+    for (std::uint32_t y = 0; y < m; ++y) {
+      auto& a = b.adj[id(x, y)];
+      a.reserve(5);
+      a.push_back(id(x, y));
+      a.push_back(id(x, (x + y) % m));
+      a.push_back(id(x, (x + y + 1) % m));
+      a.push_back(id((x + y) % m, y));
+      a.push_back(id((x + y + 1) % m, y));
+    }
+  }
+  return b;
+}
+
+std::uint32_t gabber_galil_side(std::size_t t) {
+  auto m = static_cast<std::uint32_t>(std::ceil(std::sqrt(static_cast<double>(t))));
+  while (static_cast<std::size_t>(m) * m < t) ++m;
+  return m;
+}
+
+}  // namespace ftcs::expander

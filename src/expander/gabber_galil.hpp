@@ -1,0 +1,23 @@
+// The explicit expander of Gabber & Galil [GG], cited by the paper as the
+// explicit construction behind its expanding graphs.
+//
+// Vertices on both sides are Z_m x Z_m (so t = m^2). Inlet (x, y) is joined
+// to the five outlets
+//     (x, y), (x, x + y), (x, x + y + 1), (x + y, y), (x + y + 1, y)   mod m.
+// Gabber & Galil proved every inlet set S with |S| <= a*t has
+// |N(S)| >= (1 + c(1 - |S|/t)) |S| for an absolute constant c > 0.
+#pragma once
+
+#include <cstdint>
+
+#include "expander/bipartite.hpp"
+
+namespace ftcs::expander {
+
+/// Degree-5 Gabber–Galil expander on t = m^2 inlets/outlets.
+[[nodiscard]] Bipartite gabber_galil(std::uint32_t m);
+
+/// Smallest m with m^2 >= t, for sizing against a requested t.
+[[nodiscard]] std::uint32_t gabber_galil_side(std::size_t t);
+
+}  // namespace ftcs::expander

@@ -1,0 +1,32 @@
+#include "expander/margulis.hpp"
+
+namespace ftcs::expander {
+
+Bipartite margulis(std::uint32_t m) {
+  Bipartite b;
+  const std::uint32_t t = m * m;
+  b.inlets = t;
+  b.outlets = t;
+  b.adj.assign(t, {});
+  auto id = [m](std::uint32_t x, std::uint32_t y) { return x * m + y; };
+  // (a - c) mod m with unsigned operands.
+  auto sub = [m](std::uint32_t a, std::uint32_t c) { return (a + m - c % m) % m; };
+  for (std::uint32_t x = 0; x < m; ++x) {
+    for (std::uint32_t y = 0; y < m; ++y) {
+      auto& a = b.adj[id(x, y)];
+      a.reserve(8);
+      a.push_back(id((x + 2 * y) % m, y));
+      a.push_back(id((x + 2 * y + 1) % m, y));
+      a.push_back(id(x, (y + 2 * x) % m));
+      a.push_back(id(x, (y + 2 * x + 1) % m));
+      // Inverse maps: (x - 2y, y), (x - 2y - 1, y), (x, y - 2x), (x, y - 2x - 1).
+      a.push_back(id(sub(x, 2 * y), y));
+      a.push_back(id(sub(x, 2 * y + 1), y));
+      a.push_back(id(x, sub(y, 2 * x)));
+      a.push_back(id(x, sub(y, 2 * x + 1)));
+    }
+  }
+  return b;
+}
+
+}  // namespace ftcs::expander

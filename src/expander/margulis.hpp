@@ -1,0 +1,19 @@
+// Margulis' expander [M], the first explicit construction (cited by the
+// paper alongside Gabber–Galil).
+//
+// Vertices on both sides are Z_m x Z_m. We use the standard
+// Margulis–Gabber–Galil degree-8 variant: inlet (x, y) is joined to
+//   (x + 2y, y), (x + 2y + 1, y), (x, y + 2x), (x, y + 2x + 1)
+// and the four inverse maps, all mod m.
+#pragma once
+
+#include <cstdint>
+
+#include "expander/bipartite.hpp"
+
+namespace ftcs::expander {
+
+/// Degree-8 Margulis-type expander on t = m^2 inlets/outlets.
+[[nodiscard]] Bipartite margulis(std::uint32_t m);
+
+}  // namespace ftcs::expander

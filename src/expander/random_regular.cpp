@@ -1,0 +1,48 @@
+#include "expander/random_regular.hpp"
+
+#include <numeric>
+
+#include "util/prng.hpp"
+
+namespace ftcs::expander {
+
+Bipartite random_regular(std::uint32_t n, std::uint32_t degree,
+                         std::uint64_t seed) {
+  Bipartite b;
+  b.inlets = n;
+  b.outlets = n;
+  b.adj.assign(n, {});
+  for (auto& a : b.adj) a.reserve(degree);
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::uint32_t d = 0; d < degree; ++d) {
+    util::shuffle(perm, rng);
+    for (std::uint32_t i = 0; i < n; ++i) b.adj[i].push_back(perm[i]);
+  }
+  return b;
+}
+
+Bipartite random_biregular(std::uint32_t inlets, std::uint32_t outlets,
+                           std::uint32_t degree, std::uint64_t seed) {
+  Bipartite b;
+  b.inlets = inlets;
+  b.outlets = outlets;
+  b.adj.assign(inlets, {});
+  for (auto& a : b.adj) a.reserve(degree);
+  util::Xoshiro256 rng(seed);
+  // Multiset of outlet slots with balanced multiplicities, shuffled and
+  // dealt `degree` at a time to consecutive inlets.
+  const std::size_t total = static_cast<std::size_t>(inlets) * degree;
+  std::vector<std::uint32_t> slots;
+  slots.reserve(total);
+  for (std::size_t k = 0; k < total; ++k)
+    slots.push_back(static_cast<std::uint32_t>(k % outlets));
+  util::shuffle(slots, rng);
+  std::size_t next = 0;
+  for (std::uint32_t i = 0; i < inlets; ++i)
+    for (std::uint32_t d = 0; d < degree; ++d) b.adj[i].push_back(slots[next++]);
+  return b;
+}
+
+}  // namespace ftcs::expander

@@ -1,0 +1,26 @@
+// Random (near-)regular bipartite graphs, the probabilistic expander
+// construction of Bassalygo & Pinsker: a union of d random perfect
+// matchings (when the sides are equal) is an excellent expander with high
+// probability.
+#pragma once
+
+#include <cstdint>
+
+#include "expander/bipartite.hpp"
+
+namespace ftcs::expander {
+
+/// Union of `degree` independent uniformly random permutations of
+/// {0..n-1}: every inlet has out-degree `degree`, every outlet in-degree
+/// `degree` (parallel edges possible but rare; they are kept — a parallel
+/// switch is legal, it just wastes one edge of expansion).
+[[nodiscard]] Bipartite random_regular(std::uint32_t n, std::uint32_t degree,
+                                       std::uint64_t seed);
+
+/// Unbalanced variant: `inlets` x `outlets`, out-degree `degree`, in-degrees
+/// balanced to within one (ceil/floor of inlets*degree/outlets). Built by
+/// shuffling a multiset of outlet slots.
+[[nodiscard]] Bipartite random_biregular(std::uint32_t inlets, std::uint32_t outlets,
+                                         std::uint32_t degree, std::uint64_t seed);
+
+}  // namespace ftcs::expander

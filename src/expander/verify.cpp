@@ -1,0 +1,205 @@
+#include "expander/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace ftcs::expander {
+
+std::size_t min_neighborhood_exhaustive(const Bipartite& b, std::size_t c,
+                                        std::uint64_t work_limit) {
+  const std::size_t t = b.inlets;
+  if (c == 0 || c > t) throw std::invalid_argument("exhaustive: bad c");
+  const double log_work = util::log_binomial(t, c);
+  if (log_work > std::log(static_cast<double>(work_limit)))
+    throw std::invalid_argument("exhaustive: C(t, c) exceeds work limit");
+
+  std::vector<std::uint32_t> set(c);
+  std::iota(set.begin(), set.end(), 0u);
+  std::size_t best = b.outlets + 1;
+  while (true) {
+    best = std::min(best, b.neighborhood_size(set));
+    // next combination
+    std::size_t i = c;
+    while (i > 0 && set[i - 1] == t - c + i - 1) --i;
+    if (i == 0) break;
+    ++set[i - 1];
+    for (std::size_t j = i; j < c; ++j) set[j] = set[j - 1] + 1;
+  }
+  return best;
+}
+
+namespace {
+
+// |N(S)| maintained incrementally via outlet reference counts.
+class NeighborhoodTracker {
+ public:
+  NeighborhoodTracker(const Bipartite& b, const std::vector<std::uint32_t>& set)
+      : b_(&b), refs_(b.outlets, 0) {
+    for (std::uint32_t i : set) add(i);
+  }
+  void add(std::uint32_t inlet) {
+    for (std::uint32_t o : b_->adj[inlet])
+      if (refs_[o]++ == 0) ++size_;
+  }
+  void remove(std::uint32_t inlet) {
+    for (std::uint32_t o : b_->adj[inlet])
+      if (--refs_[o] == 0) --size_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  const Bipartite* b_;
+  std::vector<std::uint32_t> refs_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+AdversarialResult min_neighborhood_adversarial(const Bipartite& b, std::size_t c,
+                                               std::size_t restarts,
+                                               std::uint64_t seed) {
+  const std::size_t t = b.inlets;
+  AdversarialResult result;
+  result.min_neighborhood = b.outlets + 1;
+
+  std::vector<std::uint32_t> all(t);
+  std::iota(all.begin(), all.end(), 0u);
+
+  for (std::size_t r = 0; r < restarts; ++r) {
+    util::Xoshiro256 rng(util::derive_seed(seed, r));
+    util::shuffle(all, rng);
+    std::vector<std::uint32_t> set(all.begin(), all.begin() + c);
+    std::vector<std::uint8_t> in_set(t, 0);
+    for (std::uint32_t i : set) in_set[i] = 1;
+    NeighborhoodTracker tracker(b, set);
+
+    // Greedy descent: try swapping a member for a non-member if it shrinks
+    // (or keeps, with small probability, to escape plateaus) |N(S)|.
+    bool improved = true;
+    std::size_t rounds = 0;
+    while (improved && rounds < 20) {
+      improved = false;
+      ++rounds;
+      for (std::size_t pos = 0; pos < set.size(); ++pos) {
+        const std::uint32_t out = set[pos];
+        tracker.remove(out);
+        const std::size_t without = tracker.size();
+        // Best replacement among a random sample of non-members.
+        std::uint32_t best_in = out;
+        std::size_t best_size = tracker.size() + b.adj[out].size() + 1;
+        {
+          NeighborhoodTracker probe = tracker;
+          probe.add(out);
+          best_size = probe.size();
+        }
+        for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+          const auto cand = static_cast<std::uint32_t>(rng.below(t));
+          if (in_set[cand] || cand == out) continue;
+          NeighborhoodTracker probe = tracker;
+          probe.add(cand);
+          if (probe.size() < best_size) {
+            best_size = probe.size();
+            best_in = cand;
+          }
+        }
+        (void)without;
+        tracker.add(best_in);
+        if (best_in != out) {
+          in_set[out] = 0;
+          in_set[best_in] = 1;
+          set[pos] = best_in;
+          improved = true;
+        }
+      }
+    }
+    if (tracker.size() < result.min_neighborhood) {
+      result.min_neighborhood = tracker.size();
+      result.witness = set;
+    }
+  }
+  return result;
+}
+
+std::optional<double> second_singular_value(const Bipartite& b,
+                                            std::size_t iterations,
+                                            std::uint64_t seed) {
+  const std::size_t n = b.inlets;
+  if (n == 0 || b.outlets == 0) return std::nullopt;
+  util::Xoshiro256 rng(seed);
+
+  auto apply_AtA = [&](const std::vector<double>& x, std::vector<double>& tmp,
+                       std::vector<double>& out) {
+    std::fill(tmp.begin(), tmp.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::uint32_t o : b.adj[i]) tmp[o] += x[i];
+    std::fill(out.begin(), out.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::uint32_t o : b.adj[i]) out[i] += tmp[o];
+  };
+  auto normalize = [](std::vector<double>& v) {
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) return 0.0;
+    for (double& x : v) x /= norm;
+    return norm;
+  };
+
+  std::vector<double> tmp(b.outlets);
+
+  // Top singular vector of A (right singular vector, inlet side).
+  std::vector<double> v1(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> next(n);
+  double sigma1_sq = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    apply_AtA(v1, tmp, next);
+    sigma1_sq = normalize(next);
+    if (sigma1_sq == 0.0) return std::nullopt;
+    v1.swap(next);
+  }
+
+  // Second vector: power iteration with deflation against v1.
+  std::vector<double> v2(n);
+  for (double& x : v2) x = rng.uniform() - 0.5;
+  double sigma2_sq = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dot += v2[i] * v1[i];
+    for (std::size_t i = 0; i < n; ++i) v2[i] -= dot * v1[i];
+    if (normalize(v2) == 0.0) return std::nullopt;
+    apply_AtA(v2, tmp, next);
+    v2.swap(next);
+    sigma2_sq = 0.0;
+    for (double x : v2) sigma2_sq += x * x;
+    sigma2_sq = std::sqrt(sigma2_sq);
+    normalize(v2);
+  }
+  return std::sqrt(sigma2_sq);
+}
+
+double tanner_bound(double d, double lambda2, double c, double t) {
+  const double d2 = d * d;
+  const double l2 = lambda2 * lambda2;
+  const double denom = l2 + (d2 - l2) * c / t;
+  if (denom <= 0.0) return 0.0;
+  return c * d2 / denom;
+}
+
+bool check_expansion(const Bipartite& b, const ExpansionSpec& spec,
+                     std::size_t restarts, std::uint64_t seed) {
+  if (spec.t != b.inlets) return false;
+  const double log_work = util::log_binomial(b.inlets, spec.c);
+  if (log_work < std::log(2e5)) {
+    return min_neighborhood_exhaustive(b, spec.c) >= spec.cp;
+  }
+  const auto adversarial =
+      min_neighborhood_adversarial(b, spec.c, restarts, seed);
+  return adversarial.min_neighborhood >= spec.cp;
+}
+
+}  // namespace ftcs::expander

@@ -1,0 +1,55 @@
+// Expansion verification.
+//
+// Deciding whether a bipartite graph is (c, c', t)-expanding is co-NP-hard
+// in general, so we verify at three levels of rigor:
+//   1. exhaustive        — exact minimum neighborhood over all C(t, c)
+//                          inlet sets; only for small instances;
+//   2. adversarial       — randomized greedy descent looking for small-
+//                          neighborhood witnesses; gives an upper bound on
+//                          the true minimum (a failed search is evidence,
+//                          not proof);
+//   3. spectral (Tanner) — a certified lower bound for regular graphs via
+//                          the second singular value of the biadjacency
+//                          matrix: |N(S)| >= d^2 |S| / (l2^2 + (d^2 - l2^2) |S| / t).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "expander/bipartite.hpp"
+
+namespace ftcs::expander {
+
+/// Exact min over all inlet sets of size c of |N(S)|. Cost C(t, c); guarded
+/// by a work limit (throws std::invalid_argument when too large).
+[[nodiscard]] std::size_t min_neighborhood_exhaustive(const Bipartite& b,
+                                                      std::size_t c,
+                                                      std::uint64_t work_limit = 50'000'000);
+
+/// Adversarial search: random starts + greedy swaps minimizing |N(S)|.
+/// Returns the smallest neighborhood found (an upper bound on the minimum).
+struct AdversarialResult {
+  std::size_t min_neighborhood = 0;
+  std::vector<std::uint32_t> witness;  // the inlet set achieving it
+};
+[[nodiscard]] AdversarialResult min_neighborhood_adversarial(
+    const Bipartite& b, std::size_t c, std::size_t restarts, std::uint64_t seed);
+
+/// Second singular value of the biadjacency matrix, by power iteration on
+/// A^T A with deflation of the top singular pair. Returns nullopt if the
+/// iteration fails to converge.
+[[nodiscard]] std::optional<double> second_singular_value(const Bipartite& b,
+                                                          std::size_t iterations = 300,
+                                                          std::uint64_t seed = 1);
+
+/// Tanner's expansion bound for a d-regular bipartite graph on t+t vertices
+/// with second singular value l2: every |S| = c has
+/// |N(S)| >= c d^2 / (l2^2 + (d^2 - l2^2) c / t).
+[[nodiscard]] double tanner_bound(double d, double lambda2, double c, double t);
+
+/// True if the adversarial search (and exhaustive search when feasible)
+/// found no violation of the (c, c', t) contract.
+[[nodiscard]] bool check_expansion(const Bipartite& b, const ExpansionSpec& spec,
+                                   std::size_t restarts, std::uint64_t seed);
+
+}  // namespace ftcs::expander

@@ -1,0 +1,90 @@
+#include "fault/fault_instance.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ftcs::fault {
+
+FaultInstance::FaultInstance(const graph::Network& net, const FaultModel& model,
+                             std::uint64_t seed)
+    : net_(&net), failures_(sample_failures(model, net.g.edge_count(), seed)) {
+  index_failures();
+}
+
+FaultInstance::FaultInstance(const graph::Network& net,
+                             std::vector<Failure> failures)
+    : net_(&net), failures_(std::move(failures)) {
+  std::sort(failures_.begin(), failures_.end(),
+            [](const Failure& a, const Failure& b) { return a.edge < b.edge; });
+  index_failures();
+}
+
+void FaultInstance::index_failures() {
+  faulty_vertex_.assign(net_->g.vertex_count(), 0);
+  for (const Failure& f : failures_) {
+    if (f.state == SwitchState::kOpenFail) ++open_count_;
+    const auto& ed = net_->g.edge(f.edge);
+    faulty_vertex_[ed.from] = 1;
+    faulty_vertex_[ed.to] = 1;
+  }
+  faulty_vertex_total_ = static_cast<std::size_t>(
+      std::count(faulty_vertex_.begin(), faulty_vertex_.end(), 1));
+}
+
+std::vector<std::uint8_t> FaultInstance::faulty_non_terminal_mask() const {
+  std::vector<std::uint8_t> mask = faulty_vertex_;
+  for (graph::VertexId v : net_->inputs) mask[v] = 0;
+  for (graph::VertexId v : net_->outputs) mask[v] = 0;
+  return mask;
+}
+
+std::vector<std::uint8_t> FaultInstance::failed_edge_mask() const {
+  std::vector<std::uint8_t> mask(net_->g.edge_count(), 0);
+  for (const Failure& f : failures_) mask[f.edge] = 1;
+  return mask;
+}
+
+SwitchState FaultInstance::state(graph::EdgeId e) const noexcept {
+  const auto it = std::lower_bound(
+      failures_.begin(), failures_.end(), e,
+      [](const Failure& f, graph::EdgeId id) { return f.edge < id; });
+  if (it != failures_.end() && it->edge == e) return it->state;
+  return SwitchState::kNormal;
+}
+
+graph::Dsu& FaultInstance::contraction() {
+  if (!contraction_) {
+    contraction_.emplace(net_->g.vertex_count());
+    for (const Failure& f : failures_) {
+      if (f.state == SwitchState::kClosedFail) {
+        const auto& ed = net_->g.edge(f.edge);
+        contraction_->unite(ed.from, ed.to);
+      }
+    }
+  }
+  return *contraction_;
+}
+
+bool FaultInstance::terminals_shorted() {
+  return shorted_terminal_pair().has_value();
+}
+
+std::optional<std::pair<graph::VertexId, graph::VertexId>>
+FaultInstance::shorted_terminal_pair() {
+  auto& dsu = contraction();
+  std::unordered_map<std::uint32_t, graph::VertexId> root_to_terminal;
+  auto check = [&](graph::VertexId t)
+      -> std::optional<std::pair<graph::VertexId, graph::VertexId>> {
+    const std::uint32_t root = dsu.find(t);
+    const auto [it, inserted] = root_to_terminal.try_emplace(root, t);
+    if (!inserted && it->second != t) return std::make_pair(it->second, t);
+    return std::nullopt;
+  };
+  for (graph::VertexId t : net_->inputs)
+    if (auto hit = check(t)) return hit;
+  for (graph::VertexId t : net_->outputs)
+    if (auto hit = check(t)) return hit;
+  return std::nullopt;
+}
+
+}  // namespace ftcs::fault

@@ -1,0 +1,66 @@
+// The random switch failure model (paper §1–§3, after Moore & Shannon).
+//
+// Each switch (edge) is independently in one of three states:
+//   open failure   (prob ε₁): the switch is permanently off — the edge is
+//                             deleted from the graph;
+//   closed failure (prob ε₂): the switch is permanently on — the edge's two
+//                             endpoints contract to a single vertex;
+//   normal         (prob 1 − ε₁ − ε₂).
+// The paper takes ε₁ = ε₂ = ε for notational simplicity; we keep them
+// separate and provide the symmetric constructor.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace ftcs::fault {
+
+enum class SwitchState : std::uint8_t {
+  kNormal = 0,
+  kOpenFail = 1,
+  kClosedFail = 2,
+};
+
+struct FaultModel {
+  double eps_open = 0.0;
+  double eps_closed = 0.0;
+
+  static FaultModel symmetric(double eps) { return {eps, eps}; }
+  static FaultModel none() { return {0.0, 0.0}; }
+
+  [[nodiscard]] double total() const noexcept { return eps_open + eps_closed; }
+
+  void validate() const {
+    if (eps_open < 0 || eps_closed < 0 || total() >= 1.0)
+      throw std::invalid_argument("FaultModel: probabilities out of range");
+  }
+};
+
+/// Samples switch states for `edge_count` edges. Deterministic given the
+/// seed. Uses geometric skipping between failures, so a trial costs
+/// O(#failures) rather than O(#edges) — essential at the paper's ε = 10⁻⁶
+/// on million-edge networks.
+[[nodiscard]] std::vector<SwitchState> sample_states(const FaultModel& model,
+                                                     std::size_t edge_count,
+                                                     std::uint64_t seed);
+
+/// Same, reusing a caller-provided buffer to avoid per-trial allocation.
+void sample_states_into(const FaultModel& model, std::size_t edge_count,
+                        std::uint64_t seed, std::vector<SwitchState>& out);
+
+/// Sparse form: list of (edge index, failed state) pairs, skipping normals.
+/// Preferred for Monte Carlo loops at small ε.
+struct Failure {
+  std::uint32_t edge;
+  SwitchState state;  // kOpenFail or kClosedFail
+};
+[[nodiscard]] std::vector<Failure> sample_failures(const FaultModel& model,
+                                                   std::size_t edge_count,
+                                                   std::uint64_t seed);
+void sample_failures_into(const FaultModel& model, std::size_t edge_count,
+                          std::uint64_t seed, std::vector<Failure>& out);
+
+}  // namespace ftcs::fault

@@ -1,0 +1,48 @@
+#include "fault/repair.hpp"
+
+#include <algorithm>
+
+namespace ftcs::fault {
+
+namespace {
+
+RepairResult repair_with_mask(const FaultInstance& instance,
+                              const std::vector<std::uint8_t>& faulty) {
+  const graph::Network& net = instance.network();
+  std::vector<std::uint8_t> keep(net.g.vertex_count());
+  for (std::size_t v = 0; v < keep.size(); ++v) keep[v] = faulty[v] ? 0 : 1;
+
+  auto induced = graph::induced_subnetwork(net, keep);
+  RepairResult result;
+  result.discarded_vertices = static_cast<std::size_t>(
+      std::count(faulty.begin(), faulty.end(), std::uint8_t{1}));
+  result.surviving_inputs = induced.net.inputs.size();
+  result.surviving_outputs = induced.net.outputs.size();
+  result.net = std::move(induced.net);
+  result.old_to_new = std::move(induced.old_to_new);
+  return result;
+}
+
+}  // namespace
+
+RepairResult repair_by_discard(const FaultInstance& instance) {
+  return repair_with_mask(instance, instance.faulty_vertices());
+}
+
+std::vector<std::uint8_t> faulty_with_neighbors(const FaultInstance& instance) {
+  const graph::Network& net = instance.network();
+  const auto& faulty = instance.faulty_vertices();
+  std::vector<std::uint8_t> extended = faulty;
+  for (graph::VertexId v = 0; v < net.g.vertex_count(); ++v) {
+    if (!faulty[v]) continue;
+    for (graph::EdgeId e : net.g.out_edges(v)) extended[net.g.edge(e).to] = 1;
+    for (graph::EdgeId e : net.g.in_edges(v)) extended[net.g.edge(e).from] = 1;
+  }
+  return extended;
+}
+
+RepairResult repair_by_discard_with_neighbors(const FaultInstance& instance) {
+  return repair_with_mask(instance, faulty_with_neighbors(instance));
+}
+
+}  // namespace ftcs::fault

@@ -1,0 +1,39 @@
+// Repair-by-discard (paper §4, second observation): "with high probability
+// we can find a nonblocking network contained in the fault-tolerant network
+// merely by discarding faulty components and their immediate neighbors, so
+// no difficult computations are hidden here."
+//
+// Discarding every faulty vertex (a vertex incident to any failed switch)
+// removes, in particular, every failed edge, so the surviving network
+// consists of normal-state switches only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_instance.hpp"
+#include "graph/transform.hpp"
+
+namespace ftcs::fault {
+
+struct RepairResult {
+  graph::Network net;                     // surviving normal-state network
+  std::vector<graph::VertexId> old_to_new;  // kNoVertex where discarded
+  std::size_t discarded_vertices = 0;
+  std::size_t surviving_inputs = 0;
+  std::size_t surviving_outputs = 0;
+};
+
+/// Discards all faulty vertices and returns the induced surviving network.
+[[nodiscard]] RepairResult repair_by_discard(const FaultInstance& instance);
+
+/// Faulty-vertex mask extended to immediate neighbors (the stricter discard
+/// the paper mentions; used by ablation benches).
+[[nodiscard]] std::vector<std::uint8_t> faulty_with_neighbors(
+    const FaultInstance& instance);
+
+/// Discards faulty vertices and their immediate neighbors.
+[[nodiscard]] RepairResult repair_by_discard_with_neighbors(
+    const FaultInstance& instance);
+
+}  // namespace ftcs::fault

@@ -1,0 +1,60 @@
+#include "ftcs/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftcs::core::bounds {
+
+double lemma3_failure(double eps, std::uint32_t nu, double rows) {
+  if (144 * eps >= 1.0) return 1.0;
+  const double c1 = 1.0 / (1.0 - 72 * eps);
+  return std::min(1.0, c1 * nu * std::pow(144 * eps, rows));
+}
+
+double lemma4_failure(double eps, double four_pow_mu) {
+  // Markov on e^T with E[e^{x_j}] <= 1 + 2 e eps per incident switch and
+  // 1280 * 4^mu incident switches: P <= exp((2560 e eps - 0.07) 4^mu).
+  const double exponent = (2560.0 * std::exp(1.0) * eps - 0.07) * four_pow_mu;
+  return std::min(1.0, std::exp(exponent));
+}
+
+double lemma5_failure(std::uint32_t nu) {
+  return std::min(1.0, nu * std::pow(2.0 / std::exp(1.0), 2.0 * nu));
+}
+
+double lemma6_failure(double eps, std::uint32_t nu, double grid_rows) {
+  return std::min(1.0, lemma3_failure(eps, nu, grid_rows) + lemma5_failure(nu));
+}
+
+double lemma7_failure(double eps, std::uint32_t nu) {
+  if (160 * eps >= 1.0) return 1.0;
+  const double c2 = std::pow(4.0, 15.0) / (1.0 - 40 * eps);
+  return std::min(1.0, c2 * static_cast<double>(nu) * nu *
+                           std::pow(160 * eps, 2.0 * nu));
+}
+
+double theorem2_failure(double eps, std::uint32_t nu, double grid_rows) {
+  return std::min(1.0, 2.0 * lemma6_failure(eps, nu, grid_rows) +
+                           lemma7_failure(eps, nu));
+}
+
+double theorem2_size_bound(std::uint32_t nu) {
+  // 1408 nu 4^(nu+gamma) with 4^gamma <= 136 nu.
+  return 1408.0 * nu * 136.0 * nu * std::pow(4.0, nu);
+}
+
+double theorem1_size_bound(double n) {
+  const double log2n = std::log2(n);
+  return n * log2n * log2n / 2592.0;
+}
+
+double theorem1_depth_bound(double n) { return std::log2(n) / 9.0; }
+
+double theorem1_zone_bound(double n) { return std::log2(n) / 12.0; }
+
+Prop1Normalized prop1_normalize(double eps_prime, double size, double depth) {
+  const double logt = std::log2(1.0 / eps_prime);
+  return {size / (logt * logt), depth / logt};
+}
+
+}  // namespace ftcs::core::bounds

@@ -1,0 +1,62 @@
+// The paper's closed-form bounds, as executable formulas.
+//
+// Every quantitative claim in §5-§6 is reproduced here so benches and
+// EXPERIMENTS.md can print measured-vs-paper side by side. Constants follow
+// the paper's text (with its own conventions: radix 4, width 64, degree 10,
+// ε = 10⁻⁶); each function documents its source.
+#pragma once
+
+#include <cstdint>
+
+namespace ftcs::core::bounds {
+
+/// Lemma 3: P[idle input lacks access to a majority of its grid's last
+/// column] <= c1 * nu * (144 eps)^rows, c1 = 1/(1 - 72 eps).
+[[nodiscard]] double lemma3_failure(double eps, std::uint32_t nu, double rows);
+
+/// Lemma 4: P[an expanding graph has more than 0.07*4^mu faulty outlets]
+/// <= e^(-0.06 * 4^mu) at eps = 1e-6 (the paper's fixed-eps form). The
+/// generalized Markov/Chernoff bound behind it, for arbitrary eps:
+/// P <= exp(2560 * e * eps * 4^mu - 0.07 * 4^mu) using E[e^T].
+[[nodiscard]] double lemma4_failure(double eps, double four_pow_mu);
+
+/// Lemma 5: union bound over all columns: <= nu * (2/e)^(2 nu) when
+/// 4^gamma >= 34 nu (the paper's arithmetic at eps = 1e-6).
+[[nodiscard]] double lemma5_failure(std::uint32_t nu);
+
+/// Lemma 6 / Corollary 2: P[N-hat' not majority-access]
+/// <= c1 nu (144 eps)^(64 * 4^gamma) + nu (2/e)^(2 nu).
+[[nodiscard]] double lemma6_failure(double eps, std::uint32_t nu, double grid_rows);
+
+/// Lemma 7: P[some two terminals contract] <= c2 nu^2 (160 eps)^(2 nu),
+/// c2 = 4^15 / (1 - 40 eps).
+[[nodiscard]] double lemma7_failure(double eps, std::uint32_t nu);
+
+/// Theorem 2 aggregate: P[N-hat fails to contain a nonblocking network]
+/// <= 2 * lemma6 + lemma7 (forward + mirror + shorts).
+[[nodiscard]] double theorem2_failure(double eps, std::uint32_t nu, double grid_rows);
+
+/// Theorem 2 size bound: 1408 nu 4^(nu+gamma) <= 1408 * 136 * nu^2 * 4^nu
+/// edges; normalized per n (log4 n)^2 at the paper profile.
+[[nodiscard]] double theorem2_size_bound(std::uint32_t nu);
+
+/// Theorem 1: size lower bound n (log2 n)^2 / 2592 for any
+/// (1/4, 1/2)-n-superconcentrator.
+[[nodiscard]] double theorem1_size_bound(double n);
+
+/// Theorem 1: depth lower bound (1/9) log2 n.
+[[nodiscard]] double theorem1_depth_bound(double n);
+
+/// Lemma 2 / Theorem 1 inner bound: zones of at least (1/12) log2 n edges.
+[[nodiscard]] double theorem1_zone_bound(double n);
+
+/// Moore-Shannon Proposition 1 shapes: size c (log2 1/eps')^2 and depth
+/// d log2(1/eps') — returns the normalized constants for a measured design.
+struct Prop1Normalized {
+  double size_constant;   // size / (log2 1/eps')^2
+  double depth_constant;  // depth / log2(1/eps')
+};
+[[nodiscard]] Prop1Normalized prop1_normalize(double eps_prime, double size,
+                                              double depth);
+
+}  // namespace ftcs::core::bounds

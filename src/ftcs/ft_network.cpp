@@ -1,0 +1,114 @@
+#include "ftcs/ft_network.hpp"
+
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace ftcs::core {
+
+namespace {
+
+// Adds `count` fresh grid columns of `rows` vertices, labelling them with
+// consecutive stages starting at `first_stage`.
+std::vector<std::vector<graph::VertexId>> add_columns(graph::Network& net,
+                                                      std::size_t rows,
+                                                      std::uint32_t count,
+                                                      std::int32_t first_stage) {
+  std::vector<std::vector<graph::VertexId>> cols(count);
+  for (std::uint32_t c = 0; c < count; ++c) {
+    cols[c].resize(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      cols[c][i] = net.g.add_vertex();
+      net.stage.push_back(first_stage + static_cast<std::int32_t>(c));
+    }
+  }
+  return cols;
+}
+
+// Wires each consecutive column pair with a straight edge and a wrapping
+// diagonal (the hammock-style directed grid of Fig. 4).
+void wire_grid_chain(graph::Network& net,
+                     const std::vector<std::vector<graph::VertexId>>& chain) {
+  for (std::size_t c = 0; c + 1 < chain.size(); ++c) {
+    const auto& a = chain[c];
+    const auto& b = chain[c + 1];
+    const std::size_t rows = a.size();
+    for (std::size_t i = 0; i < rows; ++i) {
+      net.g.add_edge(a[i], b[i]);
+      net.g.add_edge(a[i], b[(i + 1) % rows]);
+    }
+  }
+}
+
+}  // namespace
+
+FtNetwork build_ft_network(const FtParams& params) {
+  if (params.nu == 0) throw std::invalid_argument("ft_network: nu == 0");
+
+  networks::RecursiveCoreParams cp;
+  cp.radix = params.radix;
+  cp.width_mult = params.width_mult;
+  cp.degree = params.degree;
+  cp.levels = params.nu;
+  cp.gamma = params.gamma();
+  cp.seed = util::derive_seed(params.seed, 0xC0DE);
+  networks::RecursiveCore core = networks::build_recursive_core(cp);
+
+  const auto first = core.first_blocks();
+  const auto last = core.last_blocks();
+
+  FtNetwork result;
+  result.params = params;
+  result.gamma = cp.gamma;
+  result.net = std::move(core.net);
+  graph::Network& net = result.net;
+  net.name = "ftcs-nhat-nu" + std::to_string(params.nu) + "-" + params.profile_name;
+
+  // Relabel core stages nu..3nu (built as 0..2nu).
+  const std::int32_t nu = static_cast<std::int32_t>(params.nu);
+  for (auto& s : net.stage)
+    if (s >= 0) s += nu;
+
+  // Center stage of the core (core-local stage nu, now labelled 2*nu).
+  {
+    const std::size_t width = params.stage_width();
+    result.center_stage.resize(width);
+    for (std::size_t i = 0; i < width; ++i)
+      result.center_stage[i] =
+          static_cast<graph::VertexId>(params.nu * width + i);
+  }
+
+  const std::size_t n = first.size();
+  const std::size_t rows = params.grid_rows();
+  result.grid_columns.resize(n);
+  result.mirror_grid_columns.resize(n);
+  net.inputs.reserve(n);
+  net.outputs.reserve(n);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    // Left grid Ψ_t: fresh columns at stages 1..nu-1, core block at stage nu.
+    auto chain = add_columns(net, rows, params.nu - 1, 1);
+    chain.push_back(first[t]);
+    wire_grid_chain(net, chain);
+    const graph::VertexId input = net.g.add_vertex();
+    net.stage.push_back(0);
+    net.inputs.push_back(input);
+    for (graph::VertexId v : chain.front()) net.g.add_edge(input, v);
+    result.grid_columns[t] = std::move(chain);
+
+    // Mirror grid Ψ̄_t: core block at stage 3nu, fresh columns at stages
+    // 3nu+1..4nu-1, output at stage 4nu.
+    std::vector<std::vector<graph::VertexId>> mchain{last[t]};
+    auto fresh = add_columns(net, rows, params.nu - 1, 3 * nu + 1);
+    for (auto& col : fresh) mchain.push_back(std::move(col));
+    wire_grid_chain(net, mchain);
+    const graph::VertexId output = net.g.add_vertex();
+    net.stage.push_back(4 * nu);
+    net.outputs.push_back(output);
+    for (graph::VertexId v : mchain.back()) net.g.add_edge(v, output);
+    result.mirror_grid_columns[t] = std::move(mchain);
+  }
+  return result;
+}
+
+}  // namespace ftcs::core

@@ -1,0 +1,47 @@
+// The fault-tolerant nonblocking network 𝒩̂ of §6 (Fig. 5).
+//
+// 𝒩̂ has 4ν + 1 stages for n = 4^ν terminals:
+//   stage 0            n inputs;
+//   stages 1..ν        n directed grids Ψ₁..Ψₙ (64·4^γ rows each, wrapping
+//                      diagonals); each input feeds every row of its grid's
+//                      first column; the grids' last columns are identified
+//                      with the first-stage blocks of the core;
+//   stages ν..3ν       the trimmed recursive network 𝓜 (see
+//                      networks::build_recursive_core);
+//   stages 3ν..4ν−1    the mirror grids Ψ̄₁..Ψ̄ₙ;
+//   stage 4ν           n outputs.
+#pragma once
+
+#include <vector>
+
+#include "ftcs/params.hpp"
+#include "graph/digraph.hpp"
+#include "networks/pippenger_recursive.hpp"
+
+namespace ftcs::core {
+
+struct FtNetwork {
+  graph::Network net;
+  FtParams params;
+  std::uint32_t gamma = 0;
+
+  // Grid bookkeeping: for terminal t (0-based), grid_columns[t][c] lists the
+  // vertex ids of column c (0-based, size grid_rows) of its left grid; the
+  // last column is the core block. mirror_grid_columns likewise, ordered
+  // from the core block (column 0) outward to the output side.
+  std::vector<std::vector<std::vector<graph::VertexId>>> grid_columns;
+  std::vector<std::vector<std::vector<graph::VertexId>>> mirror_grid_columns;
+
+  // The center stage (core-local stage ν = stage 2ν of 𝒩̂, mid-depth): the "outputs"
+  // of the left half 𝒩̂' in Lemma 6's majority-access statement. An idle
+  // input must access a strict majority of these, and (mirror image) an
+  // idle output must be reached from a strict majority, for 𝒩̂ to contain a
+  // nonblocking network.
+  std::vector<graph::VertexId> center_stage;
+
+  [[nodiscard]] std::size_t n() const { return net.inputs.size(); }
+};
+
+[[nodiscard]] FtNetwork build_ft_network(const FtParams& params);
+
+}  // namespace ftcs::core

@@ -1,0 +1,409 @@
+#include "ftcs/lower_bound.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs::core {
+
+namespace {
+
+// Undirected adjacency view with stable edge indices.
+struct UAdj {
+  // adj[v] = (neighbor, edge index)
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj;
+
+  static UAdj from_digraph(const graph::Digraph& g) {
+    UAdj u;
+    u.adj.resize(g.vertex_count());
+    for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto& ed = g.edge(e);
+      u.adj[ed.from].push_back({ed.to, e});
+      u.adj[ed.to].push_back({ed.from, e});
+    }
+    return u;
+  }
+
+  [[nodiscard]] std::size_t degree(std::uint32_t v) const { return adj[v].size(); }
+  [[nodiscard]] std::size_t vertex_count() const { return adj.size(); }
+};
+
+struct ExtractedPath {
+  std::vector<std::uint32_t> vertices;
+  std::vector<std::uint32_t> edges;
+};
+
+// Greedy maximal family of edge-disjoint leaf-to-leaf paths of length <= 3
+// over an undirected forest view. Maximality: edges are only ever consumed,
+// so a candidate rejected once can never become available again.
+std::vector<ExtractedPath> extract_maximal(const UAdj& u) {
+  const std::size_t n = u.vertex_count();
+  std::vector<std::uint8_t> is_leaf(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) is_leaf[v] = u.degree(v) == 1;
+
+  std::vector<std::uint8_t> edge_used;
+  {
+    std::size_t edges = 0;
+    for (std::uint32_t v = 0; v < n; ++v) edges += u.degree(v);
+    edge_used.assign(edges / 2 + 1, 0);
+  }
+  std::vector<std::uint8_t> leaf_taken(n, 0);
+  std::vector<ExtractedPath> result;
+
+  // Depth-limited DFS from each leaf over unused edges, collecting a path to
+  // another free leaf if one exists.
+  for (std::uint32_t leaf = 0; leaf < n; ++leaf) {
+    if (!is_leaf[leaf] || leaf_taken[leaf]) continue;
+    bool extended = true;
+    while (extended && !leaf_taken[leaf]) {
+      extended = false;
+      // Iterative deepening up to 3 edges; trees are tiny here, recursion ok.
+      std::vector<std::uint32_t> vpath{leaf}, epath;
+      std::function<bool(std::uint32_t, std::uint32_t)> dfs =
+          [&](std::uint32_t v, std::uint32_t depth) -> bool {
+        if (v != leaf && is_leaf[v] && !leaf_taken[v]) return true;
+        if (depth == 3) return false;
+        for (const auto& [w, e] : u.adj[v]) {
+          if (edge_used[e]) continue;
+          if (!vpath.empty() && vpath.size() >= 2 && w == vpath[vpath.size() - 2])
+            continue;  // no immediate backtrack
+          vpath.push_back(w);
+          epath.push_back(e);
+          if (dfs(w, depth + 1)) return true;
+          vpath.pop_back();
+          epath.pop_back();
+        }
+        return false;
+      };
+      if (dfs(leaf, 0)) {
+        for (std::uint32_t e : epath) edge_used[e] = 1;
+        leaf_taken[vpath.front()] = 1;
+        leaf_taken[vpath.back()] = 1;
+        result.push_back({vpath, epath});
+        extended = false;  // this leaf is now consumed
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::vector<graph::VertexId>> extract_leaf_paths(
+    const graph::Digraph& tree) {
+  const auto u = UAdj::from_digraph(tree);
+  const auto extracted = extract_maximal(u);
+  std::vector<std::vector<graph::VertexId>> paths;
+  paths.reserve(extracted.size());
+  for (const auto& p : extracted) paths.push_back(p.vertices);
+  return paths;
+}
+
+LeafCensus leaf_census(const graph::Digraph& tree) {
+  const auto u = UAdj::from_digraph(tree);
+  LeafCensus census;
+  const std::size_t n = u.vertex_count();
+  std::vector<std::uint8_t> is_leaf(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (u.degree(v) == 1) {
+      is_leaf[v] = 1;
+      ++census.leaves;
+    }
+  // Bad leaves: no other leaf within undirected distance 3.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!is_leaf[v]) continue;
+    // BFS to depth 3.
+    std::vector<std::uint32_t> dist(n, graph::kUnreachable);
+    std::deque<std::uint32_t> queue{v};
+    dist[v] = 0;
+    bool found = false;
+    while (!queue.empty() && !found) {
+      const std::uint32_t x = queue.front();
+      queue.pop_front();
+      for (const auto& [w, e] : u.adj[x]) {
+        (void)e;
+        if (dist[w] != graph::kUnreachable) continue;
+        dist[w] = dist[x] + 1;
+        if (is_leaf[w] && w != v) {
+          found = true;
+          break;
+        }
+        if (dist[w] < 3) queue.push_back(w);
+      }
+    }
+    if (!found) ++census.bad;
+  }
+  census.good = census.leaves - census.bad;
+  const auto extracted = extract_maximal(u);
+  census.paths = extracted.size();
+  census.lucky = 2 * extracted.size();
+  census.unlucky = census.good - census.lucky;
+  return census;
+}
+
+graph::Digraph random_cubic_tree(std::size_t leaves, std::uint64_t seed) {
+  graph::Digraph g;
+  util::Xoshiro256 rng(seed);
+  if (leaves < 2) leaves = 2;
+  if (leaves == 2) {
+    g.add_vertices(2);
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Star on 3 leaves, then repeatedly grow a random leaf into an internal
+  // node with two fresh leaf children.
+  g.add_vertices(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  std::vector<std::uint32_t> leaf_list{1, 2, 3};
+  while (leaf_list.size() < leaves) {
+    const std::size_t pick = rng.below(leaf_list.size());
+    const std::uint32_t v = leaf_list[pick];
+    const std::uint32_t a = g.add_vertex();
+    const std::uint32_t b = g.add_vertex();
+    g.add_edge(v, a);
+    g.add_edge(v, b);
+    leaf_list[pick] = a;
+    leaf_list.push_back(b);
+  }
+  return g;
+}
+
+graph::Digraph reduce_to_degree3(const graph::Digraph& tree) {
+  const auto u = UAdj::from_digraph(tree);
+  const std::size_t n = u.vertex_count();
+  graph::Digraph out;
+  // For each original vertex, the list of replacement nodes; neighbor slot k
+  // attaches to gateway[v][slot_node(k)].
+  std::vector<std::vector<std::uint32_t>> nodes(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::size_t d = u.degree(v);
+    const std::size_t count = d <= 3 ? 1 : d - 2;
+    nodes[v].resize(count);
+    for (auto& id : nodes[v]) id = out.add_vertex();
+    for (std::size_t i = 0; i + 1 < count; ++i)
+      out.add_edge(nodes[v][i], nodes[v][i + 1]);
+  }
+  // Attachment point of neighbor slot k at vertex v.
+  auto attach = [&](std::uint32_t v, std::size_t k) {
+    const std::size_t d = u.degree(v);
+    if (d <= 3) return nodes[v][0];
+    // Slots 0,1 -> chain node 0; slot d-1, d-2 -> last; else node k-1.
+    if (k <= 1) return nodes[v][0];
+    if (k >= d - 2) return nodes[v].back();
+    return nodes[v][k - 1];
+  };
+  // Add original edges once, tracking the slot index on each side.
+  std::vector<std::size_t> slot_used(n, 0);
+  // Deterministic slot assignment: process each vertex's adjacency in order.
+  // We need per-edge the slot at both endpoints; precompute by walking adj.
+  std::vector<std::pair<std::size_t, std::size_t>> edge_slots;  // (from, to)
+  {
+    std::size_t edges = 0;
+    for (std::uint32_t v = 0; v < n; ++v) edges += u.degree(v);
+    edge_slots.assign(edges / 2, {0, 0});
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const auto& [w, e] : u.adj[v]) {
+      (void)w;
+      const std::size_t slot = slot_used[v]++;
+      const auto& ed = tree.edge(e);
+      if (ed.from == v) {
+        edge_slots[e].first = slot;
+      } else {
+        edge_slots[e].second = slot;
+      }
+    }
+  }
+  for (graph::EdgeId e = 0; e < tree.edge_count(); ++e) {
+    const auto& ed = tree.edge(e);
+    out.add_edge(attach(ed.from, edge_slots[e].first),
+                 attach(ed.to, edge_slots[e].second));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> nearest_input_distances(const graph::Network& net,
+                                                   std::uint32_t radius) {
+  std::vector<std::uint8_t> is_input(net.g.vertex_count(), 0);
+  for (graph::VertexId v : net.inputs) is_input[v] = 1;
+  std::vector<std::uint32_t> result(net.inputs.size(), graph::kUnreachable);
+
+  for (std::size_t i = 0; i < net.inputs.size(); ++i) {
+    const graph::VertexId src = net.inputs[i];
+    const graph::VertexId sources[1] = {src};
+    const auto dist = graph::bfs_undirected(net.g, sources, {}, radius);
+    std::uint32_t best = graph::kUnreachable;
+    for (graph::VertexId v : net.inputs) {
+      if (v == src || dist[v] == graph::kUnreachable) continue;
+      best = std::min(best, dist[v]);
+    }
+    result[i] = best;
+  }
+  return result;
+}
+
+Lemma2Result lemma2_short_paths(const graph::Network& net, std::uint32_t j) {
+  Lemma2Result result;
+  const auto& g = net.g;
+  std::vector<std::uint8_t> is_input(g.vertex_count(), 0);
+  for (graph::VertexId v : net.inputs) is_input[v] = 1;
+
+  // Greedy forest as an edge set, with undirected adjacency for later steps.
+  std::vector<std::uint8_t> in_forest(g.edge_count(), 0);
+  const auto uall = UAdj::from_digraph(g);
+
+  std::vector<std::uint32_t> dist(g.vertex_count());
+  std::vector<std::uint32_t> parent_edge(g.vertex_count());
+  std::vector<std::uint32_t> parent(g.vertex_count());
+
+  for (graph::VertexId src : net.inputs) {
+    // Undirected BFS to the nearest other input within j.
+    std::fill(dist.begin(), dist.end(), graph::kUnreachable);
+    std::deque<graph::VertexId> queue{src};
+    dist[src] = 0;
+    graph::VertexId hit = graph::kNoVertex;
+    while (!queue.empty() && hit == graph::kNoVertex) {
+      const graph::VertexId x = queue.front();
+      queue.pop_front();
+      for (const auto& [w, e] : uall.adj[x]) {
+        if (dist[w] != graph::kUnreachable) continue;
+        dist[w] = dist[x] + 1;
+        parent[w] = x;
+        parent_edge[w] = e;
+        if (is_input[w] && w != src) {
+          hit = w;
+          break;
+        }
+        if (dist[w] < j) queue.push_back(w);
+      }
+    }
+    if (hit == graph::kNoVertex) continue;
+    ++result.close_inputs;
+    // Path from src to hit; take the longest initial segment edge-disjoint
+    // from the forest so far (walking from src).
+    std::vector<graph::EdgeId> path;
+    for (graph::VertexId v = hit; v != src; v = parent[v])
+      path.push_back(parent_edge[v]);
+    std::reverse(path.begin(), path.end());
+    for (graph::EdgeId e : path) {
+      if (in_forest[e]) break;
+      in_forest[e] = 1;
+      ++result.forest_edges;
+    }
+  }
+
+  // Forest adjacency (guard against accidental cycles by keeping a BFS
+  // spanning forest of the selected edges).
+  UAdj forest;
+  forest.adj.resize(g.vertex_count());
+  {
+    std::vector<std::uint8_t> visited(g.vertex_count(), 0);
+    for (graph::VertexId s = 0; s < g.vertex_count(); ++s) {
+      if (visited[s]) continue;
+      visited[s] = 1;
+      std::deque<graph::VertexId> queue{s};
+      while (!queue.empty()) {
+        const graph::VertexId x = queue.front();
+        queue.pop_front();
+        for (const auto& [w, e] : uall.adj[x]) {
+          if (!in_forest[e] || visited[w]) continue;
+          visited[w] = 1;
+          forest.adj[x].push_back({w, e});
+          forest.adj[w].push_back({x, e});
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+
+  // Contract stretches: kept vertices have forest degree 1 or >= 3. Each
+  // maximal degree-2 chain becomes one contracted edge carrying its
+  // original edge ids.
+  std::vector<std::uint32_t> keep_id(g.vertex_count(), graph::kNoVertex);
+  std::uint32_t kept = 0;
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto d = forest.degree(v);
+    if (d == 1 || d >= 3) keep_id[v] = kept++;
+  }
+  UAdj contracted;
+  contracted.adj.resize(kept);
+  std::vector<std::vector<graph::EdgeId>> payload;  // per contracted edge
+  std::vector<std::uint8_t> edge_done(g.edge_count(), 0);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (keep_id[v] == graph::kNoVertex) continue;
+    for (const auto& [w0, e0] : forest.adj[v]) {
+      if (edge_done[e0]) continue;
+      // Walk the chain from v through (w0, e0) until the next kept vertex.
+      std::vector<graph::EdgeId> chain{e0};
+      graph::VertexId prev = v, cur = w0;
+      while (keep_id[cur] == graph::kNoVertex) {
+        // Degree-2 vertex: exactly one other edge.
+        for (const auto& [w, e] : forest.adj[cur]) {
+          if (w == prev && e == chain.back()) continue;
+          chain.push_back(e);
+          prev = cur;
+          cur = w;
+          break;
+        }
+      }
+      for (graph::EdgeId e : chain) edge_done[e] = 1;
+      const auto eid = static_cast<std::uint32_t>(payload.size());
+      payload.push_back(chain);
+      contracted.adj[keep_id[v]].push_back({keep_id[cur], eid});
+      contracted.adj[keep_id[cur]].push_back({keep_id[v], eid});
+    }
+  }
+
+  // Corollary 1 extraction on the contracted forest, expanded back.
+  const auto extracted = extract_maximal(contracted);
+  for (const auto& p : extracted) {
+    std::vector<graph::EdgeId> full;
+    for (std::uint32_t ce : p.edges)
+      full.insert(full.end(), payload[ce].begin(), payload[ce].end());
+    result.short_paths.push_back(std::move(full));
+  }
+  return result;
+}
+
+Theorem1Certificate theorem1_certificate(const graph::Network& net,
+                                         std::uint32_t dist_threshold,
+                                         std::uint32_t zone_radius) {
+  Theorem1Certificate cert;
+  cert.n = net.inputs.size();
+  cert.dist_threshold = dist_threshold;
+  cert.zone_radius = zone_radius;
+  cert.depth = graph::network_depth(net);
+  cert.min_zone_size = std::numeric_limits<std::size_t>::max();
+  cert.min_ball_size = std::numeric_limits<std::size_t>::max();
+
+  const auto nearest = nearest_input_distances(net, dist_threshold);
+  for (std::size_t i = 0; i < net.inputs.size(); ++i) {
+    if (nearest[i] != graph::kUnreachable && nearest[i] < dist_threshold)
+      continue;  // not a good input
+    ++cert.good_inputs;
+    const auto ball = graph::edge_ball(net.g, net.inputs[i], zone_radius);
+    cert.min_ball_size = std::min(cert.min_ball_size, ball.size());
+    cert.sum_ball_size += ball.size();
+    std::vector<std::size_t> zone(zone_radius + 1, 0);
+    for (const auto& [e, h] : ball) {
+      (void)e;
+      ++zone[h];
+    }
+    for (std::uint32_t h = 1; h <= zone_radius; ++h)
+      cert.min_zone_size = std::min(cert.min_zone_size, zone[h]);
+  }
+  if (cert.good_inputs == 0) {
+    cert.min_zone_size = 0;
+    cert.min_ball_size = 0;
+  }
+  return cert;
+}
+
+}  // namespace ftcs::core

@@ -1,0 +1,96 @@
+// The §5 lower-bound machinery, implemented as algorithms.
+//
+// Lemma 1:   a tree with l leaves and internal degree >= 3 contains >= l/42
+//            edge-disjoint leaf-to-leaf paths of length <= 3 — the proof
+//            shows any MAXIMAL such family works, so a greedy maximal
+//            extraction is a constructive witness.
+// Lemma 2:   if many inputs are within (undirected) distance j of another
+//            input, a forest of initial path segments, contracted along its
+//            degree-2 "stretches", yields >= n/84 edge-disjoint input-joining
+//            paths of length <= 3j (each a closed-failure short candidate).
+// Theorem 1: good inputs (pairwise distance >= D) have disjoint edge
+//            neighborhoods B(v); partitioning B(v) into distance zones
+//            B_h(v) shows each zone needs Ω(log n) edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::core {
+
+// ---------------------------------------------------------------- Lemma 1
+
+/// Undirected tree/forest utilities operate on a Digraph whose edges are
+/// read ignoring direction.
+
+/// Greedy maximal family of edge-disjoint leaf-to-leaf paths of length <= 3.
+/// Returns vertex sequences. Leaves are degree-1 vertices.
+[[nodiscard]] std::vector<std::vector<graph::VertexId>> extract_leaf_paths(
+    const graph::Digraph& tree);
+
+/// The leaf census of the Lemma-1 proof (Figs. 1-3): bad leaves have no
+/// other leaf within distance 3; among good leaves, lucky ones are endpoints
+/// of the extracted family and unlucky ones are not.
+struct LeafCensus {
+  std::size_t leaves = 0;
+  std::size_t bad = 0;
+  std::size_t good = 0;
+  std::size_t lucky = 0;
+  std::size_t unlucky = 0;
+  std::size_t paths = 0;
+};
+[[nodiscard]] LeafCensus leaf_census(const graph::Digraph& tree);
+
+/// Random tree with every internal node of degree exactly 3 and `leaves`
+/// leaves (leaves >= 2); for exercising Lemma 1.
+[[nodiscard]] graph::Digraph random_cubic_tree(std::size_t leaves, std::uint64_t seed);
+
+/// Replaces internal nodes of degree d > 3 by (d-2)-node degree-3 subtrees
+/// (the first reduction step of the Lemma 1 proof).
+[[nodiscard]] graph::Digraph reduce_to_degree3(const graph::Digraph& tree);
+
+// ---------------------------------------------------------------- Lemma 2
+
+/// For each input: undirected distance to the nearest other input, capped at
+/// `radius` (graph::kUnreachable beyond).
+[[nodiscard]] std::vector<std::uint32_t> nearest_input_distances(
+    const graph::Network& net, std::uint32_t radius);
+
+/// The Lemma 2 pipeline: builds the greedy forest of initial path segments
+/// for all inputs with a <= j path to another input, contracts stretches,
+/// extracts edge-disjoint leaf paths (Corollary 1), and expands them back to
+/// edge paths of the original network (each of length <= 3j, joining inputs).
+struct Lemma2Result {
+  std::size_t close_inputs = 0;  // inputs with a <= j path to another input
+  std::size_t forest_edges = 0;
+  /// Edge-disjoint input-joining paths (original-graph edge id sequences).
+  std::vector<std::vector<graph::EdgeId>> short_paths;
+};
+[[nodiscard]] Lemma2Result lemma2_short_paths(const graph::Network& net,
+                                              std::uint32_t j);
+
+// -------------------------------------------------------------- Theorem 1
+
+struct Theorem1Certificate {
+  std::size_t n = 0;            // number of inputs
+  std::uint32_t dist_threshold = 0;   // D
+  std::uint32_t zone_radius = 0;      // H: zones h = 1..H
+  std::size_t good_inputs = 0;  // inputs at distance >= D from every other
+  std::size_t min_zone_size = 0;      // min over good inputs, 1 <= h <= H of |B_h(v)|
+  std::size_t min_ball_size = 0;      // min over good inputs of |B(v)| (edges, dist <= H)
+  std::size_t sum_ball_size = 0;      // sum over good inputs (disjoint => <= size)
+  std::uint32_t depth = 0;
+};
+
+/// Measures the Theorem-1 quantities on a concrete network with thresholds
+/// D (good-input separation) and H (zone radius). With the paper's values
+/// D = (1/9)·log2 n, H = (1/18)·log2 n, Theorem 1 predicts, for any
+/// (1/4, 1/2)-superconcentrator, >= n/2 good inputs and every zone of size
+/// >= (1/12)·log2 n.
+[[nodiscard]] Theorem1Certificate theorem1_certificate(const graph::Network& net,
+                                                       std::uint32_t dist_threshold,
+                                                       std::uint32_t zone_radius);
+
+}  // namespace ftcs::core

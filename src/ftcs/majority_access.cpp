@@ -1,0 +1,136 @@
+#include "ftcs/majority_access.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace ftcs::core {
+
+namespace {
+
+// BFS over idle vertices; direction selected by `forward`.
+std::size_t count_reachable_terminals(const graph::Network& net,
+                                      graph::VertexId source,
+                                      std::span<const std::uint8_t> faulty,
+                                      std::span<const std::uint8_t> busy,
+                                      const std::vector<std::uint8_t>& is_target,
+                                      bool forward,
+                                      std::vector<std::uint8_t>& seen) {
+  std::fill(seen.begin(), seen.end(), 0);
+  auto idle = [&](graph::VertexId v) {
+    if (!faulty.empty() && faulty[v]) return false;
+    if (!busy.empty() && busy[v]) return false;
+    return true;
+  };
+  std::size_t found = 0;
+  std::deque<graph::VertexId> queue{source};
+  seen[source] = 1;
+  if (is_target[source]) ++found;
+  while (!queue.empty()) {
+    const graph::VertexId u = queue.front();
+    queue.pop_front();
+    const auto edges = forward ? net.g.out_edges(u) : net.g.in_edges(u);
+    for (graph::EdgeId e : edges) {
+      const graph::VertexId v = forward ? net.g.edge(e).to : net.g.edge(e).from;
+      if (seen[v] || !idle(v)) continue;
+      seen[v] = 1;
+      if (is_target[v]) ++found;
+      queue.push_back(v);
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+AccessReport check_access_to_targets(const graph::Network& net,
+                                     std::span<const graph::VertexId> sources,
+                                     std::span<const graph::VertexId> targets,
+                                     std::span<const std::uint8_t> faulty,
+                                     std::span<const std::uint8_t> busy,
+                                     bool forward) {
+  AccessReport report;
+  report.required = targets.size() / 2 + 1;
+  report.min_access = std::numeric_limits<std::size_t>::max();
+  report.access_counts.assign(sources.size(),
+                              std::numeric_limits<std::size_t>::max());
+
+  std::vector<std::uint8_t> is_target(net.g.vertex_count(), 0);
+  for (graph::VertexId t : targets) is_target[t] = 1;
+  std::vector<std::uint8_t> seen(net.g.vertex_count());
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const graph::VertexId s = sources[i];
+    if ((!faulty.empty() && faulty[s]) || (!busy.empty() && busy[s])) continue;
+    const std::size_t count = count_reachable_terminals(
+        net, s, faulty, busy, is_target, forward, seen);
+    report.access_counts[i] = count;
+    ++report.idle_inputs;
+    if (count < report.min_access) report.min_access = count;
+  }
+  if (report.idle_inputs == 0) report.min_access = 0;
+  report.majority =
+      report.idle_inputs == 0 || report.min_access >= report.required;
+  return report;
+}
+
+AccessReport check_majority_access(const graph::Network& net,
+                                   std::span<const std::uint8_t> faulty,
+                                   std::span<const std::uint8_t> busy) {
+  return check_access_to_targets(net, net.inputs, net.outputs, faulty, busy,
+                                 /*forward=*/true);
+}
+
+AccessReport check_majority_access_mirror(const graph::Network& net,
+                                          std::span<const std::uint8_t> faulty,
+                                          std::span<const std::uint8_t> busy) {
+  return check_access_to_targets(net, net.outputs, net.inputs, faulty, busy,
+                                 /*forward=*/false);
+}
+
+FtAccessReport ft_majority_access(const FtNetwork& ft,
+                                  std::span<const std::uint8_t> faulty,
+                                  std::span<const std::uint8_t> busy) {
+  FtAccessReport report;
+  report.forward = check_access_to_targets(ft.net, ft.net.inputs,
+                                           ft.center_stage, faulty, busy,
+                                           /*forward=*/true);
+  report.backward = check_access_to_targets(ft.net, ft.net.outputs,
+                                            ft.center_stage, faulty, busy,
+                                            /*forward=*/false);
+  return report;
+}
+
+GridAccess grid_access(const FtNetwork& ft, std::size_t terminal,
+                       std::span<const std::uint8_t> faulty) {
+  const auto& chain = ft.grid_columns[terminal];
+  GridAccess result;
+  result.rows = chain.front().size();
+
+  // Restrict the BFS to the grid's own vertices (plus the input).
+  std::vector<std::uint8_t> allowed(ft.net.g.vertex_count(), 0);
+  for (const auto& col : chain)
+    for (graph::VertexId v : col) allowed[v] = 1;
+  const graph::VertexId input = ft.net.inputs[terminal];
+  allowed[input] = 1;
+  if (!faulty.empty() && faulty[input]) return result;
+
+  std::vector<std::uint8_t> seen(ft.net.g.vertex_count(), 0);
+  std::deque<graph::VertexId> queue{input};
+  seen[input] = 1;
+  while (!queue.empty()) {
+    const graph::VertexId u = queue.front();
+    queue.pop_front();
+    for (graph::EdgeId e : ft.net.g.out_edges(u)) {
+      const graph::VertexId v = ft.net.g.edge(e).to;
+      if (seen[v] || !allowed[v]) continue;
+      if (!faulty.empty() && faulty[v]) continue;
+      seen[v] = 1;
+      queue.push_back(v);
+    }
+  }
+  for (graph::VertexId v : chain.back())
+    if (seen[v]) ++result.accessible;
+  return result;
+}
+
+}  // namespace ftcs::core

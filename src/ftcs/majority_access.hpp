@@ -1,0 +1,80 @@
+// Majority-access networks (§6).
+//
+// Given a set of vertex-disjoint input->output paths, a non-faulty vertex is
+// "idle" if it lies on none of them, "busy" otherwise; idle η₁ has *access*
+// to idle η₂ if a directed path of idle vertices runs from η₁ to η₂. A
+// network is a majority-access network if every idle input has access to a
+// strict majority of the outputs. §6's key fact: if 𝒩̂ and its mirror image
+// are both majority-access and no two terminals are shorted, then 𝒩̂
+// contains a nonblocking n-network of normal-state switches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ftcs/ft_network.hpp"
+#include "graph/digraph.hpp"
+
+namespace ftcs::core {
+
+struct AccessReport {
+  std::size_t idle_inputs = 0;
+  std::size_t min_access = 0;  // fewest outputs accessible from any idle input
+  std::size_t required = 0;    // floor(#outputs / 2) + 1
+  bool majority = false;       // every idle input meets `required`
+
+  // Per-idle-input access counts (parallel to the network's input list;
+  // busy/faulty inputs hold SIZE_MAX).
+  std::vector<std::size_t> access_counts;
+};
+
+/// Forward majority-access check: BFS from every idle input over idle
+/// vertices, counting reachable outputs. `faulty` and `busy` may be empty
+/// (treated as all-clear); both are indexed by vertex id.
+[[nodiscard]] AccessReport check_majority_access(
+    const graph::Network& net, std::span<const std::uint8_t> faulty,
+    std::span<const std::uint8_t> busy = {});
+
+/// Mirror check: access from idle outputs backwards to inputs (equivalent to
+/// majority access of the mirror image, Corollary 2).
+[[nodiscard]] AccessReport check_majority_access_mirror(
+    const graph::Network& net, std::span<const std::uint8_t> faulty,
+    std::span<const std::uint8_t> busy = {});
+
+/// Generic form: access from `sources` to a strict majority of `targets`
+/// through idle vertices, following out-edges (forward = true) or in-edges.
+[[nodiscard]] AccessReport check_access_to_targets(
+    const graph::Network& net, std::span<const graph::VertexId> sources,
+    std::span<const graph::VertexId> targets,
+    std::span<const std::uint8_t> faulty, std::span<const std::uint8_t> busy,
+    bool forward);
+
+/// Lemma 6 / Corollary 2 for 𝒩̂: idle inputs must access a strict majority
+/// of the CENTER-STAGE vertices (the outputs of the left half 𝒩̂'), and idle
+/// outputs must be reached from a strict majority. When both hold — for any
+/// set of established paths — every idle input/output pair shares an idle
+/// center vertex, so the surviving network is strictly nonblocking.
+struct FtAccessReport {
+  AccessReport forward;   // inputs -> center stage
+  AccessReport backward;  // outputs -> center stage (via in-edges)
+  [[nodiscard]] bool majority() const {
+    return forward.majority && backward.majority;
+  }
+};
+[[nodiscard]] FtAccessReport ft_majority_access(
+    const FtNetwork& ft, std::span<const std::uint8_t> faulty,
+    std::span<const std::uint8_t> busy = {});
+
+/// Lemma 3's quantity: the number of vertices in the last column of terminal
+/// t's grid (the core block) accessible from input t through idle vertices
+/// of the grid alone. Majority = strictly more than half the rows.
+struct GridAccess {
+  std::size_t accessible = 0;
+  std::size_t rows = 0;
+  [[nodiscard]] bool majority() const { return 2 * accessible > rows; }
+};
+[[nodiscard]] GridAccess grid_access(const FtNetwork& ft, std::size_t terminal,
+                                     std::span<const std::uint8_t> faulty);
+
+}  // namespace ftcs::core

@@ -1,0 +1,60 @@
+// Monte Carlo harness for the paper's probabilistic claims.
+//
+// The §6 success criterion (Lemma 6 + Corollary 2 + Lemma 7): a fault
+// instance of 𝒩̂ contains a nonblocking n-network of normal-state switches
+// if no two terminals are shorted and both 𝒩̂ and its mirror image are
+// majority-access networks after discarding faulty vertices. Majority
+// access is quantified over every set of established paths; we check the
+// empty set exactly and probe adversarially with random maximal path sets
+// (`busy_probes`), which can only over-report failures, never successes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fault/fault_model.hpp"
+#include "ftcs/ft_network.hpp"
+#include "util/stats.hpp"
+
+namespace ftcs::core {
+
+/// Parallel Bernoulli estimator; trial(i) must be deterministic in i.
+[[nodiscard]] util::Proportion estimate_probability(
+    std::size_t trials, const std::function<bool(std::size_t)>& trial);
+
+struct Theorem2TrialResult {
+  bool no_short = false;        // Lemma 7 event absent
+  bool majority_fwd = false;    // Lemma 6 (terminals never count as faulty)
+  bool majority_bwd = false;    // Corollary 2
+  bool busy_probes_ok = false;  // adversarial busy-set probes passed
+  [[nodiscard]] bool success() const {
+    return no_short && majority_fwd && majority_bwd && busy_probes_ok;
+  }
+};
+
+struct Theorem2TrialOptions {
+  std::size_t busy_probes = 0;       // extra majority-access probes with busy paths
+  std::size_t busy_paths_per_probe = 2;
+};
+
+/// One fault instance of the given network, evaluated per the §6 criterion.
+[[nodiscard]] Theorem2TrialResult theorem2_trial(const FtNetwork& ft,
+                                                 const fault::FaultModel& model,
+                                                 std::uint64_t seed,
+                                                 const Theorem2TrialOptions& opts = {});
+
+/// P[𝒩̂ contains a nonblocking n-network] estimated over `trials` instances.
+[[nodiscard]] util::Proportion theorem2_success_probability(
+    const FtNetwork& ft, const fault::FaultModel& model, std::size_t trials,
+    std::uint64_t seed, const Theorem2TrialOptions& opts = {});
+
+/// Generic survival probe for baseline networks (E12): a fault instance
+/// "survives" if no two terminals short, every terminal is non-faulty, and
+/// a random test permutation of `probe_pairs` terminal pairs can be routed
+/// greedily through non-faulty vertices.
+[[nodiscard]] bool baseline_survival_trial(const graph::Network& net,
+                                           const fault::FaultModel& model,
+                                           std::size_t probe_pairs,
+                                           std::uint64_t seed);
+
+}  // namespace ftcs::core

@@ -1,0 +1,86 @@
+#include "ftcs/params.hpp"
+
+#include <stdexcept>
+
+namespace ftcs::core {
+
+FtParams FtParams::paper(std::uint32_t nu, std::uint64_t seed) {
+  FtParams p;
+  p.nu = nu;
+  p.radix = 4;
+  p.width_mult = 64;
+  p.degree = 10;
+  p.seed = seed;
+  p.profile_name = "paper";
+  return p;
+}
+
+FtParams FtParams::sim(std::uint32_t nu, std::uint32_t width_mult,
+                       std::uint32_t degree, std::uint32_t gamma,
+                       std::uint64_t seed) {
+  FtParams p;
+  p.nu = nu;
+  p.radix = 4;
+  p.width_mult = width_mult;
+  p.degree = degree;
+  p.gamma_override = gamma;
+  p.seed = seed;
+  p.profile_name = "sim";
+  return p;
+}
+
+std::uint32_t FtParams::gamma() const {
+  if (gamma_override) return *gamma_override;
+  // Smallest gamma with radix^gamma >= 34 * nu (paper: 34nu <= 4^g <= 136nu).
+  const std::uint64_t target = 34ull * nu;
+  std::uint64_t power = 1;
+  std::uint32_t g = 0;
+  while (power < target) {
+    power *= radix;
+    ++g;
+    if (g > 40) throw std::runtime_error("gamma overflow");
+  }
+  return g;
+}
+
+std::size_t FtParams::terminal_count() const {
+  std::size_t n = 1;
+  for (std::uint32_t i = 0; i < nu; ++i) n *= radix;
+  return n;
+}
+
+std::size_t FtParams::grid_rows() const {
+  std::size_t b = width_mult;
+  const std::uint32_t g = gamma();
+  for (std::uint32_t i = 0; i < g; ++i) b *= radix;
+  return b;
+}
+
+std::size_t FtParams::stage_width() const {
+  std::size_t w = grid_rows();
+  for (std::uint32_t i = 0; i < nu; ++i) w *= radix;
+  return w;
+}
+
+std::size_t FtParams::predicted_edges() const {
+  // Core: 2·nu columns of out-degree `degree` at full width.
+  // Grids: both sides, terminal_count() grids of 2·rows·(nu-1) edges each
+  // (straight + wrapping diagonal per column gap).
+  // Terminal edges: every input/output attaches to all grid rows.
+  const std::size_t width = stage_width();
+  const std::size_t core = 2ul * nu * degree * width;
+  const std::size_t grids = nu >= 1 ? 4ul * (nu - 1) * width : 0;
+  const std::size_t terminals = 2ul * width;
+  return core + grids + terminals;
+}
+
+std::size_t FtParams::predicted_vertices() const {
+  // Core stages: 2·nu + 1 at full width; grid-only columns: (nu-1) per grid
+  // per side; terminals: 2n.
+  const std::size_t width = stage_width();
+  const std::size_t core = (2ul * nu + 1) * width;
+  const std::size_t grids = nu >= 1 ? 2ul * (nu - 1) * width : 0;
+  return core + grids + 2ul * terminal_count();
+}
+
+}  // namespace ftcs::core

@@ -1,0 +1,49 @@
+// Parameters and scale profiles for the fault-tolerant network 𝒩̂ (§6).
+//
+// The paper's construction fixes radix 4, width multiplier 64, expander
+// degree 10, ε = 10⁻⁶ and γ = ⌈log₄(34ν)⌉ (so 34ν <= 4^γ <= 136ν). Literal
+// instances grow like 1408·ν·4^(ν+γ) edges — ~10⁷ already at ν = 2 — so we
+// keep the paper profile exact and provide proportionally scaled profiles
+// (same structure, smaller width/degree/γ) for sweeps; every bench states
+// its profile. Bounds we test are stated in terms of the profile's own
+// parameters, so the shape conclusions transfer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ftcs::core {
+
+struct FtParams {
+  std::uint32_t nu = 2;           // n = radix^nu terminals
+  std::uint32_t radix = 4;
+  std::uint32_t width_mult = 64;  // paper: 64
+  std::uint32_t degree = 10;      // paper: 10
+  std::optional<std::uint32_t> gamma_override;
+  std::uint64_t seed = 1;
+  std::string profile_name = "custom";
+
+  /// Paper-exact profile for n = 4^nu.
+  static FtParams paper(std::uint32_t nu, std::uint64_t seed = 1);
+
+  /// Scaled simulation profile: same structure with width_mult, degree and
+  /// gamma reduced so instances up to nu ~ 7 fit in memory.
+  static FtParams sim(std::uint32_t nu, std::uint32_t width_mult = 8,
+                      std::uint32_t degree = 6, std::uint32_t gamma = 1,
+                      std::uint64_t seed = 1);
+
+  /// γ: overridden value, else the paper's ⌈log_radix(34·nu)⌉.
+  [[nodiscard]] std::uint32_t gamma() const;
+
+  [[nodiscard]] std::size_t terminal_count() const;    // radix^nu
+  [[nodiscard]] std::size_t grid_rows() const;         // width_mult·radix^gamma
+  [[nodiscard]] std::size_t stage_width() const;       // width_mult·radix^(nu+gamma)
+  /// Exact switch count of the construction (core + grids + terminal edges).
+  [[nodiscard]] std::size_t predicted_edges() const;
+  /// Depth: 4·nu (inputs at stage 0, outputs at stage 4·nu).
+  [[nodiscard]] std::size_t predicted_depth() const { return 4ul * nu; }
+  [[nodiscard]] std::size_t predicted_vertices() const;
+};
+
+}  // namespace ftcs::core

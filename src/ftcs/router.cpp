@@ -1,0 +1,68 @@
+#include "ftcs/router.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace ftcs::core {
+
+GreedyRouter::GreedyRouter(const graph::Network& net,
+                           std::vector<std::uint8_t> blocked,
+                           std::vector<std::uint8_t> blocked_edges)
+    : net_(&net),
+      blocked_(std::move(blocked)),
+      blocked_edges_(std::move(blocked_edges)) {
+  if (blocked_.empty()) blocked_.assign(net.g.vertex_count(), 0);
+  busy_ = blocked_;
+  in_busy_.assign(net.inputs.size(), 0);
+  out_busy_.assign(net.outputs.size(), 0);
+  target_scratch_.assign(net.g.vertex_count(), 0);
+}
+
+bool GreedyRouter::input_idle(std::uint32_t in) const {
+  return !in_busy_[in] && !blocked_[net_->inputs[in]];
+}
+
+bool GreedyRouter::output_idle(std::uint32_t out) const {
+  return !out_busy_[out] && !blocked_[net_->outputs[out]];
+}
+
+GreedyRouter::CallId GreedyRouter::connect(std::uint32_t in, std::uint32_t out) {
+  if (!input_idle(in) || !output_idle(out)) return kNoCall;
+  const graph::VertexId src = net_->inputs[in];
+  const graph::VertexId dst = net_->outputs[out];
+  target_scratch_[dst] = 1;
+  const graph::VertexId sources[1] = {src};
+  auto path = graph::shortest_path(net_->g, sources, target_scratch_, busy_,
+                                   blocked_edges_);
+  target_scratch_[dst] = 0;
+  if (!path) return kNoCall;
+
+  for (graph::VertexId v : *path) busy_[v] = 1;
+  busy_count_ += path->size();
+  in_busy_[in] = 1;
+  out_busy_[out] = 1;
+  ++active_;
+
+  CallId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<CallId>(calls_.size());
+    calls_.emplace_back();
+  }
+  calls_[id] = {in, out, std::move(*path)};
+  return id;
+}
+
+void GreedyRouter::disconnect(CallId call) {
+  Call& c = calls_[call];
+  for (graph::VertexId v : c.path) busy_[v] = blocked_[v];
+  busy_count_ -= c.path.size();
+  in_busy_[c.in] = 0;
+  out_busy_[c.out] = 0;
+  c.path.clear();
+  --active_;
+  free_slots_.push_back(call);
+}
+
+}  // namespace ftcs::core

@@ -1,0 +1,71 @@
+// Greedy circuit-switching router (§4, third observation: "because the
+// contained network is strictly nonblocking, routing can be performed by a
+// greedy application of a standard path-finding algorithm").
+//
+// The router owns the busy-state of a network (plus a static blocked mask
+// for faulty vertices) and serves connect/disconnect requests. connect()
+// finds a shortest idle path by BFS; on a strictly nonblocking (surviving)
+// network this never fails for a request between idle terminals.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::core {
+
+class GreedyRouter {
+ public:
+  /// `blocked` marks statically unusable vertices (e.g. faulty); may be
+  /// empty. The network must outlive the router.
+  explicit GreedyRouter(const graph::Network& net,
+                        std::vector<std::uint8_t> blocked = {},
+                        std::vector<std::uint8_t> blocked_edges = {});
+
+  /// Call handle; valid until disconnect.
+  using CallId = std::uint32_t;
+  static constexpr CallId kNoCall = static_cast<CallId>(-1);
+
+  /// Connects input index `in` to output index `out` (indices into the
+  /// network's terminal lists). Returns kNoCall if either terminal is busy/
+  /// blocked or no idle path exists.
+  CallId connect(std::uint32_t in, std::uint32_t out);
+
+  /// Releases a call and frees its path.
+  void disconnect(CallId call);
+
+  [[nodiscard]] bool input_idle(std::uint32_t in) const;
+  [[nodiscard]] bool output_idle(std::uint32_t out) const;
+  [[nodiscard]] std::size_t input_count() const { return in_busy_.size(); }
+  [[nodiscard]] std::size_t output_count() const { return out_busy_.size(); }
+  [[nodiscard]] std::size_t active_calls() const noexcept { return active_; }
+  [[nodiscard]] const std::vector<graph::VertexId>& path_of(CallId call) const {
+    return calls_[call].path;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& busy_mask() const noexcept {
+    return busy_;
+  }
+  /// Total vertices traversed by active calls (path-length accounting).
+  [[nodiscard]] std::size_t busy_vertices() const noexcept { return busy_count_; }
+
+ private:
+  struct Call {
+    std::uint32_t in = 0, out = 0;
+    std::vector<graph::VertexId> path;  // empty = slot free
+  };
+
+  const graph::Network* net_;
+  std::vector<std::uint8_t> blocked_;
+  std::vector<std::uint8_t> blocked_edges_;
+  std::vector<std::uint8_t> busy_;  // includes blocked
+  std::vector<std::uint8_t> in_busy_, out_busy_;
+  std::vector<Call> calls_;
+  std::vector<CallId> free_slots_;
+  std::size_t active_ = 0;
+  std::size_t busy_count_ = 0;
+  std::vector<std::uint8_t> target_scratch_;
+};
+
+}  // namespace ftcs::core

@@ -1,0 +1,86 @@
+#include "ftcs/traffic.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace ftcs::core {
+
+TrafficReport simulate_traffic(GreedyRouter& router, const TrafficParams& p) {
+  util::Xoshiro256 rng(p.seed);
+  TrafficReport report;
+
+  struct Departure {
+    double time;
+    GreedyRouter::CallId call;
+    bool operator>(const Departure& other) const { return time > other.time; }
+  };
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>> departures;
+
+  double now = 0.0;
+  double next_arrival = rng.exponential(p.arrival_rate);
+  double active_integral = 0.0;
+  double last_event = 0.0;
+  std::size_t total_path_vertices = 0;
+
+  auto advance = [&](double t) {
+    active_integral += static_cast<double>(router.active_calls()) * (t - last_event);
+    last_event = t;
+  };
+
+  while (next_arrival < p.sim_time || !departures.empty()) {
+    const bool arrival_next =
+        departures.empty() || (next_arrival < departures.top().time &&
+                               next_arrival < p.sim_time);
+    if (arrival_next && next_arrival >= p.sim_time) break;
+    if (arrival_next) {
+      now = next_arrival;
+      advance(now);
+      next_arrival = now + rng.exponential(p.arrival_rate);
+
+      // Uniform random idle terminal pair (rejection sampling, bounded).
+      // Terminal counts are available through the router's network indirectly;
+      // we sample indices until both are idle or give up.
+      std::uint32_t in = 0, out = 0;
+      bool found = false;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        in = static_cast<std::uint32_t>(rng.below(router.input_count()));
+        out = static_cast<std::uint32_t>(rng.below(router.output_count()));
+        if (router.input_idle(in) && router.output_idle(out)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ++report.terminal_busy;
+        continue;
+      }
+      ++report.offered;
+      const auto call = router.connect(in, out);
+      if (call == GreedyRouter::kNoCall) {
+        ++report.blocked;
+        continue;
+      }
+      ++report.carried;
+      total_path_vertices += router.path_of(call).size();
+      departures.push({now + rng.exponential(1.0 / p.mean_holding), call});
+    } else {
+      const auto dep = departures.top();
+      departures.pop();
+      now = dep.time;
+      advance(now);
+      router.disconnect(dep.call);
+    }
+  }
+  advance(std::max(now, p.sim_time));
+
+  report.mean_active = last_event > 0 ? active_integral / last_event : 0.0;
+  report.mean_path_length =
+      report.carried ? static_cast<double>(total_path_vertices) /
+                           static_cast<double>(report.carried)
+                     : 0.0;
+  return report;
+}
+
+}  // namespace ftcs::core

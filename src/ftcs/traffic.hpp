@@ -1,0 +1,41 @@
+// Event-driven circuit-switched traffic simulation (the telephone-exchange
+// setting of Clos [Cl] that motivates the paper's networks).
+//
+// Calls arrive as a Poisson process; each call picks a uniformly random
+// idle input/output pair and holds an exponential time. A call is *blocked*
+// if its terminals are busy-free but the router finds no idle path (on a
+// strictly nonblocking surviving network this never happens; on damaged or
+// blocking networks it measures the grade of service).
+#pragma once
+
+#include <cstdint>
+
+#include "ftcs/router.hpp"
+
+namespace ftcs::core {
+
+struct TrafficParams {
+  double arrival_rate = 1.0;   // calls per unit time (aggregate)
+  double mean_holding = 1.0;   // mean call duration
+  double sim_time = 1000.0;    // simulated time horizon
+  std::uint64_t seed = 1;
+};
+
+struct TrafficReport {
+  std::size_t offered = 0;        // arrivals with an idle terminal pair
+  std::size_t carried = 0;        // successfully routed
+  std::size_t blocked = 0;        // no idle path despite idle terminals
+  std::size_t terminal_busy = 0;  // arrivals dropped: no idle terminal pair
+  double mean_active = 0.0;       // time-averaged calls in progress
+  double mean_path_length = 0.0;  // vertices per carried call
+
+  [[nodiscard]] double blocking_probability() const {
+    return offered == 0 ? 0.0 : static_cast<double>(blocked) / static_cast<double>(offered);
+  }
+};
+
+/// Runs the simulation on a router (which carries the network + fault mask).
+[[nodiscard]] TrafficReport simulate_traffic(GreedyRouter& router,
+                                             const TrafficParams& params);
+
+}  // namespace ftcs::core

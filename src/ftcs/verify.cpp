@@ -1,0 +1,209 @@
+#include "ftcs/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/maxflow.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace ftcs::core {
+
+namespace {
+
+// Iterates all size-r index subsets of [0, n), calling fn(subset).
+// Returns false early if fn returns false.
+bool for_each_subset(std::size_t n, std::size_t r,
+                     const std::function<bool(const std::vector<std::uint32_t>&)>& fn) {
+  std::vector<std::uint32_t> set(r);
+  std::iota(set.begin(), set.end(), 0u);
+  while (true) {
+    if (!fn(set)) return false;
+    std::size_t i = r;
+    while (i > 0 && set[i - 1] == n - r + i - 1) --i;
+    if (i == 0) return true;
+    ++set[i - 1];
+    for (std::size_t j = i; j < r; ++j) set[j] = set[j - 1] + 1;
+  }
+}
+
+std::vector<graph::VertexId> pick(const std::vector<graph::VertexId>& pool,
+                                  const std::vector<std::uint32_t>& idx) {
+  std::vector<graph::VertexId> out(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) out[i] = pool[idx[i]];
+  return out;
+}
+
+}  // namespace
+
+bool is_superconcentrator_exhaustive(const graph::Network& net,
+                                     std::uint64_t work_limit) {
+  const std::size_t n = std::min(net.inputs.size(), net.outputs.size());
+  // Total work ~ sum_r C(n,r)^2 flow computations.
+  double total = 0;
+  for (std::size_t r = 1; r <= n; ++r)
+    total += std::exp(2.0 * util::log_binomial(n, r));
+  if (total > static_cast<double>(work_limit))
+    throw std::invalid_argument("is_superconcentrator_exhaustive: too large");
+
+  for (std::size_t r = 1; r <= n; ++r) {
+    const bool ok = for_each_subset(net.inputs.size(), r, [&](const auto& si) {
+      const auto sources = pick(net.inputs, si);
+      return for_each_subset(net.outputs.size(), r, [&](const auto& ti) {
+        const auto targets = pick(net.outputs, ti);
+        return graph::max_vertex_disjoint_paths(net.g, sources, targets) == r;
+      });
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::size_t superconcentrator_violations(const graph::Network& net,
+                                         std::size_t trials, std::uint64_t seed) {
+  const std::size_t n = std::min(net.inputs.size(), net.outputs.size());
+  std::size_t violations = 0;
+  std::vector<graph::VertexId> ins = net.inputs, outs = net.outputs;
+  for (std::size_t t = 0; t < trials; ++t) {
+    util::Xoshiro256 rng(util::derive_seed(seed, t));
+    const std::size_t r = 1 + static_cast<std::size_t>(rng.below(n));
+    util::shuffle(ins, rng);
+    util::shuffle(outs, rng);
+    const std::vector<graph::VertexId> sources(ins.begin(), ins.begin() + r);
+    const std::vector<graph::VertexId> targets(outs.begin(), outs.begin() + r);
+    if (graph::max_vertex_disjoint_paths(net.g, sources, targets) != r)
+      ++violations;
+  }
+  return violations;
+}
+
+std::optional<std::vector<std::vector<graph::VertexId>>> route_permutation_greedy(
+    const graph::Network& net, const std::vector<std::uint32_t>& perm,
+    std::size_t restarts, std::uint64_t seed, std::vector<std::uint8_t> blocked) {
+  const std::size_t n = perm.size();
+  if (blocked.empty()) blocked.assign(net.g.vertex_count(), 0);
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+
+  for (std::size_t attempt = 0; attempt < std::max<std::size_t>(restarts, 1);
+       ++attempt) {
+    util::Xoshiro256 rng(util::derive_seed(seed, attempt));
+    if (attempt > 0) util::shuffle(order, rng);
+    std::vector<std::uint8_t> busy = blocked;
+    std::vector<std::vector<graph::VertexId>> paths(n);
+    bool ok = true;
+    for (std::uint32_t i : order) {
+      const graph::VertexId src = net.inputs[i];
+      const graph::VertexId dst = net.outputs[perm[i]];
+      if (busy[src] || busy[dst]) {
+        ok = false;
+        break;
+      }
+      std::vector<std::uint8_t> target(net.g.vertex_count(), 0);
+      target[dst] = 1;
+      const graph::VertexId sources[1] = {src};
+      auto path = graph::shortest_path(net.g, sources, target, busy);
+      if (!path) {
+        ok = false;
+        break;
+      }
+      for (graph::VertexId v : *path) busy[v] = 1;
+      paths[i] = std::move(*path);
+    }
+    if (ok) return paths;
+  }
+  return std::nullopt;
+}
+
+std::string validate_routing(const graph::Network& net,
+                             const std::vector<std::uint32_t>& perm,
+                             const std::vector<std::vector<graph::VertexId>>& paths) {
+  if (paths.size() != perm.size()) return "path count mismatch";
+  std::vector<std::uint8_t> used(net.g.vertex_count(), 0);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto& p = paths[i];
+    if (p.empty()) return "empty path";
+    if (p.front() != net.inputs[i]) return "path does not start at its input";
+    if (p.back() != net.outputs[perm[i]]) return "path does not end at its output";
+    for (graph::VertexId v : p) {
+      if (used[v]) return "paths share a vertex";
+      used[v] = 1;
+    }
+    for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+      bool found = false;
+      for (graph::EdgeId e : net.g.out_edges(p[j]))
+        if (net.g.edge(e).to == p[j + 1]) {
+          found = true;
+          break;
+        }
+      if (!found) return "path uses a non-edge";
+    }
+  }
+  return {};
+}
+
+ChurnResult nonblocking_churn(const graph::Network& net, std::size_t operations,
+                              std::uint64_t seed,
+                              std::vector<std::uint8_t> blocked) {
+  const std::size_t n = std::min(net.inputs.size(), net.outputs.size());
+  if (blocked.empty()) blocked.assign(net.g.vertex_count(), 0);
+  util::Xoshiro256 rng(seed);
+
+  ChurnResult result;
+  std::vector<std::uint8_t> busy = blocked;
+  // Active calls: (input index, output index, path).
+  struct Call {
+    std::uint32_t in, out;
+    std::vector<graph::VertexId> path;
+  };
+  std::vector<Call> active;
+  std::vector<std::uint8_t> in_busy(net.inputs.size(), 0),
+      out_busy(net.outputs.size(), 0);
+
+  for (std::size_t op = 0; op < operations; ++op) {
+    const bool want_connect =
+        active.empty() || (active.size() < n && rng.bernoulli(0.6));
+    if (want_connect) {
+      // Pick a uniformly random idle input / idle output pair.
+      std::vector<std::uint32_t> idle_in, idle_out;
+      for (std::uint32_t i = 0; i < net.inputs.size(); ++i)
+        if (!in_busy[i] && !blocked[net.inputs[i]]) idle_in.push_back(i);
+      for (std::uint32_t o = 0; o < net.outputs.size(); ++o)
+        if (!out_busy[o] && !blocked[net.outputs[o]]) idle_out.push_back(o);
+      if (idle_in.empty() || idle_out.empty()) continue;
+      const std::uint32_t i = idle_in[rng.below(idle_in.size())];
+      const std::uint32_t o = idle_out[rng.below(idle_out.size())];
+      ++result.connects;
+      std::vector<std::uint8_t> target(net.g.vertex_count(), 0);
+      target[net.outputs[o]] = 1;
+      const graph::VertexId sources[1] = {net.inputs[i]};
+      auto path = graph::shortest_path(net.g, sources, target, busy);
+      if (!path) {
+        ++result.failures;
+        continue;
+      }
+      for (graph::VertexId v : *path) busy[v] = 1;
+      in_busy[i] = 1;
+      out_busy[o] = 1;
+      active.push_back({i, o, std::move(*path)});
+      result.max_concurrent = std::max(result.max_concurrent, active.size());
+    } else {
+      const std::size_t victim = rng.below(active.size());
+      for (graph::VertexId v : active[victim].path) busy[v] = 0;
+      // Keep blocked vertices blocked even if a path crossed them (cannot
+      // happen, but stay safe).
+      in_busy[active[victim].in] = 0;
+      out_busy[active[victim].out] = 0;
+      active[victim] = std::move(active.back());
+      active.pop_back();
+    }
+  }
+  return result;
+}
+
+}  // namespace ftcs::core

@@ -1,0 +1,68 @@
+// Verifiers for the three communication properties of §2.
+//
+// Exact verification of "nonblocking" / "rearrangeable" / "superconcentrator"
+// is intractable in general (the properties quantify over exponentially many
+// states), so each verifier comes in regimes:
+//   exhaustive  — exact, tiny instances only (guarded by work limits);
+//   randomized  — spot checks over sampled requests/permutations/subsets;
+//   greedy      — the paper's §4 observation: a *strictly* nonblocking
+//                 network routes correctly under greedy path selection, so
+//                 greedy adversarial request streams that never fail are
+//                 strong evidence (and any failure is a certificate of NOT
+//                 strictly nonblocking).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::core {
+
+/// Exhaustive superconcentrator check: for every r and every pair of
+/// r-subsets (S, T), max vertex-disjoint S->T paths == r. Throws when the
+/// subset count exceeds work_limit.
+[[nodiscard]] bool is_superconcentrator_exhaustive(const graph::Network& net,
+                                                   std::uint64_t work_limit = 2'000'000);
+
+/// Randomized spot check: `trials` random (r, S, T) triples; returns the
+/// number of violations found (0 = consistent with being a SC).
+[[nodiscard]] std::size_t superconcentrator_violations(const graph::Network& net,
+                                                       std::size_t trials,
+                                                       std::uint64_t seed);
+
+/// Attempts to realize the permutation (input i -> output perm[i]) as
+/// vertex-disjoint paths by greedy sequential BFS with random restart
+/// orders. Success returns the paths; failure after all restarts returns
+/// nullopt (which does NOT prove unroutability unless the network is known
+/// strictly nonblocking).
+[[nodiscard]] std::optional<std::vector<std::vector<graph::VertexId>>>
+route_permutation_greedy(const graph::Network& net,
+                         const std::vector<std::uint32_t>& perm,
+                         std::size_t restarts, std::uint64_t seed,
+                         std::vector<std::uint8_t> blocked = {});
+
+/// Validates that `paths` are vertex-disjoint, follow edges of `net`, and
+/// realize the permutation. Returns an empty string or a description of the
+/// first violation.
+[[nodiscard]] std::string validate_routing(
+    const graph::Network& net, const std::vector<std::uint32_t>& perm,
+    const std::vector<std::vector<graph::VertexId>>& paths);
+
+/// Adversarial strictly-nonblocking probe: a random churn of connect /
+/// disconnect requests, each connect routed greedily (shortest idle path).
+/// Returns the number of connects that found no path (0 for a strictly
+/// nonblocking network; > 0 is a *proof* the network is not strictly
+/// nonblocking).
+struct ChurnResult {
+  std::size_t connects = 0;
+  std::size_t failures = 0;
+  std::size_t max_concurrent = 0;
+};
+[[nodiscard]] ChurnResult nonblocking_churn(const graph::Network& net,
+                                            std::size_t operations,
+                                            std::uint64_t seed,
+                                            std::vector<std::uint8_t> blocked = {});
+
+}  // namespace ftcs::core

@@ -1,0 +1,174 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace ftcs::graph {
+
+namespace {
+
+template <bool Undirected>
+std::vector<std::uint32_t> bfs_impl(const Digraph& g,
+                                    std::span<const VertexId> sources,
+                                    std::span<const std::uint8_t> blocked,
+                                    std::uint32_t max_dist) {
+  std::vector<std::uint32_t> dist(g.vertex_count(), kUnreachable);
+  std::deque<VertexId> queue;
+  for (VertexId s : sources) {
+    if (dist[s] != kUnreachable) continue;
+    dist[s] = 0;
+    queue.push_back(s);
+  }
+  auto try_visit = [&](VertexId u, VertexId v) {
+    if (dist[v] != kUnreachable) return;
+    if (!blocked.empty() && blocked[v]) return;
+    dist[v] = dist[u] + 1;
+    if (dist[v] < max_dist) queue.push_back(v);
+  };
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (EdgeId e : g.out_edges(u)) try_visit(u, g.edge(e).to);
+    if constexpr (Undirected) {
+      for (EdgeId e : g.in_edges(u)) try_visit(u, g.edge(e).from);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_directed(const Digraph& g,
+                                        std::span<const VertexId> sources,
+                                        std::span<const std::uint8_t> blocked,
+                                        std::uint32_t max_dist) {
+  return bfs_impl<false>(g, sources, blocked, max_dist);
+}
+
+std::vector<std::uint32_t> bfs_undirected(const Digraph& g,
+                                          std::span<const VertexId> sources,
+                                          std::span<const std::uint8_t> blocked,
+                                          std::uint32_t max_dist) {
+  return bfs_impl<true>(g, sources, blocked, max_dist);
+}
+
+std::optional<std::vector<VertexId>> shortest_path(
+    const Digraph& g, std::span<const VertexId> sources,
+    std::span<const std::uint8_t> targets,
+    std::span<const std::uint8_t> blocked,
+    std::span<const std::uint8_t> blocked_edges) {
+  std::vector<VertexId> parent(g.vertex_count(), kNoVertex);
+  std::vector<std::uint8_t> seen(g.vertex_count(), 0);
+  std::deque<VertexId> queue;
+  for (VertexId s : sources) {
+    if (seen[s]) continue;
+    seen[s] = 1;
+    queue.push_back(s);
+    if (s < targets.size() && targets[s]) return std::vector<VertexId>{s};
+  }
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (EdgeId e : g.out_edges(u)) {
+      if (!blocked_edges.empty() && blocked_edges[e]) continue;
+      const VertexId v = g.edge(e).to;
+      if (seen[v]) continue;
+      if (!blocked.empty() && blocked[v]) continue;
+      seen[v] = 1;
+      parent[v] = u;
+      if (v < targets.size() && targets[v]) {
+        std::vector<VertexId> path{v};
+        for (VertexId w = u; w != kNoVertex; w = parent[w]) path.push_back(w);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::pair<std::vector<std::uint32_t>, std::size_t> connected_components(
+    const Digraph& g) {
+  std::vector<std::uint32_t> comp(g.vertex_count(), kUnreachable);
+  std::size_t count = 0;
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < g.vertex_count(); ++start) {
+    if (comp[start] != kUnreachable) continue;
+    const auto id = static_cast<std::uint32_t>(count++);
+    comp[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      auto visit = [&](VertexId v) {
+        if (comp[v] == kUnreachable) {
+          comp[v] = id;
+          stack.push_back(v);
+        }
+      };
+      for (EdgeId e : g.out_edges(u)) visit(g.edge(e).to);
+      for (EdgeId e : g.in_edges(u)) visit(g.edge(e).from);
+    }
+  }
+  return {std::move(comp), count};
+}
+
+std::optional<std::vector<VertexId>> topological_order(const Digraph& g) {
+  std::vector<std::uint32_t> indeg(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    indeg[v] = static_cast<std::uint32_t>(g.in_degree(v));
+  std::vector<VertexId> order;
+  order.reserve(g.vertex_count());
+  std::vector<VertexId> ready;
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    if (indeg[v] == 0) ready.push_back(v);
+  while (!ready.empty()) {
+    const VertexId u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    for (EdgeId e : g.out_edges(u)) {
+      const VertexId v = g.edge(e).to;
+      if (--indeg[v] == 0) ready.push_back(v);
+    }
+  }
+  if (order.size() != g.vertex_count()) return std::nullopt;
+  return order;
+}
+
+std::uint32_t network_depth(const Network& net) {
+  const auto order = topological_order(net.g);
+  if (!order) return kUnreachable;  // not a DAG: depth undefined
+  // longest[v] = max edges on a path from an input to v; -1 if no input path.
+  std::vector<std::int64_t> longest(net.g.vertex_count(), -1);
+  for (VertexId v : net.inputs) longest[v] = 0;
+  std::int64_t best = 0;
+  std::vector<std::uint8_t> is_out(net.g.vertex_count(), 0);
+  for (VertexId v : net.outputs) is_out[v] = 1;
+  for (VertexId u : *order) {
+    if (longest[u] < 0) continue;
+    if (is_out[u]) best = std::max(best, longest[u]);
+    for (EdgeId e : net.g.out_edges(u)) {
+      const VertexId v = net.g.edge(e).to;
+      longest[v] = std::max(longest[v], longest[u] + 1);
+    }
+  }
+  return static_cast<std::uint32_t>(best);
+}
+
+std::vector<std::pair<EdgeId, std::uint32_t>> edge_ball(const Digraph& g,
+                                                        VertexId v,
+                                                        std::uint32_t radius) {
+  if (radius == 0) return {};
+  const VertexId src[1] = {v};
+  const auto dist = bfs_undirected(g, src, {}, radius - 1);
+  std::vector<std::pair<EdgeId, std::uint32_t>> ball;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    const std::uint32_t dv = std::min(dist[ed.from], dist[ed.to]);
+    if (dv != kUnreachable && dv + 1 <= radius) ball.emplace_back(e, dv + 1);
+  }
+  return ball;
+}
+
+}  // namespace ftcs::graph

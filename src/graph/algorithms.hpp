@@ -1,0 +1,63 @@
+// Core graph algorithms: BFS (directed and undirected), components,
+// topological order, DAG depth, path extraction with blocked vertices.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::graph {
+
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Multi-source directed BFS. `blocked[v]` (if nonempty) marks vertices that
+/// cannot be entered (sources are never blocked-checked). `max_dist` prunes
+/// the search. Returns edge-count distances, kUnreachable where unreached.
+[[nodiscard]] std::vector<std::uint32_t> bfs_directed(
+    const Digraph& g, std::span<const VertexId> sources,
+    std::span<const std::uint8_t> blocked = {},
+    std::uint32_t max_dist = kUnreachable);
+
+/// Multi-source BFS ignoring edge directions — the distance notion used by
+/// the §5 lower-bound arguments ("not necessarily directed" paths).
+[[nodiscard]] std::vector<std::uint32_t> bfs_undirected(
+    const Digraph& g, std::span<const VertexId> sources,
+    std::span<const std::uint8_t> blocked = {},
+    std::uint32_t max_dist = kUnreachable);
+
+/// Shortest directed path from any source to any target avoiding blocked
+/// vertices (and blocked edges, if a mask is given); returns the vertex
+/// sequence, or nullopt if none exists.
+[[nodiscard]] std::optional<std::vector<VertexId>> shortest_path(
+    const Digraph& g, std::span<const VertexId> sources,
+    std::span<const std::uint8_t> targets,
+    std::span<const std::uint8_t> blocked = {},
+    std::span<const std::uint8_t> blocked_edges = {});
+
+/// Connected components of the underlying undirected graph; returns
+/// (component id per vertex, component count).
+[[nodiscard]] std::pair<std::vector<std::uint32_t>, std::size_t>
+connected_components(const Digraph& g);
+
+/// Kahn topological order; nullopt if the graph has a directed cycle.
+[[nodiscard]] std::optional<std::vector<VertexId>> topological_order(const Digraph& g);
+
+[[nodiscard]] inline bool is_dag(const Digraph& g) {
+  return topological_order(g).has_value();
+}
+
+/// Depth of a network = the largest number of edges on any directed path
+/// from an input to an output (paper §2). Requires a DAG.
+[[nodiscard]] std::uint32_t network_depth(const Network& net);
+
+/// Set of edge ids within undirected distance `radius` of vertex v, where
+/// dist(v, e=(x,y)) = min(dist(v,x), dist(v,y)) + 1 (paper §5 definition).
+/// Returned as (edge id -> distance) for edges with distance <= radius.
+[[nodiscard]] std::vector<std::pair<EdgeId, std::uint32_t>> edge_ball(
+    const Digraph& g, VertexId v, std::uint32_t radius);
+
+}  // namespace ftcs::graph

@@ -1,0 +1,58 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace ftcs::graph {
+
+VertexId Digraph::add_vertices(std::size_t count) {
+  const auto first = static_cast<VertexId>(out_.size());
+  out_.resize(out_.size() + count);
+  in_.resize(in_.size() + count);
+  return first;
+}
+
+EdgeId Digraph::add_edge(VertexId from, VertexId to) {
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({from, to});
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+void Digraph::reserve(std::size_t vertices, std::size_t edges) {
+  out_.reserve(vertices);
+  in_.reserve(vertices);
+  edges_.reserve(edges);
+}
+
+bool Network::is_input(VertexId v) const {
+  return std::find(inputs.begin(), inputs.end(), v) != inputs.end();
+}
+
+bool Network::is_output(VertexId v) const {
+  return std::find(outputs.begin(), outputs.end(), v) != outputs.end();
+}
+
+std::string Network::validate() const {
+  const auto n = g.vertex_count();
+  for (VertexId v : inputs)
+    if (v >= n) return "input id out of range";
+  for (VertexId v : outputs)
+    if (v >= n) return "output id out of range";
+  if (!stage.empty()) {
+    if (stage.size() != n) return "stage vector size mismatch";
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto& ed = g.edge(e);
+      if (stage[ed.from] >= 0 && stage[ed.to] >= 0 && stage[ed.from] >= stage[ed.to])
+        return "edge does not advance stage";
+    }
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    if (ed.from >= n || ed.to >= n) return "edge endpoint out of range";
+    if (ed.from == ed.to) return "self-loop";
+  }
+  return {};
+}
+
+}  // namespace ftcs::graph

@@ -1,0 +1,92 @@
+// Directed graph representation for circuit-switching networks.
+//
+// Following the paper (§2): a circuit-switching network is an acyclic
+// directed graph; terminals (inputs/outputs) are distinguished vertices,
+// electrical links are the other vertices, and switches are edges.
+// "Graph" and "network", "edge" and "switch" are used interchangeably.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ftcs::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+struct Edge {
+  VertexId from = kNoVertex;
+  VertexId to = kNoVertex;
+};
+
+/// Mutable directed multigraph with O(1) edge insertion and per-vertex
+/// incidence lists in both directions. Vertex/edge ids are dense and stable.
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t vertex_count) { add_vertices(vertex_count); }
+
+  VertexId add_vertex() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<VertexId>(out_.size() - 1);
+  }
+
+  /// Adds `count` vertices, returns the id of the first.
+  VertexId add_vertices(std::size_t count);
+
+  EdgeId add_edge(VertexId from, VertexId to);
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return out_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const noexcept { return edges_[e]; }
+  [[nodiscard]] std::span<const EdgeId> out_edges(VertexId v) const noexcept {
+    return out_[v];
+  }
+  [[nodiscard]] std::span<const EdgeId> in_edges(VertexId v) const noexcept {
+    return in_[v];
+  }
+  [[nodiscard]] std::size_t out_degree(VertexId v) const noexcept { return out_[v].size(); }
+  [[nodiscard]] std::size_t in_degree(VertexId v) const noexcept { return in_[v].size(); }
+  /// Total incident edges (in + out) — the paper's "degree" for the
+  /// undirected distance arguments of §5.
+  [[nodiscard]] std::size_t degree(VertexId v) const noexcept {
+    return out_[v].size() + in_[v].size();
+  }
+
+  void reserve(std::size_t vertices, std::size_t edges);
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+/// A circuit-switching network: a digraph plus distinguished terminal
+/// vertices. `stage[v]` is the construction stage of v (or -1 when the
+/// construction is not staged); all §6 networks are staged DAGs.
+struct Network {
+  Digraph g;
+  std::vector<VertexId> inputs;
+  std::vector<VertexId> outputs;
+  std::vector<std::int32_t> stage;  // may be empty if unstaged
+  std::string name;
+
+  [[nodiscard]] std::size_t size() const noexcept { return g.edge_count(); }
+  [[nodiscard]] bool is_input(VertexId v) const;
+  [[nodiscard]] bool is_output(VertexId v) const;
+  [[nodiscard]] bool is_terminal(VertexId v) const { return is_input(v) || is_output(v); }
+
+  /// Validates invariants: terminal ids in range, stages (if present)
+  /// monotone along edges. Returns an empty string on success, else a
+  /// description of the first violation.
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace ftcs::graph

@@ -1,0 +1,36 @@
+// Network serialization: a line-oriented text format for persisting and
+// exchanging constructed networks, plus Graphviz DOT export for inspection.
+//
+// Text format (versioned):
+//   ftcs-network 1
+//   name <string>
+//   vertices <V>
+//   inputs <i0> <i1> ...
+//   outputs <o0> ...
+//   stages <s0> <s1> ... | stages -
+//   edges <E>
+//   <from> <to>      (E lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::graph {
+
+/// Writes the text format. Deterministic: equal networks produce equal text.
+void write_network(std::ostream& os, const Network& net);
+
+/// Parses the text format; throws std::runtime_error with a line-oriented
+/// message on malformed input.
+[[nodiscard]] Network read_network(std::istream& is);
+
+/// Graphviz DOT (directed; terminals shaped/colored; stages as ranks when
+/// available). For small networks / debugging.
+void write_dot(std::ostream& os, const Network& net);
+
+/// Structural equality (same vertex count, edge list, terminals, stages).
+[[nodiscard]] bool structurally_equal(const Network& a, const Network& b);
+
+}  // namespace ftcs::graph

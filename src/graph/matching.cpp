@@ -1,0 +1,78 @@
+#include "graph/matching.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace ftcs::graph {
+
+namespace {
+constexpr std::uint32_t kFree = std::numeric_limits<std::uint32_t>::max();
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+BipartiteMatcher::BipartiteMatcher(std::size_t left, std::size_t right)
+    : adj_(left),
+      match_left_(left, kFree),
+      match_right_(right, kFree),
+      dist_(left) {}
+
+void BipartiteMatcher::add_edge(std::uint32_t l, std::uint32_t r) {
+  adj_[l].push_back(r);
+  solved_ = false;
+}
+
+bool BipartiteMatcher::bfs_layers() {
+  std::deque<std::uint32_t> queue;
+  for (std::uint32_t l = 0; l < adj_.size(); ++l) {
+    if (match_left_[l] == kFree) {
+      dist_[l] = 0;
+      queue.push_back(l);
+    } else {
+      dist_[l] = kInf;
+    }
+  }
+  bool found_augmenting = false;
+  while (!queue.empty()) {
+    const std::uint32_t l = queue.front();
+    queue.pop_front();
+    for (std::uint32_t r : adj_[l]) {
+      const std::uint32_t l2 = match_right_[r];
+      if (l2 == kFree) {
+        found_augmenting = true;
+      } else if (dist_[l2] == kInf) {
+        dist_[l2] = dist_[l] + 1;
+        queue.push_back(l2);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+bool BipartiteMatcher::dfs_augment(std::uint32_t l) {
+  for (std::uint32_t r : adj_[l]) {
+    const std::uint32_t l2 = match_right_[r];
+    if (l2 == kFree || (dist_[l2] == dist_[l] + 1 && dfs_augment(l2))) {
+      match_left_[l] = r;
+      match_right_[r] = l;
+      return true;
+    }
+  }
+  dist_[l] = kInf;
+  return false;
+}
+
+std::size_t BipartiteMatcher::solve() {
+  if (!solved_) {
+    while (bfs_layers()) {
+      for (std::uint32_t l = 0; l < adj_.size(); ++l)
+        if (match_left_[l] == kFree) dfs_augment(l);
+    }
+    solved_ = true;
+  }
+  std::size_t size = 0;
+  for (std::uint32_t m : match_left_)
+    if (m != kFree) ++size;
+  return size;
+}
+
+}  // namespace ftcs::graph

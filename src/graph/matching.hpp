@@ -1,0 +1,44 @@
+// Hopcroft–Karp maximum bipartite matching.
+//
+// Used for expansion verification (Hall deficiency witnesses), for routing
+// in rearrangeable networks (edge-coloring via repeated perfect matchings),
+// and as a fast special case of the Menger computations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ftcs::graph {
+
+/// Bipartite graph with `left` and `right` vertex counts; edges are added
+/// as (left index, right index) pairs.
+class BipartiteMatcher {
+ public:
+  BipartiteMatcher(std::size_t left, std::size_t right);
+
+  void add_edge(std::uint32_t l, std::uint32_t r);
+
+  /// Runs Hopcroft–Karp; returns the matching size. Idempotent.
+  std::size_t solve();
+
+  /// Partner of left vertex l, or UINT32_MAX if unmatched (after solve()).
+  [[nodiscard]] std::uint32_t match_of_left(std::uint32_t l) const {
+    return match_left_[l];
+  }
+  [[nodiscard]] std::uint32_t match_of_right(std::uint32_t r) const {
+    return match_right_[r];
+  }
+
+  [[nodiscard]] std::size_t left_count() const noexcept { return adj_.size(); }
+  [[nodiscard]] std::size_t right_count() const noexcept { return match_right_.size(); }
+
+ private:
+  bool bfs_layers();
+  bool dfs_augment(std::uint32_t l);
+
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::vector<std::uint32_t> match_left_, match_right_, dist_;
+  bool solved_ = false;
+};
+
+}  // namespace ftcs::graph

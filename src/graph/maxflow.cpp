@@ -1,0 +1,164 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace ftcs::graph {
+
+Dinic::Dinic(std::size_t node_count)
+    : adj_(node_count), level_(node_count), iter_(node_count) {}
+
+std::size_t Dinic::add_arc(std::uint32_t u, std::uint32_t v, std::int64_t cap) {
+  const auto idx = static_cast<std::uint32_t>(head_.size());
+  adj_[u].push_back(idx);
+  head_.push_back(v);
+  cap_.push_back(cap);
+  adj_[v].push_back(idx + 1);
+  head_.push_back(u);
+  cap_.push_back(0);
+  initial_cap_.push_back(cap);
+  initial_cap_.push_back(0);
+  return idx;
+}
+
+bool Dinic::build_levels(std::uint32_t s, std::uint32_t t) {
+  std::fill(level_.begin(), level_.end(), std::numeric_limits<std::uint32_t>::max());
+  std::deque<std::uint32_t> queue{s};
+  level_[s] = 0;
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (std::uint32_t a : adj_[u]) {
+      const std::uint32_t v = head_[a];
+      if (cap_[a] > 0 && level_[v] == std::numeric_limits<std::uint32_t>::max()) {
+        level_[v] = level_[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level_[t] != std::numeric_limits<std::uint32_t>::max();
+}
+
+std::int64_t Dinic::augment(std::uint32_t v, std::uint32_t t, std::int64_t pushed) {
+  if (v == t) return pushed;
+  for (std::uint32_t& i = iter_[v]; i < adj_[v].size(); ++i) {
+    const std::uint32_t a = adj_[v][i];
+    const std::uint32_t w = head_[a];
+    if (cap_[a] > 0 && level_[w] == level_[v] + 1) {
+      const std::int64_t got = augment(w, t, std::min(pushed, cap_[a]));
+      if (got > 0) {
+        cap_[a] -= got;
+        cap_[a ^ 1] += got;
+        return got;
+      }
+    }
+  }
+  return 0;
+}
+
+std::int64_t Dinic::max_flow(std::uint32_t s, std::uint32_t t) {
+  std::int64_t total = 0;
+  while (build_levels(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0u);
+    while (true) {
+      const std::int64_t got = augment(s, t, std::numeric_limits<std::int64_t>::max());
+      if (got == 0) break;
+      total += got;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+// Split each graph vertex v into in-node 2v and out-node 2v+1 with a
+// unit-capacity internal arc; graph edges connect out(u) -> in(v). Unit
+// capacities everywhere make max-flow = max fully vertex-disjoint paths
+// (Menger), with sources/targets themselves capacity-one.
+struct SplitNetwork {
+  Dinic dinic;
+  std::uint32_t source;
+  std::uint32_t sink;
+  std::vector<std::size_t> edge_arc;    // arc index per graph edge
+  std::vector<std::size_t> source_arc;  // super-source -> in(s), per source
+  std::vector<std::size_t> target_arc;  // out(t) -> super-sink, per target
+
+  static std::uint32_t in_node(VertexId v) { return 2 * v; }
+  static std::uint32_t out_node(VertexId v) { return 2 * v + 1; }
+};
+
+SplitNetwork build_split(const Digraph& g, std::span<const VertexId> sources,
+                         std::span<const VertexId> targets,
+                         std::span<const std::uint8_t> blocked) {
+  const std::size_t n = g.vertex_count();
+  SplitNetwork net{Dinic(2 * n + 2),
+                   static_cast<std::uint32_t>(2 * n),
+                   static_cast<std::uint32_t>(2 * n + 1),
+                   {},
+                   {},
+                   {}};
+  net.edge_arc.resize(g.edge_count());
+  for (VertexId v = 0; v < n; ++v) {
+    const bool usable = blocked.empty() || !blocked[v];
+    net.dinic.add_arc(SplitNetwork::in_node(v), SplitNetwork::out_node(v),
+                      usable ? 1 : 0);
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    net.edge_arc[e] = net.dinic.add_arc(SplitNetwork::out_node(ed.from),
+                                        SplitNetwork::in_node(ed.to), 1);
+  }
+  net.source_arc.reserve(sources.size());
+  for (VertexId s : sources)
+    net.source_arc.push_back(net.dinic.add_arc(net.source, SplitNetwork::in_node(s), 1));
+  net.target_arc.reserve(targets.size());
+  for (VertexId t : targets)
+    net.target_arc.push_back(net.dinic.add_arc(SplitNetwork::out_node(t), net.sink, 1));
+  return net;
+}
+
+}  // namespace
+
+std::size_t max_vertex_disjoint_paths(const Digraph& g,
+                                      std::span<const VertexId> sources,
+                                      std::span<const VertexId> targets,
+                                      std::span<const std::uint8_t> blocked) {
+  auto net = build_split(g, sources, targets, blocked);
+  return static_cast<std::size_t>(net.dinic.max_flow(net.source, net.sink));
+}
+
+std::vector<std::vector<VertexId>> vertex_disjoint_paths(
+    const Digraph& g, std::span<const VertexId> sources,
+    std::span<const VertexId> targets, std::span<const std::uint8_t> blocked) {
+  auto net = build_split(g, sources, targets, blocked);
+  net.dinic.max_flow(net.source, net.sink);
+
+  // With unit vertex capacities each flow-carrying vertex has exactly one
+  // outgoing flow edge, so paths can be traced by successor pointers.
+  std::vector<VertexId> next(g.vertex_count(), kNoVertex);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (net.dinic.flow(net.edge_arc[e]) > 0) {
+      const auto& ed = g.edge(e);
+      next[ed.from] = ed.to;
+    }
+  }
+  std::vector<std::uint8_t> ends_here(g.vertex_count(), 0);
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    if (net.dinic.flow(net.target_arc[i]) > 0) ends_here[targets[i]] = 1;
+
+  std::vector<std::vector<VertexId>> paths;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (net.dinic.flow(net.source_arc[i]) == 0) continue;  // not a path start
+    std::vector<VertexId> path{sources[i]};
+    VertexId v = sources[i];
+    while (!ends_here[v]) {
+      v = next[v];
+      path.push_back(v);
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace ftcs::graph

@@ -1,0 +1,62 @@
+// Dinic max-flow and Menger-style vertex-disjoint path computation.
+//
+// Used to verify superconcentrator and rearrangeability properties: by
+// Menger's theorem the maximum number of fully vertex-disjoint paths between
+// vertex sets S and T equals the minimum S-T vertex cut, computed here via
+// vertex splitting with unit capacities.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::graph {
+
+/// Dinic's algorithm; integer capacities. O(E sqrt(V)) on unit networks.
+class Dinic {
+ public:
+  explicit Dinic(std::size_t node_count);
+
+  /// Adds a directed arc u->v with the given capacity; returns arc index.
+  std::size_t add_arc(std::uint32_t u, std::uint32_t v, std::int64_t cap);
+
+  /// Computes max flow from s to t (callable once meaningfully).
+  std::int64_t max_flow(std::uint32_t s, std::uint32_t t);
+
+  /// Residual capacity of arc i (as returned by add_arc).
+  [[nodiscard]] std::int64_t residual(std::size_t arc) const { return cap_[arc]; }
+  /// Flow pushed through arc i.
+  [[nodiscard]] std::int64_t flow(std::size_t arc) const {
+    return initial_cap_[arc] - cap_[arc];
+  }
+
+ private:
+  bool build_levels(std::uint32_t s, std::uint32_t t);
+  std::int64_t augment(std::uint32_t v, std::uint32_t t, std::int64_t pushed);
+
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::int64_t> cap_;
+  std::vector<std::int64_t> initial_cap_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> iter_;
+};
+
+/// Maximum number of fully vertex-disjoint directed paths from S to T in g
+/// (endpoints included in the disjointness requirement; each vertex of g has
+/// implicit capacity one). `blocked` vertices (if provided) cannot be used.
+[[nodiscard]] std::size_t max_vertex_disjoint_paths(
+    const Digraph& g, std::span<const VertexId> sources,
+    std::span<const VertexId> targets,
+    std::span<const std::uint8_t> blocked = {});
+
+/// Same, but also returns one maximum family of vertex-disjoint paths
+/// (each path is a vertex sequence from a source to a target).
+[[nodiscard]] std::vector<std::vector<VertexId>> vertex_disjoint_paths(
+    const Digraph& g, std::span<const VertexId> sources,
+    std::span<const VertexId> targets,
+    std::span<const std::uint8_t> blocked = {});
+
+}  // namespace ftcs::graph

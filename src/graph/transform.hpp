@@ -1,0 +1,37 @@
+// Network transformations used throughout the paper:
+//  - mirror image (§6): exchange inputs/outputs and reverse every edge;
+//  - edge substitution (§3): replace every switch by a copy of a 1-network,
+//    the Moore–Shannon amplification that makes the exact ε, δ irrelevant;
+//  - induced subnetworks (fault repair discards vertices wholesale).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::graph {
+
+/// Mirror image of a network: inputs exchanged with outputs, every edge
+/// reversed. If staged, stages are relabelled max_stage - stage.
+[[nodiscard]] Network mirror(const Network& net);
+
+/// Substitute every edge of `base` with a fresh copy of `gadget`, which must
+/// have exactly one input and one output. The gadget's input is identified
+/// with the edge's tail and its output with the edge's head. The result has
+/// |V_base| + |E_base|·(|V_gadget|−2) vertices and |E_base|·|E_gadget| edges.
+/// Stages are dropped (the substituted network is generally not staged).
+[[nodiscard]] Network substitute_edges(const Network& base, const Network& gadget);
+
+/// Induced subnetwork on vertices where keep[v] != 0. Terminals not kept are
+/// dropped from the terminal lists. Returns the network plus the mapping
+/// old-id -> new-id (kNoVertex where dropped).
+struct InducedResult {
+  Network net;
+  std::vector<VertexId> old_to_new;
+};
+[[nodiscard]] InducedResult induced_subnetwork(const Network& net,
+                                               std::span<const std::uint8_t> keep);
+
+}  // namespace ftcs::graph

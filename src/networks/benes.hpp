@@ -1,0 +1,52 @@
+// The Beneš rearrangeable network [B] and its looping-algorithm router.
+//
+// For n = 2^k terminals the network has 2k+1 link stages of n vertices; the
+// switch column at stage s pairs link i with link i XOR 2^(k-1-s) on the
+// left half (s < k) and the mirrored bits on the right half. Every switch
+// column contributes straight and cross edges, 2n per column, for a total
+// size of 4nk − 2n... (exactly: 2n edges per column × 2k columns, of which
+// the paired columns share; see build). Size Θ(n log n), depth 2 log₂ n —
+// the classic O(n log n) rearrangeable construction the paper cites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::networks {
+
+class Benes {
+ public:
+  /// Builds the Beneš network on n = 2^k terminals (k >= 1).
+  explicit Benes(std::uint32_t k);
+
+  [[nodiscard]] const graph::Network& network() const noexcept { return net_; }
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t n() const noexcept { return 1u << k_; }
+
+  /// Vertex id of link position i at stage s (0 <= s <= 2k).
+  [[nodiscard]] graph::VertexId vertex(std::uint32_t s, std::uint32_t i) const {
+    return s * n() + i;
+  }
+
+  /// Routes the permutation (input i -> output perm[i]) with the looping
+  /// algorithm; returns n vertex-disjoint paths, path[i] being the vertex
+  /// sequence for input i. perm must be a permutation of 0..n-1.
+  [[nodiscard]] std::vector<std::vector<graph::VertexId>> route(
+      const std::vector<std::uint32_t>& perm) const;
+
+ private:
+  // Routes perm over the sub-Beneš spanned by `bits` low bits starting at
+  // stage `s0`, with all positions sharing the fixed high-bit prefix
+  // `prefix`. Appends the stage-by-stage position of each element to pos.
+  void route_recursive(std::uint32_t bits, std::uint32_t s0, std::uint32_t prefix,
+                       const std::vector<std::uint32_t>& perm,
+                       const std::vector<std::uint32_t>& elements,
+                       std::vector<std::vector<std::uint32_t>>& pos) const;
+
+  std::uint32_t k_;
+  graph::Network net_;
+};
+
+}  // namespace ftcs::networks

@@ -1,0 +1,20 @@
+// The k-dimensional butterfly: n = 2^k rows, k+1 stages; vertex (s, i)
+// connects to (s+1, i) and (s+1, i XOR 2^s). A unique-path network — it is
+// NOT rearrangeable, which makes it the natural "unprotected, minimal"
+// baseline, and the building block the multibutterfly upgrades.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::networks {
+
+[[nodiscard]] graph::Network build_butterfly(std::uint32_t k);
+
+/// The unique input->output path of the butterfly (bit-fixing route).
+[[nodiscard]] std::vector<graph::VertexId> butterfly_path(std::uint32_t k,
+                                                          std::uint32_t input,
+                                                          std::uint32_t output);
+
+}  // namespace ftcs::networks

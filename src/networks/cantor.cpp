@@ -1,0 +1,55 @@
+#include "networks/cantor.hpp"
+
+#include <stdexcept>
+
+#include "networks/benes.hpp"
+
+namespace ftcs::networks {
+
+graph::Network build_cantor(const CantorParams& params) {
+  if (params.k == 0 || params.k > 16)
+    throw std::invalid_argument("cantor: need 1 <= k <= 16");
+  const std::uint32_t m = params.copies == 0 ? params.k : params.copies;
+  const std::uint32_t n = 1u << params.k;
+
+  const Benes plane(params.k);
+  const auto& pg = plane.network();
+  const std::size_t plane_vertices = pg.g.vertex_count();
+
+  graph::Network net;
+  net.name = "cantor-" + std::to_string(n) + "-m" + std::to_string(m);
+  net.g.reserve(2ul * n + m * plane_vertices,
+                2ul * n * m + m * pg.g.edge_count());
+  // Layout: [inputs n][outputs n][m Benes copies].
+  net.g.add_vertices(2ul * n);
+  net.stage.assign(2ul * n, 0);
+  const std::int32_t plane_stages = static_cast<std::int32_t>(2 * params.k + 1);
+  for (std::uint32_t i = 0; i < n; ++i) net.stage[n + i] = plane_stages + 1;
+
+  std::vector<graph::VertexId> base(m);
+  for (std::uint32_t c = 0; c < m; ++c) {
+    base[c] = net.g.add_vertices(plane_vertices);
+    for (std::size_t v = 0; v < plane_vertices; ++v)
+      net.stage.push_back(pg.stage[v] + 1);
+    for (graph::EdgeId e = 0; e < pg.g.edge_count(); ++e) {
+      const auto& ed = pg.g.edge(e);
+      net.g.add_edge(base[c] + ed.from, base[c] + ed.to);
+    }
+  }
+  // Fan-out / fan-in edges.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t c = 0; c < m; ++c) {
+      net.g.add_edge(i, base[c] + pg.inputs[i]);
+      net.g.add_edge(base[c] + pg.outputs[i], n + i);
+    }
+  }
+  net.inputs.resize(n);
+  net.outputs.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    net.inputs[i] = i;
+    net.outputs[i] = n + i;
+  }
+  return net;
+}
+
+}  // namespace ftcs::networks

@@ -1,0 +1,25 @@
+// The Cantor network: the classic strictly nonblocking construction in the
+// SAME Θ(n log² n) size class as the paper's 𝒩̂ — but with no fault
+// tolerance. It is the natural "what does the log² buy you without
+// redundancy" baseline (cf. Pippenger [P78] §"Telephone switching networks").
+//
+// Structure: m parallel copies of a Beneš network on n = 2^k terminals;
+// input i fans out to input i of every copy, output j collects from output
+// j of every copy. Cantor's theorem: m = k = log₂ n copies make the network
+// strictly nonblocking under arbitrary (no-rearrangement) routing.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::networks {
+
+struct CantorParams {
+  std::uint32_t k = 3;       // n = 2^k terminals
+  std::uint32_t copies = 0;  // 0 = use k copies (Cantor's theorem)
+};
+
+[[nodiscard]] graph::Network build_cantor(const CantorParams& params);
+
+}  // namespace ftcs::networks

@@ -1,0 +1,37 @@
+// Three-stage Clos networks [Cl].
+//
+// C(k, m, r): r input crossbars of k terminals each, m middle crossbars,
+// r output crossbars. Each crossbar is modelled, per the paper's formalism,
+// as a complete bipartite graph of single-pole single-throw switches
+// between its in-links and out-links. Clos's theorem: the network is
+// strictly nonblocking iff m >= 2k - 1 (and rearrangeable iff m >= k).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::networks {
+
+struct ClosParams {
+  std::uint32_t k = 2;  // terminals per edge crossbar
+  std::uint32_t m = 3;  // middle crossbars
+  std::uint32_t r = 2;  // edge crossbars per side
+
+  [[nodiscard]] std::uint32_t terminal_count() const noexcept { return k * r; }
+  [[nodiscard]] bool strictly_nonblocking() const noexcept { return m >= 2 * k - 1; }
+  [[nodiscard]] bool rearrangeable() const noexcept { return m >= k; }
+  /// Switch count: r·k·m (input stage) + m·r² (middle) + m·r·k (output).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(r) * k * m + static_cast<std::size_t>(m) * r * r +
+           static_cast<std::size_t>(m) * r * k;
+  }
+};
+
+[[nodiscard]] graph::Network build_clos(const ClosParams& params);
+
+/// Smallest strictly-nonblocking symmetric Clos for n terminals: chooses
+/// k ~ sqrt(n/2), r = ceil(n/k), m = 2k - 1 (n padded up to k*r terminals).
+[[nodiscard]] ClosParams clos_nonblocking_for(std::uint32_t n);
+
+}  // namespace ftcs::networks

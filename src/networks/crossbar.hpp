@@ -1,0 +1,14 @@
+// The n x n crossbar: one switch per input/output pair. Trivially strictly
+// nonblocking with size n^2 and depth 1 — the baseline everything else is
+// trying to beat on size.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::networks {
+
+[[nodiscard]] graph::Network build_crossbar(std::uint32_t n);
+
+}  // namespace ftcs::networks

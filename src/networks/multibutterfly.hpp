@@ -1,0 +1,41 @@
+// Multibutterflies (Leighton & Maggs [LM]): the butterfly with each
+// splitter's single up/down edge replaced by a d-regular expander, the
+// closest prior work on routing around faults the paper cites ("Expanders
+// might be practical: fast algorithms for routing around faults on
+// multibutterflies").
+//
+// Structure: stage s splits each block of n/2^s rows into an upper and a
+// lower half of the next stage's blocks; every vertex has d edges into each
+// half (2d out-degree), drawn from seed-deterministic random biregular
+// graphs (the splitter expanders).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::networks {
+
+struct MultibutterflyParams {
+  std::uint32_t k = 4;       // n = 2^k terminals
+  std::uint32_t degree = 2;  // expander edges into each half per vertex
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] graph::Network build_multibutterfly(const MultibutterflyParams& params);
+
+/// Leighton–Maggs-style fault-avoiding route: a shortest path from input
+/// `in` to output `out` that keeps to the splitter halves dictated by the
+/// bits of `out` (so it is a valid logical route) while avoiding blocked
+/// vertices — in the fault-free multibutterfly each vertex has d choices per
+/// stage, so random faults rarely disconnect a request. Returns nullopt if
+/// every alternative at some splitter is blocked. Requires a network built
+/// by build_multibutterfly with the same k.
+[[nodiscard]] std::optional<std::vector<graph::VertexId>> multibutterfly_route(
+    const graph::Network& net, std::uint32_t k, std::uint32_t in,
+    std::uint32_t out, std::span<const std::uint8_t> blocked = {});
+
+}  // namespace ftcs::networks

@@ -1,0 +1,79 @@
+// The recursive expander-based network core of Pippenger [P82, §9], the
+// construction the paper scales up in §6.
+//
+// The core M has 2·levels + 1 stages of constant width W·r^(levels+gamma).
+// Stage s (0 <= s <= levels, the left half) is partitioned into r^(levels-s)
+// blocks of size W·r^(gamma+s); between stages s and s+1, each parent block
+// receives edges from its r child blocks through expander columns: every
+// child vertex has `degree` out-edges distributed as evenly as possible
+// over the r sub-ranges ("quarters" when r = 4) of the parent, realized as
+// random bijections child-block -> sub-range so in-degrees are exactly
+// `degree` as well. The right half (stages levels..2·levels) is the mirror
+// image. With the paper's constants (r = 4, W = 64, degree = 10) each such
+// column restricted to one sub-range is a (32·4^i, 33.07·4^i, 64·4^i)-
+// expanding graph with high probability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::networks {
+
+struct RecursiveCoreParams {
+  std::uint32_t radix = 4;       // r: blocks merged per level
+  std::uint32_t width_mult = 64; // W: block size scale (paper: 64)
+  std::uint32_t degree = 10;     // expander out-degree per column (paper: 10)
+  std::uint32_t levels = 2;      // half-height of the core
+  std::uint32_t gamma = 0;       // extra scale-up exponent (paper: log_r(34·levels))
+  std::uint64_t seed = 1;
+
+  /// Block size at left-half stage s: W * r^(gamma + s).
+  [[nodiscard]] std::size_t block_size(std::uint32_t s) const;
+  /// Width of every stage: W * r^(levels + gamma).
+  [[nodiscard]] std::size_t stage_width() const { return block_size(levels); }
+  [[nodiscard]] std::size_t stage_count() const { return 2ul * levels + 1; }
+};
+
+struct RecursiveCore {
+  graph::Network net;  // no terminals; stage labels set
+  RecursiveCoreParams params;
+
+  /// Vertex id of position `i` in stage `s` (stage-major layout).
+  [[nodiscard]] graph::VertexId vertex(std::uint32_t s, std::size_t i) const {
+    return static_cast<graph::VertexId>(s * params.stage_width() + i);
+  }
+  /// The r^levels first-stage blocks (each of size W·r^gamma), in order.
+  [[nodiscard]] std::vector<std::vector<graph::VertexId>> first_blocks() const;
+  /// The r^levels last-stage blocks, in order.
+  [[nodiscard]] std::vector<std::vector<graph::VertexId>> last_blocks() const;
+};
+
+[[nodiscard]] RecursiveCore build_recursive_core(const RecursiveCoreParams& params);
+
+/// Expander column helper (exposed for ftcs and tests): connects r
+/// consecutive child blocks to each parent block. children.size() must be
+/// radix * parents.size(); every child block and every parent sub-range must
+/// have equal size. If `reverse`, edges run parent -> child (mirror half).
+void connect_expander_column(
+    graph::Network& net,
+    const std::vector<std::vector<graph::VertexId>>& children,
+    const std::vector<std::vector<graph::VertexId>>& parents,
+    std::uint32_t radix, std::uint32_t degree, bool reverse, std::uint64_t seed);
+
+/// The classic (non-fault-tolerant) recursive nonblocking network, P82-style:
+/// the core with gamma = 1 and r terminals attached to every first/last
+/// block by complete bipartite graphs — the structure of the paper's network
+/// N before trimming. n = r^levels terminals; size Theta(n log n).
+struct RecursiveNonblockingParams {
+  std::uint32_t levels = 2;       // n = radix^levels terminals (levels >= 2)
+  std::uint32_t radix = 4;
+  std::uint32_t width_mult = 64;
+  std::uint32_t degree = 10;
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] graph::Network build_recursive_nonblocking(
+    const RecursiveNonblockingParams& params);
+
+}  // namespace ftcs::networks

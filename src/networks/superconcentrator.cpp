@@ -1,0 +1,62 @@
+#include "networks/superconcentrator.hpp"
+
+#include <stdexcept>
+
+#include "expander/random_regular.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs::networks {
+
+namespace {
+
+// Recursively appends an n-superconcentrator between the given input and
+// output vertex lists (both of size n), returning nothing; fresh internal
+// vertices are added to net.
+void build_recursive(graph::Network& net, const std::vector<graph::VertexId>& in,
+                     const std::vector<graph::VertexId>& out,
+                     const SuperconcentratorParams& p, std::uint64_t seed) {
+  const auto n = static_cast<std::uint32_t>(in.size());
+  if (n <= p.base_size) {
+    for (graph::VertexId i : in)
+      for (graph::VertexId o : out) net.g.add_edge(i, o);
+    return;
+  }
+  // Identity matching input_i -> output_i.
+  for (std::uint32_t i = 0; i < n; ++i) net.g.add_edge(in[i], out[i]);
+
+  const std::uint32_t half = (n + 1) / 2;
+  std::vector<graph::VertexId> a(half), b(half);
+  for (std::uint32_t i = 0; i < half; ++i) a[i] = net.g.add_vertex();
+  for (std::uint32_t i = 0; i < half; ++i) b[i] = net.g.add_vertex();
+  if (!net.stage.empty()) net.stage.resize(net.g.vertex_count(), -1);
+
+  const auto fwd =
+      expander::random_biregular(n, half, p.degree, util::derive_seed(seed, 1));
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t o : fwd.adj[i]) net.g.add_edge(in[i], a[o]);
+  const auto bwd =
+      expander::random_biregular(n, half, p.degree, util::derive_seed(seed, 2));
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t o : bwd.adj[i]) net.g.add_edge(b[o], out[i]);
+
+  build_recursive(net, a, b, p, util::derive_seed(seed, 3));
+}
+
+}  // namespace
+
+graph::Network build_superconcentrator(const SuperconcentratorParams& p) {
+  if (p.n == 0) throw std::invalid_argument("superconcentrator: n == 0");
+  graph::Network net;
+  net.name = "superconcentrator-" + std::to_string(p.n);
+  net.g.add_vertices(2ul * p.n);
+  net.inputs.resize(p.n);
+  net.outputs.resize(p.n);
+  for (std::uint32_t i = 0; i < p.n; ++i) {
+    net.inputs[i] = i;
+    net.outputs[i] = p.n + i;
+  }
+  build_recursive(net, net.inputs, net.outputs, p, p.seed);
+  return net;
+}
+
+}  // namespace ftcs::networks

@@ -1,0 +1,32 @@
+// Linear-size n-superconcentrators via the recursive concentrator
+// construction (Valiant [V] / Gabber–Galil [GG] style):
+//
+//   SC(n) = identity matching (n edges)
+//         + concentrator C: n inputs -> n/2 intermediates
+//         + SC(n/2) between intermediates
+//         + reverse concentrator: n/2 -> n outputs,
+//
+// terminating in a complete bipartite graph below a base size. The
+// concentrator is a random biregular bipartite graph with out-degree d;
+// Hall's condition (every set of <= n/2 inputs has at least as many
+// neighbors) holds with overwhelming probability for d >= 6 and is
+// spot-verified by the test suite. Total size <= (2d + 1) * 2n + O(base^2).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::networks {
+
+struct SuperconcentratorParams {
+  std::uint32_t n = 16;           // terminals (rounded up to even internally)
+  std::uint32_t degree = 6;       // concentrator out-degree
+  std::uint32_t base_size = 8;    // complete-bipartite cutoff
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] graph::Network build_superconcentrator(
+    const SuperconcentratorParams& params);
+
+}  // namespace ftcs::networks

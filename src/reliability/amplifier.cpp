@@ -1,0 +1,61 @@
+#include "reliability/amplifier.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ftcs::reliability {
+
+namespace {
+
+// Exact ladder failure probabilities without building the SP tree (closed
+// forms; the SP algebra reproduces these, which tests verify).
+double ladder_short(double eps, std::size_t width, std::size_t stages) {
+  const double bundle_short = 1.0 - std::pow(1.0 - eps, static_cast<double>(width));
+  return std::pow(bundle_short, static_cast<double>(stages));
+}
+
+double ladder_open_fail(double eps, std::size_t width, std::size_t stages) {
+  const double bundle_open = std::pow(eps, static_cast<double>(width));
+  return 1.0 - std::pow(1.0 - bundle_open, static_cast<double>(stages));
+}
+
+}  // namespace
+
+AmplifierDesign design_amplifier(double eps, double eps_prime) {
+  if (!(eps > 0.0 && eps < 0.5))
+    throw std::invalid_argument("design_amplifier: need 0 < eps < 1/2");
+  if (!(eps_prime > 0.0 && eps_prime < eps))
+    throw std::invalid_argument("design_amplifier: need 0 < eps' < eps");
+
+  // width suppresses open failures (eps^width per bundle); stages suppress
+  // shorts ((width*eps)-ish per stage). Grow the square side until both
+  // targets hold; the loop terminates because both probabilities decay
+  // geometrically in the side length.
+  for (std::size_t side = 1; side <= 4096; ++side) {
+    // For a given number of stages, open-failure grows with stages, so find
+    // the smallest width making open failure small, then check shorts.
+    const std::size_t stages = side;
+    for (std::size_t width = 1; width <= side; ++width) {
+      const double ps = ladder_short(eps, width, stages);
+      const double po = ladder_open_fail(eps, width, stages);
+      if (ps < eps_prime && po < eps_prime) {
+        AmplifierDesign d;
+        d.width = width;
+        d.stages = stages;
+        d.p_short = ps;
+        d.p_fail_open = po;
+        d.sp = SpNetwork::ladder(width, stages);
+        return d;
+      }
+    }
+  }
+  throw std::runtime_error("design_amplifier: no design within bounds");
+}
+
+double scaled_epsilon_for_delta(double eps, double delta1, double delta2) {
+  if (!(delta1 > 0.0 && delta1 <= delta2 && delta2 < 1.0))
+    throw std::invalid_argument("scaled_epsilon_for_delta: need 0 < d1 <= d2 < 1");
+  return eps * delta1 / delta2;
+}
+
+}  // namespace ftcs::reliability

@@ -1,0 +1,46 @@
+// Explicit Proposition-1 amplifiers (Moore & Shannon).
+//
+// Proposition 1: for 0 < ε < 1/2 and 0 < ε' < ε there is an explicit
+// (ε, ε')-1-network with c_ε (log₂ 1/ε')² edges and d_ε log₂ (1/ε') depth.
+//
+// Our explicit construction is the series-parallel ladder: `stages` bundles
+// in series, each bundle `width` switches in parallel. With
+// width = stages = Θ(log 1/ε') it meets both failure targets:
+//   P(short)     = (1 − (1 − ε)^width)^stages      (every bundle must short)
+//   P(open fail) = 1 − (1 − ε^width)^stages        (some bundle all-open)
+// Size = width·stages = Θ((log 1/ε')²), depth = stages = Θ(log 1/ε').
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_model.hpp"
+#include "reliability/hammock.hpp"
+
+namespace ftcs::reliability {
+
+struct AmplifierDesign {
+  std::size_t width = 1;   // parallel switches per bundle
+  std::size_t stages = 1;  // bundles in series
+  double p_short = 0.0;       // exact, from the SP algebra
+  double p_fail_open = 0.0;   // exact, from the SP algebra
+  SpNetwork sp;               // the designed network
+
+  [[nodiscard]] std::size_t size() const noexcept { return width * stages; }
+  [[nodiscard]] std::size_t depth() const noexcept { return stages; }
+  [[nodiscard]] bool meets(double eps_prime) const noexcept {
+    return p_short < eps_prime && p_fail_open < eps_prime;
+  }
+};
+
+/// Designs the smallest square-ish ladder meeting both ε' targets under the
+/// symmetric model ε₁ = ε₂ = ε. Throws if ε >= 1/2 or ε' >= ε is violated
+/// in a way that makes the design impossible.
+[[nodiscard]] AmplifierDesign design_amplifier(double eps, double eps_prime);
+
+/// §3 invariance, second argument: an (ε, δ₂)-network becomes an
+/// (ε·δ₁/δ₂, δ₁)-network. This helper returns the scaled ε to target when
+/// strengthening a δ₂ guarantee to δ₁ < δ₂.
+[[nodiscard]] double scaled_epsilon_for_delta(double eps, double delta1,
+                                              double delta2);
+
+}  // namespace ftcs::reliability

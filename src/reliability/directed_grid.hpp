@@ -1,0 +1,48 @@
+// (l, w)-directed grids (paper §6, Fig. 4), the interface gadgets "based on
+// the hammock of Moore and Shannon".
+//
+// A directed grid has w stages with l vertices per stage; vertex (i, j) is
+// the i-th row of stage j, and edges run (i, j) -> (i, j+1) and
+// (i, j) -> (i+1, j+1). The paper's Fig. 4 grid does not wrap rows; we also
+// support the cylindrical (wrapping) variant, which is the classic
+// Moore–Shannon hammock topology.
+//
+// NOTE on the paper's parameter order: §6 writes "(ν, 64·4^γ)-directed
+// grids" but Lemma 3 makes the intended shape unambiguous — the grid has
+// 64·4^γ rows (the paper: "it must be l ≥ 64·4^γ, since Ψ has this many
+// rows") and ν stages (the grids occupy stages 1..ν of 𝒩̂). We therefore
+// name fields `rows` and `stages` explicitly and never rely on tuple order.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::reliability {
+
+struct GridSpec {
+  std::uint32_t rows = 1;    // l: vertices per stage
+  std::uint32_t stages = 1;  // w: number of stages
+  bool wrap = false;         // cylindrical rows (Moore–Shannon hammock)
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return static_cast<std::size_t>(rows) * stages;
+  }
+  /// Vertex id of (row i, stage j), 0-based.
+  [[nodiscard]] graph::VertexId vertex(std::uint32_t i, std::uint32_t j) const noexcept {
+    return static_cast<graph::VertexId>(static_cast<std::size_t>(j) * rows + i);
+  }
+};
+
+/// The bare grid: no terminals; `stage[v]` is filled in.
+[[nodiscard]] graph::Network build_directed_grid(const GridSpec& spec);
+
+/// The grid as a 1-network: a fresh input vertex with an edge to every
+/// first-stage vertex and a fresh output vertex with an edge from every
+/// last-stage vertex. Input is vertex rows*stages, output rows*stages+1.
+[[nodiscard]] graph::Network build_grid_one_network(const GridSpec& spec);
+
+/// Edge count of the bare grid: straight edges + diagonals.
+[[nodiscard]] std::size_t grid_edge_count(const GridSpec& spec) noexcept;
+
+}  // namespace ftcs::reliability

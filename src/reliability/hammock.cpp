@@ -1,0 +1,149 @@
+#include "reliability/hammock.hpp"
+
+#include <algorithm>
+
+namespace ftcs::reliability {
+
+SpNetwork SpNetwork::leaf() { return SpNetwork{}; }
+
+SpNetwork SpNetwork::series(std::vector<SpNetwork> parts) {
+  SpNetwork n;
+  n.kind_ = Kind::kSeries;
+  n.children_ = std::move(parts);
+  return n;
+}
+
+SpNetwork SpNetwork::parallel(std::vector<SpNetwork> parts) {
+  SpNetwork n;
+  n.kind_ = Kind::kParallel;
+  n.children_ = std::move(parts);
+  return n;
+}
+
+SpNetwork SpNetwork::chain(std::size_t k) {
+  return series(std::vector<SpNetwork>(std::max<std::size_t>(k, 1), leaf()));
+}
+
+SpNetwork SpNetwork::bundle(std::size_t k) {
+  return parallel(std::vector<SpNetwork>(std::max<std::size_t>(k, 1), leaf()));
+}
+
+SpNetwork SpNetwork::ladder(std::size_t width, std::size_t stages) {
+  std::vector<SpNetwork> cols(std::max<std::size_t>(stages, 1), bundle(width));
+  return series(std::move(cols));
+}
+
+double SpNetwork::connection_probability(double p) const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return p;
+    case Kind::kSeries: {
+      double h = 1.0;
+      for (const auto& c : children_) h *= c.connection_probability(p);
+      return h;
+    }
+    case Kind::kParallel: {
+      double miss = 1.0;
+      for (const auto& c : children_) miss *= 1.0 - c.connection_probability(p);
+      return 1.0 - miss;
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+std::size_t SpNetwork::switch_count() const {
+  if (kind_ == Kind::kLeaf) return 1;
+  std::size_t total = 0;
+  for (const auto& c : children_) total += c.switch_count();
+  return total;
+}
+
+std::size_t SpNetwork::depth() const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return 1;
+    case Kind::kSeries: {
+      std::size_t total = 0;
+      for (const auto& c : children_) total += c.depth();
+      return total;
+    }
+    case Kind::kParallel: {
+      std::size_t best = 0;
+      for (const auto& c : children_) best = std::max(best, c.depth());
+      return best;
+    }
+  }
+  return 0;  // unreachable
+}
+
+void SpNetwork::materialize(graph::Network& net, graph::VertexId from,
+                            graph::VertexId to) const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      net.g.add_edge(from, to);
+      return;
+    case Kind::kSeries: {
+      graph::VertexId prev = from;
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        const graph::VertexId next =
+            (i + 1 == children_.size()) ? to : net.g.add_vertex();
+        children_[i].materialize(net, prev, next);
+        prev = next;
+      }
+      return;
+    }
+    case Kind::kParallel:
+      for (const auto& c : children_) c.materialize(net, from, to);
+      return;
+  }
+}
+
+SpNetwork::SuperSwitchSample SpNetwork::sample_super_switch(
+    const fault::FaultModel& model, util::Xoshiro256& rng) const {
+  switch (kind_) {
+    case Kind::kLeaf: {
+      const double u = rng.uniform();
+      SuperSwitchSample s;
+      if (u < model.eps_open) {
+        s.conducts_when_on = false;          // open failure: never conducts
+      } else if (u < model.eps_open + model.eps_closed) {
+        s.shorts_when_off = true;            // closed failure: always conducts
+      }
+      return s;
+    }
+    case Kind::kSeries: {
+      SuperSwitchSample s;
+      s.shorts_when_off = true;
+      for (const auto& c : children_) {
+        const auto cs = c.sample_super_switch(model, rng);
+        s.conducts_when_on &= cs.conducts_when_on;
+        s.shorts_when_off &= cs.shorts_when_off;
+      }
+      return s;
+    }
+    case Kind::kParallel: {
+      SuperSwitchSample s;
+      s.conducts_when_on = false;
+      for (const auto& c : children_) {
+        const auto cs = c.sample_super_switch(model, rng);
+        s.conducts_when_on |= cs.conducts_when_on;
+        s.shorts_when_off |= cs.shorts_when_off;
+      }
+      return s;
+    }
+  }
+  return {};
+}
+
+graph::Network SpNetwork::to_network() const {
+  graph::Network net;
+  net.name = "sp-1net";
+  const graph::VertexId input = net.g.add_vertex();
+  const graph::VertexId output = net.g.add_vertex();
+  materialize(net, input, output);
+  net.inputs = {input};
+  net.outputs = {output};
+  return net;
+}
+
+}  // namespace ftcs::reliability

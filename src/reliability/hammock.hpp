@@ -1,0 +1,88 @@
+// Series-parallel two-terminal networks and their exact reliability algebra.
+//
+// Moore & Shannon's Proposition 1 networks are built by composing small
+// unreliable pieces in series (suppresses shorts) and in parallel
+// (suppresses opens). For a series-parallel network, the probability h(p)
+// that the two terminals are connected — when each edge independently
+// conducts with probability p — composes exactly:
+//     series:   h(p) = h1(p) · h2(p)
+//     parallel: h(p) = 1 − (1 − h1(p)) · (1 − h2(p))
+// Under the switch failure model, a switch commanded ON conducts with
+// probability 1 − ε_open and a switch commanded OFF conducts with
+// probability ε_closed, so the same polynomial evaluates both failure modes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_model.hpp"
+#include "graph/digraph.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs::reliability {
+
+/// A series-parallel two-terminal network, represented as an expression
+/// tree. Leaves are single switches.
+class SpNetwork {
+ public:
+  static SpNetwork leaf();
+  static SpNetwork series(std::vector<SpNetwork> parts);
+  static SpNetwork parallel(std::vector<SpNetwork> parts);
+
+  /// k switches in series (a "chain": guards against closed failures).
+  static SpNetwork chain(std::size_t k);
+  /// k switches in parallel (a "bundle": guards against open failures).
+  static SpNetwork bundle(std::size_t k);
+  /// Series of `stages` bundles, each `width` wide — the series-parallel
+  /// ladder used by our explicit Proposition-1 construction.
+  static SpNetwork ladder(std::size_t width, std::size_t stages);
+
+  /// Exact two-terminal connection probability when each switch conducts
+  /// independently with probability p.
+  [[nodiscard]] double connection_probability(double p) const;
+
+  /// P(network fails to conduct when commanded ON) = 1 − h(1 − ε_open).
+  [[nodiscard]] double open_failure_probability(const fault::FaultModel& m) const {
+    return 1.0 - connection_probability(1.0 - m.eps_open);
+  }
+  /// P(network conducts when commanded OFF) = h(ε_closed).
+  [[nodiscard]] double short_probability(const fault::FaultModel& m) const {
+    return connection_probability(m.eps_closed);
+  }
+
+  [[nodiscard]] std::size_t switch_count() const;
+  /// Longest terminal-to-terminal path length in switches.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Materializes the SP tree as a directed graph 1-network (input/output
+  /// terminals), for cross-checking the algebra against fault injection.
+  [[nodiscard]] graph::Network to_network() const;
+
+  /// Samples the gadget's behaviour as a super-switch (§3): draws a state
+  /// for every constituent switch and reports whether the gadget conducts
+  /// when commanded on (normal/closed switches conduct) and whether it
+  /// shorts when commanded off (only closed switches conduct). The two
+  /// events use the same underlying draw, as they must.
+  struct SuperSwitchSample {
+    bool conducts_when_on = true;
+    bool shorts_when_off = false;
+    [[nodiscard]] fault::SwitchState as_state() const {
+      if (shorts_when_off) return fault::SwitchState::kClosedFail;
+      if (!conducts_when_on) return fault::SwitchState::kOpenFail;
+      return fault::SwitchState::kNormal;
+    }
+  };
+  [[nodiscard]] SuperSwitchSample sample_super_switch(
+      const fault::FaultModel& model, util::Xoshiro256& rng) const;
+
+ private:
+  enum class Kind : std::uint8_t { kLeaf, kSeries, kParallel };
+  Kind kind_ = Kind::kLeaf;
+  std::vector<SpNetwork> children_;
+
+  void materialize(graph::Network& net, graph::VertexId from,
+                   graph::VertexId to) const;
+};
+
+}  // namespace ftcs::reliability

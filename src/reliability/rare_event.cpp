@@ -1,0 +1,189 @@
+#include "reliability/rare_event.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace ftcs::reliability {
+
+RareEventEstimate importance_sample(
+    const fault::FaultModel& model, const fault::FaultModel& biased,
+    std::size_t edge_count, std::size_t trials, std::uint64_t seed,
+    const std::function<bool(const std::vector<fault::Failure>&)>& event) {
+  model.validate();
+  biased.validate();
+  // Per-failure-mode log likelihood ratios. A trial drawing K_o opens and
+  // K_c closes has log L = K_o*lro + K_c*lrc + (E - K_o - K_c)*lrn where
+  // the "normal" ratio uses the total no-failure probabilities.
+  const double lro = model.eps_open > 0
+                         ? std::log(model.eps_open / biased.eps_open)
+                         : -std::numeric_limits<double>::infinity();
+  const double lrc = model.eps_closed > 0
+                         ? std::log(model.eps_closed / biased.eps_closed)
+                         : -std::numeric_limits<double>::infinity();
+  const double lrn = std::log((1.0 - model.total()) / (1.0 - biased.total()));
+
+  const unsigned threads = util::worker_count();
+  std::vector<util::RunningStats> stats(threads);
+  std::vector<std::size_t> hits(threads, 0);
+
+  util::parallel_chunks(trials, threads, [&](unsigned t, std::size_t lo,
+                                             std::size_t hi) {
+    std::vector<fault::Failure> failures;
+    for (std::size_t i = lo; i < hi; ++i) {
+      fault::sample_failures_into(biased, edge_count, util::derive_seed(seed, i),
+                                  failures);
+      double weight = 0.0;
+      if (event(failures)) {
+        std::size_t k_open = 0, k_closed = 0;
+        for (const auto& f : failures)
+          (f.state == fault::SwitchState::kOpenFail ? k_open : k_closed)++;
+        // Guard 0 * (-inf) when a failure mode is disabled in both models.
+        double log_l = static_cast<double>(edge_count - k_open - k_closed) * lrn;
+        if (k_open > 0) log_l += static_cast<double>(k_open) * lro;
+        if (k_closed > 0) log_l += static_cast<double>(k_closed) * lrc;
+        weight = std::exp(log_l);
+        ++hits[t];
+      }
+      stats[t].add(weight);
+    }
+  });
+
+  util::RunningStats all;
+  std::size_t total_hits = 0;
+  for (unsigned t = 0; t < threads; ++t) {
+    all.merge(stats[t]);
+    total_hits += hits[t];
+  }
+  RareEventEstimate est;
+  est.trials = trials;
+  est.raw_hits = total_hits;
+  est.probability = all.mean();
+  est.std_error = all.sem();
+  return est;
+}
+
+RareEventEstimate short_probability_importance(const graph::Network& net,
+                                               double eps_closed,
+                                               double biased_eps,
+                                               std::size_t trials,
+                                               std::uint64_t seed) {
+  const fault::FaultModel model{0.0, eps_closed};
+  const fault::FaultModel biased{0.0, biased_eps};
+
+  // Local sparse DSU per event evaluation (only closed failures matter).
+  auto event = [&](const std::vector<fault::Failure>& failures) {
+    if (failures.empty()) return false;
+    std::unordered_map<std::uint32_t, std::uint32_t> parent;
+    std::function<std::uint32_t(std::uint32_t)> find =
+        [&](std::uint32_t x) -> std::uint32_t {
+      auto it = parent.find(x);
+      if (it == parent.end()) return x;
+      const auto root = find(it->second);
+      it->second = root;
+      return root;
+    };
+    for (const auto& f : failures) {
+      const auto& ed = net.g.edge(f.edge);
+      const auto a = find(ed.from), b = find(ed.to);
+      if (a != b) parent[a] = b;
+    }
+    std::unordered_map<std::uint32_t, graph::VertexId> seen;
+    auto check = [&](graph::VertexId v) {
+      const auto root = find(v);
+      const auto [it, inserted] = seen.try_emplace(root, v);
+      return !inserted && it->second != v;
+    };
+    for (graph::VertexId v : net.inputs)
+      if (check(v)) return true;
+    for (graph::VertexId v : net.outputs)
+      if (check(v)) return true;
+    return false;
+  };
+  return importance_sample(model, biased, net.g.edge_count(), trials, seed,
+                           event);
+}
+
+double DominantShortTerm::first_order(double eps_closed) const {
+  if (min_length == 0) return 0.0;
+  return chain_count * std::pow(eps_closed, static_cast<double>(min_length));
+}
+
+DominantShortTerm dominant_short_term(const graph::Network& net) {
+  // Undirected multi-edge-aware BFS with shortest-path counting from each
+  // terminal; the count to each other terminal at the global minimum
+  // distance is accumulated (each unordered pair seen twice, halved below).
+  std::vector<graph::VertexId> terminals = net.inputs;
+  terminals.insert(terminals.end(), net.outputs.begin(), net.outputs.end());
+  std::vector<std::uint8_t> is_terminal(net.g.vertex_count(), 0);
+  for (graph::VertexId t : terminals) is_terminal[t] = 1;
+
+  // Undirected adjacency with parallel-edge multiplicity.
+  std::vector<std::vector<std::pair<graph::VertexId, std::uint32_t>>> adj(
+      net.g.vertex_count());
+  {
+    std::vector<std::unordered_map<graph::VertexId, std::uint32_t>> mult(
+        net.g.vertex_count());
+    for (graph::EdgeId e = 0; e < net.g.edge_count(); ++e) {
+      const auto& ed = net.g.edge(e);
+      ++mult[ed.from][ed.to];
+      ++mult[ed.to][ed.from];
+    }
+    for (graph::VertexId v = 0; v < net.g.vertex_count(); ++v)
+      adj[v].assign(mult[v].begin(), mult[v].end());
+  }
+
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  double count = 0.0;
+  std::vector<std::uint32_t> dist(net.g.vertex_count());
+  std::vector<double> ways(net.g.vertex_count());
+
+  for (graph::VertexId src : terminals) {
+    std::fill(dist.begin(), dist.end(), std::numeric_limits<std::uint32_t>::max());
+    std::fill(ways.begin(), ways.end(), 0.0);
+    dist[src] = 0;
+    ways[src] = 1.0;
+    std::deque<graph::VertexId> queue{src};
+    while (!queue.empty()) {
+      const graph::VertexId u = queue.front();
+      queue.pop_front();
+      if (dist[u] >= best) continue;  // cannot improve the global minimum
+      for (const auto& [w, m] : adj[u]) {
+        if (dist[w] == std::numeric_limits<std::uint32_t>::max()) {
+          dist[w] = dist[u] + 1;
+          ways[w] = ways[u] * m;
+          queue.push_back(w);
+        } else if (dist[w] == dist[u] + 1) {
+          ways[w] += ways[u] * m;
+        }
+      }
+    }
+    for (graph::VertexId t : terminals) {
+      if (t == src || dist[t] == std::numeric_limits<std::uint32_t>::max())
+        continue;
+      if (dist[t] < best) {
+        best = dist[t];
+        count = ways[t];
+      } else if (dist[t] == best) {
+        count += ways[t];
+      }
+    }
+  }
+  if (best == std::numeric_limits<std::uint32_t>::max()) return {};
+  return {best, count / 2.0};  // each unordered pair counted from both ends
+}
+
+double suggest_bias(std::size_t edge_count, std::size_t chain_length) {
+  if (edge_count == 0) return 0.25;
+  const double rate = static_cast<double>(4 * chain_length) /
+                      static_cast<double>(edge_count);
+  return std::clamp(rate, 1e-4, 0.25);
+}
+
+}  // namespace ftcs::reliability

@@ -1,0 +1,226 @@
+#include "reliability/reliability_dp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs::reliability {
+
+namespace {
+constexpr std::uint32_t kMaxExactRows = 13;  // 4^rows DP states
+}
+
+double grid_conduction_exact(const GridSpec& spec, double p) {
+  if (spec.rows > kMaxExactRows)
+    throw std::invalid_argument("grid_conduction_exact: rows too large for exact DP");
+  const std::uint32_t l = spec.rows;
+  const std::size_t states = std::size_t{1} << l;
+  const double q2 = 1.0 - (1.0 - p) * (1.0 - p);  // either of two edges
+
+  // Initial frontier: input edge to each first-stage vertex conducts w.p. p,
+  // independently => product distribution.
+  std::vector<double> prob(states, 0.0);
+  for (std::size_t s = 0; s < states; ++s) {
+    double pr = 1.0;
+    for (std::uint32_t i = 0; i < l; ++i)
+      pr *= (s >> i & 1u) ? p : (1.0 - p);
+    prob[s] = pr;
+  }
+
+  std::vector<double> next(states);
+  for (std::uint32_t col = 0; col + 1 < spec.stages; ++col) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = 0; s < states; ++s) {
+      const double ps = prob[s];
+      if (ps == 0.0) continue;
+      // Per-target-row on-probabilities, conditionally independent given s.
+      double qbit[32];
+      for (std::uint32_t i = 0; i < l; ++i) {
+        const bool straight_src = (s >> i & 1u) != 0;
+        bool diag_src = false;
+        if (i > 0) {
+          diag_src = (s >> (i - 1) & 1u) != 0;
+        } else if (spec.wrap && l > 1) {
+          diag_src = (s >> (l - 1) & 1u) != 0;
+        }
+        qbit[i] = straight_src && diag_src ? q2 : ((straight_src || diag_src) ? p : 0.0);
+      }
+      // Distribute ps over all targets via the product form.
+      // Recursive enumeration with early pruning of zero factors.
+      struct Walker {
+        const double* q;
+        std::uint32_t l;
+        std::vector<double>& out;
+        void walk(std::uint32_t i, std::size_t t, double w) const {
+          if (w == 0.0) return;
+          if (i == l) {
+            out[t] += w;
+            return;
+          }
+          walk(i + 1, t, w * (1.0 - q[i]));
+          if (q[i] > 0.0) walk(i + 1, t | (std::size_t{1} << i), w * q[i]);
+        }
+      };
+      Walker{qbit, l, next}.walk(0, 0, ps);
+    }
+    prob.swap(next);
+  }
+
+  // Output edge from each last-stage vertex conducts w.p. p.
+  double conduct = 0.0;
+  for (std::size_t s = 0; s < states; ++s) {
+    if (prob[s] == 0.0) continue;
+    const int bits = __builtin_popcountll(s);
+    conduct += prob[s] * (1.0 - std::pow(1.0 - p, bits));
+  }
+  return conduct;
+}
+
+double grid_conduction_monte_carlo(const GridSpec& spec, double p,
+                                   std::size_t trials, std::uint64_t seed) {
+  const std::uint32_t l = spec.rows;
+  const auto hits = util::parallel_count(trials, [&](std::size_t trial) {
+    util::Xoshiro256 rng(util::derive_seed(seed, trial));
+    std::vector<std::uint8_t> frontier(l), nxt(l);
+    bool any = false;
+    for (std::uint32_t i = 0; i < l; ++i) {
+      frontier[i] = rng.bernoulli(p) ? 1 : 0;
+      any |= frontier[i] != 0;
+    }
+    for (std::uint32_t col = 0; col + 1 < spec.stages && any; ++col) {
+      any = false;
+      for (std::uint32_t i = 0; i < l; ++i) {
+        std::uint8_t on = 0;
+        if (frontier[i] && rng.bernoulli(p)) on = 1;  // straight edge
+        const std::uint32_t up = (i == 0) ? (spec.wrap ? l - 1 : l) : i - 1;
+        if (!on && up < l && frontier[up] && rng.bernoulli(p)) on = 1;  // diagonal
+        nxt[i] = on;
+        any |= on != 0;
+      }
+      frontier.swap(nxt);
+    }
+    if (!any) return false;
+    for (std::uint32_t i = 0; i < l; ++i)
+      if (frontier[i] && rng.bernoulli(p)) return true;  // output edge
+    return false;
+  });
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+namespace {
+
+/// Sparse union-find over vertex ids touched by closed failures only; O(k)
+/// per trial instead of O(V).
+class SparseDsu {
+ public:
+  std::uint32_t find(std::uint32_t x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) return x;
+    const std::uint32_t root = find(it->second);
+    it->second = root;
+    return root;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[a] = b;
+  }
+  bool same(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> parent_;
+};
+
+}  // namespace
+
+double short_probability_monte_carlo(const graph::Network& net,
+                                     const fault::FaultModel& model,
+                                     std::size_t trials, std::uint64_t seed) {
+  const fault::FaultModel closed_only{0.0, model.eps_closed};
+  const auto hits = util::parallel_count(trials, [&](std::size_t trial) {
+    thread_local std::vector<fault::Failure> failures;
+    fault::sample_failures_into(closed_only, net.g.edge_count(),
+                                util::derive_seed(seed, trial), failures);
+    if (failures.empty()) return false;
+    SparseDsu dsu;
+    for (const auto& f : failures) {
+      const auto& ed = net.g.edge(f.edge);
+      dsu.unite(ed.from, ed.to);
+    }
+    // A short = two distinct terminals in one contraction class.
+    std::unordered_map<std::uint32_t, graph::VertexId> seen;
+    auto check = [&](graph::VertexId t) {
+      const auto root = dsu.find(t);
+      const auto [it, inserted] = seen.try_emplace(root, t);
+      return !inserted && it->second != t;
+    };
+    for (graph::VertexId t : net.inputs)
+      if (check(t)) return true;
+    for (graph::VertexId t : net.outputs)
+      if (check(t)) return true;
+    return false;
+  });
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+double short_probability_exact(const graph::Network& net,
+                               const fault::FaultModel& model) {
+  const std::size_t e = net.g.edge_count();
+  if (e > 24)
+    throw std::invalid_argument("short_probability_exact: too many edges");
+  const double pc = model.eps_closed;
+  double total = 0.0;
+  std::vector<std::uint8_t> closed(e);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << e); ++mask) {
+    double prob = 1.0;
+    for (std::size_t i = 0; i < e; ++i) {
+      const bool c = (mask >> i) & 1;
+      closed[i] = c;
+      prob *= c ? pc : (1.0 - pc);
+    }
+    if (prob == 0.0) continue;
+    SparseDsu dsu;
+    for (std::size_t i = 0; i < e; ++i) {
+      if (!closed[i]) continue;
+      const auto& ed = net.g.edge(static_cast<graph::EdgeId>(i));
+      dsu.unite(ed.from, ed.to);
+    }
+    std::unordered_map<std::uint32_t, graph::VertexId> seen;
+    bool shorted = false;
+    auto check = [&](graph::VertexId t) {
+      const auto root = dsu.find(t);
+      const auto [it, inserted] = seen.try_emplace(root, t);
+      return !inserted && it->second != t;
+    };
+    for (graph::VertexId t : net.inputs)
+      if (check(t)) {
+        shorted = true;
+        break;
+      }
+    if (!shorted)
+      for (graph::VertexId t : net.outputs)
+        if (check(t)) {
+          shorted = true;
+          break;
+        }
+    if (shorted) total += prob;
+  }
+  return total;
+}
+
+OneNetworkFailure grid_one_network_failure(const GridSpec& spec,
+                                           const fault::FaultModel& model,
+                                           std::size_t short_trials,
+                                           std::uint64_t seed) {
+  OneNetworkFailure result;
+  result.p_fail_open = 1.0 - grid_conduction_exact(spec, 1.0 - model.eps_open);
+  const auto net = build_grid_one_network(spec);
+  result.p_short = short_probability_monte_carlo(net, model, short_trials, seed);
+  return result;
+}
+
+}  // namespace ftcs::reliability

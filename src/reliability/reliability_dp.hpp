@@ -1,0 +1,60 @@
+// Two-terminal reliability of directed grids: exact frontier DP and
+// Monte Carlo cross-checks.
+//
+// For the grid 1-network (input feeds every first-stage vertex, output
+// drains every last-stage vertex) we need, per the Moore–Shannon model:
+//   conduction (switch commanded ON):   path of edges each conducting with
+//     probability p = 1 − ε_open (normal and closed switches both conduct);
+//   short (switch commanded OFF):       the terminals contract through
+//     closed-failed switches (probability ε_closed per switch).
+// Directed conduction admits an exact O(w · 4^l) subset-frontier DP because
+// next-stage reachability bits are conditionally independent given the
+// current frontier (each target row uses a disjoint pair of edges).
+// Shorts are an undirected-connectivity event; we compute them by Monte
+// Carlo with DSU contraction (exact enumeration for tiny grids in tests).
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_model.hpp"
+#include "reliability/directed_grid.hpp"
+
+namespace ftcs::reliability {
+
+/// Exact probability that a directed input->output path of conducting edges
+/// exists in the grid 1-network, when each grid edge (and each terminal
+/// attachment edge) conducts independently with probability p.
+/// Requires spec.rows <= 20 (state space 2^rows).
+[[nodiscard]] double grid_conduction_exact(const GridSpec& spec, double p);
+
+/// Monte Carlo estimate of the same quantity.
+[[nodiscard]] double grid_conduction_monte_carlo(const GridSpec& spec, double p,
+                                                 std::size_t trials,
+                                                 std::uint64_t seed);
+
+/// Failure probabilities of the grid used as a Moore–Shannon 1-network.
+struct OneNetworkFailure {
+  double p_fail_open = 0.0;   // commanded ON but no conducting path
+  double p_short = 0.0;       // commanded OFF but terminals contract
+};
+
+/// p_fail_open computed exactly (frontier DP), p_short by Monte Carlo over
+/// undirected closed-edge contraction.
+[[nodiscard]] OneNetworkFailure grid_one_network_failure(
+    const GridSpec& spec, const fault::FaultModel& model, std::size_t short_trials,
+    std::uint64_t seed);
+
+/// Monte Carlo estimate that two given terminals of an arbitrary network
+/// contract through closed-failed switches.
+[[nodiscard]] double short_probability_monte_carlo(const graph::Network& net,
+                                                   const fault::FaultModel& model,
+                                                   std::size_t trials,
+                                                   std::uint64_t seed);
+
+/// Exact short probability by enumeration over all 2^E closed-state subsets
+/// (E <= 24). Ground truth for validating the Monte Carlo and
+/// importance-sampling estimators.
+[[nodiscard]] double short_probability_exact(const graph::Network& net,
+                                             const fault::FaultModel& model);
+
+}  // namespace ftcs::reliability

@@ -1,0 +1,17 @@
+#include "reliability/substitution.hpp"
+
+namespace ftcs::reliability {
+
+SubstitutionReport substitute_with_amplifier(const graph::Network& host,
+                                             const AmplifierDesign& gadget) {
+  SubstitutionReport report;
+  const graph::Network gadget_net = gadget.sp.to_network();
+  report.substituted = graph::substitute_edges(host, gadget_net);
+  report.effective = effective_model(gadget);
+  report.gadget_size = gadget_net.g.edge_count();
+  report.gadget_depth = gadget.depth();
+  report.host_size = host.g.edge_count();
+  return report;
+}
+
+}  // namespace ftcs::reliability

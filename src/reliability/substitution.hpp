@@ -1,0 +1,36 @@
+// §3 invariance arguments, made executable.
+//
+// First argument: substituting an (ε₂, ε₁)-1-network Ψ for every switch of
+// an (ε₁, δ)-network Φ yields an (ε₂, δ)-network of size ≤ a·L and depth
+// ≤ b·D, where a = |Ψ| and b = depth(Ψ). The switch-level substitution is
+// graph::substitute_edges; these helpers compute the effective fault model
+// of a substituted switch and validate the size/depth accounting.
+#pragma once
+
+#include "fault/fault_model.hpp"
+#include "graph/transform.hpp"
+#include "reliability/amplifier.hpp"
+
+namespace ftcs::reliability {
+
+/// The fault model a substituted super-switch presents to the host network:
+/// open failures happen when the gadget fails to conduct, closed failures
+/// when it shorts.
+[[nodiscard]] inline fault::FaultModel effective_model(const AmplifierDesign& gadget) {
+  return {gadget.p_fail_open, gadget.p_short};
+}
+
+struct SubstitutionReport {
+  graph::Network substituted;
+  fault::FaultModel effective;   // per-super-switch failure model
+  std::size_t gadget_size = 0;   // a
+  std::size_t gadget_depth = 0;  // b
+  std::size_t host_size = 0;     // L
+};
+
+/// Substitutes the designed amplifier for every switch of `host` and
+/// reports the §3 accounting (size inflated by exactly a = gadget size).
+[[nodiscard]] SubstitutionReport substitute_with_amplifier(
+    const graph::Network& host, const AmplifierDesign& gadget);
+
+}  // namespace ftcs::reliability

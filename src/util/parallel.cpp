@@ -1,0 +1,62 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace ftcs::util {
+
+unsigned worker_count() noexcept {
+  if (const char* env = std::getenv("FTCS_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+void parallel_chunks(
+    std::size_t total, unsigned threads,
+    const std::function<void(unsigned, std::size_t, std::size_t)>& body) {
+  threads = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(
+      std::max<std::size_t>(total, 1))));
+  if (threads == 1 || total <= 1) {
+    body(0, 0, total);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::size_t chunk = (total + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = std::min(total, t * chunk);
+    const std::size_t end = std::min(total, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&body, t, begin, end] { body(t, begin, end); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  parallel_chunks(end - begin, worker_count(),
+                  [&](unsigned, std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i) body(begin + i);
+                  });
+}
+
+std::uint64_t parallel_count(std::size_t n,
+                             const std::function<bool(std::size_t)>& trial) {
+  std::atomic<std::uint64_t> hits{0};
+  parallel_chunks(n, worker_count(),
+                  [&](unsigned, std::size_t lo, std::size_t hi) {
+                    std::uint64_t local = 0;
+                    for (std::size_t i = lo; i < hi; ++i)
+                      if (trial(i)) ++local;
+                    hits.fetch_add(local, std::memory_order_relaxed);
+                  });
+  return hits.load();
+}
+
+}  // namespace ftcs::util

@@ -1,0 +1,84 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftcs::util {
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+std::pair<double, double> Proportion::wilson(double z) const noexcept {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = estimate();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double log_binomial(std::uint64_t n, std::uint64_t k) noexcept {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_upper_tail(std::uint64_t n, double p, std::uint64_t k) noexcept {
+  if (k == 0) return 1.0;
+  if (k > n || p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  // Sum P[X = i] for i in [k, n] in log space, largest term first.
+  const double logp = std::log(p);
+  const double log1mp = std::log1p(-p);
+  double max_log = -std::numeric_limits<double>::infinity();
+  for (std::uint64_t i = k; i <= n; ++i) {
+    const double lt = log_binomial(n, i) + static_cast<double>(i) * logp +
+                      static_cast<double>(n - i) * log1mp;
+    max_log = std::max(max_log, lt);
+    // Terms decay fast once past the mode; stop when negligible.
+    if (lt < max_log - 60.0 && static_cast<double>(i) > p * static_cast<double>(n)) break;
+  }
+  if (!std::isfinite(max_log)) return 0.0;
+  double sum = 0.0;
+  for (std::uint64_t i = k; i <= n; ++i) {
+    const double lt = log_binomial(n, i) + static_cast<double>(i) * logp +
+                      static_cast<double>(n - i) * log1mp;
+    sum += std::exp(lt - max_log);
+    if (lt < max_log - 60.0 && static_cast<double>(i) > p * static_cast<double>(n)) break;
+  }
+  return std::min(1.0, std::exp(max_log) * sum);
+}
+
+double hoeffding_upper(std::uint64_t n, double t) noexcept {
+  return std::exp(-2.0 * static_cast<double>(n) * t * t);
+}
+
+}  // namespace ftcs::util

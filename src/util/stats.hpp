@@ -1,0 +1,57 @@
+// Statistics helpers for Monte Carlo estimation: streaming moments,
+// binomial proportion confidence intervals, and tail-bound utilities.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace ftcs::util {
+
+/// Welford streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Result of a Bernoulli Monte Carlo estimate.
+struct Proportion {
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+
+  [[nodiscard]] double estimate() const noexcept {
+    return trials == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(trials);
+  }
+  /// Wilson score interval at the given z (default z = 1.96, ~95%).
+  [[nodiscard]] std::pair<double, double> wilson(double z = 1.96) const noexcept;
+};
+
+/// Binomial tail P[X >= k] for X ~ Bin(n, p), computed stably in log space.
+[[nodiscard]] double binomial_upper_tail(std::uint64_t n, double p, std::uint64_t k) noexcept;
+
+/// log of the binomial coefficient C(n, k).
+[[nodiscard]] double log_binomial(std::uint64_t n, std::uint64_t k) noexcept;
+
+/// Hoeffding bound on P[X/n - p >= t] for X ~ Bin(n, p).
+[[nodiscard]] double hoeffding_upper(std::uint64_t n, double t) noexcept;
+
+}  // namespace ftcs::util

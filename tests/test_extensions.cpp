@@ -1,0 +1,393 @@
+// Tests for the extension modules: closed-form bounds, rare-event
+// importance sampling, Cantor networks, multibutterfly fault-avoiding
+// routing, network serialization, and exact short probabilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "fault/fault_instance.hpp"
+#include "ftcs/bounds.hpp"
+#include "ftcs/ft_network.hpp"
+#include "ftcs/verify.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/io.hpp"
+#include "networks/benes.hpp"
+#include "networks/cantor.hpp"
+#include "networks/multibutterfly.hpp"
+#include "reliability/rare_event.hpp"
+#include "reliability/reliability_dp.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs {
+namespace {
+
+// ------------------------------------------------------------- bounds
+
+TEST(Bounds, Lemma3ShrinksWithRowsAndEps) {
+  using core::bounds::lemma3_failure;
+  EXPECT_GT(lemma3_failure(1e-3, 2, 8), lemma3_failure(1e-3, 2, 16));
+  EXPECT_GT(lemma3_failure(1e-2, 2, 8), lemma3_failure(1e-3, 2, 8));
+  EXPECT_LE(lemma3_failure(1e-6, 2, 64), 1e-100);
+  EXPECT_EQ(lemma3_failure(0.5, 2, 8), 1.0);  // saturates
+}
+
+TEST(Bounds, Lemma4PaperOperatingPoint) {
+  // At eps = 1e-6 the bound reduces to ~ e^(-0.063 * 4^mu).
+  using core::bounds::lemma4_failure;
+  const double b1 = lemma4_failure(1e-6, 256);
+  EXPECT_LT(b1, std::exp(-0.06 * 256) * 10);
+  EXPECT_GT(lemma4_failure(1e-3, 256), b1);
+  EXPECT_EQ(lemma4_failure(1.0, 1e9), 1.0);
+}
+
+TEST(Bounds, Lemma7QuadraticExponent) {
+  using core::bounds::lemma7_failure;
+  // Doubling nu roughly squares the (160 eps)^(2 nu) factor.
+  const double e = 1e-6;
+  const double r1 = lemma7_failure(e, 2);
+  const double r2 = lemma7_failure(e, 4);
+  EXPECT_LT(r2, r1 * r1 * 1e9);  // up to polynomial slack in c2 nu^2
+  EXPECT_EQ(lemma7_failure(0.01, 1), std::min(1.0, lemma7_failure(0.01, 1)));
+}
+
+TEST(Bounds, Theorem2FailureVanishesAsNuGrows) {
+  using core::bounds::theorem2_failure;
+  // The paper's delta is only asymptotically small: the nu (2/e)^(2 nu)
+  // union-bound term dominates at moderate nu and vanishes as n grows.
+  const double rows = 64.0 * 1024;
+  EXPECT_GT(theorem2_failure(1e-6, 8, rows), 1e-3);   // still visible at nu=8
+  EXPECT_LT(theorem2_failure(1e-6, 30, rows), 1e-6);  // gone by nu=30
+  double prev = 1.0;
+  for (std::uint32_t nu = 4; nu <= 24; nu += 4) {
+    const double f = theorem2_failure(1e-6, nu, rows);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+  // Monotone in eps.
+  EXPECT_LE(theorem2_failure(1e-7, 4, 4096), theorem2_failure(1e-5, 4, 4096));
+}
+
+TEST(Bounds, Theorem1Formulas) {
+  using namespace core::bounds;
+  EXPECT_NEAR(theorem1_depth_bound(512.0), 1.0, 1e-12);
+  EXPECT_NEAR(theorem1_zone_bound(4096.0), 1.0, 1e-12);
+  EXPECT_NEAR(theorem1_size_bound(1024.0), 1024.0 * 100 / 2592.0, 1e-9);
+}
+
+TEST(Bounds, Prop1Normalization) {
+  const auto n = core::bounds::prop1_normalize(1e-6, 400.0, 20.0);
+  const double l = std::log2(1e6);
+  EXPECT_NEAR(n.size_constant, 400.0 / (l * l), 1e-12);
+  EXPECT_NEAR(n.depth_constant, 20.0 / l, 1e-12);
+}
+
+// --------------------------------------------------------- rare events
+
+graph::Network series_chain(std::size_t k) {
+  graph::Network net;
+  net.g.add_vertices(k + 1);
+  for (graph::VertexId v = 0; v < k; ++v) net.g.add_edge(v, v + 1);
+  net.inputs = {0};
+  net.outputs = {static_cast<graph::VertexId>(k)};
+  return net;
+}
+
+TEST(RareEvent, MatchesExactOnChain) {
+  // P(short) of a k-chain = eps^k exactly.
+  const auto net = series_chain(3);
+  const double eps = 1e-3;
+  const auto est = reliability::short_probability_importance(net, eps, 0.3,
+                                                             200000, 9);
+  EXPECT_GT(est.raw_hits, 1000u);  // biased sampling actually hits the event
+  EXPECT_NEAR(est.probability / std::pow(eps, 3.0), 1.0, 0.15);
+}
+
+TEST(RareEvent, UnreachableByNaiveMonteCarlo) {
+  // eps = 1e-6 on a 4-chain: true probability 1e-24; naive MC sees nothing,
+  // importance sampling nails it within a few percent.
+  const auto net = series_chain(4);
+  const double eps = 1e-6;
+  const double naive = reliability::short_probability_monte_carlo(
+      net, fault::FaultModel{0.0, eps}, 100000, 3);
+  EXPECT_EQ(naive, 0.0);
+  const auto est = reliability::short_probability_importance(net, eps, 0.5,
+                                                             300000, 11);
+  EXPECT_NEAR(est.probability / 1e-24, 1.0, 0.1);
+  EXPECT_LT(est.relative_error(), 0.2);
+}
+
+TEST(RareEvent, AgreesWithExactEnumeration) {
+  // Small diamond where multiple shorts interact: exact 2^E enumeration is
+  // ground truth for both estimators.
+  graph::Network net;
+  net.g.add_vertices(4);
+  net.g.add_edge(0, 1);
+  net.g.add_edge(1, 3);
+  net.g.add_edge(0, 2);
+  net.g.add_edge(2, 3);
+  net.inputs = {0};
+  net.outputs = {3};
+  const double eps = 0.05;
+  const double exact =
+      reliability::short_probability_exact(net, fault::FaultModel{0.0, eps});
+  const auto is_est = reliability::short_probability_importance(net, eps, 0.3,
+                                                                400000, 5);
+  EXPECT_NEAR(is_est.probability, exact, exact * 0.1);
+  const double mc = reliability::short_probability_monte_carlo(
+      net, fault::FaultModel{0.0, eps}, 400000, 6);
+  EXPECT_NEAR(mc, exact, 0.002);
+}
+
+TEST(RareEvent, SuggestBiasClamped) {
+  EXPECT_GE(reliability::suggest_bias(100, 4), 1e-4);
+  EXPECT_LE(reliability::suggest_bias(10, 100), 0.25);
+  EXPECT_GT(reliability::suggest_bias(1000, 8), 0.01);
+}
+
+TEST(RareEvent, DominantTermOnChain) {
+  // 3-chain: exactly one shortest terminal chain of length 3.
+  const auto net = series_chain(3);
+  const auto dom = reliability::dominant_short_term(net);
+  EXPECT_EQ(dom.min_length, 3u);
+  EXPECT_DOUBLE_EQ(dom.chain_count, 1.0);
+  EXPECT_NEAR(dom.first_order(1e-3), 1e-9, 1e-15);
+}
+
+TEST(RareEvent, DominantTermCountsParallelChains) {
+  // Two parallel 2-chains between the terminals: N = 2, L = 2.
+  graph::Network net;
+  net.g.add_vertices(4);
+  net.g.add_edge(0, 1);
+  net.g.add_edge(1, 3);
+  net.g.add_edge(0, 2);
+  net.g.add_edge(2, 3);
+  net.inputs = {0};
+  net.outputs = {3};
+  const auto dom = reliability::dominant_short_term(net);
+  EXPECT_EQ(dom.min_length, 2u);
+  EXPECT_DOUBLE_EQ(dom.chain_count, 2.0);
+}
+
+TEST(RareEvent, DominantTermMultiEdges) {
+  // Parallel switches double the chain count.
+  graph::Network net;
+  net.g.add_vertices(3);
+  net.g.add_edge(0, 1);
+  net.g.add_edge(0, 1);
+  net.g.add_edge(1, 2);
+  net.inputs = {0};
+  net.outputs = {2};
+  const auto dom = reliability::dominant_short_term(net);
+  EXPECT_EQ(dom.min_length, 2u);
+  EXPECT_DOUBLE_EQ(dom.chain_count, 2.0);
+}
+
+TEST(RareEvent, DominantTermDisconnected) {
+  graph::Network net;
+  net.g.add_vertices(2);
+  net.inputs = {0};
+  net.outputs = {1};
+  const auto dom = reliability::dominant_short_term(net);
+  EXPECT_EQ(dom.min_length, 0u);
+  EXPECT_DOUBLE_EQ(dom.first_order(0.5), 0.0);
+}
+
+TEST(RareEvent, DominantTermApproximatesExact) {
+  // On a small gadget at small eps the first-order term is within ~eps of
+  // the exact probability (relative).
+  const auto net = series_chain(4);
+  const double eps = 1e-3;
+  const auto dom = reliability::dominant_short_term(net);
+  const double exact =
+      reliability::short_probability_exact(net, fault::FaultModel{0, eps});
+  EXPECT_NEAR(dom.first_order(eps) / exact, 1.0, 0.01);
+}
+
+TEST(RareEvent, DominantTermFtScaling) {
+  // On the FT network the shortest terminal chain has 2 nu + 2 switches
+  // (down one grid, across one expander column, back up a sibling grid).
+  for (std::uint32_t nu : {1u, 2u}) {
+    const auto ft = core::build_ft_network(core::FtParams::sim(nu, 4, 6, 1, 2));
+    const auto dom = reliability::dominant_short_term(ft.net);
+    EXPECT_EQ(dom.min_length, 2 * nu + 2) << "nu=" << nu;
+    EXPECT_GT(dom.chain_count, 0.0);
+  }
+}
+
+TEST(RareEvent, ExactRejectsLargeNetworks) {
+  const networks::Benes b(3);
+  EXPECT_THROW((void)reliability::short_probability_exact(
+                   b.network(), fault::FaultModel{0, 0.1}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- cantor
+
+TEST(Cantor, StructureAndSize) {
+  const auto net = networks::build_cantor({3, 0});
+  EXPECT_EQ(net.inputs.size(), 8u);
+  EXPECT_EQ(net.outputs.size(), 8u);
+  // 3 Benes copies of 96 edges + 2 * 8 * 3 terminal edges.
+  EXPECT_EQ(net.g.edge_count(), 3u * 96 + 48);
+  EXPECT_EQ(net.validate(), "");
+  EXPECT_TRUE(graph::is_dag(net.g));
+  EXPECT_EQ(graph::network_depth(net), 2u * 3 + 2);
+}
+
+TEST(Cantor, SizeLawNLogSquared) {
+  // size / (n log2^2 n) should stay bounded across sizes.
+  for (std::uint32_t k : {3u, 5u, 7u}) {
+    const auto net = networks::build_cantor({k, 0});
+    const double n = std::pow(2.0, k);
+    const double law = n * k * k;
+    const double ratio = static_cast<double>(net.g.edge_count()) / law;
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 7.0);
+  }
+}
+
+TEST(Cantor, StrictlyNonblockingUnderChurn) {
+  // Cantor's theorem: k copies suffice for strict nonblockingness.
+  const auto net = networks::build_cantor({3, 0});
+  const auto churn = core::nonblocking_churn(net, 1500, 5);
+  EXPECT_GT(churn.connects, 300u);
+  EXPECT_EQ(churn.failures, 0u);
+}
+
+TEST(Cantor, SingleCopyIsNotNonblocking) {
+  // One copy = a Beneš with fan-in/out: rearrangeable only.
+  const auto net = networks::build_cantor({3, 1});
+  const auto churn = core::nonblocking_churn(net, 4000, 7);
+  EXPECT_GT(churn.failures, 0u);
+}
+
+// ------------------------------------------------- multibutterfly routes
+
+TEST(MultibutterflyRoute, FaultFreeAlwaysRoutes) {
+  const std::uint32_t k = 4;
+  const auto net = networks::build_multibutterfly({k, 2, 3});
+  for (std::uint32_t in = 0; in < 16; ++in)
+    for (std::uint32_t out = 0; out < 16; ++out) {
+      const auto path = networks::multibutterfly_route(net, k, in, out);
+      ASSERT_TRUE(path.has_value());
+      ASSERT_EQ(path->size(), k + 1);
+      EXPECT_EQ(path->front(), net.inputs[in]);
+      EXPECT_EQ(path->back(), net.outputs[out]);
+      // Edges exist.
+      for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+        bool found = false;
+        for (graph::EdgeId e : net.g.out_edges((*path)[i]))
+          found |= net.g.edge(e).to == (*path)[i + 1];
+        ASSERT_TRUE(found);
+      }
+    }
+}
+
+TEST(MultibutterflyRoute, RoutesAroundFaults) {
+  const std::uint32_t k = 5;
+  const auto net = networks::build_multibutterfly({k, 2, 9});
+  fault::FaultInstance inst(net, fault::FaultModel::symmetric(2e-3), 3);
+  const auto faulty = inst.faulty_non_terminal_mask();
+  std::size_t routed = 0, total = 0;
+  for (std::uint32_t in = 0; in < 32; ++in)
+    for (std::uint32_t out = 0; out < 32; ++out) {
+      ++total;
+      if (networks::multibutterfly_route(net, k, in, out, faulty)) ++routed;
+    }
+  // Leighton–Maggs: sparse random faults leave almost all pairs routable.
+  EXPECT_GT(routed * 100, total * 95);
+}
+
+TEST(MultibutterflyRoute, BlockedSplitterKillsRoute) {
+  const std::uint32_t k = 3;
+  const auto net = networks::build_multibutterfly({k, 2, 5});
+  // Block the entire top half of stage 1: outputs 4..7 unreachable from
+  // anywhere (they require the upper half at stage 1)... rows with bit k-1
+  // = 0 are the upper half (toward outputs 0..3).
+  std::vector<std::uint8_t> blocked(net.g.vertex_count(), 0);
+  for (std::uint32_t row = 0; row < 4; ++row) blocked[1 * 8 + row] = 1;
+  EXPECT_FALSE(networks::multibutterfly_route(net, k, 0, 0, blocked).has_value());
+  EXPECT_TRUE(networks::multibutterfly_route(net, k, 0, 7, blocked).has_value());
+}
+
+// ------------------------------------------------------------------ io
+
+TEST(Io, RoundTripPreservesStructure) {
+  const networks::Benes b(3);
+  std::stringstream ss;
+  graph::write_network(ss, b.network());
+  const auto back = graph::read_network(ss);
+  EXPECT_TRUE(graph::structurally_equal(b.network(), back));
+  EXPECT_EQ(back.name, b.network().name);
+}
+
+TEST(Io, RoundTripWithoutStages) {
+  graph::Network net;
+  net.g.add_vertices(3);
+  net.g.add_edge(0, 1);
+  net.g.add_edge(1, 2);
+  net.inputs = {0};
+  net.outputs = {2};
+  net.name = "tiny";
+  std::stringstream ss;
+  graph::write_network(ss, net);
+  const auto back = graph::read_network(ss);
+  EXPECT_TRUE(graph::structurally_equal(net, back));
+  EXPECT_TRUE(back.stage.empty());
+}
+
+TEST(Io, RejectsMalformedInput) {
+  {
+    std::stringstream ss("not-a-network 1");
+    EXPECT_THROW(graph::read_network(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("ftcs-network 2");
+    EXPECT_THROW(graph::read_network(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss(
+        "ftcs-network 1\nname x\nvertices 2\ninputs 5\noutputs 1\nstages -\n"
+        "edges 0\n");
+    EXPECT_THROW(graph::read_network(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss(
+        "ftcs-network 1\nname x\nvertices 2\ninputs 0\noutputs 1\nstages -\n"
+        "edges 1\n0 9\n");
+    EXPECT_THROW(graph::read_network(ss), std::runtime_error);
+  }
+}
+
+TEST(Io, DotContainsAllEdges) {
+  graph::Network net;
+  net.g.add_vertices(3);
+  net.g.add_edge(0, 1);
+  net.g.add_edge(1, 2);
+  net.inputs = {0};
+  net.outputs = {2};
+  net.stage = {0, 1, 2};
+  std::stringstream ss;
+  graph::write_dot(ss, net);
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+  EXPECT_NE(dot.find("v1 -> v2"), std::string::npos);
+  EXPECT_NE(dot.find("rank=same"), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);
+}
+
+TEST(Io, StructuralEqualityDetectsDifferences) {
+  graph::Network a;
+  a.g.add_vertices(2);
+  a.g.add_edge(0, 1);
+  a.inputs = {0};
+  a.outputs = {1};
+  graph::Network b = a;
+  EXPECT_TRUE(graph::structurally_equal(a, b));
+  b.g.add_edge(0, 1);
+  EXPECT_FALSE(graph::structurally_equal(a, b));
+}
+
+}  // namespace
+}  // namespace ftcs

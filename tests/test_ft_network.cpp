@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ftcs/ft_network.hpp"
+#include "ftcs/params.hpp"
+#include "graph/algorithms.hpp"
+
+namespace ftcs::core {
+namespace {
+
+TEST(Params, PaperGamma) {
+  // 4^gamma >= 34*nu: nu=1 -> 34 -> gamma=3 (64); nu=2 -> 68 -> 4^4=256?
+  // 4^3=64 < 68, so gamma=4. nu=4 -> 136 -> 4^4 = 256 >= 136 -> gamma=4.
+  EXPECT_EQ(FtParams::paper(1).gamma(), 3u);
+  EXPECT_EQ(FtParams::paper(2).gamma(), 4u);
+  EXPECT_EQ(FtParams::paper(4).gamma(), 4u);
+  // Paper constraint 4^gamma <= 136 nu holds for these.
+  for (std::uint32_t nu : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    const auto p = FtParams::paper(nu);
+    double power = std::pow(4.0, p.gamma());
+    EXPECT_GE(power, 34.0 * nu);
+    EXPECT_LE(power, 136.0 * nu);
+  }
+}
+
+TEST(Params, SimOverridesGamma) {
+  const auto p = FtParams::sim(3, 8, 6, 1);
+  EXPECT_EQ(p.gamma(), 1u);
+  EXPECT_EQ(p.terminal_count(), 64u);
+  EXPECT_EQ(p.grid_rows(), 32u);          // 8 * 4^1
+  EXPECT_EQ(p.stage_width(), 32u * 64u);  // rows * 4^nu
+}
+
+TEST(Params, PredictedCountsPaperFormula) {
+  // For the paper profile the edge count is width*(2*nu*degree + 4(nu-1) + 2)
+  // = 64*4^(nu+gamma) * (20nu + 4nu - 2) — our exact accounting.
+  const auto p = FtParams::paper(2);
+  const double width = 64.0 * std::pow(4.0, 2 + p.gamma());
+  EXPECT_EQ(p.predicted_edges(),
+            static_cast<std::size_t>(width * (2 * 2 * 10 + 4 * 1 + 2)));
+}
+
+TEST(FtNetwork, BuildMatchesPrediction) {
+  for (std::uint32_t nu : {1u, 2u, 3u}) {
+    const auto params = FtParams::sim(nu, 4, 6, 1, 9);
+    const auto ft = build_ft_network(params);
+    EXPECT_EQ(ft.net.g.edge_count(), params.predicted_edges()) << "nu=" << nu;
+    EXPECT_EQ(ft.net.g.vertex_count(), params.predicted_vertices()) << "nu=" << nu;
+    EXPECT_EQ(ft.net.inputs.size(), params.terminal_count());
+    EXPECT_EQ(ft.net.outputs.size(), params.terminal_count());
+    EXPECT_EQ(graph::network_depth(ft.net), params.predicted_depth());
+    EXPECT_EQ(ft.net.validate(), "");
+    EXPECT_TRUE(graph::is_dag(ft.net.g));
+  }
+}
+
+TEST(FtNetwork, GridChainsWellFormed) {
+  const auto ft = build_ft_network(FtParams::sim(2, 4, 6, 1, 2));
+  const std::size_t rows = ft.params.grid_rows();
+  ASSERT_EQ(ft.grid_columns.size(), 16u);
+  for (const auto& chain : ft.grid_columns) {
+    ASSERT_EQ(chain.size(), 2u);  // nu columns
+    for (const auto& col : chain) EXPECT_EQ(col.size(), rows);
+  }
+  // Input t attaches to every row of its first column.
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(ft.net.g.out_degree(ft.net.inputs[t]), rows);
+  }
+  // Mirror side symmetric.
+  for (std::size_t t = 0; t < 4; ++t)
+    EXPECT_EQ(ft.net.g.in_degree(ft.net.outputs[t]), rows);
+}
+
+TEST(FtNetwork, StageMonotonicity) {
+  const auto ft = build_ft_network(FtParams::sim(2, 4, 6, 1, 3));
+  for (graph::EdgeId e = 0; e < ft.net.g.edge_count(); ++e) {
+    const auto& ed = ft.net.g.edge(e);
+    ASSERT_EQ(ft.net.stage[ed.to], ft.net.stage[ed.from] + 1);
+  }
+  // Stage range: 0 .. 4nu.
+  std::int32_t max_stage = 0;
+  for (auto s : ft.net.stage) max_stage = std::max(max_stage, s);
+  EXPECT_EQ(max_stage, 8);
+}
+
+TEST(FtNetwork, EveryInputReachesEveryOutput) {
+  const auto ft = build_ft_network(FtParams::sim(2, 4, 6, 1, 4));
+  for (graph::VertexId in : ft.net.inputs) {
+    const graph::VertexId src[1] = {in};
+    const auto dist = graph::bfs_directed(ft.net.g, src);
+    for (graph::VertexId out : ft.net.outputs)
+      ASSERT_NE(dist[out], graph::kUnreachable);
+  }
+}
+
+TEST(FtNetwork, NuOneHasNoGridColumns) {
+  // nu = 1: inputs attach directly to the core blocks.
+  const auto ft = build_ft_network(FtParams::sim(1, 4, 6, 1, 5));
+  EXPECT_EQ(ft.net.inputs.size(), 4u);
+  EXPECT_EQ(graph::network_depth(ft.net), 4u);
+  for (const auto& chain : ft.grid_columns) EXPECT_EQ(chain.size(), 1u);
+}
+
+TEST(FtNetwork, GridVertexDegreesMatchPaper) {
+  // Interior grid vertices: out-degree 2 (straight + diagonal), in-degree 2;
+  // last-column (core inlet) vertices: in-degree 2 from the grid, out-degree
+  // `degree` into the core — the paper's "adjacent to at most twelve edges".
+  const auto params = FtParams::sim(3, 4, 6, 1, 6);
+  const auto ft = build_ft_network(params);
+  const auto& chain = ft.grid_columns[0];
+  for (std::size_t c = 0; c + 1 < chain.size(); ++c) {
+    for (graph::VertexId v : chain[c]) {
+      EXPECT_EQ(ft.net.g.out_degree(v), 2u);
+      EXPECT_EQ(ft.net.g.in_degree(v), c == 0 ? 1u : 2u);
+    }
+  }
+  for (graph::VertexId v : chain.back()) {
+    EXPECT_EQ(ft.net.g.in_degree(v), 2u);
+    EXPECT_EQ(ft.net.g.out_degree(v), params.degree);
+    EXPECT_LE(ft.net.g.degree(v), 12u);  // paper's Lemma 3 bound at defaults
+  }
+}
+
+TEST(FtNetwork, DeterministicInSeed) {
+  const auto a = build_ft_network(FtParams::sim(2, 4, 6, 1, 77));
+  const auto b = build_ft_network(FtParams::sim(2, 4, 6, 1, 77));
+  ASSERT_EQ(a.net.g.edge_count(), b.net.g.edge_count());
+  for (graph::EdgeId e = 0; e < a.net.g.edge_count(); ++e) {
+    EXPECT_EQ(a.net.g.edge(e).from, b.net.g.edge(e).from);
+    EXPECT_EQ(a.net.g.edge(e).to, b.net.g.edge(e).to);
+  }
+}
+
+TEST(FtNetwork, RejectsNuZero) {
+  EXPECT_THROW(build_ft_network(FtParams::sim(0, 4, 6, 1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftcs::core

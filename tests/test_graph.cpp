@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "graph/dsu.hpp"
+
+namespace ftcs::graph {
+namespace {
+
+Digraph path_graph(std::size_t n) {
+  Digraph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(Digraph, BasicConstruction) {
+  Digraph g;
+  EXPECT_EQ(g.vertex_count(), 0u);
+  const auto a = g.add_vertex();
+  const auto b = g.add_vertex();
+  const auto e = g.add_edge(a, b);
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(e).from, a);
+  EXPECT_EQ(g.edge(e).to, b);
+  EXPECT_EQ(g.out_degree(a), 1u);
+  EXPECT_EQ(g.in_degree(b), 1u);
+  EXPECT_EQ(g.degree(a), 1u);
+}
+
+TEST(Digraph, AddVerticesReturnsFirstId) {
+  Digraph g(3);
+  const auto first = g.add_vertices(4);
+  EXPECT_EQ(first, 3u);
+  EXPECT_EQ(g.vertex_count(), 7u);
+}
+
+TEST(Digraph, MultiEdgesAllowed) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(Network, ValidateCatchesBadTerminals) {
+  Network net;
+  net.g.add_vertices(2);
+  net.g.add_edge(0, 1);
+  net.inputs = {0};
+  net.outputs = {5};  // out of range
+  EXPECT_NE(net.validate(), "");
+  net.outputs = {1};
+  EXPECT_EQ(net.validate(), "");
+}
+
+TEST(Network, ValidateCatchesStageViolation) {
+  Network net;
+  net.g.add_vertices(2);
+  net.g.add_edge(0, 1);
+  net.stage = {1, 0};  // edge goes backwards in stage
+  EXPECT_NE(net.validate(), "");
+  net.stage = {0, 1};
+  EXPECT_EQ(net.validate(), "");
+}
+
+TEST(Network, TerminalQueries) {
+  Network net;
+  net.g.add_vertices(3);
+  net.inputs = {0};
+  net.outputs = {2};
+  EXPECT_TRUE(net.is_input(0));
+  EXPECT_FALSE(net.is_input(1));
+  EXPECT_TRUE(net.is_output(2));
+  EXPECT_TRUE(net.is_terminal(0));
+  EXPECT_FALSE(net.is_terminal(1));
+}
+
+TEST(Dsu, UniteAndFind) {
+  Dsu d(5);
+  EXPECT_EQ(d.component_count(), 5u);
+  EXPECT_TRUE(d.unite(0, 1));
+  EXPECT_FALSE(d.unite(1, 0));
+  EXPECT_TRUE(d.same(0, 1));
+  EXPECT_FALSE(d.same(0, 2));
+  EXPECT_EQ(d.component_count(), 4u);
+  EXPECT_EQ(d.class_size(0), 2u);
+}
+
+TEST(Dsu, TransitiveUnions) {
+  Dsu d(6);
+  d.unite(0, 1);
+  d.unite(2, 3);
+  d.unite(1, 2);
+  EXPECT_TRUE(d.same(0, 3));
+  EXPECT_EQ(d.class_size(3), 4u);
+  EXPECT_EQ(d.component_count(), 3u);
+}
+
+TEST(Bfs, DirectedDistancesOnPath) {
+  const auto g = path_graph(5);
+  const VertexId src[1] = {0};
+  const auto dist = bfs_directed(g, src);
+  for (std::uint32_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+  // Reverse direction unreachable.
+  const VertexId src2[1] = {4};
+  const auto dist2 = bfs_directed(g, src2);
+  EXPECT_EQ(dist2[0], kUnreachable);
+}
+
+TEST(Bfs, UndirectedIgnoresDirection) {
+  const auto g = path_graph(5);
+  const VertexId src[1] = {4};
+  const auto dist = bfs_undirected(g, src);
+  for (std::uint32_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], 4 - v);
+}
+
+TEST(Bfs, BlockedVerticesStopSearch) {
+  const auto g = path_graph(5);
+  std::vector<std::uint8_t> blocked(5, 0);
+  blocked[2] = 1;
+  const VertexId src[1] = {0};
+  const auto dist = bfs_directed(g, src, blocked);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(Bfs, MaxDistLimits) {
+  const auto g = path_graph(10);
+  const VertexId src[1] = {0};
+  const auto dist = bfs_directed(g, src, {}, 3);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(Bfs, MultiSource) {
+  const auto g = path_graph(10);
+  const VertexId src[2] = {0, 9};
+  const auto dist = bfs_undirected(g, src);
+  EXPECT_EQ(dist[5], 4u);  // closer to 9
+  EXPECT_EQ(dist[4], 4u);  // closer to 0
+}
+
+TEST(ShortestPath, FindsAndAvoids) {
+  // Diamond: 0 -> 1 -> 3, 0 -> 2 -> 3.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  std::vector<std::uint8_t> target(4, 0);
+  target[3] = 1;
+  const VertexId src[1] = {0};
+  auto path = shortest_path(g, src, target);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);
+  EXPECT_EQ(path->front(), 0u);
+  EXPECT_EQ(path->back(), 3u);
+
+  std::vector<std::uint8_t> blocked(4, 0);
+  blocked[1] = 1;
+  path = shortest_path(g, src, target, blocked);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ((*path)[1], 2u);
+
+  blocked[2] = 1;
+  EXPECT_FALSE(shortest_path(g, src, target, blocked).has_value());
+}
+
+TEST(ShortestPath, SourceIsTarget) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  std::vector<std::uint8_t> target(2, 0);
+  target[0] = 1;
+  const VertexId src[1] = {0};
+  const auto path = shortest_path(g, src, target);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);
+}
+
+TEST(Components, CountsAndLabels) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto [comp, count] = connected_components(g);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[5], comp[0]);
+}
+
+TEST(Topological, OrderAndCycleDetection) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::uint32_t> position(4);
+  for (std::uint32_t i = 0; i < order->size(); ++i) position[(*order)[i]] = i;
+  EXPECT_LT(position[0], position[1]);
+  EXPECT_LT(position[1], position[2]);
+
+  g.add_edge(2, 0);  // cycle
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_dag(g));
+}
+
+TEST(NetworkDepth, LongestInputOutputPath) {
+  Network net;
+  net.g.add_vertices(5);
+  net.g.add_edge(0, 1);
+  net.g.add_edge(1, 2);
+  net.g.add_edge(0, 2);
+  net.g.add_edge(2, 3);
+  net.inputs = {0};
+  net.outputs = {3, 4};
+  EXPECT_EQ(network_depth(net), 3u);  // 0-1-2-3
+}
+
+TEST(NetworkDepth, NoPathIsZero) {
+  Network net;
+  net.g.add_vertices(2);
+  net.inputs = {0};
+  net.outputs = {1};
+  EXPECT_EQ(network_depth(net), 0u);
+}
+
+TEST(EdgeBall, PaperDistanceDefinition) {
+  // Path 0-1-2-3: dist(0, edge(0,1)) = 1, dist(0, edge(1,2)) = 2, etc.
+  const auto g = path_graph(4);
+  const auto ball1 = edge_ball(g, 0, 1);
+  ASSERT_EQ(ball1.size(), 1u);
+  EXPECT_EQ(ball1[0].second, 1u);
+  const auto ball2 = edge_ball(g, 0, 2);
+  EXPECT_EQ(ball2.size(), 2u);
+  const auto ball3 = edge_ball(g, 0, 3);
+  EXPECT_EQ(ball3.size(), 3u);
+  // Zones: exactly one edge per distance.
+  for (const auto& [e, d] : ball3) EXPECT_EQ(d, e + 1);
+}
+
+TEST(EdgeBall, ZeroRadiusEmpty) {
+  const auto g = path_graph(3);
+  EXPECT_TRUE(edge_ball(g, 0, 0).empty());
+}
+
+}  // namespace
+}  // namespace ftcs::graph

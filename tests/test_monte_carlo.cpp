@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault_instance.hpp"
+#include "ftcs/monte_carlo.hpp"
+#include "networks/benes.hpp"
+#include "networks/crossbar.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs::core {
+namespace {
+
+TEST(Estimate, MatchesKnownCoin) {
+  const auto p = estimate_probability(50000, [](std::size_t i) {
+    util::Xoshiro256 rng(util::derive_seed(123, i));
+    return rng.bernoulli(0.37);
+  });
+  EXPECT_EQ(p.trials, 50000u);
+  EXPECT_NEAR(p.estimate(), 0.37, 0.01);
+  const auto [lo, hi] = p.wilson();
+  EXPECT_LT(lo, 0.37);
+  EXPECT_GT(hi, 0.37);
+}
+
+TEST(Estimate, DeterministicAcrossRuns) {
+  auto trial = [](std::size_t i) {
+    util::Xoshiro256 rng(util::derive_seed(9, i));
+    return rng.bernoulli(0.5);
+  };
+  const auto a = estimate_probability(2000, trial);
+  const auto b = estimate_probability(2000, trial);
+  EXPECT_EQ(a.successes, b.successes);
+}
+
+TEST(Theorem2Trial, CleanInstanceSucceeds) {
+  const auto ft = build_ft_network(FtParams::sim(2, 4, 6, 1, 21));
+  const auto r = theorem2_trial(ft, fault::FaultModel::none(), 1);
+  EXPECT_TRUE(r.no_short);
+  EXPECT_TRUE(r.majority_fwd);
+  EXPECT_TRUE(r.majority_bwd);
+  EXPECT_TRUE(r.success());
+}
+
+TEST(Theorem2Trial, CatastrophicEpsilonFails) {
+  const auto ft = build_ft_network(FtParams::sim(2, 4, 6, 1, 22));
+  const auto p = theorem2_success_probability(
+      ft, fault::FaultModel::symmetric(0.2), 20, 5);
+  EXPECT_LT(p.estimate(), 0.2);
+}
+
+TEST(Theorem2Trial, SmallEpsilonMostlySucceeds) {
+  const auto ft = build_ft_network(FtParams::sim(2, 8, 6, 1, 23));
+  const auto p = theorem2_success_probability(
+      ft, fault::FaultModel::symmetric(1e-5), 30, 6);
+  EXPECT_GT(p.estimate(), 0.8);
+}
+
+TEST(Theorem2Trial, BusyProbesRun) {
+  const auto ft = build_ft_network(FtParams::sim(2, 8, 6, 1, 24));
+  Theorem2TrialOptions opts;
+  opts.busy_probes = 2;
+  opts.busy_paths_per_probe = 2;
+  const auto r = theorem2_trial(ft, fault::FaultModel::symmetric(1e-6), 3, opts);
+  EXPECT_TRUE(r.success());
+}
+
+TEST(Theorem2Trial, MonotoneInEpsilon) {
+  const auto ft = build_ft_network(FtParams::sim(2, 4, 6, 1, 25));
+  const auto lo = theorem2_success_probability(
+      ft, fault::FaultModel::symmetric(1e-5), 30, 7);
+  const auto hi = theorem2_success_probability(
+      ft, fault::FaultModel::symmetric(5e-3), 30, 7);
+  EXPECT_GE(lo.estimate() + 0.15, hi.estimate());  // allow MC noise
+}
+
+TEST(BaselineSurvival, CleanNetworksSurvive) {
+  const auto net = networks::build_crossbar(8);
+  EXPECT_TRUE(baseline_survival_trial(net, fault::FaultModel::none(), 4, 1));
+  const networks::Benes b(3);
+  EXPECT_TRUE(baseline_survival_trial(b.network(), fault::FaultModel::none(), 2, 2));
+}
+
+TEST(BaselineSurvival, HeavyFaultsKillCrossbar) {
+  const auto net = networks::build_crossbar(8);
+  std::size_t survived = 0;
+  for (std::uint64_t s = 0; s < 30; ++s)
+    if (baseline_survival_trial(net, fault::FaultModel::symmetric(0.05), 4, s))
+      ++survived;
+  EXPECT_LT(survived, 30u);
+}
+
+TEST(Theorem2Trial, SurvivesDozensOfInternalFaults) {
+  // The fault-tolerance demonstration at simulation scale: at eps = 1e-3
+  // the instance carries ~30 failed switches per trial (15360 edges), yet
+  // the majority-access criterion almost always holds. An unprotected
+  // unique-path network loses specific routes with every failed switch;
+  // the E12 comparison bench quantifies that separation over a sweep.
+  const auto ft = build_ft_network(FtParams::sim(2, 8, 6, 1, 31));
+  std::size_t ok = 0, faults = 0;
+  const std::size_t trials = 25;
+  for (std::uint64_t s = 0; s < trials; ++s) {
+    fault::FaultInstance inst(ft.net, fault::FaultModel::symmetric(1e-3),
+                              util::derive_seed(555, s));
+    faults += inst.failures().size();
+    if (theorem2_trial(ft, fault::FaultModel::symmetric(1e-3),
+                       util::derive_seed(555, s))
+            .success())
+      ++ok;
+  }
+  EXPECT_GT(faults / trials, 10u);  // genuinely damaged instances
+  EXPECT_GE(ok * 10, trials * 8);   // >= 80% survive
+}
+
+}  // namespace
+}  // namespace ftcs::core

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "networks/benes.hpp"
+#include "networks/butterfly.hpp"
+#include "networks/clos.hpp"
+#include "networks/crossbar.hpp"
+#include "networks/multibutterfly.hpp"
+#include "networks/superconcentrator.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs::networks {
+namespace {
+
+TEST(Crossbar, Structure) {
+  const auto net = build_crossbar(4);
+  EXPECT_EQ(net.inputs.size(), 4u);
+  EXPECT_EQ(net.outputs.size(), 4u);
+  EXPECT_EQ(net.g.edge_count(), 16u);
+  EXPECT_EQ(graph::network_depth(net), 1u);
+  EXPECT_EQ(net.validate(), "");
+}
+
+TEST(Benes, StructureAndSize) {
+  for (std::uint32_t k : {1u, 2u, 3u, 4u}) {
+    const Benes b(k);
+    const std::uint32_t n = 1u << k;
+    EXPECT_EQ(b.network().inputs.size(), n);
+    EXPECT_EQ(b.network().g.vertex_count(), (2 * k + 1) * n);
+    EXPECT_EQ(b.network().g.edge_count(), std::size_t{4} * n * k);
+    EXPECT_EQ(graph::network_depth(b.network()), 2 * k);
+    EXPECT_EQ(b.network().validate(), "");
+  }
+  EXPECT_THROW(Benes(0), std::invalid_argument);
+}
+
+TEST(Benes, RoutesIdentity) {
+  const Benes b(3);
+  std::vector<std::uint32_t> perm(8);
+  std::iota(perm.begin(), perm.end(), 0u);
+  const auto paths = b.route(perm);
+  // validate_routing lives in ftcs::core; check manually here.
+  std::vector<int> used(b.network().g.vertex_count(), 0);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(paths[i].front(), b.network().inputs[i]);
+    EXPECT_EQ(paths[i].back(), b.network().outputs[i]);
+    for (auto v : paths[i]) {
+      EXPECT_FALSE(used[v]);
+      used[v] = 1;
+    }
+  }
+}
+
+TEST(Benes, RoutesAllPermutationsOfFour) {
+  const Benes b(2);
+  std::vector<std::uint32_t> perm{0, 1, 2, 3};
+  int count = 0;
+  do {
+    const auto paths = b.route(perm);
+    std::vector<int> used(b.network().g.vertex_count(), 0);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      ASSERT_EQ(paths[i].front(), b.network().inputs[i]);
+      ASSERT_EQ(paths[i].back(), b.network().outputs[perm[i]]);
+      ASSERT_EQ(paths[i].size(), 5u);  // 2k+1 stages
+      for (std::size_t j = 0; j + 1 < paths[i].size(); ++j) {
+        bool edge = false;
+        for (graph::EdgeId e : b.network().g.out_edges(paths[i][j]))
+          edge |= b.network().g.edge(e).to == paths[i][j + 1];
+        ASSERT_TRUE(edge) << "missing edge in perm " << count;
+      }
+      for (auto v : paths[i]) {
+        ASSERT_FALSE(used[v]);
+        used[v] = 1;
+      }
+    }
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(count, 24);
+}
+
+TEST(Benes, RoutesRandomPermutationsLarger) {
+  const Benes b(5);  // n = 32
+  util::Xoshiro256 rng(5);
+  std::vector<std::uint32_t> perm(32);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (int rep = 0; rep < 50; ++rep) {
+    util::shuffle(perm, rng);
+    const auto paths = b.route(perm);
+    std::vector<int> used(b.network().g.vertex_count(), 0);
+    for (std::uint32_t i = 0; i < 32; ++i) {
+      ASSERT_EQ(paths[i].back(), b.network().outputs[perm[i]]);
+      for (auto v : paths[i]) {
+        ASSERT_FALSE(used[v]);
+        used[v] = 1;
+      }
+    }
+  }
+}
+
+TEST(Benes, RejectsNonPermutations) {
+  const Benes b(2);
+  EXPECT_THROW(b.route({0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(b.route({0, 0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(b.route({0, 1, 2, 9}), std::invalid_argument);
+}
+
+TEST(Clos, SizeFormulaAndStructure) {
+  const ClosParams p{3, 5, 4};
+  const auto net = build_clos(p);
+  EXPECT_EQ(net.inputs.size(), 12u);
+  EXPECT_EQ(net.g.edge_count(), p.size());
+  EXPECT_EQ(graph::network_depth(net), 3u);
+  EXPECT_EQ(net.validate(), "");
+  EXPECT_TRUE(p.strictly_nonblocking());  // 5 = 2*3 - 1
+  EXPECT_TRUE(p.rearrangeable());
+}
+
+TEST(Clos, NonblockingThresholds) {
+  EXPECT_FALSE((ClosParams{3, 4, 2}.strictly_nonblocking()));
+  EXPECT_TRUE((ClosParams{3, 4, 2}.rearrangeable()));
+  EXPECT_FALSE((ClosParams{3, 2, 2}.rearrangeable()));
+}
+
+TEST(Clos, SizingHelper) {
+  const auto p = clos_nonblocking_for(32);
+  EXPECT_GE(p.terminal_count(), 32u);
+  EXPECT_TRUE(p.strictly_nonblocking());
+}
+
+TEST(Butterfly, StructureAndUniquePaths) {
+  const auto net = build_butterfly(3);
+  EXPECT_EQ(net.inputs.size(), 8u);
+  EXPECT_EQ(net.g.edge_count(), 3u * 2 * 8);
+  EXPECT_EQ(graph::network_depth(net), 3u);
+  EXPECT_EQ(net.validate(), "");
+  // The butterfly has exactly one path per input/output pair: count paths by
+  // DP over stages = product of choices consistent with bit-fixing = 1.
+  for (std::uint32_t in = 0; in < 8; ++in)
+    for (std::uint32_t out = 0; out < 8; ++out) {
+      const auto path = butterfly_path(3, in, out);
+      ASSERT_EQ(path.size(), 4u);
+      EXPECT_EQ(path.front(), net.inputs[in]);
+      EXPECT_EQ(path.back(), net.outputs[out]);
+      for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+        bool edge = false;
+        for (graph::EdgeId e : net.g.out_edges(path[j]))
+          edge |= net.g.edge(e).to == path[j + 1];
+        ASSERT_TRUE(edge);
+      }
+    }
+}
+
+TEST(Multibutterfly, StructureAndDegrees) {
+  const MultibutterflyParams p{3, 2, 42};
+  const auto net = build_multibutterfly(p);
+  EXPECT_EQ(net.inputs.size(), 8u);
+  EXPECT_EQ(net.g.edge_count(), std::size_t{3} * 2 * 2 * 8);
+  EXPECT_EQ(net.validate(), "");
+  // Every non-output vertex has out-degree 2d = 4.
+  for (std::uint32_t s = 0; s < 3; ++s)
+    for (std::uint32_t i = 0; i < 8; ++i)
+      EXPECT_EQ(net.g.out_degree(s * 8 + i), 4u);
+}
+
+TEST(Multibutterfly, AllOutputsReachableFromEveryInput) {
+  const auto net = build_multibutterfly({4, 2, 7});
+  for (graph::VertexId in : net.inputs) {
+    const graph::VertexId src[1] = {in};
+    const auto dist = graph::bfs_directed(net.g, src);
+    for (graph::VertexId out : net.outputs)
+      EXPECT_NE(dist[out], graph::kUnreachable);
+  }
+}
+
+TEST(Superconcentrator, LinearSize) {
+  // Size grows linearly: size(2n)/size(n) -> ~2, and size/n bounded.
+  SuperconcentratorParams p;
+  p.degree = 6;
+  p.base_size = 8;
+  std::size_t prev = 0;
+  for (std::uint32_t n : {64u, 128u, 256u, 512u}) {
+    p.n = n;
+    const auto net = build_superconcentrator(p);
+    const double per_terminal = static_cast<double>(net.g.edge_count()) / n;
+    EXPECT_LT(per_terminal, 4.0 * (2 * p.degree + 1));
+    if (prev) {
+      EXPECT_LT(net.g.edge_count(), prev * 3);
+    }
+    prev = net.g.edge_count();
+  }
+}
+
+TEST(Superconcentrator, BaseCaseIsCompleteBipartite) {
+  SuperconcentratorParams p;
+  p.n = 4;
+  p.base_size = 8;
+  const auto net = build_superconcentrator(p);
+  EXPECT_EQ(net.g.edge_count(), 16u);
+}
+
+TEST(Superconcentrator, IsDag) {
+  SuperconcentratorParams p;
+  p.n = 64;
+  const auto net = build_superconcentrator(p);
+  EXPECT_TRUE(graph::is_dag(net.g));
+}
+
+}  // namespace
+}  // namespace ftcs::networks

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "reliability/amplifier.hpp"
+#include "reliability/directed_grid.hpp"
+#include "reliability/hammock.hpp"
+#include "reliability/reliability_dp.hpp"
+#include "reliability/substitution.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs::reliability {
+namespace {
+
+TEST(DirectedGrid, Fig4Structure) {
+  // The paper's Fig. 4: a (4, 8)-directed grid, no wrap.
+  const GridSpec spec{4, 8, false};
+  const auto net = build_directed_grid(spec);
+  EXPECT_EQ(net.g.vertex_count(), 32u);
+  // 7 column gaps: 4 straight + 3 diagonal each.
+  EXPECT_EQ(net.g.edge_count(), 7u * 7u);
+  EXPECT_EQ(grid_edge_count(spec), net.g.edge_count());
+  EXPECT_EQ(net.validate(), "");
+  // Vertex (i, j) -> (i, j+1) and (i+1, j+1) only.
+  EXPECT_EQ(net.g.out_degree(spec.vertex(0, 0)), 2u);
+  EXPECT_EQ(net.g.out_degree(spec.vertex(3, 0)), 1u);  // no wrap at bottom row
+  EXPECT_EQ(net.g.out_degree(spec.vertex(0, 7)), 0u);  // last stage
+}
+
+TEST(DirectedGrid, WrapVariantRegular) {
+  const GridSpec spec{4, 8, true};
+  const auto net = build_directed_grid(spec);
+  EXPECT_EQ(net.g.edge_count(), 7u * 8u);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_EQ(net.g.out_degree(spec.vertex(i, 0)), 2u);
+}
+
+TEST(DirectedGrid, OneNetworkTerminals) {
+  const GridSpec spec{3, 4, true};
+  const auto net = build_grid_one_network(spec);
+  EXPECT_EQ(net.inputs.size(), 1u);
+  EXPECT_EQ(net.outputs.size(), 1u);
+  EXPECT_EQ(net.g.out_degree(net.inputs[0]), 3u);
+  EXPECT_EQ(net.g.in_degree(net.outputs[0]), 3u);
+  EXPECT_EQ(graph::network_depth(net), 1u + (spec.stages - 1) + 1u);
+}
+
+TEST(SpNetwork, LeafAlgebra) {
+  const auto leaf = SpNetwork::leaf();
+  EXPECT_DOUBLE_EQ(leaf.connection_probability(0.3), 0.3);
+  EXPECT_EQ(leaf.switch_count(), 1u);
+  EXPECT_EQ(leaf.depth(), 1u);
+}
+
+TEST(SpNetwork, ChainAndBundleFormulas) {
+  const auto chain = SpNetwork::chain(3);
+  EXPECT_NEAR(chain.connection_probability(0.5), 0.125, 1e-12);
+  EXPECT_EQ(chain.switch_count(), 3u);
+  EXPECT_EQ(chain.depth(), 3u);
+  const auto bundle = SpNetwork::bundle(3);
+  EXPECT_NEAR(bundle.connection_probability(0.5), 1 - 0.125, 1e-12);
+  EXPECT_EQ(bundle.depth(), 1u);
+}
+
+TEST(SpNetwork, LadderMatchesClosedForm) {
+  const std::size_t w = 4, s = 5;
+  const auto ladder = SpNetwork::ladder(w, s);
+  const double p = 0.3;
+  const double bundle = 1 - std::pow(1 - p, static_cast<double>(w));
+  EXPECT_NEAR(ladder.connection_probability(p),
+              std::pow(bundle, static_cast<double>(s)), 1e-12);
+  EXPECT_EQ(ladder.switch_count(), w * s);
+  EXPECT_EQ(ladder.depth(), s);
+}
+
+TEST(SpNetwork, FailureProbabilityDirections) {
+  const auto ladder = SpNetwork::ladder(4, 4);
+  const auto m = fault::FaultModel::symmetric(0.01);
+  // Shorting requires every stage shorted: tiny. Open failure requires some
+  // bundle all-open: tiny. Both far below the raw eps.
+  EXPECT_LT(ladder.short_probability(m), 1e-5);
+  EXPECT_LT(ladder.open_failure_probability(m), 1e-5);
+}
+
+TEST(SpNetwork, MaterializationCounts) {
+  const auto ladder = SpNetwork::ladder(3, 4);
+  const auto net = ladder.to_network();
+  EXPECT_EQ(net.g.edge_count(), 12u);
+  EXPECT_EQ(net.inputs.size(), 1u);
+  EXPECT_EQ(net.outputs.size(), 1u);
+  EXPECT_EQ(graph::network_depth(net), 4u);
+  EXPECT_EQ(net.validate(), "");
+}
+
+TEST(SpNetwork, MaterializationConnectivity) {
+  const auto net = SpNetwork::series({SpNetwork::bundle(2), SpNetwork::chain(2)})
+                       .to_network();
+  const graph::VertexId src[1] = {net.inputs[0]};
+  const auto dist = graph::bfs_directed(net.g, src);
+  EXPECT_NE(dist[net.outputs[0]], graph::kUnreachable);
+}
+
+TEST(GridConduction, ExactMatchesClosedFormSingleRow) {
+  // rows = 1: input -e-> chain of (stages-1) edges -e-> output, all must
+  // conduct: p^(stages+1).
+  const GridSpec spec{1, 3, false};
+  const double p = 0.7;
+  EXPECT_NEAR(grid_conduction_exact(spec, p), std::pow(p, 4), 1e-12);
+}
+
+TEST(GridConduction, ExactMatchesMonteCarlo) {
+  const GridSpec spec{3, 4, true};
+  const double p = 0.8;
+  const double exact = grid_conduction_exact(spec, p);
+  const double mc = grid_conduction_monte_carlo(spec, p, 200000, 42);
+  EXPECT_NEAR(mc, exact, 0.005);
+}
+
+TEST(GridConduction, NoWrapMatchesMonteCarlo) {
+  const GridSpec spec{4, 3, false};
+  const double p = 0.6;
+  EXPECT_NEAR(grid_conduction_monte_carlo(spec, p, 200000, 43),
+              grid_conduction_exact(spec, p), 0.006);
+}
+
+TEST(GridConduction, PerfectAndZeroEdges) {
+  const GridSpec spec{4, 5, true};
+  EXPECT_NEAR(grid_conduction_exact(spec, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(grid_conduction_exact(spec, 0.0), 0.0, 1e-12);
+}
+
+TEST(GridConduction, MonotoneInP) {
+  const GridSpec spec{3, 3, true};
+  double prev = 0;
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double c = grid_conduction_exact(spec, p);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(GridConduction, ExactRejectsHugeRows) {
+  EXPECT_THROW(grid_conduction_exact({30, 4, false}, 0.5), std::invalid_argument);
+}
+
+TEST(ShortProbability, MatchesAnalyticOnChain) {
+  // 1-network: input -> a -> output (2 switches in series). Short iff both
+  // closed: eps^2.
+  graph::Network net;
+  net.g.add_vertices(3);
+  net.g.add_edge(0, 1);
+  net.g.add_edge(1, 2);
+  net.inputs = {0};
+  net.outputs = {2};
+  const double eps = 0.1;
+  const double p = short_probability_monte_carlo(
+      net, fault::FaultModel::symmetric(eps), 300000, 7);
+  EXPECT_NEAR(p, eps * eps, 0.002);
+}
+
+TEST(ShortProbability, UndirectedContraction) {
+  // Edges 0->1 and 2->1 (converging): closed failures still short 0 and 2
+  // because contraction ignores direction.
+  graph::Network net;
+  net.g.add_vertices(3);
+  net.g.add_edge(0, 1);
+  net.g.add_edge(2, 1);
+  net.inputs = {0};
+  net.outputs = {2};
+  const double eps = 0.2;
+  const double p = short_probability_monte_carlo(
+      net, fault::FaultModel::symmetric(eps), 200000, 8);
+  EXPECT_NEAR(p, eps * eps, 0.004);
+}
+
+TEST(OneNetworkFailure, GridProbabilitiesSmall) {
+  const GridSpec spec{8, 8, true};
+  const auto f = grid_one_network_failure(spec, fault::FaultModel::symmetric(0.05),
+                                          20000, 3);
+  // Open failure needs a cut of the 8-row grid: < 1e-4 at eps=0.05; short
+  // needs a closed path of length >= 9.
+  EXPECT_LT(f.p_fail_open, 1e-3);
+  EXPECT_LT(f.p_short, 1e-3);
+}
+
+TEST(SpNetwork, SuperSwitchSampleMatchesAlgebra) {
+  // Sampled super-switch failure frequencies must converge to the exact
+  // SP-algebra probabilities (the §3 equivalence in distribution).
+  const auto ladder = SpNetwork::ladder(2, 2);
+  const auto m = fault::FaultModel::symmetric(0.15);
+  util::Xoshiro256 rng(5);
+  std::size_t opens = 0, shorts = 0;
+  const std::size_t trials = 200000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto s = ladder.sample_super_switch(m, rng);
+    if (!s.conducts_when_on) ++opens;
+    if (s.shorts_when_off) ++shorts;
+  }
+  EXPECT_NEAR(static_cast<double>(opens) / trials,
+              ladder.open_failure_probability(m), 0.003);
+  EXPECT_NEAR(static_cast<double>(shorts) / trials, ladder.short_probability(m),
+              0.003);
+}
+
+TEST(SpNetwork, SuperSwitchSingleLeafStates) {
+  const auto leaf = SpNetwork::leaf();
+  util::Xoshiro256 rng(6);
+  const fault::FaultModel m{0.3, 0.3};
+  std::size_t normal = 0, open = 0, closed = 0;
+  for (int i = 0; i < 30000; ++i) {
+    switch (leaf.sample_super_switch(m, rng).as_state()) {
+      case fault::SwitchState::kNormal: ++normal; break;
+      case fault::SwitchState::kOpenFail: ++open; break;
+      case fault::SwitchState::kClosedFail: ++closed; break;
+    }
+  }
+  EXPECT_NEAR(open / 30000.0, 0.3, 0.01);
+  EXPECT_NEAR(closed / 30000.0, 0.3, 0.01);
+  EXPECT_NEAR(normal / 30000.0, 0.4, 0.01);
+}
+
+TEST(Amplifier, MeetsTargets) {
+  const auto d = design_amplifier(0.05, 1e-6);
+  EXPECT_TRUE(d.meets(1e-6));
+  EXPECT_LT(d.p_short, 1e-6);
+  EXPECT_LT(d.p_fail_open, 1e-6);
+  // SP algebra agrees with the design's stored probabilities.
+  const auto m = fault::FaultModel::symmetric(0.05);
+  EXPECT_NEAR(d.sp.short_probability(m), d.p_short, 1e-12);
+  EXPECT_NEAR(d.sp.open_failure_probability(m), d.p_fail_open, 1e-12);
+}
+
+TEST(Amplifier, SizeScalesQuadraticallyInLogTarget) {
+  // Proposition 1: size = O((log 1/eps')^2). Check the ratio
+  // size / (log2 1/eps')^2 stays bounded as eps' shrinks.
+  double prev_ratio = 0;
+  for (double target : {1e-3, 1e-6, 1e-9, 1e-12}) {
+    const auto d = design_amplifier(0.05, target);
+    const double log_term = std::log2(1.0 / target);
+    const double ratio = static_cast<double>(d.size()) / (log_term * log_term);
+    EXPECT_LT(ratio, 2.0);
+    EXPECT_GT(ratio, 0.005);
+    prev_ratio = ratio;
+  }
+  (void)prev_ratio;
+}
+
+TEST(Amplifier, DepthScalesLinearlyInLogTarget) {
+  for (double target : {1e-4, 1e-8}) {
+    const auto d = design_amplifier(0.05, target);
+    EXPECT_LT(static_cast<double>(d.depth()), 3.0 * std::log2(1.0 / target));
+  }
+}
+
+TEST(Amplifier, InvalidArguments) {
+  EXPECT_THROW(design_amplifier(0.6, 0.01), std::invalid_argument);
+  EXPECT_THROW(design_amplifier(0.1, 0.2), std::invalid_argument);
+  EXPECT_THROW(design_amplifier(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(DeltaScaling, Formula) {
+  EXPECT_DOUBLE_EQ(scaled_epsilon_for_delta(0.1, 0.25, 0.5), 0.05);
+  EXPECT_THROW(scaled_epsilon_for_delta(0.1, 0.5, 0.25), std::invalid_argument);
+}
+
+TEST(Substitution, AccountingMatchesSection3) {
+  graph::Network host;
+  host.g.add_vertices(3);
+  host.g.add_edge(0, 1);
+  host.g.add_edge(1, 2);
+  host.inputs = {0};
+  host.outputs = {2};
+  const auto gadget = design_amplifier(0.05, 1e-4);
+  const auto report = substitute_with_amplifier(host, gadget);
+  EXPECT_EQ(report.substituted.g.edge_count(),
+            report.gadget_size * report.host_size);
+  EXPECT_EQ(report.effective.eps_open, gadget.p_fail_open);
+  EXPECT_EQ(report.effective.eps_closed, gadget.p_short);
+  EXPECT_EQ(graph::network_depth(report.substituted),
+            report.gadget_depth * graph::network_depth(host));
+}
+
+}  // namespace
+}  // namespace ftcs::reliability

@@ -1,0 +1,83 @@
+// Round-trip and cross-module consistency checks: persisted networks must
+// behave identically to freshly built ones under faults and routing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fault/fault_instance.hpp"
+#include "ftcs/ft_network.hpp"
+#include "ftcs/majority_access.hpp"
+#include "ftcs/verify.hpp"
+#include "graph/io.hpp"
+#include "networks/cantor.hpp"
+#include "networks/multibutterfly.hpp"
+
+namespace ftcs {
+namespace {
+
+TEST(RoundTrip, FtNetworkSurvivesSerialization) {
+  const auto ft = core::build_ft_network(core::FtParams::sim(2, 4, 6, 1, 31));
+  std::stringstream ss;
+  graph::write_network(ss, ft.net);
+  const auto back = graph::read_network(ss);
+  ASSERT_TRUE(graph::structurally_equal(ft.net, back));
+
+  // Fault instances on the restored network match the original exactly
+  // (same edge ids, same seed => same failures, same shorts verdict).
+  const auto model = fault::FaultModel::symmetric(2e-3);
+  fault::FaultInstance a(ft.net, model, 5);
+  fault::FaultInstance b(back, model, 5);
+  ASSERT_EQ(a.failures().size(), b.failures().size());
+  for (std::size_t i = 0; i < a.failures().size(); ++i) {
+    EXPECT_EQ(a.failures()[i].edge, b.failures()[i].edge);
+    EXPECT_EQ(a.failures()[i].state, b.failures()[i].state);
+  }
+  EXPECT_EQ(a.terminals_shorted(), b.terminals_shorted());
+
+  // Majority access agrees (output-targeted generic check works on both).
+  const auto ra = core::check_majority_access(ft.net, a.faulty_non_terminal_mask());
+  const auto rb = core::check_majority_access(back, b.faulty_non_terminal_mask());
+  EXPECT_EQ(ra.majority, rb.majority);
+  EXPECT_EQ(ra.min_access, rb.min_access);
+}
+
+TEST(RoundTrip, ChurnBehavesIdenticallyAfterRestore) {
+  const auto net = networks::build_cantor({3, 0});
+  std::stringstream ss;
+  graph::write_network(ss, net);
+  const auto back = graph::read_network(ss);
+  const auto a = core::nonblocking_churn(net, 600, 9);
+  const auto b = core::nonblocking_churn(back, 600, 9);
+  EXPECT_EQ(a.connects, b.connects);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.max_concurrent, b.max_concurrent);
+}
+
+TEST(RoundTrip, MultibutterflyRoutesAfterRestore) {
+  const std::uint32_t k = 4;
+  const auto net = networks::build_multibutterfly({k, 2, 6});
+  std::stringstream ss;
+  graph::write_network(ss, net);
+  const auto back = graph::read_network(ss);
+  for (std::uint32_t in = 0; in < 4; ++in)
+    for (std::uint32_t out = 0; out < 4; ++out) {
+      const auto pa = networks::multibutterfly_route(net, k, in, out);
+      const auto pb = networks::multibutterfly_route(back, k, in, out);
+      ASSERT_TRUE(pa.has_value());
+      ASSERT_TRUE(pb.has_value());
+      EXPECT_EQ(*pa, *pb);
+    }
+}
+
+TEST(RoundTrip, LargeNetworkTextSizeReasonable) {
+  // Format sanity: one line per edge, so bytes scale linearly.
+  const auto ft = core::build_ft_network(core::FtParams::sim(2, 4, 6, 1, 1));
+  std::stringstream ss;
+  graph::write_network(ss, ft.net);
+  const auto text = ss.str();
+  EXPECT_GT(text.size(), ft.net.g.edge_count() * 3);
+  EXPECT_LT(text.size(), ft.net.g.edge_count() * 20);
+}
+
+}  // namespace
+}  // namespace ftcs

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "ftcs/router.hpp"
+#include "ftcs/traffic.hpp"
+#include "networks/clos.hpp"
+#include "networks/crossbar.hpp"
+
+namespace ftcs::core {
+namespace {
+
+TEST(Router, ConnectDisconnectLifecycle) {
+  const auto net = networks::build_crossbar(4);
+  GreedyRouter router(net);
+  EXPECT_TRUE(router.input_idle(0));
+  const auto call = router.connect(0, 2);
+  ASSERT_NE(call, GreedyRouter::kNoCall);
+  EXPECT_FALSE(router.input_idle(0));
+  EXPECT_FALSE(router.output_idle(2));
+  EXPECT_EQ(router.active_calls(), 1u);
+  EXPECT_EQ(router.path_of(call).size(), 2u);
+  router.disconnect(call);
+  EXPECT_TRUE(router.input_idle(0));
+  EXPECT_TRUE(router.output_idle(2));
+  EXPECT_EQ(router.active_calls(), 0u);
+  EXPECT_EQ(router.busy_vertices(), 0u);
+}
+
+TEST(Router, RejectsBusyTerminals) {
+  const auto net = networks::build_crossbar(3);
+  GreedyRouter router(net);
+  const auto c1 = router.connect(0, 0);
+  ASSERT_NE(c1, GreedyRouter::kNoCall);
+  EXPECT_EQ(router.connect(0, 1), GreedyRouter::kNoCall);
+  EXPECT_EQ(router.connect(1, 0), GreedyRouter::kNoCall);
+  EXPECT_NE(router.connect(1, 1), GreedyRouter::kNoCall);
+}
+
+TEST(Router, BlockedVerticesNeverUsed) {
+  const auto net = networks::build_crossbar(3);
+  std::vector<std::uint8_t> blocked(net.g.vertex_count(), 0);
+  blocked[net.inputs[1]] = 1;
+  GreedyRouter router(net, blocked);
+  EXPECT_FALSE(router.input_idle(1));
+  EXPECT_EQ(router.connect(1, 0), GreedyRouter::kNoCall);
+  EXPECT_NE(router.connect(0, 0), GreedyRouter::kNoCall);
+}
+
+TEST(Router, SlotReuseAfterDisconnect) {
+  const auto net = networks::build_crossbar(4);
+  GreedyRouter router(net);
+  const auto c1 = router.connect(0, 0);
+  router.disconnect(c1);
+  const auto c2 = router.connect(1, 1);
+  EXPECT_EQ(c1, c2);  // slot reused
+  router.disconnect(c2);
+}
+
+TEST(Router, FullLoadOnCrossbar) {
+  const auto net = networks::build_crossbar(5);
+  GreedyRouter router(net);
+  for (std::uint32_t i = 0; i < 5; ++i)
+    ASSERT_NE(router.connect(i, (i + 2) % 5), GreedyRouter::kNoCall);
+  EXPECT_EQ(router.active_calls(), 5u);
+}
+
+TEST(Traffic, LightLoadNoBlockingOnStrictClos) {
+  const auto net = networks::build_clos({2, 3, 4});  // strictly nonblocking
+  GreedyRouter router(net);
+  TrafficParams p;
+  p.arrival_rate = 0.5;
+  p.mean_holding = 1.0;
+  p.sim_time = 2000;
+  p.seed = 3;
+  const auto report = simulate_traffic(router, p);
+  EXPECT_GT(report.offered, 500u);
+  EXPECT_EQ(report.blocked, 0u);  // strictly nonblocking: greedy never blocks
+  EXPECT_EQ(report.carried, report.offered);
+  EXPECT_GT(report.mean_path_length, 0.0);
+}
+
+TEST(Traffic, OfferedLoadMatchesLittleLaw) {
+  const auto net = networks::build_crossbar(16);
+  GreedyRouter router(net);
+  TrafficParams p;
+  p.arrival_rate = 2.0;
+  p.mean_holding = 1.5;
+  p.sim_time = 3000;
+  p.seed = 4;
+  const auto report = simulate_traffic(router, p);
+  // Little's law: mean active ~ lambda * holding = 3 (minus terminal-busy
+  // rejections, small at 16 terminals).
+  EXPECT_NEAR(report.mean_active, 3.0, 0.5);
+  EXPECT_EQ(report.blocked, 0u);
+}
+
+TEST(Traffic, SaturationDropsAtTerminals) {
+  const auto net = networks::build_crossbar(2);
+  GreedyRouter router(net);
+  TrafficParams p;
+  p.arrival_rate = 50.0;
+  p.mean_holding = 1.0;
+  p.sim_time = 100;
+  p.seed = 5;
+  const auto report = simulate_traffic(router, p);
+  EXPECT_GT(report.terminal_busy, 0u);
+  EXPECT_LE(report.mean_active, 2.01);
+}
+
+TEST(Traffic, ZeroFaultCrossbarAllCarried) {
+  const auto net = networks::build_crossbar(8);
+  GreedyRouter router(net);
+  TrafficParams p;
+  p.arrival_rate = 1.0;
+  p.sim_time = 500;
+  p.seed = 6;
+  const auto report = simulate_traffic(router, p);
+  EXPECT_EQ(report.carried + report.blocked, report.offered);
+  EXPECT_EQ(report.blocked, 0u);
+}
+
+}  // namespace
+}  // namespace ftcs::core

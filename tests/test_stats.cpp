@@ -1,0 +1,114 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftcs::util {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), mean);
+}
+
+TEST(Proportion, EstimateAndWilson) {
+  Proportion p{50, 100};
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.5);
+  const auto [lo, hi] = p.wilson();
+  EXPECT_LT(lo, 0.5);
+  EXPECT_GT(hi, 0.5);
+  EXPECT_NEAR(lo, 0.404, 0.005);  // standard Wilson value for 50/100
+  EXPECT_NEAR(hi, 0.596, 0.005);
+}
+
+TEST(Proportion, WilsonBoundsStayInUnitInterval) {
+  const auto [lo0, hi0] = Proportion{0, 20}.wilson();
+  EXPECT_GE(lo0, 0.0);
+  EXPECT_GT(hi0, 0.0);
+  const auto [lo1, hi1] = Proportion{20, 20}.wilson();
+  EXPECT_LT(lo1, 1.0);
+  EXPECT_LE(hi1, 1.0);
+}
+
+TEST(Proportion, EmptyTrials) {
+  Proportion p{0, 0};
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.0);
+  const auto [lo, hi] = p.wilson();
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(LogBinomial, MatchesSmallValues) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(std::exp(log_binomial(4, 0)), 1.0, 1e-12);
+  EXPECT_EQ(log_binomial(3, 5), -std::numeric_limits<double>::infinity());
+}
+
+TEST(BinomialTail, MatchesExactEnumeration) {
+  // P[X >= 2], X ~ Bin(4, 0.3): 1 - P(0) - P(1).
+  const double p0 = std::pow(0.7, 4);
+  const double p1 = 4 * 0.3 * std::pow(0.7, 3);
+  EXPECT_NEAR(binomial_upper_tail(4, 0.3, 2), 1 - p0 - p1, 1e-10);
+}
+
+TEST(BinomialTail, EdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.5, 11), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.0, 1), 0.0);
+  EXPECT_NEAR(binomial_upper_tail(10, 0.5, 10), std::pow(0.5, 10), 1e-12);
+}
+
+TEST(BinomialTail, Monotone) {
+  double prev = 1.0;
+  for (std::uint64_t k = 0; k <= 20; ++k) {
+    const double t = binomial_upper_tail(20, 0.4, k);
+    EXPECT_LE(t, prev + 1e-12);
+    prev = t;
+  }
+}
+
+TEST(Hoeffding, Bound) {
+  EXPECT_NEAR(hoeffding_upper(100, 0.1), std::exp(-2.0), 1e-12);
+  EXPECT_LE(hoeffding_upper(1000, 0.2), 1e-30);
+}
+
+}  // namespace
+}  // namespace ftcs::util

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/transform.hpp"
+
+namespace ftcs::graph {
+namespace {
+
+Network tiny_net() {
+  Network net;
+  net.g.add_vertices(4);
+  net.g.add_edge(0, 1);
+  net.g.add_edge(1, 2);
+  net.g.add_edge(1, 3);
+  net.inputs = {0};
+  net.outputs = {2, 3};
+  net.stage = {0, 1, 2, 2};
+  return net;
+}
+
+TEST(Mirror, SwapsTerminalsAndReversesEdges) {
+  const auto net = tiny_net();
+  const auto m = mirror(net);
+  EXPECT_EQ(m.inputs, net.outputs);
+  EXPECT_EQ(m.outputs, net.inputs);
+  EXPECT_EQ(m.g.edge_count(), net.g.edge_count());
+  for (EdgeId e = 0; e < net.g.edge_count(); ++e) {
+    EXPECT_EQ(m.g.edge(e).from, net.g.edge(e).to);
+    EXPECT_EQ(m.g.edge(e).to, net.g.edge(e).from);
+  }
+  // Stages flipped: 0 <-> max.
+  EXPECT_EQ(m.stage[0], 2);
+  EXPECT_EQ(m.stage[2], 0);
+  EXPECT_EQ(m.validate(), "");
+}
+
+TEST(Mirror, InvolutionOnStructure) {
+  const auto net = tiny_net();
+  const auto mm = mirror(mirror(net));
+  EXPECT_EQ(mm.inputs, net.inputs);
+  EXPECT_EQ(mm.outputs, net.outputs);
+  for (EdgeId e = 0; e < net.g.edge_count(); ++e) {
+    EXPECT_EQ(mm.g.edge(e).from, net.g.edge(e).from);
+    EXPECT_EQ(mm.g.edge(e).to, net.g.edge(e).to);
+  }
+}
+
+Network two_switch_gadget() {
+  // input -> mid -> output: a 2-switch chain 1-network.
+  Network gadget;
+  gadget.g.add_vertices(3);
+  gadget.g.add_edge(0, 1);
+  gadget.g.add_edge(1, 2);
+  gadget.inputs = {0};
+  gadget.outputs = {2};
+  gadget.name = "chain2";
+  return gadget;
+}
+
+TEST(Substitution, CountsMatchFormula) {
+  const auto base = tiny_net();
+  const auto gadget = two_switch_gadget();
+  const auto sub = substitute_edges(base, gadget);
+  // |V| = V_base + E_base * (V_g - 2); |E| = E_base * E_g.
+  EXPECT_EQ(sub.g.vertex_count(), 4u + 3u * 1u);
+  EXPECT_EQ(sub.g.edge_count(), 3u * 2u);
+  EXPECT_EQ(sub.inputs, base.inputs);
+  EXPECT_EQ(sub.outputs, base.outputs);
+}
+
+TEST(Substitution, PreservesReachability) {
+  const auto base = tiny_net();
+  const auto sub = substitute_edges(base, two_switch_gadget());
+  const VertexId src[1] = {0};
+  const auto dist = bfs_directed(sub.g, src);
+  for (VertexId o : sub.outputs) EXPECT_NE(dist[o], kUnreachable);
+  // Depth doubles with a 2-chain gadget.
+  EXPECT_EQ(network_depth(sub), 2 * network_depth(base));
+}
+
+TEST(Substitution, RejectsNonOneNetworkGadget) {
+  const auto base = tiny_net();
+  Network bad;
+  bad.g.add_vertices(2);
+  bad.inputs = {0, 1};
+  bad.outputs = {1};
+  EXPECT_THROW(substitute_edges(base, bad), std::invalid_argument);
+}
+
+TEST(Substitution, ParallelGadget) {
+  // Gadget: two parallel switches input -> output.
+  Network gadget;
+  gadget.g.add_vertices(2);
+  gadget.g.add_edge(0, 1);
+  gadget.g.add_edge(0, 1);
+  gadget.inputs = {0};
+  gadget.outputs = {1};
+  const auto base = tiny_net();
+  const auto sub = substitute_edges(base, gadget);
+  EXPECT_EQ(sub.g.vertex_count(), base.g.vertex_count());
+  EXPECT_EQ(sub.g.edge_count(), 2 * base.g.edge_count());
+}
+
+TEST(Induced, KeepsSelectedSubgraph) {
+  const auto net = tiny_net();
+  std::vector<std::uint8_t> keep = {1, 1, 1, 0};  // drop vertex 3
+  const auto result = induced_subnetwork(net, keep);
+  EXPECT_EQ(result.net.g.vertex_count(), 3u);
+  EXPECT_EQ(result.net.g.edge_count(), 2u);  // (0,1), (1,2)
+  EXPECT_EQ(result.net.inputs.size(), 1u);
+  EXPECT_EQ(result.net.outputs.size(), 1u);  // output 3 dropped
+  EXPECT_EQ(result.old_to_new[3], kNoVertex);
+  EXPECT_NE(result.old_to_new[2], kNoVertex);
+}
+
+TEST(Induced, DropInternalVertexBreaksPaths) {
+  const auto net = tiny_net();
+  std::vector<std::uint8_t> keep = {1, 0, 1, 1};  // drop the middle vertex
+  const auto result = induced_subnetwork(net, keep);
+  EXPECT_EQ(result.net.g.edge_count(), 0u);
+  EXPECT_EQ(result.net.inputs.size(), 1u);
+  EXPECT_EQ(result.net.outputs.size(), 2u);
+}
+
+TEST(Induced, StagePreserved) {
+  const auto net = tiny_net();
+  std::vector<std::uint8_t> keep = {1, 1, 0, 1};
+  const auto result = induced_subnetwork(net, keep);
+  ASSERT_EQ(result.net.stage.size(), result.net.g.vertex_count());
+  EXPECT_EQ(result.net.stage[result.old_to_new[3]], 2);
+}
+
+}  // namespace
+}  // namespace ftcs::graph

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+namespace ftcs::util {
+namespace {
+
+TEST(Parallel, CountMatchesSerial) {
+  const auto count = parallel_count(1000, [](std::size_t i) { return i % 3 == 0; });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < 1000; ++i)
+    if (i % 3 == 0) ++expected;
+  EXPECT_EQ(count, expected);
+}
+
+TEST(Parallel, ForCoversAllIndices) {
+  std::vector<std::atomic<int>> touched(500);
+  parallel_for(0, 500, [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(Parallel, ForWithOffset) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + ... + 19
+}
+
+TEST(Parallel, ChunksPartitionTotal) {
+  std::atomic<std::size_t> covered{0};
+  parallel_chunks(1000, 7, [&](unsigned, std::size_t lo, std::size_t hi) {
+    covered.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(covered.load(), 1000u);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, WorkerCountPositive) { EXPECT_GE(worker_count(), 1u); }
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("b", 2.5);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "x"});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RowPaddedToHeaderWidth) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(FormatSig, Ranges) {
+  EXPECT_EQ(format_sig(0.0), "0");
+  EXPECT_EQ(format_sig(1.0), "1");
+  EXPECT_EQ(format_sig(0.5), "0.5");
+  EXPECT_NE(format_sig(1e-9).find("e"), std::string::npos);
+  EXPECT_NE(format_sig(3.14159, 3), format_sig(3.14159, 5));
+}
+
+}  // namespace
+}  // namespace ftcs::util

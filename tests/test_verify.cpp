@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ftcs/verify.hpp"
+#include "networks/benes.hpp"
+#include "networks/butterfly.hpp"
+#include "networks/clos.hpp"
+#include "networks/crossbar.hpp"
+#include "networks/superconcentrator.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs::core {
+namespace {
+
+TEST(SuperconcentratorExhaustive, CrossbarIsSC) {
+  EXPECT_TRUE(is_superconcentrator_exhaustive(networks::build_crossbar(4)));
+}
+
+TEST(SuperconcentratorExhaustive, BrokenCrossbarIsNot) {
+  // Remove all edges from input 0 except to output 0, and give input 1 only
+  // output 0 as well: the pair {0,1} -> {1,2} then fails.
+  graph::Network net;
+  net.g.add_vertices(6);
+  net.inputs = {0, 1, 2};
+  net.outputs = {3, 4, 5};
+  net.g.add_edge(0, 3);
+  net.g.add_edge(1, 3);
+  net.g.add_edge(2, 3);
+  net.g.add_edge(2, 4);
+  net.g.add_edge(2, 5);
+  EXPECT_FALSE(is_superconcentrator_exhaustive(net));
+}
+
+TEST(SuperconcentratorExhaustive, WorkLimitThrows) {
+  const auto net = networks::build_crossbar(40);
+  EXPECT_THROW(is_superconcentrator_exhaustive(net, 10), std::invalid_argument);
+}
+
+TEST(SuperconcentratorRandom, RecursiveConstructionPasses) {
+  networks::SuperconcentratorParams p;
+  p.n = 32;
+  p.degree = 6;
+  p.base_size = 8;
+  p.seed = 4;
+  const auto net = networks::build_superconcentrator(p);
+  EXPECT_EQ(superconcentrator_violations(net, 60, 1), 0u);
+}
+
+TEST(SuperconcentratorRandom, BenesIsSuperconcentrator) {
+  const networks::Benes b(3);
+  EXPECT_EQ(superconcentrator_violations(b.network(), 40, 2), 0u);
+}
+
+TEST(SuperconcentratorRandom, ButterflyIsNot) {
+  // The butterfly is not a superconcentrator: random (r, S, T) probes find
+  // violations quickly at this size.
+  const auto net = networks::build_butterfly(4);
+  EXPECT_GT(superconcentrator_violations(net, 200, 3), 0u);
+}
+
+TEST(RoutePermutation, CrossbarAnyPermutation) {
+  const auto net = networks::build_crossbar(6);
+  std::vector<std::uint32_t> perm{3, 1, 4, 0, 5, 2};
+  const auto paths = route_permutation_greedy(net, perm, 1, 1);
+  ASSERT_TRUE(paths.has_value());
+  EXPECT_EQ(validate_routing(net, perm, *paths), "");
+}
+
+TEST(RoutePermutation, BenesWithRestarts) {
+  const networks::Benes b(3);
+  util::Xoshiro256 rng(6);
+  std::vector<std::uint32_t> perm(8);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (int rep = 0; rep < 10; ++rep) {
+    util::shuffle(perm, rng);
+    const auto paths = route_permutation_greedy(b.network(), perm, 200, rep);
+    ASSERT_TRUE(paths.has_value()) << "rep " << rep;
+    EXPECT_EQ(validate_routing(b.network(), perm, *paths), "");
+  }
+}
+
+TEST(RoutePermutation, FailsWhenBlockedEverywhere) {
+  const auto net = networks::build_crossbar(3);
+  std::vector<std::uint8_t> blocked(net.g.vertex_count(), 0);
+  blocked[net.outputs[1]] = 1;
+  std::vector<std::uint32_t> perm{0, 1, 2};
+  EXPECT_FALSE(route_permutation_greedy(net, perm, 5, 1, blocked).has_value());
+}
+
+TEST(ValidateRouting, CatchesViolations) {
+  const auto net = networks::build_crossbar(2);
+  const std::vector<std::uint32_t> perm{0, 1};
+  // Wrong endpoint.
+  EXPECT_NE(validate_routing(net, perm,
+                             {{net.inputs[0], net.outputs[1]},
+                              {net.inputs[1], net.outputs[0]}}),
+            "");
+  // Shared vertex.
+  EXPECT_NE(validate_routing(net, perm,
+                             {{net.inputs[0], net.outputs[0]},
+                              {net.inputs[0], net.outputs[1]}}),
+            "");
+  // Non-edge.
+  graph::Network disconnected;
+  disconnected.g.add_vertices(4);
+  disconnected.inputs = {0, 1};
+  disconnected.outputs = {2, 3};
+  EXPECT_NE(validate_routing(disconnected, perm, {{0, 2}, {1, 3}}), "");
+  // Count mismatch.
+  EXPECT_NE(validate_routing(net, perm, {}), "");
+}
+
+TEST(Churn, CrossbarNeverBlocks) {
+  const auto net = networks::build_crossbar(8);
+  const auto result = nonblocking_churn(net, 500, 7);
+  EXPECT_GT(result.connects, 0u);
+  EXPECT_EQ(result.failures, 0u);
+}
+
+TEST(Churn, StrictClosNeverBlocks) {
+  // m = 2k-1 = 3 with k = 2: strictly nonblocking by Clos's theorem.
+  const auto net = networks::build_clos({2, 3, 3});
+  const auto result = nonblocking_churn(net, 800, 8);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_GT(result.max_concurrent, 2u);
+}
+
+TEST(Churn, UndersizedClosBlocks) {
+  // m = 1 < k = 2: not even rearrangeable; churn finds blocking states.
+  const auto net = networks::build_clos({2, 1, 3});
+  const auto result = nonblocking_churn(net, 800, 9);
+  EXPECT_GT(result.failures, 0u);
+}
+
+TEST(Churn, ButterflyBlocks) {
+  // Unique-path network: two calls sharing an internal vertex block.
+  const auto net = networks::build_butterfly(3);
+  const auto result = nonblocking_churn(net, 1000, 10);
+  EXPECT_GT(result.failures, 0u);
+}
+
+TEST(Churn, BenesGreedyMayBlock) {
+  // Beneš is rearrangeable but NOT strictly nonblocking: greedy churn is
+  // expected to find a blocking state eventually.
+  const networks::Benes b(3);
+  const auto result = nonblocking_churn(b.network(), 4000, 11);
+  EXPECT_GT(result.failures, 0u);
+}
+
+}  // namespace
+}  // namespace ftcs::core
