@@ -7,14 +7,20 @@
 // routing full random permutations on damaged instances.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <numeric>
+#include <sstream>
+#include <string>
 
+#include "bench_common.hpp"
 #include "fault/fault_instance.hpp"
 #include "fault/repair.hpp"
 #include "ftcs/monte_carlo.hpp"
 #include "ftcs/router.hpp"
 #include "ftcs/verify.hpp"
+#include "networks/cantor.hpp"
 #include "util/prng.hpp"
 #include "util/table.hpp"
 
@@ -107,9 +113,124 @@ void print_success_table() {
   t.print(std::cout);
 }
 
+// ---------------------------------------------------------------------------
+// --json=PATH smoke mode: a fixed deterministic connect/disconnect churn on a
+// few networks, reporting aggregate connect() calls/sec. The emitted file
+// preserves any "baseline_calls_per_sec" already present at PATH, so the
+// committed pre-refactor baseline survives re-runs and CI can track speedup.
+
+struct ChurnMeasure {
+  std::string name;
+  std::size_t connects = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double calls_per_sec() const {
+    return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
+  }
+};
+
+ChurnMeasure churn_workload(const std::string& name, const graph::Network& net,
+                            std::size_t ops) {
+  core::GreedyRouter router(net);
+  const auto n = static_cast<std::uint32_t>(net.inputs.size());
+  util::Xoshiro256 rng(util::derive_seed(13, 0));
+  const auto next = [&rng] { return rng(); };
+  std::vector<core::GreedyRouter::CallId> active;
+  active.reserve(n);
+  std::size_t connects = 0;
+  const auto step = [&] {
+    if (!active.empty() && (next() & 3u) == 0) {
+      const auto idx = next() % active.size();
+      router.disconnect(active[idx]);
+      active[idx] = active.back();
+      active.pop_back();
+    } else {
+      const auto in = static_cast<std::uint32_t>(next() % n);
+      const auto out = static_cast<std::uint32_t>(next() % n);
+      const auto call = router.connect(in, out);
+      ++connects;
+      if (call != core::GreedyRouter::kNoCall) active.push_back(call);
+    }
+  };
+  for (std::size_t i = 0; i < ops / 10; ++i) step();  // warmup
+  connects = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) step();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return {name, connects, dt};
+}
+
+/// Extracts `"key": <number>` from a JSON-ish text; returns -1 if absent.
+double extract_number(const std::string& text, const std::string& key) {
+  const auto pos = text.find("\"" + key + "\"");
+  if (pos == std::string::npos) return -1.0;
+  const auto colon = text.find(':', pos);
+  if (colon == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+int run_json_smoke(const std::string& path) {
+  std::vector<ChurnMeasure> rows;
+  rows.push_back(churn_workload("cantor-k5", networks::build_cantor({5, 0}),
+                                bench::scaled(100'000)));
+  rows.push_back(churn_workload("cantor-k7", networks::build_cantor({7, 0}),
+                                bench::scaled(20'000)));
+  rows.push_back(churn_workload("ft-nu2", shared_ft(2).net, bench::scaled(10'000)));
+
+  std::size_t total_connects = 0;
+  double total_seconds = 0.0;
+  for (const auto& r : rows) {
+    total_connects += r.connects;
+    total_seconds += r.seconds;
+  }
+  const double aggregate =
+      total_seconds > 0 ? static_cast<double>(total_connects) / total_seconds : 0.0;
+
+  double baseline = -1.0;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      baseline = extract_number(ss.str(), "baseline_calls_per_sec");
+    }
+  }
+  if (baseline <= 0) baseline = aggregate;  // first run establishes the baseline
+  const double speedup = baseline > 0 ? aggregate / baseline : 1.0;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_routing: cannot write " << path << "\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"routing_churn\",\n";
+  out << "  \"workload\": \"deterministic connect/disconnect churn, 25% disconnect\",\n";
+  out << "  \"networks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"connects\": " << r.connects
+        << ", \"calls_per_sec\": " << static_cast<std::uint64_t>(r.calls_per_sec())
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"calls_per_sec\": " << static_cast<std::uint64_t>(aggregate) << ",\n";
+  out << "  \"baseline_calls_per_sec\": " << static_cast<std::uint64_t>(baseline)
+      << ",\n";
+  out << "  \"speedup_vs_baseline\": " << speedup << "\n";
+  out << "}\n";
+  std::cout << "routing churn: " << static_cast<std::uint64_t>(aggregate)
+            << " calls/sec (baseline " << static_cast<std::uint64_t>(baseline)
+            << ", speedup " << speedup << ") -> " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) return run_json_smoke(arg.substr(7));
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_success_table();
