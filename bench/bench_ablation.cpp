@@ -89,13 +89,14 @@ int main() {
         for (int variant = 0; variant < 2; ++variant) {
           const reliability::GridSpec spec{rows, stages, true};
           const auto full = reliability::build_directed_grid(spec);
-          graph::Network use;
-          use.g.add_vertices(full.g.vertex_count());
+          graph::NetworkBuilder use_nb;
+          use_nb.g.add_vertices(full.g.vertex_count());
           for (graph::EdgeId e = 0; e < full.g.edge_count(); ++e) {
             const auto& ed = full.g.edge(e);
             const bool is_straight = (ed.to % rows) == (ed.from % rows);
-            if (variant == 0 || is_straight) use.g.add_edge(ed.from, ed.to);
+            if (variant == 0 || is_straight) use_nb.g.add_edge(ed.from, ed.to);
           }
+          const graph::Network use = use_nb.finalize();
           std::atomic<std::size_t> ok{0};
           util::parallel_for(0, gtrials, [&](std::size_t trial) {
             util::Xoshiro256 rng(util::derive_seed(70 + variant, trial));

@@ -55,12 +55,13 @@ int main() {
     util::Table t({"gadget", "eps", "exact", "naive MC", "IS", "IS rel.err"});
     const reliability::GridSpec small{3, 3, true};
     const auto grid_net = reliability::build_grid_one_network(small);
-    graph::Network chain;
-    chain.g.add_vertices(5);
-    for (graph::VertexId v = 0; v < 4; ++v) chain.g.add_edge(v, v + 1);
-    chain.inputs = {0};
-    chain.outputs = {4};
-    chain.name = "chain-4";
+    graph::NetworkBuilder chain_nb;
+    chain_nb.g.add_vertices(5);
+    for (graph::VertexId v = 0; v < 4; ++v) chain_nb.g.add_edge(v, v + 1);
+    chain_nb.inputs = {0};
+    chain_nb.outputs = {4};
+    chain_nb.name = "chain-4";
+    const graph::Network chain = chain_nb.finalize();
     const graph::Network* gadgets[] = {&chain, &grid_net};
     for (const graph::Network* net : gadgets) {
       for (double eps : {0.05, 1e-3}) {

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <numeric>
@@ -123,8 +124,19 @@ struct ChurnMeasure {
   std::string name;
   std::size_t connects = 0;
   double seconds = 0.0;
+  core::RouterStats stats;  // settled-path lengths and visit counts
   [[nodiscard]] double calls_per_sec() const {
     return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
+  }
+  [[nodiscard]] double mean_path_vertices() const {
+    return stats.accepted ? static_cast<double>(stats.path_vertices) /
+                                static_cast<double>(stats.accepted)
+                          : 0.0;
+  }
+  [[nodiscard]] double visits_per_connect() const {
+    return stats.connect_calls ? static_cast<double>(stats.vertices_visited) /
+                                     static_cast<double>(stats.connect_calls)
+                               : 0.0;
   }
 };
 
@@ -153,11 +165,12 @@ ChurnMeasure churn_workload(const std::string& name, const graph::Network& net,
   };
   for (std::size_t i = 0; i < ops / 10; ++i) step();  // warmup
   connects = 0;
+  router.reset_stats();
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < ops; ++i) step();
   const double dt =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return {name, connects, dt};
+  return {name, connects, dt, router.stats()};
 }
 
 /// Extracts `"key": <number>` from a JSON-ish text; returns -1 if absent.
@@ -210,7 +223,9 @@ int run_json_smoke(const std::string& path) {
     const auto& r = rows[i];
     out << "    {\"name\": \"" << r.name << "\", \"connects\": " << r.connects
         << ", \"calls_per_sec\": " << static_cast<std::uint64_t>(r.calls_per_sec())
-        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"mean_path_vertices\": " << r.mean_path_vertices()
+        << ", \"visits_per_connect\": " << r.visits_per_connect() << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"calls_per_sec\": " << static_cast<std::uint64_t>(aggregate) << ",\n";

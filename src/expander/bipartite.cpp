@@ -40,7 +40,7 @@ std::size_t Bipartite::neighborhood_size(const std::vector<std::uint32_t>& set) 
   return count;
 }
 
-void Bipartite::embed(graph::Network& net, graph::VertexId inlet_base,
+void Bipartite::embed(graph::NetworkBuilder& net, graph::VertexId inlet_base,
                       graph::VertexId outlet_base) const {
   for (std::uint32_t i = 0; i < inlets; ++i)
     for (std::uint32_t o : adj[i])
@@ -48,7 +48,7 @@ void Bipartite::embed(graph::Network& net, graph::VertexId inlet_base,
 }
 
 graph::Network Bipartite::to_network() const {
-  graph::Network net;
+  graph::NetworkBuilder net;
   net.name = "bipartite";
   net.g.add_vertices(static_cast<std::size_t>(inlets) + outlets);
   embed(net, 0, inlets);
@@ -58,7 +58,7 @@ graph::Network Bipartite::to_network() const {
   for (std::uint32_t o = 0; o < outlets; ++o) net.outputs[o] = inlets + o;
   net.stage.assign(net.g.vertex_count(), 0);
   for (std::uint32_t o = 0; o < outlets; ++o) net.stage[inlets + o] = 1;
-  return net;
+  return net.finalize();
 }
 
 }  // namespace ftcs::expander

@@ -27,7 +27,7 @@ struct Bipartite {
 
   /// Embeds the bipartite graph into `net`: inlet i becomes vertex
   /// inlet_base + i, outlet j becomes outlet_base + j; one edge per pair.
-  void embed(graph::Network& net, graph::VertexId inlet_base,
+  void embed(graph::NetworkBuilder& net, graph::VertexId inlet_base,
              graph::VertexId outlet_base) const;
 
   /// As a standalone network: inlets are the inputs, outlets the outputs.

@@ -10,7 +10,7 @@ namespace {
 
 // Adds `count` fresh grid columns of `rows` vertices, labelling them with
 // consecutive stages starting at `first_stage`.
-std::vector<std::vector<graph::VertexId>> add_columns(graph::Network& net,
+std::vector<std::vector<graph::VertexId>> add_columns(graph::NetworkBuilder& net,
                                                       std::size_t rows,
                                                       std::uint32_t count,
                                                       std::int32_t first_stage) {
@@ -27,7 +27,7 @@ std::vector<std::vector<graph::VertexId>> add_columns(graph::Network& net,
 
 // Wires each consecutive column pair with a straight edge and a wrapping
 // diagonal (the hammock-style directed grid of Fig. 4).
-void wire_grid_chain(graph::Network& net,
+void wire_grid_chain(graph::NetworkBuilder& net,
                      const std::vector<std::vector<graph::VertexId>>& chain) {
   for (std::size_t c = 0; c + 1 < chain.size(); ++c) {
     const auto& a = chain[c];
@@ -60,8 +60,7 @@ FtNetwork build_ft_network(const FtParams& params) {
   FtNetwork result;
   result.params = params;
   result.gamma = cp.gamma;
-  result.net = std::move(core.net);
-  graph::Network& net = result.net;
+  graph::NetworkBuilder net = std::move(core.net);
   net.name = "ftcs-nhat-nu" + std::to_string(params.nu) + "-" + params.profile_name;
 
   // Relabel core stages nu..3nu (built as 0..2nu).
@@ -108,6 +107,7 @@ FtNetwork build_ft_network(const FtParams& params) {
     for (graph::VertexId v : mchain.back()) net.g.add_edge(v, output);
     result.mirror_grid_columns[t] = std::move(mchain);
   }
+  result.net = net.finalize();
   return result;
 }
 

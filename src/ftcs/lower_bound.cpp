@@ -18,7 +18,7 @@ struct UAdj {
   // adj[v] = (neighbor, edge index)
   std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj;
 
-  static UAdj from_digraph(const graph::Digraph& g) {
+  static UAdj from_graph(const graph::CsrGraph& g) {
     UAdj u;
     u.adj.resize(g.vertex_count());
     for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
@@ -95,8 +95,8 @@ std::vector<ExtractedPath> extract_maximal(const UAdj& u) {
 }  // namespace
 
 std::vector<std::vector<graph::VertexId>> extract_leaf_paths(
-    const graph::Digraph& tree) {
-  const auto u = UAdj::from_digraph(tree);
+    const graph::CsrGraph& tree) {
+  const auto u = UAdj::from_graph(tree);
   const auto extracted = extract_maximal(u);
   std::vector<std::vector<graph::VertexId>> paths;
   paths.reserve(extracted.size());
@@ -104,8 +104,8 @@ std::vector<std::vector<graph::VertexId>> extract_leaf_paths(
   return paths;
 }
 
-LeafCensus leaf_census(const graph::Digraph& tree) {
-  const auto u = UAdj::from_digraph(tree);
+LeafCensus leaf_census(const graph::CsrGraph& tree) {
+  const auto u = UAdj::from_graph(tree);
   LeafCensus census;
   const std::size_t n = u.vertex_count();
   std::vector<std::uint8_t> is_leaf(n, 0);
@@ -146,14 +146,14 @@ LeafCensus leaf_census(const graph::Digraph& tree) {
   return census;
 }
 
-graph::Digraph random_cubic_tree(std::size_t leaves, std::uint64_t seed) {
-  graph::Digraph g;
+graph::CsrGraph random_cubic_tree(std::size_t leaves, std::uint64_t seed) {
+  graph::GraphBuilder g;
   util::Xoshiro256 rng(seed);
   if (leaves < 2) leaves = 2;
   if (leaves == 2) {
     g.add_vertices(2);
     g.add_edge(0, 1);
-    return g;
+    return g.finalize();
   }
   // Star on 3 leaves, then repeatedly grow a random leaf into an internal
   // node with two fresh leaf children.
@@ -172,13 +172,13 @@ graph::Digraph random_cubic_tree(std::size_t leaves, std::uint64_t seed) {
     leaf_list[pick] = a;
     leaf_list.push_back(b);
   }
-  return g;
+  return g.finalize();
 }
 
-graph::Digraph reduce_to_degree3(const graph::Digraph& tree) {
-  const auto u = UAdj::from_digraph(tree);
+graph::CsrGraph reduce_to_degree3(const graph::CsrGraph& tree) {
+  const auto u = UAdj::from_graph(tree);
   const std::size_t n = u.vertex_count();
-  graph::Digraph out;
+  graph::GraphBuilder out;
   // For each original vertex, the list of replacement nodes; neighbor slot k
   // attaches to gateway[v][slot_node(k)].
   std::vector<std::vector<std::uint32_t>> nodes(n);
@@ -226,7 +226,7 @@ graph::Digraph reduce_to_degree3(const graph::Digraph& tree) {
     out.add_edge(attach(ed.from, edge_slots[e].first),
                  attach(ed.to, edge_slots[e].second));
   }
-  return out;
+  return out.finalize();
 }
 
 std::vector<std::uint32_t> nearest_input_distances(const graph::Network& net,
@@ -257,7 +257,7 @@ Lemma2Result lemma2_short_paths(const graph::Network& net, std::uint32_t j) {
 
   // Greedy forest as an edge set, with undirected adjacency for later steps.
   std::vector<std::uint8_t> in_forest(g.edge_count(), 0);
-  const auto uall = UAdj::from_digraph(g);
+  const auto uall = UAdj::from_graph(g);
 
   std::vector<std::uint32_t> dist(g.vertex_count());
   std::vector<std::uint32_t> parent_edge(g.vertex_count());

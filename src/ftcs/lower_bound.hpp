@@ -22,13 +22,13 @@ namespace ftcs::core {
 
 // ---------------------------------------------------------------- Lemma 1
 
-/// Undirected tree/forest utilities operate on a Digraph whose edges are
+/// Undirected tree/forest utilities operate on a CsrGraph whose edges are
 /// read ignoring direction.
 
 /// Greedy maximal family of edge-disjoint leaf-to-leaf paths of length <= 3.
 /// Returns vertex sequences. Leaves are degree-1 vertices.
 [[nodiscard]] std::vector<std::vector<graph::VertexId>> extract_leaf_paths(
-    const graph::Digraph& tree);
+    const graph::CsrGraph& tree);
 
 /// The leaf census of the Lemma-1 proof (Figs. 1-3): bad leaves have no
 /// other leaf within distance 3; among good leaves, lucky ones are endpoints
@@ -41,15 +41,15 @@ struct LeafCensus {
   std::size_t unlucky = 0;
   std::size_t paths = 0;
 };
-[[nodiscard]] LeafCensus leaf_census(const graph::Digraph& tree);
+[[nodiscard]] LeafCensus leaf_census(const graph::CsrGraph& tree);
 
 /// Random tree with every internal node of degree exactly 3 and `leaves`
 /// leaves (leaves >= 2); for exercising Lemma 1.
-[[nodiscard]] graph::Digraph random_cubic_tree(std::size_t leaves, std::uint64_t seed);
+[[nodiscard]] graph::CsrGraph random_cubic_tree(std::size_t leaves, std::uint64_t seed);
 
 /// Replaces internal nodes of degree d > 3 by (d-2)-node degree-3 subtrees
 /// (the first reduction step of the Lemma 1 proof).
-[[nodiscard]] graph::Digraph reduce_to_degree3(const graph::Digraph& tree);
+[[nodiscard]] graph::CsrGraph reduce_to_degree3(const graph::CsrGraph& tree);
 
 // ---------------------------------------------------------------- Lemma 2
 

@@ -33,7 +33,8 @@ bool busy_probe(const FtNetwork& ft, const std::vector<std::uint8_t>& faulty,
     if (!router.input_idle(in) || !router.output_idle(out)) continue;
     (void)router.connect(in, out);  // a failed connect leaves state unchanged
   }
-  return ft_majority_access(ft, faulty, router.busy_mask()).majority();
+  const auto busy = router.busy_mask();
+  return ft_majority_access(ft, faulty, busy).majority();
 }
 
 }  // namespace

@@ -1,46 +1,200 @@
 #include "ftcs/router.hpp"
 
-#include "graph/algorithms.hpp"
+#include <algorithm>
 
 namespace ftcs::core {
 
 GreedyRouter::GreedyRouter(const graph::Network& net,
                            std::vector<std::uint8_t> blocked,
                            std::vector<std::uint8_t> blocked_edges)
-    : net_(&net),
-      blocked_(std::move(blocked)),
-      blocked_edges_(std::move(blocked_edges)) {
-  if (blocked_.empty()) blocked_.assign(net.g.vertex_count(), 0);
+    : net_(&net) {
+  const std::size_t v_count = net.g.vertex_count();
+  blocked_.resize(v_count);
+  if (!blocked.empty()) blocked_.assign_bytes(blocked.data(), blocked.size());
   busy_ = blocked_;
+  if (!blocked_edges.empty())
+    blocked_edges_.assign_bytes(blocked_edges.data(), blocked_edges.size());
   in_busy_.assign(net.inputs.size(), 0);
   out_busy_.assign(net.outputs.size(), 0);
-  target_scratch_.assign(net.g.vertex_count(), 0);
+
+  epoch_f_.assign(v_count, 0);
+  epoch_b_.assign(v_count, 0);
+  dist_f_.resize(v_count);
+  dist_b_.resize(v_count);
+  parent_f_.assign(v_count, graph::kNoVertex);
+  parent_b_.assign(v_count, graph::kNoVertex);
+  queue_f_.resize(v_count);
+  queue_b_.resize(v_count);
+  path_next_.assign(v_count, graph::kNoVertex);
+
+  // Each active call consumes one input and one output, so slot count is
+  // bounded; reserving here keeps connect()/disconnect() allocation-free.
+  const std::size_t max_calls =
+      std::min(net.inputs.size(), net.outputs.size()) + 1;
+  calls_.reserve(max_calls);
+  free_slots_.reserve(max_calls);
 }
 
 bool GreedyRouter::input_idle(std::uint32_t in) const {
-  return !in_busy_[in] && !blocked_[net_->inputs[in]];
+  return !in_busy_[in] && !blocked_.test(net_->inputs[in]);
 }
 
 bool GreedyRouter::output_idle(std::uint32_t out) const {
-  return !out_busy_[out] && !blocked_[net_->outputs[out]];
+  return !out_busy_[out] && !blocked_.test(net_->outputs[out]);
 }
 
 GreedyRouter::CallId GreedyRouter::connect(std::uint32_t in, std::uint32_t out) {
-  if (!input_idle(in) || !output_idle(out)) return kNoCall;
+  ++stats_.connect_calls;
+  if (!input_idle(in) || !output_idle(out)) {
+    ++stats_.rejected_terminal;
+    return kNoCall;
+  }
   const graph::VertexId src = net_->inputs[in];
   const graph::VertexId dst = net_->outputs[out];
-  target_scratch_[dst] = 1;
-  const graph::VertexId sources[1] = {src};
-  auto path = graph::shortest_path(net_->g, sources, target_scratch_, busy_,
-                                   blocked_edges_);
-  target_scratch_[dst] = 0;
-  if (!path) return kNoCall;
+  const auto& g = net_->g;
 
-  for (graph::VertexId v : *path) busy_[v] = 1;
-  busy_count_ += path->size();
+  // A terminal vertex occupied as an intermediate hop of another call cannot
+  // anchor a new path: the per-vertex successor array stores at most one
+  // call per vertex, so admitting it would corrupt both calls' chains.
+  if (busy_.test(src) || busy_.test(dst)) {
+    ++stats_.rejected_no_path;
+    return kNoCall;
+  }
+  if (++epoch_ == 0) {  // epoch wrap: one bulk clear per 2^32 searches
+    std::fill(epoch_f_.begin(), epoch_f_.end(), 0u);
+    std::fill(epoch_b_.begin(), epoch_b_.end(), 0u);
+    epoch_ = 1;
+  }
+
+  graph::VertexId best_meet = graph::kNoVertex;
+  std::uint32_t best_total = graph::kNoVertex;  // path length in edges
+  if (src == dst) {
+    best_meet = dst;
+    best_total = 0;
+    epoch_f_[src] = epoch_;
+    parent_f_[src] = graph::kNoVertex;
+    dist_f_[src] = 0;
+  } else {
+    // Level-synchronized bidirectional BFS over idle vertices; expands the
+    // smaller frontier. A stamped-but-busy vertex gets no parent and never
+    // counts as a meeting point (the opposite side is also stopped by the
+    // same busy bit), so every recorded meet lies on a fully idle path.
+    // Termination: once best_total <= df + db + 1, every strictly shorter
+    // path would already have produced a meet, so the best one is final.
+    const bool edge_faults = !blocked_edges_.empty();
+    epoch_f_[src] = epoch_;
+    parent_f_[src] = graph::kNoVertex;
+    dist_f_[src] = 0;
+    epoch_b_[dst] = epoch_;
+    parent_b_[dst] = graph::kNoVertex;
+    dist_b_[dst] = 0;
+    std::size_t fh = 0, ft = 0, bh = 0, bt = 0;
+    queue_f_[ft++] = src;
+    queue_b_[bt++] = dst;
+    std::size_t flevel = 1, blevel = 1;  // vertices in the current frontier
+    std::uint32_t df = 0, db = 0;        // distance of those frontiers
+
+    while (flevel > 0 && blevel > 0 && best_total > df + db + 1) {
+      if (flevel <= blevel) {
+        std::size_t next_level = 0;
+        for (std::size_t n = 0; n < flevel; ++n) {
+          const graph::VertexId u = queue_f_[fh++];
+          const auto eids = g.out_edges(u);
+          const auto tgts = g.out_targets(u);
+          for (std::size_t i = 0; i < eids.size(); ++i) {
+            if (edge_faults && blocked_edges_.test(eids[i])) continue;
+            const graph::VertexId v = tgts[i];
+            if (epoch_f_[v] == epoch_) continue;
+            epoch_f_[v] = epoch_;
+            ++stats_.vertices_visited;
+            if (busy_.test(v)) continue;
+            parent_f_[v] = u;
+            dist_f_[v] = df + 1;
+            if (epoch_b_[v] == epoch_ && parent_b_[v] != graph::kNoVertex) {
+              const std::uint32_t total = df + 1 + dist_b_[v];
+              if (total < best_total) {
+                best_total = total;
+                best_meet = v;
+              }
+              continue;  // expanding a meet can never improve on it
+            }
+            if (v == dst) {  // dst seeded backward with parent kNoVertex
+              const std::uint32_t total = df + 1;
+              if (total < best_total) {
+                best_total = total;
+                best_meet = v;
+              }
+              continue;
+            }
+            queue_f_[ft++] = v;
+            ++next_level;
+          }
+        }
+        flevel = next_level;
+        ++df;
+      } else {
+        std::size_t next_level = 0;
+        for (std::size_t n = 0; n < blevel; ++n) {
+          const graph::VertexId u = queue_b_[bh++];
+          const auto eids = g.in_edges(u);
+          const auto srcs = g.in_sources(u);
+          for (std::size_t i = 0; i < eids.size(); ++i) {
+            if (edge_faults && blocked_edges_.test(eids[i])) continue;
+            const graph::VertexId v = srcs[i];
+            if (epoch_b_[v] == epoch_) continue;
+            epoch_b_[v] = epoch_;
+            ++stats_.vertices_visited;
+            if (busy_.test(v)) continue;  // src/dst rejected upfront if busy
+            parent_b_[v] = u;
+            dist_b_[v] = db + 1;
+            if (epoch_f_[v] == epoch_ &&
+                (parent_f_[v] != graph::kNoVertex || v == src)) {
+              const std::uint32_t total = dist_f_[v] + db + 1;
+              if (total < best_total) {
+                best_total = total;
+                best_meet = v;
+              }
+              continue;
+            }
+            queue_b_[bt++] = v;
+            ++next_level;
+          }
+        }
+        blevel = next_level;
+        ++db;
+      }
+    }
+  }
+  if (best_meet == graph::kNoVertex) {
+    ++stats_.rejected_no_path;
+    return kNoCall;
+  }
+
+  // Settle: thread the path through the successor array and mark it busy.
+  // Forward half: src .. best_meet via parent_f_.
+  std::uint32_t length = 0;
+  graph::VertexId next = graph::kNoVertex;
+  for (graph::VertexId v = best_meet; v != graph::kNoVertex; v = parent_f_[v]) {
+    path_next_[v] = next;
+    busy_.set(v);
+    next = v;
+    ++length;
+  }
+  // Backward half: best_meet .. dst via parent_b_.
+  for (graph::VertexId v = best_meet; v != dst;) {
+    const graph::VertexId w = parent_b_[v];
+    path_next_[v] = w;
+    busy_.set(w);
+    v = w;
+    ++length;
+  }
+  path_next_[dst] = graph::kNoVertex;
+  busy_count_ += length;
   in_busy_[in] = 1;
   out_busy_[out] = 1;
   ++active_;
+  ++stats_.accepted;
+  stats_.path_vertices += length;
 
   CallId id;
   if (!free_slots_.empty()) {
@@ -48,21 +202,39 @@ GreedyRouter::CallId GreedyRouter::connect(std::uint32_t in, std::uint32_t out) 
     free_slots_.pop_back();
   } else {
     id = static_cast<CallId>(calls_.size());
-    calls_.emplace_back();
+    calls_.emplace_back();  // within capacity reserved at construction
   }
-  calls_[id] = {in, out, std::move(*path)};
+  calls_[id] = {in, out, src, length};
   return id;
 }
 
 void GreedyRouter::disconnect(CallId call) {
   Call& c = calls_[call];
-  for (graph::VertexId v : c.path) busy_[v] = blocked_[v];
-  busy_count_ -= c.path.size();
+  ++stats_.disconnects;
+  // Path vertices are never statically blocked (BFS cannot enter them), so
+  // freeing is a plain bit reset.
+  for (graph::VertexId v = c.head; v != graph::kNoVertex;) {
+    const graph::VertexId nxt = path_next_[v];
+    busy_.reset(v);
+    path_next_[v] = graph::kNoVertex;
+    v = nxt;
+  }
+  busy_count_ -= c.length;
   in_busy_[c.in] = 0;
   out_busy_[c.out] = 0;
-  c.path.clear();
+  c.head = graph::kNoVertex;
+  c.length = 0;
   --active_;
   free_slots_.push_back(call);
+}
+
+std::vector<graph::VertexId> GreedyRouter::path_of(CallId call) const {
+  const Call& c = calls_[call];
+  std::vector<graph::VertexId> path;
+  path.reserve(c.length);
+  for (graph::VertexId v = c.head; v != graph::kNoVertex; v = path_next_[v])
+    path.push_back(v);
+  return path;
 }
 
 }  // namespace ftcs::core

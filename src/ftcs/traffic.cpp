@@ -63,7 +63,7 @@ TrafficReport simulate_traffic(GreedyRouter& router, const TrafficParams& p) {
         continue;
       }
       ++report.carried;
-      total_path_vertices += router.path_of(call).size();
+      total_path_vertices += router.path_length(call);
       departures.push({now + rng.exponential(1.0 / p.mean_holding), call});
     } else {
       const auto dep = departures.top();

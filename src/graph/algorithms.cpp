@@ -8,7 +8,7 @@ namespace ftcs::graph {
 namespace {
 
 template <bool Undirected>
-std::vector<std::uint32_t> bfs_impl(const Digraph& g,
+std::vector<std::uint32_t> bfs_impl(const CsrGraph& g,
                                     std::span<const VertexId> sources,
                                     std::span<const std::uint8_t> blocked,
                                     std::uint32_t max_dist) {
@@ -28,9 +28,9 @@ std::vector<std::uint32_t> bfs_impl(const Digraph& g,
   while (!queue.empty()) {
     const VertexId u = queue.front();
     queue.pop_front();
-    for (EdgeId e : g.out_edges(u)) try_visit(u, g.edge(e).to);
+    for (VertexId v : g.out_targets(u)) try_visit(u, v);
     if constexpr (Undirected) {
-      for (EdgeId e : g.in_edges(u)) try_visit(u, g.edge(e).from);
+      for (VertexId v : g.in_sources(u)) try_visit(u, v);
     }
   }
   return dist;
@@ -38,14 +38,14 @@ std::vector<std::uint32_t> bfs_impl(const Digraph& g,
 
 }  // namespace
 
-std::vector<std::uint32_t> bfs_directed(const Digraph& g,
+std::vector<std::uint32_t> bfs_directed(const CsrGraph& g,
                                         std::span<const VertexId> sources,
                                         std::span<const std::uint8_t> blocked,
                                         std::uint32_t max_dist) {
   return bfs_impl<false>(g, sources, blocked, max_dist);
 }
 
-std::vector<std::uint32_t> bfs_undirected(const Digraph& g,
+std::vector<std::uint32_t> bfs_undirected(const CsrGraph& g,
                                           std::span<const VertexId> sources,
                                           std::span<const std::uint8_t> blocked,
                                           std::uint32_t max_dist) {
@@ -53,7 +53,7 @@ std::vector<std::uint32_t> bfs_undirected(const Digraph& g,
 }
 
 std::optional<std::vector<VertexId>> shortest_path(
-    const Digraph& g, std::span<const VertexId> sources,
+    const CsrGraph& g, std::span<const VertexId> sources,
     std::span<const std::uint8_t> targets,
     std::span<const std::uint8_t> blocked,
     std::span<const std::uint8_t> blocked_edges) {
@@ -69,9 +69,11 @@ std::optional<std::vector<VertexId>> shortest_path(
   while (!queue.empty()) {
     const VertexId u = queue.front();
     queue.pop_front();
-    for (EdgeId e : g.out_edges(u)) {
-      if (!blocked_edges.empty() && blocked_edges[e]) continue;
-      const VertexId v = g.edge(e).to;
+    const auto eids = g.out_edges(u);
+    const auto tgts = g.out_targets(u);
+    for (std::size_t i = 0; i < eids.size(); ++i) {
+      if (!blocked_edges.empty() && blocked_edges[eids[i]]) continue;
+      const VertexId v = tgts[i];
       if (seen[v]) continue;
       if (!blocked.empty() && blocked[v]) continue;
       seen[v] = 1;
@@ -89,7 +91,7 @@ std::optional<std::vector<VertexId>> shortest_path(
 }
 
 std::pair<std::vector<std::uint32_t>, std::size_t> connected_components(
-    const Digraph& g) {
+    const CsrGraph& g) {
   std::vector<std::uint32_t> comp(g.vertex_count(), kUnreachable);
   std::size_t count = 0;
   std::vector<VertexId> stack;
@@ -107,14 +109,14 @@ std::pair<std::vector<std::uint32_t>, std::size_t> connected_components(
           stack.push_back(v);
         }
       };
-      for (EdgeId e : g.out_edges(u)) visit(g.edge(e).to);
-      for (EdgeId e : g.in_edges(u)) visit(g.edge(e).from);
+      for (VertexId v : g.out_targets(u)) visit(v);
+      for (VertexId v : g.in_sources(u)) visit(v);
     }
   }
   return {std::move(comp), count};
 }
 
-std::optional<std::vector<VertexId>> topological_order(const Digraph& g) {
+std::optional<std::vector<VertexId>> topological_order(const CsrGraph& g) {
   std::vector<std::uint32_t> indeg(g.vertex_count());
   for (VertexId v = 0; v < g.vertex_count(); ++v)
     indeg[v] = static_cast<std::uint32_t>(g.in_degree(v));
@@ -127,8 +129,7 @@ std::optional<std::vector<VertexId>> topological_order(const Digraph& g) {
     const VertexId u = ready.back();
     ready.pop_back();
     order.push_back(u);
-    for (EdgeId e : g.out_edges(u)) {
-      const VertexId v = g.edge(e).to;
+    for (VertexId v : g.out_targets(u)) {
       if (--indeg[v] == 0) ready.push_back(v);
     }
   }
@@ -148,15 +149,14 @@ std::uint32_t network_depth(const Network& net) {
   for (VertexId u : *order) {
     if (longest[u] < 0) continue;
     if (is_out[u]) best = std::max(best, longest[u]);
-    for (EdgeId e : net.g.out_edges(u)) {
-      const VertexId v = net.g.edge(e).to;
+    for (VertexId v : net.g.out_targets(u)) {
       longest[v] = std::max(longest[v], longest[u] + 1);
     }
   }
   return static_cast<std::uint32_t>(best);
 }
 
-std::vector<std::pair<EdgeId, std::uint32_t>> edge_ball(const Digraph& g,
+std::vector<std::pair<EdgeId, std::uint32_t>> edge_ball(const CsrGraph& g,
                                                         VertexId v,
                                                         std::uint32_t radius) {
   if (radius == 0) return {};

@@ -18,14 +18,14 @@ inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>
 /// cannot be entered (sources are never blocked-checked). `max_dist` prunes
 /// the search. Returns edge-count distances, kUnreachable where unreached.
 [[nodiscard]] std::vector<std::uint32_t> bfs_directed(
-    const Digraph& g, std::span<const VertexId> sources,
+    const CsrGraph& g, std::span<const VertexId> sources,
     std::span<const std::uint8_t> blocked = {},
     std::uint32_t max_dist = kUnreachable);
 
 /// Multi-source BFS ignoring edge directions — the distance notion used by
 /// the §5 lower-bound arguments ("not necessarily directed" paths).
 [[nodiscard]] std::vector<std::uint32_t> bfs_undirected(
-    const Digraph& g, std::span<const VertexId> sources,
+    const CsrGraph& g, std::span<const VertexId> sources,
     std::span<const std::uint8_t> blocked = {},
     std::uint32_t max_dist = kUnreachable);
 
@@ -33,7 +33,7 @@ inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>
 /// vertices (and blocked edges, if a mask is given); returns the vertex
 /// sequence, or nullopt if none exists.
 [[nodiscard]] std::optional<std::vector<VertexId>> shortest_path(
-    const Digraph& g, std::span<const VertexId> sources,
+    const CsrGraph& g, std::span<const VertexId> sources,
     std::span<const std::uint8_t> targets,
     std::span<const std::uint8_t> blocked = {},
     std::span<const std::uint8_t> blocked_edges = {});
@@ -41,12 +41,12 @@ inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>
 /// Connected components of the underlying undirected graph; returns
 /// (component id per vertex, component count).
 [[nodiscard]] std::pair<std::vector<std::uint32_t>, std::size_t>
-connected_components(const Digraph& g);
+connected_components(const CsrGraph& g);
 
 /// Kahn topological order; nullopt if the graph has a directed cycle.
-[[nodiscard]] std::optional<std::vector<VertexId>> topological_order(const Digraph& g);
+[[nodiscard]] std::optional<std::vector<VertexId>> topological_order(const CsrGraph& g);
 
-[[nodiscard]] inline bool is_dag(const Digraph& g) {
+[[nodiscard]] inline bool is_dag(const CsrGraph& g) {
   return topological_order(g).has_value();
 }
 
@@ -58,6 +58,6 @@ connected_components(const Digraph& g);
 /// dist(v, e=(x,y)) = min(dist(v,x), dist(v,y)) + 1 (paper §5 definition).
 /// Returned as (edge id -> distance) for edges with distance <= radius.
 [[nodiscard]] std::vector<std::pair<EdgeId, std::uint32_t>> edge_ball(
-    const Digraph& g, VertexId v, std::uint32_t radius);
+    const CsrGraph& g, VertexId v, std::uint32_t radius);
 
 }  // namespace ftcs::graph

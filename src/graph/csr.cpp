@@ -1,0 +1,45 @@
+#include "graph/csr.hpp"
+
+#include <numeric>
+
+#include "graph/digraph.hpp"
+
+namespace ftcs::graph {
+
+CsrGraph::CsrGraph(const GraphBuilder& b) {
+  vertex_count_ = b.vertex_count();
+  const std::size_t e = b.edge_count();
+
+  edges_.reserve(e);
+  for (EdgeId id = 0; id < e; ++id) edges_.push_back(b.edge(id));
+
+  out_offsets_.assign(vertex_count_ + 1, 0);
+  in_offsets_.assign(vertex_count_ + 1, 0);
+  out_edge_ids_.resize(e);
+  in_edge_ids_.resize(e);
+  out_targets_.resize(e);
+  in_sources_.resize(e);
+
+  for (VertexId v = 0; v < vertex_count_; ++v) {
+    out_offsets_[v + 1] =
+        out_offsets_[v] + static_cast<std::uint32_t>(b.out_degree(v));
+    in_offsets_[v + 1] =
+        in_offsets_[v] + static_cast<std::uint32_t>(b.in_degree(v));
+  }
+  for (VertexId v = 0; v < vertex_count_; ++v) {
+    std::uint32_t o = out_offsets_[v];
+    for (EdgeId id : b.out_edges(v)) {
+      out_edge_ids_[o] = id;
+      out_targets_[o] = edges_[id].to;
+      ++o;
+    }
+    std::uint32_t i = in_offsets_[v];
+    for (EdgeId id : b.in_edges(v)) {
+      in_edge_ids_[i] = id;
+      in_sources_[i] = edges_[id].from;
+      ++i;
+    }
+  }
+}
+
+}  // namespace ftcs::graph

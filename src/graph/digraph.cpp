@@ -4,14 +4,14 @@
 
 namespace ftcs::graph {
 
-VertexId Digraph::add_vertices(std::size_t count) {
+VertexId GraphBuilder::add_vertices(std::size_t count) {
   const auto first = static_cast<VertexId>(out_.size());
   out_.resize(out_.size() + count);
   in_.resize(in_.size() + count);
   return first;
 }
 
-EdgeId Digraph::add_edge(VertexId from, VertexId to) {
+EdgeId GraphBuilder::add_edge(VertexId from, VertexId to) {
   const auto id = static_cast<EdgeId>(edges_.size());
   edges_.push_back({from, to});
   out_[from].push_back(id);
@@ -19,7 +19,7 @@ EdgeId Digraph::add_edge(VertexId from, VertexId to) {
   return id;
 }
 
-void Digraph::reserve(std::size_t vertices, std::size_t edges) {
+void GraphBuilder::reserve(std::size_t vertices, std::size_t edges) {
   out_.reserve(vertices);
   in_.reserve(vertices);
   edges_.reserve(edges);

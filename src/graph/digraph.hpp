@@ -1,9 +1,13 @@
-// Directed graph representation for circuit-switching networks.
+// Two-phase graph lifecycle: a mutable GraphBuilder for construction and an
+// immutable CsrGraph (graph/csr.hpp) for everything that runs afterwards.
 //
-// Following the paper (§2): a circuit-switching network is an acyclic
-// directed graph; terminals (inputs/outputs) are distinguished vertices,
-// electrical links are the other vertices, and switches are edges.
-// "Graph" and "network", "edge" and "switch" are used interchangeably.
+// All §6 networks are generated programmatically: the builders in networks/
+// and reliability/ append vertices and edges through GraphBuilder's O(1)
+// insertion API, then finalize() packs the incidence lists into flat
+// compressed-sparse-row arrays. Algorithms, routers, verifiers and fault
+// machinery only ever see the CSR view; nothing mutates a graph after
+// finalization. NetworkBuilder/Network mirror the same split for networks
+// (graph + terminal lists + stage labels).
 #pragma once
 
 #include <cstdint>
@@ -11,25 +15,18 @@
 #include <string>
 #include <vector>
 
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
 namespace ftcs::graph {
 
-using VertexId = std::uint32_t;
-using EdgeId = std::uint32_t;
-
-inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
-inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
-
-struct Edge {
-  VertexId from = kNoVertex;
-  VertexId to = kNoVertex;
-};
-
 /// Mutable directed multigraph with O(1) edge insertion and per-vertex
-/// incidence lists in both directions. Vertex/edge ids are dense and stable.
-class Digraph {
+/// incidence lists in both directions. Vertex/edge ids are dense and stable;
+/// finalize() preserves them (and incidence order) in the CSR output.
+class GraphBuilder {
  public:
-  Digraph() = default;
-  explicit Digraph(std::size_t vertex_count) { add_vertices(vertex_count); }
+  GraphBuilder() = default;
+  explicit GraphBuilder(std::size_t vertex_count) { add_vertices(vertex_count); }
 
   VertexId add_vertex() {
     out_.emplace_back();
@@ -54,13 +51,15 @@ class Digraph {
   }
   [[nodiscard]] std::size_t out_degree(VertexId v) const noexcept { return out_[v].size(); }
   [[nodiscard]] std::size_t in_degree(VertexId v) const noexcept { return in_[v].size(); }
-  /// Total incident edges (in + out) — the paper's "degree" for the
-  /// undirected distance arguments of §5.
   [[nodiscard]] std::size_t degree(VertexId v) const noexcept {
     return out_[v].size() + in_[v].size();
   }
 
   void reserve(std::size_t vertices, std::size_t edges);
+
+  /// Packs the current state into an immutable CSR graph. The builder stays
+  /// valid (construction may continue, e.g. to finalize snapshots in tests).
+  [[nodiscard]] CsrGraph finalize() const { return CsrGraph(*this); }
 
  private:
   std::vector<Edge> edges_;
@@ -68,11 +67,12 @@ class Digraph {
   std::vector<std::vector<EdgeId>> in_;
 };
 
-/// A circuit-switching network: a digraph plus distinguished terminal
-/// vertices. `stage[v]` is the construction stage of v (or -1 when the
-/// construction is not staged); all §6 networks are staged DAGs.
+/// A finalized circuit-switching network: an immutable CSR graph plus
+/// distinguished terminal vertices. `stage[v]` is the construction stage of
+/// v (or -1 when the construction is not staged); all §6 networks are
+/// staged DAGs. Produced by NetworkBuilder::finalize().
 struct Network {
-  Digraph g;
+  CsrGraph g;
   std::vector<VertexId> inputs;
   std::vector<VertexId> outputs;
   std::vector<std::int32_t> stage;  // may be empty if unstaged
@@ -87,6 +87,22 @@ struct Network {
   /// monotone along edges. Returns an empty string on success, else a
   /// description of the first violation.
   [[nodiscard]] std::string validate() const;
+};
+
+/// Construction-phase counterpart of Network: same fields over a mutable
+/// GraphBuilder. Every network constructor assembles one of these and
+/// returns finalize(), which packs the graph into CSR form.
+struct NetworkBuilder {
+  GraphBuilder g;
+  std::vector<VertexId> inputs;
+  std::vector<VertexId> outputs;
+  std::vector<std::int32_t> stage;  // may be empty if unstaged
+  std::string name;
+
+  /// Finalizes into an immutable Network. The builder stays valid.
+  [[nodiscard]] Network finalize() const {
+    return Network{g.finalize(), inputs, outputs, stage, name};
+  }
 };
 
 }  // namespace ftcs::graph

@@ -46,7 +46,7 @@ Network read_network(std::istream& is) {
   if (expect_token(is, "magic") != "ftcs-network") fail("bad magic");
   if (expect_token(is, "version") != "1") fail("unsupported version");
 
-  Network net;
+  NetworkBuilder net;
   if (expect_token(is, "name keyword") != "name") fail("expected 'name'");
   net.name = expect_token(is, "name value");
   if (net.name == "-") net.name.clear();
@@ -87,7 +87,7 @@ Network read_network(std::istream& is) {
     if (from >= vertices || to >= vertices) fail("edge endpoint out of range");
     net.g.add_edge(from, to);
   }
-  return net;
+  return net.finalize();
 }
 
 void write_dot(std::ostream& os, const Network& net) {

@@ -88,7 +88,7 @@ struct SplitNetwork {
   static std::uint32_t out_node(VertexId v) { return 2 * v + 1; }
 };
 
-SplitNetwork build_split(const Digraph& g, std::span<const VertexId> sources,
+SplitNetwork build_split(const CsrGraph& g, std::span<const VertexId> sources,
                          std::span<const VertexId> targets,
                          std::span<const std::uint8_t> blocked) {
   const std::size_t n = g.vertex_count();
@@ -120,7 +120,7 @@ SplitNetwork build_split(const Digraph& g, std::span<const VertexId> sources,
 
 }  // namespace
 
-std::size_t max_vertex_disjoint_paths(const Digraph& g,
+std::size_t max_vertex_disjoint_paths(const CsrGraph& g,
                                       std::span<const VertexId> sources,
                                       std::span<const VertexId> targets,
                                       std::span<const std::uint8_t> blocked) {
@@ -129,7 +129,7 @@ std::size_t max_vertex_disjoint_paths(const Digraph& g,
 }
 
 std::vector<std::vector<VertexId>> vertex_disjoint_paths(
-    const Digraph& g, std::span<const VertexId> sources,
+    const CsrGraph& g, std::span<const VertexId> sources,
     std::span<const VertexId> targets, std::span<const std::uint8_t> blocked) {
   auto net = build_split(g, sources, targets, blocked);
   net.dinic.max_flow(net.source, net.sink);

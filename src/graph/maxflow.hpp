@@ -48,14 +48,14 @@ class Dinic {
 /// (endpoints included in the disjointness requirement; each vertex of g has
 /// implicit capacity one). `blocked` vertices (if provided) cannot be used.
 [[nodiscard]] std::size_t max_vertex_disjoint_paths(
-    const Digraph& g, std::span<const VertexId> sources,
+    const CsrGraph& g, std::span<const VertexId> sources,
     std::span<const VertexId> targets,
     std::span<const std::uint8_t> blocked = {});
 
 /// Same, but also returns one maximum family of vertex-disjoint paths
 /// (each path is a vertex sequence from a source to a target).
 [[nodiscard]] std::vector<std::vector<VertexId>> vertex_disjoint_paths(
-    const Digraph& g, std::span<const VertexId> sources,
+    const CsrGraph& g, std::span<const VertexId> sources,
     std::span<const VertexId> targets,
     std::span<const std::uint8_t> blocked = {});
 

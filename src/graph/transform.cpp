@@ -7,7 +7,7 @@
 namespace ftcs::graph {
 
 Network mirror(const Network& net) {
-  Network m;
+  NetworkBuilder m;
   m.name = net.name + "-mirror";
   m.g.reserve(net.g.vertex_count(), net.g.edge_count());
   m.g.add_vertices(net.g.vertex_count());
@@ -24,7 +24,7 @@ Network mirror(const Network& net) {
     for (std::size_t v = 0; v < net.stage.size(); ++v)
       m.stage[v] = net.stage[v] < 0 ? -1 : max_stage - net.stage[v];
   }
-  return m;
+  return m.finalize();
 }
 
 Network substitute_edges(const Network& base, const Network& gadget) {
@@ -38,7 +38,7 @@ Network substitute_edges(const Network& base, const Network& gadget) {
   const std::size_t gv = gadget.g.vertex_count();
   const std::size_t internal = gv - 2;  // gadget vertices other than terminals
 
-  Network out;
+  NetworkBuilder out;
   out.name = base.name + "*" + gadget.name;
   out.g.reserve(base.g.vertex_count() + base.g.edge_count() * internal,
                 base.g.edge_count() * gadget.g.edge_count());
@@ -65,32 +65,34 @@ Network substitute_edges(const Network& base, const Network& gadget) {
       out.g.add_edge(map[ged.from], map[ged.to]);
     }
   }
-  return out;
+  return out.finalize();
 }
 
 InducedResult induced_subnetwork(const Network& net,
                                  std::span<const std::uint8_t> keep) {
   assert(keep.size() == net.g.vertex_count());
   InducedResult result;
-  result.net.name = net.name + "-induced";
+  NetworkBuilder out;
+  out.name = net.name + "-induced";
   result.old_to_new.assign(net.g.vertex_count(), kNoVertex);
   for (VertexId v = 0; v < net.g.vertex_count(); ++v) {
-    if (keep[v]) result.old_to_new[v] = result.net.g.add_vertex();
+    if (keep[v]) result.old_to_new[v] = out.g.add_vertex();
   }
   for (EdgeId e = 0; e < net.g.edge_count(); ++e) {
     const auto& ed = net.g.edge(e);
     if (keep[ed.from] && keep[ed.to])
-      result.net.g.add_edge(result.old_to_new[ed.from], result.old_to_new[ed.to]);
+      out.g.add_edge(result.old_to_new[ed.from], result.old_to_new[ed.to]);
   }
   for (VertexId v : net.inputs)
-    if (keep[v]) result.net.inputs.push_back(result.old_to_new[v]);
+    if (keep[v]) out.inputs.push_back(result.old_to_new[v]);
   for (VertexId v : net.outputs)
-    if (keep[v]) result.net.outputs.push_back(result.old_to_new[v]);
+    if (keep[v]) out.outputs.push_back(result.old_to_new[v]);
   if (!net.stage.empty()) {
-    result.net.stage.resize(result.net.g.vertex_count(), -1);
+    out.stage.resize(out.g.vertex_count(), -1);
     for (VertexId v = 0; v < net.g.vertex_count(); ++v)
-      if (keep[v]) result.net.stage[result.old_to_new[v]] = net.stage[v];
+      if (keep[v]) out.stage[result.old_to_new[v]] = net.stage[v];
   }
+  result.net = out.finalize();
   return result;
 }
 

@@ -1,0 +1,24 @@
+// Shared graph vocabulary: vertex/edge id types and the dense edge record.
+//
+// Following the paper (§2): a circuit-switching network is an acyclic
+// directed graph; terminals (inputs/outputs) are distinguished vertices,
+// electrical links are the other vertices, and switches are edges.
+// "Graph" and "network", "edge" and "switch" are used interchangeably.
+#pragma once
+
+#include <cstdint>
+
+namespace ftcs::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+struct Edge {
+  VertexId from = kNoVertex;
+  VertexId to = kNoVertex;
+};
+
+}  // namespace ftcs::graph

@@ -9,27 +9,29 @@ Benes::Benes(std::uint32_t k) : k_(k) {
   if (k == 0 || k > 20) throw std::invalid_argument("Benes: need 1 <= k <= 20");
   const std::uint32_t n = 1u << k;
   const std::uint32_t stages = 2 * k + 1;
-  net_.name = "benes-" + std::to_string(n);
-  net_.g.reserve(static_cast<std::size_t>(stages) * n,
+  graph::NetworkBuilder b;
+  b.name = "benes-" + std::to_string(n);
+  b.g.reserve(static_cast<std::size_t>(stages) * n,
                  static_cast<std::size_t>(2 * k) * 2 * n);
-  net_.g.add_vertices(static_cast<std::size_t>(stages) * n);
-  net_.stage.resize(net_.g.vertex_count());
+  b.g.add_vertices(static_cast<std::size_t>(stages) * n);
+  b.stage.resize(b.g.vertex_count());
   for (std::uint32_t s = 0; s < stages; ++s)
     for (std::uint32_t i = 0; i < n; ++i)
-      net_.stage[vertex(s, i)] = static_cast<std::int32_t>(s);
+      b.stage[vertex(s, i)] = static_cast<std::int32_t>(s);
   for (std::uint32_t s = 0; s < 2 * k; ++s) {
     const std::uint32_t bit = s < k ? (1u << (k - 1 - s)) : (1u << (s - k));
     for (std::uint32_t i = 0; i < n; ++i) {
-      net_.g.add_edge(vertex(s, i), vertex(s + 1, i));        // straight
-      net_.g.add_edge(vertex(s, i), vertex(s + 1, i ^ bit));  // cross
+      b.g.add_edge(vertex(s, i), vertex(s + 1, i));        // straight
+      b.g.add_edge(vertex(s, i), vertex(s + 1, i ^ bit));  // cross
     }
   }
-  net_.inputs.resize(n);
-  net_.outputs.resize(n);
+  b.inputs.resize(n);
+  b.outputs.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    net_.inputs[i] = vertex(0, i);
-    net_.outputs[i] = vertex(2 * k, i);
+    b.inputs[i] = vertex(0, i);
+    b.outputs[i] = vertex(2 * k, i);
   }
+  net_ = b.finalize();
 }
 
 void Benes::route_recursive(std::uint32_t bits, std::uint32_t s0,

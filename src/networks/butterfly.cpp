@@ -7,7 +7,7 @@ namespace ftcs::networks {
 graph::Network build_butterfly(std::uint32_t k) {
   if (k == 0 || k > 24) throw std::invalid_argument("butterfly: need 1 <= k <= 24");
   const std::uint32_t n = 1u << k;
-  graph::Network net;
+  graph::NetworkBuilder net;
   net.name = "butterfly-" + std::to_string(n);
   auto vertex = [n](std::uint32_t s, std::uint32_t i) { return s * n + i; };
   net.g.reserve(static_cast<std::size_t>(k + 1) * n, static_cast<std::size_t>(k) * 2 * n);
@@ -27,7 +27,7 @@ graph::Network build_butterfly(std::uint32_t k) {
     net.inputs[i] = vertex(0, i);
     net.outputs[i] = vertex(k, i);
   }
-  return net;
+  return net.finalize();
 }
 
 std::vector<graph::VertexId> butterfly_path(std::uint32_t k, std::uint32_t input,

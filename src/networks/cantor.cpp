@@ -16,7 +16,7 @@ graph::Network build_cantor(const CantorParams& params) {
   const auto& pg = plane.network();
   const std::size_t plane_vertices = pg.g.vertex_count();
 
-  graph::Network net;
+  graph::NetworkBuilder net;
   net.name = "cantor-" + std::to_string(n) + "-m" + std::to_string(m);
   net.g.reserve(2ul * n + m * plane_vertices,
                 2ul * n * m + m * pg.g.edge_count());
@@ -49,7 +49,7 @@ graph::Network build_cantor(const CantorParams& params) {
     net.inputs[i] = i;
     net.outputs[i] = n + i;
   }
-  return net;
+  return net.finalize();
 }
 
 }  // namespace ftcs::networks

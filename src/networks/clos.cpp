@@ -5,7 +5,7 @@
 namespace ftcs::networks {
 
 graph::Network build_clos(const ClosParams& p) {
-  graph::Network net;
+  graph::NetworkBuilder net;
   net.name = "clos-k" + std::to_string(p.k) + "-m" + std::to_string(p.m) + "-r" +
              std::to_string(p.r);
   const std::uint32_t n = p.terminal_count();
@@ -47,7 +47,7 @@ graph::Network build_clos(const ClosParams& p) {
     net.inputs[i] = input0 + i;
     net.outputs[i] = output0 + i;
   }
-  return net;
+  return net.finalize();
 }
 
 ClosParams clos_nonblocking_for(std::uint32_t n) {

@@ -3,7 +3,7 @@
 namespace ftcs::networks {
 
 graph::Network build_crossbar(std::uint32_t n) {
-  graph::Network net;
+  graph::NetworkBuilder net;
   net.name = "crossbar-" + std::to_string(n);
   net.g.reserve(2ul * n, static_cast<std::size_t>(n) * n);
   net.g.add_vertices(2ul * n);
@@ -17,7 +17,7 @@ graph::Network build_crossbar(std::uint32_t n) {
   }
   for (std::uint32_t i = 0; i < n; ++i)
     for (std::uint32_t j = 0; j < n; ++j) net.g.add_edge(i, n + j);
-  return net;
+  return net.finalize();
 }
 
 }  // namespace ftcs::networks

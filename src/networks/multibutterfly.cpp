@@ -13,7 +13,7 @@ graph::Network build_multibutterfly(const MultibutterflyParams& p) {
   if (p.k == 0 || p.k > 24)
     throw std::invalid_argument("multibutterfly: need 1 <= k <= 24");
   const std::uint32_t n = 1u << p.k;
-  graph::Network net;
+  graph::NetworkBuilder net;
   net.name = "multibutterfly-" + std::to_string(n) + "-d" + std::to_string(p.degree);
   auto vertex = [n](std::uint32_t s, std::uint32_t i) { return s * n + i; };
   net.g.reserve(static_cast<std::size_t>(p.k + 1) * n,
@@ -50,7 +50,7 @@ graph::Network build_multibutterfly(const MultibutterflyParams& p) {
     net.inputs[i] = vertex(0, i);
     net.outputs[i] = vertex(p.k, i);
   }
-  return net;
+  return net.finalize();
 }
 
 std::optional<std::vector<graph::VertexId>> multibutterfly_route(

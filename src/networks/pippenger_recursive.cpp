@@ -41,7 +41,7 @@ std::vector<std::vector<graph::VertexId>> RecursiveCore::last_blocks() const {
 }
 
 void connect_expander_column(
-    graph::Network& net, const std::vector<std::vector<graph::VertexId>>& children,
+    graph::NetworkBuilder& net, const std::vector<std::vector<graph::VertexId>>& children,
     const std::vector<std::vector<graph::VertexId>>& parents, std::uint32_t radix,
     std::uint32_t degree, bool reverse, std::uint64_t seed) {
   if (children.size() != static_cast<std::size_t>(radix) * parents.size())
@@ -124,7 +124,7 @@ graph::Network build_recursive_nonblocking(const RecursiveNonblockingParams& p) 
   cp.seed = p.seed;
   RecursiveCore core = build_recursive_core(cp);
 
-  graph::Network net = std::move(core.net);
+  graph::NetworkBuilder net = std::move(core.net);
   net.name = "recursive-nonblocking-n" + std::to_string([&] {
     std::size_t n = 1;
     for (std::uint32_t i = 0; i < p.levels; ++i) n *= p.radix;
@@ -153,7 +153,7 @@ graph::Network build_recursive_nonblocking(const RecursiveNonblockingParams& p) 
       for (graph::VertexId v : block) net.g.add_edge(v, out);
     }
   }
-  return net;
+  return net.finalize();
 }
 
 }  // namespace ftcs::networks

@@ -37,7 +37,7 @@ struct RecursiveCoreParams {
 };
 
 struct RecursiveCore {
-  graph::Network net;  // no terminals; stage labels set
+  graph::NetworkBuilder net;  // no terminals; stage labels set
   RecursiveCoreParams params;
 
   /// Vertex id of position `i` in stage `s` (stage-major layout).
@@ -57,7 +57,7 @@ struct RecursiveCore {
 /// radix * parents.size(); every child block and every parent sub-range must
 /// have equal size. If `reverse`, edges run parent -> child (mirror half).
 void connect_expander_column(
-    graph::Network& net,
+    graph::NetworkBuilder& net,
     const std::vector<std::vector<graph::VertexId>>& children,
     const std::vector<std::vector<graph::VertexId>>& parents,
     std::uint32_t radix, std::uint32_t degree, bool reverse, std::uint64_t seed);

@@ -12,7 +12,7 @@ namespace {
 // Recursively appends an n-superconcentrator between the given input and
 // output vertex lists (both of size n), returning nothing; fresh internal
 // vertices are added to net.
-void build_recursive(graph::Network& net, const std::vector<graph::VertexId>& in,
+void build_recursive(graph::NetworkBuilder& net, const std::vector<graph::VertexId>& in,
                      const std::vector<graph::VertexId>& out,
                      const SuperconcentratorParams& p, std::uint64_t seed) {
   const auto n = static_cast<std::uint32_t>(in.size());
@@ -46,7 +46,7 @@ void build_recursive(graph::Network& net, const std::vector<graph::VertexId>& in
 
 graph::Network build_superconcentrator(const SuperconcentratorParams& p) {
   if (p.n == 0) throw std::invalid_argument("superconcentrator: n == 0");
-  graph::Network net;
+  graph::NetworkBuilder net;
   net.name = "superconcentrator-" + std::to_string(p.n);
   net.g.add_vertices(2ul * p.n);
   net.inputs.resize(p.n);
@@ -56,7 +56,7 @@ graph::Network build_superconcentrator(const SuperconcentratorParams& p) {
     net.outputs[i] = p.n + i;
   }
   build_recursive(net, net.inputs, net.outputs, p, p.seed);
-  return net;
+  return net.finalize();
 }
 
 }  // namespace ftcs::networks

@@ -11,8 +11,10 @@ std::size_t grid_edge_count(const GridSpec& spec) noexcept {
   return straight + diag;
 }
 
-graph::Network build_directed_grid(const GridSpec& spec) {
-  graph::Network net;
+namespace {
+
+graph::NetworkBuilder grid_builder(const GridSpec& spec) {
+  graph::NetworkBuilder net;
   net.name = "grid-" + std::to_string(spec.rows) + "x" + std::to_string(spec.stages);
   net.g.reserve(spec.vertex_count(), grid_edge_count(spec));
   net.g.add_vertices(spec.vertex_count());
@@ -33,8 +35,14 @@ graph::Network build_directed_grid(const GridSpec& spec) {
   return net;
 }
 
+}  // namespace
+
+graph::Network build_directed_grid(const GridSpec& spec) {
+  return grid_builder(spec).finalize();
+}
+
 graph::Network build_grid_one_network(const GridSpec& spec) {
-  graph::Network net = build_directed_grid(spec);
+  graph::NetworkBuilder net = grid_builder(spec);
   net.name += "-1net";
   const graph::VertexId input = net.g.add_vertex();
   const graph::VertexId output = net.g.add_vertex();
@@ -46,7 +54,7 @@ graph::Network build_grid_one_network(const GridSpec& spec) {
   }
   net.inputs = {input};
   net.outputs = {output};
-  return net;
+  return net.finalize();
 }
 
 }  // namespace ftcs::reliability

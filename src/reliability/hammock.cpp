@@ -76,7 +76,7 @@ std::size_t SpNetwork::depth() const {
   return 0;  // unreachable
 }
 
-void SpNetwork::materialize(graph::Network& net, graph::VertexId from,
+void SpNetwork::materialize(graph::NetworkBuilder& net, graph::VertexId from,
                             graph::VertexId to) const {
   switch (kind_) {
     case Kind::kLeaf:
@@ -136,14 +136,14 @@ SpNetwork::SuperSwitchSample SpNetwork::sample_super_switch(
 }
 
 graph::Network SpNetwork::to_network() const {
-  graph::Network net;
+  graph::NetworkBuilder net;
   net.name = "sp-1net";
   const graph::VertexId input = net.g.add_vertex();
   const graph::VertexId output = net.g.add_vertex();
   materialize(net, input, output);
   net.inputs = {input};
   net.outputs = {output};
-  return net;
+  return net.finalize();
 }
 
 }  // namespace ftcs::reliability

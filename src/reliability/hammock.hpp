@@ -81,7 +81,7 @@ class SpNetwork {
   Kind kind_ = Kind::kLeaf;
   std::vector<SpNetwork> children_;
 
-  void materialize(graph::Network& net, graph::VertexId from,
+  void materialize(graph::NetworkBuilder& net, graph::VertexId from,
                    graph::VertexId to) const;
 };
 

@@ -85,12 +85,12 @@ TEST(Bounds, Prop1Normalization) {
 // --------------------------------------------------------- rare events
 
 graph::Network series_chain(std::size_t k) {
-  graph::Network net;
-  net.g.add_vertices(k + 1);
-  for (graph::VertexId v = 0; v < k; ++v) net.g.add_edge(v, v + 1);
-  net.inputs = {0};
-  net.outputs = {static_cast<graph::VertexId>(k)};
-  return net;
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(k + 1);
+  for (graph::VertexId v = 0; v < k; ++v) nb.g.add_edge(v, v + 1);
+  nb.inputs = {0};
+  nb.outputs = {static_cast<graph::VertexId>(k)};
+  return nb.finalize();
 }
 
 TEST(RareEvent, MatchesExactOnChain) {
@@ -120,15 +120,16 @@ TEST(RareEvent, UnreachableByNaiveMonteCarlo) {
 TEST(RareEvent, AgreesWithExactEnumeration) {
   // Small diamond where multiple shorts interact: exact 2^E enumeration is
   // ground truth for both estimators.
-  graph::Network net;
-  net.g.add_vertices(4);
-  net.g.add_edge(0, 1);
-  net.g.add_edge(1, 3);
-  net.g.add_edge(0, 2);
-  net.g.add_edge(2, 3);
-  net.inputs = {0};
-  net.outputs = {3};
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(4);
+  nb.g.add_edge(0, 1);
+  nb.g.add_edge(1, 3);
+  nb.g.add_edge(0, 2);
+  nb.g.add_edge(2, 3);
+  nb.inputs = {0};
+  nb.outputs = {3};
   const double eps = 0.05;
+  const graph::Network net = nb.finalize();
   const double exact =
       reliability::short_probability_exact(net, fault::FaultModel{0.0, eps});
   const auto is_est = reliability::short_probability_importance(net, eps, 0.3,
@@ -156,14 +157,15 @@ TEST(RareEvent, DominantTermOnChain) {
 
 TEST(RareEvent, DominantTermCountsParallelChains) {
   // Two parallel 2-chains between the terminals: N = 2, L = 2.
-  graph::Network net;
-  net.g.add_vertices(4);
-  net.g.add_edge(0, 1);
-  net.g.add_edge(1, 3);
-  net.g.add_edge(0, 2);
-  net.g.add_edge(2, 3);
-  net.inputs = {0};
-  net.outputs = {3};
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(4);
+  nb.g.add_edge(0, 1);
+  nb.g.add_edge(1, 3);
+  nb.g.add_edge(0, 2);
+  nb.g.add_edge(2, 3);
+  nb.inputs = {0};
+  nb.outputs = {3};
+  const graph::Network net = nb.finalize();
   const auto dom = reliability::dominant_short_term(net);
   EXPECT_EQ(dom.min_length, 2u);
   EXPECT_DOUBLE_EQ(dom.chain_count, 2.0);
@@ -171,23 +173,25 @@ TEST(RareEvent, DominantTermCountsParallelChains) {
 
 TEST(RareEvent, DominantTermMultiEdges) {
   // Parallel switches double the chain count.
-  graph::Network net;
-  net.g.add_vertices(3);
-  net.g.add_edge(0, 1);
-  net.g.add_edge(0, 1);
-  net.g.add_edge(1, 2);
-  net.inputs = {0};
-  net.outputs = {2};
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(3);
+  nb.g.add_edge(0, 1);
+  nb.g.add_edge(0, 1);
+  nb.g.add_edge(1, 2);
+  nb.inputs = {0};
+  nb.outputs = {2};
+  const graph::Network net = nb.finalize();
   const auto dom = reliability::dominant_short_term(net);
   EXPECT_EQ(dom.min_length, 2u);
   EXPECT_DOUBLE_EQ(dom.chain_count, 2.0);
 }
 
 TEST(RareEvent, DominantTermDisconnected) {
-  graph::Network net;
-  net.g.add_vertices(2);
-  net.inputs = {0};
-  net.outputs = {1};
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(2);
+  nb.inputs = {0};
+  nb.outputs = {1};
+  const graph::Network net = nb.finalize();
   const auto dom = reliability::dominant_short_term(net);
   EXPECT_EQ(dom.min_length, 0u);
   EXPECT_DOUBLE_EQ(dom.first_order(0.5), 0.0);
@@ -323,14 +327,15 @@ TEST(Io, RoundTripPreservesStructure) {
 }
 
 TEST(Io, RoundTripWithoutStages) {
-  graph::Network net;
-  net.g.add_vertices(3);
-  net.g.add_edge(0, 1);
-  net.g.add_edge(1, 2);
-  net.inputs = {0};
-  net.outputs = {2};
-  net.name = "tiny";
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(3);
+  nb.g.add_edge(0, 1);
+  nb.g.add_edge(1, 2);
+  nb.inputs = {0};
+  nb.outputs = {2};
+  nb.name = "tiny";
   std::stringstream ss;
+  const graph::Network net = nb.finalize();
   graph::write_network(ss, net);
   const auto back = graph::read_network(ss);
   EXPECT_TRUE(graph::structurally_equal(net, back));
@@ -361,14 +366,15 @@ TEST(Io, RejectsMalformedInput) {
 }
 
 TEST(Io, DotContainsAllEdges) {
-  graph::Network net;
-  net.g.add_vertices(3);
-  net.g.add_edge(0, 1);
-  net.g.add_edge(1, 2);
-  net.inputs = {0};
-  net.outputs = {2};
-  net.stage = {0, 1, 2};
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(3);
+  nb.g.add_edge(0, 1);
+  nb.g.add_edge(1, 2);
+  nb.inputs = {0};
+  nb.outputs = {2};
+  nb.stage = {0, 1, 2};
   std::stringstream ss;
+  const graph::Network net = nb.finalize();
   graph::write_dot(ss, net);
   const std::string dot = ss.str();
   EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
@@ -378,15 +384,15 @@ TEST(Io, DotContainsAllEdges) {
 }
 
 TEST(Io, StructuralEqualityDetectsDifferences) {
-  graph::Network a;
-  a.g.add_vertices(2);
-  a.g.add_edge(0, 1);
-  a.inputs = {0};
-  a.outputs = {1};
-  graph::Network b = a;
-  EXPECT_TRUE(graph::structurally_equal(a, b));
-  b.g.add_edge(0, 1);
-  EXPECT_FALSE(graph::structurally_equal(a, b));
+  graph::NetworkBuilder ab;
+  ab.g.add_vertices(2);
+  ab.g.add_edge(0, 1);
+  ab.inputs = {0};
+  ab.outputs = {1};
+  const graph::Network a = ab.finalize();
+  EXPECT_TRUE(graph::structurally_equal(a, ab.finalize()));
+  ab.g.add_edge(0, 1);
+  EXPECT_FALSE(graph::structurally_equal(a, ab.finalize()));
 }
 
 }  // namespace

@@ -71,14 +71,14 @@ TEST(Sampling, DenseStatesAgreeWithSparse) {
 
 graph::Network chain_net() {
   // 0 -> 1 -> 2 -> 3 with terminals 0 (input) and 3 (output).
-  graph::Network net;
-  net.g.add_vertices(4);
-  net.g.add_edge(0, 1);
-  net.g.add_edge(1, 2);
-  net.g.add_edge(2, 3);
-  net.inputs = {0};
-  net.outputs = {3};
-  return net;
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(4);
+  nb.g.add_edge(0, 1);
+  nb.g.add_edge(1, 2);
+  nb.g.add_edge(2, 3);
+  nb.inputs = {0};
+  nb.outputs = {3};
+  return nb.finalize();
 }
 
 TEST(FaultInstance, ExplicitFailuresIndexing) {

@@ -7,14 +7,14 @@
 namespace ftcs::graph {
 namespace {
 
-Digraph path_graph(std::size_t n) {
-  Digraph g(n);
+CsrGraph path_graph(std::size_t n) {
+  GraphBuilder g(n);
   for (VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
-  return g;
+  return g.finalize();
 }
 
-TEST(Digraph, BasicConstruction) {
-  Digraph g;
+TEST(GraphBuilder, BasicConstruction) {
+  GraphBuilder g;
   EXPECT_EQ(g.vertex_count(), 0u);
   const auto a = g.add_vertex();
   const auto b = g.add_vertex();
@@ -28,47 +28,68 @@ TEST(Digraph, BasicConstruction) {
   EXPECT_EQ(g.degree(a), 1u);
 }
 
-TEST(Digraph, AddVerticesReturnsFirstId) {
-  Digraph g(3);
+TEST(GraphBuilder, AddVerticesReturnsFirstId) {
+  GraphBuilder g(3);
   const auto first = g.add_vertices(4);
   EXPECT_EQ(first, 3u);
   EXPECT_EQ(g.vertex_count(), 7u);
 }
 
-TEST(Digraph, MultiEdgesAllowed) {
-  Digraph g(2);
+TEST(GraphBuilder, MultiEdgesAllowed) {
+  GraphBuilder g(2);
   g.add_edge(0, 1);
   g.add_edge(0, 1);
   EXPECT_EQ(g.edge_count(), 2u);
   EXPECT_EQ(g.out_degree(0), 2u);
 }
 
+TEST(CsrGraph, MirrorsBuilderAfterFinalize) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const CsrGraph g = b.finalize();
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.edge(1).to, 2u);
+  // Aligned target spans match the edge table.
+  const auto eids = g.out_edges(0);
+  const auto tgts = g.out_targets(0);
+  ASSERT_EQ(eids.size(), tgts.size());
+  for (std::size_t i = 0; i < eids.size(); ++i)
+    EXPECT_EQ(g.edge(eids[i]).to, tgts[i]);
+}
+
 TEST(Network, ValidateCatchesBadTerminals) {
-  Network net;
-  net.g.add_vertices(2);
-  net.g.add_edge(0, 1);
-  net.inputs = {0};
-  net.outputs = {5};  // out of range
-  EXPECT_NE(net.validate(), "");
-  net.outputs = {1};
-  EXPECT_EQ(net.validate(), "");
+  NetworkBuilder nb;
+  nb.g.add_vertices(2);
+  nb.g.add_edge(0, 1);
+  nb.inputs = {0};
+  nb.outputs = {5};  // out of range
+  EXPECT_NE(nb.finalize().validate(), "");
+  nb.outputs = {1};
+  EXPECT_EQ(nb.finalize().validate(), "");
 }
 
 TEST(Network, ValidateCatchesStageViolation) {
-  Network net;
-  net.g.add_vertices(2);
-  net.g.add_edge(0, 1);
-  net.stage = {1, 0};  // edge goes backwards in stage
-  EXPECT_NE(net.validate(), "");
-  net.stage = {0, 1};
-  EXPECT_EQ(net.validate(), "");
+  NetworkBuilder nb;
+  nb.g.add_vertices(2);
+  nb.g.add_edge(0, 1);
+  nb.stage = {1, 0};  // edge goes backwards in stage
+  EXPECT_NE(nb.finalize().validate(), "");
+  nb.stage = {0, 1};
+  EXPECT_EQ(nb.finalize().validate(), "");
 }
 
 TEST(Network, TerminalQueries) {
-  Network net;
-  net.g.add_vertices(3);
-  net.inputs = {0};
-  net.outputs = {2};
+  NetworkBuilder nb;
+  nb.g.add_vertices(3);
+  nb.inputs = {0};
+  nb.outputs = {2};
+  const Network net = nb.finalize();
   EXPECT_TRUE(net.is_input(0));
   EXPECT_FALSE(net.is_input(1));
   EXPECT_TRUE(net.is_output(2));
@@ -144,11 +165,12 @@ TEST(Bfs, MultiSource) {
 
 TEST(ShortestPath, FindsAndAvoids) {
   // Diamond: 0 -> 1 -> 3, 0 -> 2 -> 3.
-  Digraph g(4);
-  g.add_edge(0, 1);
-  g.add_edge(1, 3);
-  g.add_edge(0, 2);
-  g.add_edge(2, 3);
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 3);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  const CsrGraph g = b.finalize();
   std::vector<std::uint8_t> target(4, 0);
   target[3] = 1;
   const VertexId src[1] = {0};
@@ -169,8 +191,9 @@ TEST(ShortestPath, FindsAndAvoids) {
 }
 
 TEST(ShortestPath, SourceIsTarget) {
-  Digraph g(2);
-  g.add_edge(0, 1);
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const CsrGraph g = b.finalize();
   std::vector<std::uint8_t> target(2, 0);
   target[0] = 1;
   const VertexId src[1] = {0};
@@ -180,11 +203,11 @@ TEST(ShortestPath, SourceIsTarget) {
 }
 
 TEST(Components, CountsAndLabels) {
-  Digraph g(6);
-  g.add_edge(0, 1);
-  g.add_edge(2, 3);
-  g.add_edge(3, 4);
-  const auto [comp, count] = connected_components(g);
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  const auto [comp, count] = connected_components(b.finalize());
   EXPECT_EQ(count, 3u);
   EXPECT_EQ(comp[0], comp[1]);
   EXPECT_EQ(comp[2], comp[4]);
@@ -193,40 +216,40 @@ TEST(Components, CountsAndLabels) {
 }
 
 TEST(Topological, OrderAndCycleDetection) {
-  Digraph g(4);
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
-  g.add_edge(0, 2);
-  auto order = topological_order(g);
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  auto order = topological_order(b.finalize());
   ASSERT_TRUE(order.has_value());
   std::vector<std::uint32_t> position(4);
   for (std::uint32_t i = 0; i < order->size(); ++i) position[(*order)[i]] = i;
   EXPECT_LT(position[0], position[1]);
   EXPECT_LT(position[1], position[2]);
 
-  g.add_edge(2, 0);  // cycle
-  EXPECT_FALSE(topological_order(g).has_value());
-  EXPECT_FALSE(is_dag(g));
+  b.add_edge(2, 0);  // cycle; refinalize the updated builder
+  EXPECT_FALSE(topological_order(b.finalize()).has_value());
+  EXPECT_FALSE(is_dag(b.finalize()));
 }
 
 TEST(NetworkDepth, LongestInputOutputPath) {
-  Network net;
-  net.g.add_vertices(5);
-  net.g.add_edge(0, 1);
-  net.g.add_edge(1, 2);
-  net.g.add_edge(0, 2);
-  net.g.add_edge(2, 3);
-  net.inputs = {0};
-  net.outputs = {3, 4};
-  EXPECT_EQ(network_depth(net), 3u);  // 0-1-2-3
+  NetworkBuilder nb;
+  nb.g.add_vertices(5);
+  nb.g.add_edge(0, 1);
+  nb.g.add_edge(1, 2);
+  nb.g.add_edge(0, 2);
+  nb.g.add_edge(2, 3);
+  nb.inputs = {0};
+  nb.outputs = {3, 4};
+  EXPECT_EQ(network_depth(nb.finalize()), 3u);  // 0-1-2-3
 }
 
 TEST(NetworkDepth, NoPathIsZero) {
-  Network net;
-  net.g.add_vertices(2);
-  net.inputs = {0};
-  net.outputs = {1};
-  EXPECT_EQ(network_depth(net), 0u);
+  NetworkBuilder nb;
+  nb.g.add_vertices(2);
+  nb.inputs = {0};
+  nb.outputs = {1};
+  EXPECT_EQ(network_depth(nb.finalize()), 0u);
 }
 
 TEST(EdgeBall, PaperDistanceDefinition) {

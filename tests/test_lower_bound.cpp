@@ -12,11 +12,11 @@
 namespace ftcs::core {
 namespace {
 
-std::size_t undirected_degree(const graph::Digraph& g, graph::VertexId v) {
+std::size_t undirected_degree(const graph::CsrGraph& g, graph::VertexId v) {
   return g.degree(v);
 }
 
-std::size_t count_leaves(const graph::Digraph& g) {
+std::size_t count_leaves(const graph::CsrGraph& g) {
   std::size_t leaves = 0;
   for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
     if (undirected_degree(g, v) == 1) ++leaves;
@@ -37,19 +37,19 @@ TEST(RandomCubicTree, LeafCountAndDegrees) {
 
 TEST(ExtractLeafPaths, PathStar) {
   // Star with 3 leaves: all pairs at distance 2; maximal family has 1 path.
-  graph::Digraph g(4);
-  g.add_edge(0, 1);
-  g.add_edge(0, 2);
-  g.add_edge(0, 3);
-  const auto paths = extract_leaf_paths(g);
+  graph::GraphBuilder gb(4);
+  gb.add_edge(0, 1);
+  gb.add_edge(0, 2);
+  gb.add_edge(0, 3);
+  const auto paths = extract_leaf_paths(gb.finalize());
   ASSERT_EQ(paths.size(), 1u);
   EXPECT_EQ(paths[0].size(), 3u);  // leaf - center - leaf
 }
 
 TEST(ExtractLeafPaths, SingleEdge) {
-  graph::Digraph g(2);
-  g.add_edge(0, 1);
-  const auto paths = extract_leaf_paths(g);
+  graph::GraphBuilder gb(2);
+  gb.add_edge(0, 1);
+  const auto paths = extract_leaf_paths(gb.finalize());
   ASSERT_EQ(paths.size(), 1u);
   EXPECT_EQ(paths[0].size(), 2u);
 }
@@ -104,9 +104,9 @@ TEST(LeafCensus, InvariantsAndProofBounds) {
 
 TEST(ReduceToDegree3, CapsDegrees) {
   // Star with 6 leaves: center has degree 6 -> replaced by 4-node chain.
-  graph::Digraph g(7);
-  for (graph::VertexId leaf = 1; leaf <= 6; ++leaf) g.add_edge(0, leaf);
-  const auto reduced = reduce_to_degree3(g);
+  graph::GraphBuilder gb(7);
+  for (graph::VertexId leaf = 1; leaf <= 6; ++leaf) gb.add_edge(0, leaf);
+  const auto reduced = reduce_to_degree3(gb.finalize());
   EXPECT_EQ(count_leaves(reduced), 6u);
   for (graph::VertexId v = 0; v < reduced.vertex_count(); ++v)
     EXPECT_LE(undirected_degree(reduced, v), 3u);
@@ -174,14 +174,15 @@ TEST(Lemma2, PathsJoinTwoInputs) {
 
 TEST(Lemma2, NoClosePairsOnSeparatedNet) {
   // Two disjoint chains: inputs cannot reach each other.
-  graph::Network net;
-  net.g.add_vertices(6);
-  net.g.add_edge(0, 2);
-  net.g.add_edge(2, 4);
-  net.g.add_edge(1, 3);
-  net.g.add_edge(3, 5);
-  net.inputs = {0, 1};
-  net.outputs = {4, 5};
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(6);
+  nb.g.add_edge(0, 2);
+  nb.g.add_edge(2, 4);
+  nb.g.add_edge(1, 3);
+  nb.g.add_edge(3, 5);
+  nb.inputs = {0, 1};
+  nb.outputs = {4, 5};
+  const graph::Network net = nb.finalize();
   const auto result = lemma2_short_paths(net, 10);
   EXPECT_EQ(result.close_inputs, 0u);
   EXPECT_TRUE(result.short_paths.empty());

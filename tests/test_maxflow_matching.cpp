@@ -33,39 +33,39 @@ TEST(Dinic, FlowAccessors) {
 TEST(MengerPaths, DiamondHasOneVertexDisjointPath) {
   // 0 -> 1 -> 3 and 0 -> 2 -> 3 share endpoints 0, 3; with endpoint
   // capacities one, only a single fully vertex-disjoint path exists.
-  Digraph g(4);
+  GraphBuilder g(4);
   g.add_edge(0, 1);
   g.add_edge(1, 3);
   g.add_edge(0, 2);
   g.add_edge(2, 3);
   const VertexId s[1] = {0}, t[1] = {3};
-  EXPECT_EQ(max_vertex_disjoint_paths(g, s, t), 1u);
+  EXPECT_EQ(max_vertex_disjoint_paths(g.finalize(), s, t), 1u);
 }
 
 TEST(MengerPaths, TwoSourcesTwoTargets) {
   // 0 -> 2 -> 4 and 1 -> 3 -> 5: two disjoint paths.
-  Digraph g(6);
+  GraphBuilder g(6);
   g.add_edge(0, 2);
   g.add_edge(2, 4);
   g.add_edge(1, 3);
   g.add_edge(3, 5);
   const VertexId s[2] = {0, 1}, t[2] = {4, 5};
-  EXPECT_EQ(max_vertex_disjoint_paths(g, s, t), 2u);
+  EXPECT_EQ(max_vertex_disjoint_paths(g.finalize(), s, t), 2u);
 }
 
 TEST(MengerPaths, BottleneckVertexLimitsFlow) {
   // Two sources funnel through vertex 2 to two targets: max 1 disjoint path.
-  Digraph g(5);
+  GraphBuilder g(5);
   g.add_edge(0, 2);
   g.add_edge(1, 2);
   g.add_edge(2, 3);
   g.add_edge(2, 4);
   const VertexId s[2] = {0, 1}, t[2] = {3, 4};
-  EXPECT_EQ(max_vertex_disjoint_paths(g, s, t), 1u);
+  EXPECT_EQ(max_vertex_disjoint_paths(g.finalize(), s, t), 1u);
 }
 
 TEST(MengerPaths, BlockedVertices) {
-  Digraph g(6);
+  GraphBuilder g(6);
   g.add_edge(0, 2);
   g.add_edge(2, 4);
   g.add_edge(1, 3);
@@ -73,25 +73,25 @@ TEST(MengerPaths, BlockedVertices) {
   std::vector<std::uint8_t> blocked(6, 0);
   blocked[2] = 1;
   const VertexId s[2] = {0, 1}, t[2] = {4, 5};
-  EXPECT_EQ(max_vertex_disjoint_paths(g, s, t, blocked), 1u);
+  EXPECT_EQ(max_vertex_disjoint_paths(g.finalize(), s, t, blocked), 1u);
 }
 
 TEST(MengerPaths, CompleteBipartiteFullFlow) {
-  Digraph g(8);
+  GraphBuilder g(8);
   for (VertexId i = 0; i < 4; ++i)
     for (VertexId o = 4; o < 8; ++o) g.add_edge(i, o);
   const VertexId s[4] = {0, 1, 2, 3}, t[4] = {4, 5, 6, 7};
-  EXPECT_EQ(max_vertex_disjoint_paths(g, s, t), 4u);
+  EXPECT_EQ(max_vertex_disjoint_paths(g.finalize(), s, t), 4u);
 }
 
 TEST(MengerPaths, ExtractedPathsAreValidAndDisjoint) {
-  Digraph g(8);
+  GraphBuilder g(8);
   for (VertexId i = 0; i < 3; ++i)
     for (VertexId m = 3; m < 6; ++m) g.add_edge(i, m);
   for (VertexId m = 3; m < 6; ++m)
     for (VertexId o = 6; o < 8; ++o) g.add_edge(m, o);
   const VertexId s[3] = {0, 1, 2}, t[2] = {6, 7};
-  const auto paths = vertex_disjoint_paths(g, s, t);
+  const auto paths = vertex_disjoint_paths(g.finalize(), s, t);
   EXPECT_EQ(paths.size(), 2u);
   std::vector<int> used(8, 0);
   for (const auto& p : paths) {
@@ -112,10 +112,10 @@ TEST(MengerPaths, ExtractedPathsAreValidAndDisjoint) {
 }
 
 TEST(MengerPaths, SourceEqualsTargetSingleton) {
-  Digraph g(2);
+  GraphBuilder g(2);
   g.add_edge(0, 1);
   const VertexId s[1] = {0}, t[1] = {0};
-  const auto paths = vertex_disjoint_paths(g, s, t);
+  const auto paths = vertex_disjoint_paths(g.finalize(), s, t);
   ASSERT_EQ(paths.size(), 1u);
   EXPECT_EQ(paths[0].size(), 1u);
 }

@@ -25,7 +25,7 @@ TEST(RecursiveCore, StageWidthsAndVertexCount) {
   EXPECT_EQ(p.stage_count(), 5u);
   const auto core = build_recursive_core(p);
   EXPECT_EQ(core.net.g.vertex_count(), 5u * 64);
-  EXPECT_EQ(core.net.validate(), "");
+  EXPECT_EQ(core.net.finalize().validate(), "");
 }
 
 TEST(RecursiveCore, ExactDegrees) {
@@ -92,7 +92,7 @@ TEST(RecursiveCore, MirrorSymmetryOfReachability) {
   // vertex is reached from the middle stage.
   const auto first = core.first_blocks();
   const graph::VertexId src[1] = {first[0][0]};
-  const auto dist = graph::bfs_directed(core.net.g, src);
+  const auto dist = graph::bfs_directed(core.net.g.finalize(), src);
   std::size_t reachable_last = 0;
   for (const auto& blk : core.last_blocks())
     for (auto v : blk)
@@ -112,7 +112,7 @@ TEST(RecursiveCore, ParameterValidation) {
 TEST(ExpanderColumn, DegreeSplitRotates) {
   // radix 4, degree 10: per (child, quarter) copies in {2, 3}, summing to 10
   // per child and 10 in-degree per parent vertex.
-  graph::Network net;
+  graph::NetworkBuilder net;
   const std::size_t bs = 8;
   net.g.add_vertices(4 * bs + 4 * bs);
   std::vector<std::vector<graph::VertexId>> children(4), parents(1);
@@ -132,7 +132,7 @@ TEST(ExpanderColumn, DegreeSplitRotates) {
 }
 
 TEST(ExpanderColumn, RejectsMismatchedBlocks) {
-  graph::Network net;
+  graph::NetworkBuilder net;
   net.g.add_vertices(10);
   std::vector<std::vector<graph::VertexId>> children(3), parents(1);
   EXPECT_THROW(connect_expander_column(net, children, parents, 4, 8, false, 1),

@@ -147,13 +147,14 @@ TEST(GridConduction, ExactRejectsHugeRows) {
 TEST(ShortProbability, MatchesAnalyticOnChain) {
   // 1-network: input -> a -> output (2 switches in series). Short iff both
   // closed: eps^2.
-  graph::Network net;
-  net.g.add_vertices(3);
-  net.g.add_edge(0, 1);
-  net.g.add_edge(1, 2);
-  net.inputs = {0};
-  net.outputs = {2};
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(3);
+  nb.g.add_edge(0, 1);
+  nb.g.add_edge(1, 2);
+  nb.inputs = {0};
+  nb.outputs = {2};
   const double eps = 0.1;
+  const graph::Network net = nb.finalize();
   const double p = short_probability_monte_carlo(
       net, fault::FaultModel::symmetric(eps), 300000, 7);
   EXPECT_NEAR(p, eps * eps, 0.002);
@@ -162,13 +163,14 @@ TEST(ShortProbability, MatchesAnalyticOnChain) {
 TEST(ShortProbability, UndirectedContraction) {
   // Edges 0->1 and 2->1 (converging): closed failures still short 0 and 2
   // because contraction ignores direction.
-  graph::Network net;
-  net.g.add_vertices(3);
-  net.g.add_edge(0, 1);
-  net.g.add_edge(2, 1);
-  net.inputs = {0};
-  net.outputs = {2};
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(3);
+  nb.g.add_edge(0, 1);
+  nb.g.add_edge(2, 1);
+  nb.inputs = {0};
+  nb.outputs = {2};
   const double eps = 0.2;
+  const graph::Network net = nb.finalize();
   const double p = short_probability_monte_carlo(
       net, fault::FaultModel::symmetric(eps), 200000, 8);
   EXPECT_NEAR(p, eps * eps, 0.004);
@@ -265,13 +267,14 @@ TEST(DeltaScaling, Formula) {
 }
 
 TEST(Substitution, AccountingMatchesSection3) {
-  graph::Network host;
-  host.g.add_vertices(3);
-  host.g.add_edge(0, 1);
-  host.g.add_edge(1, 2);
-  host.inputs = {0};
-  host.outputs = {2};
+  graph::NetworkBuilder host_nb;
+  host_nb.g.add_vertices(3);
+  host_nb.g.add_edge(0, 1);
+  host_nb.g.add_edge(1, 2);
+  host_nb.inputs = {0};
+  host_nb.outputs = {2};
   const auto gadget = design_amplifier(0.05, 1e-4);
+  const graph::Network host = host_nb.finalize();
   const auto report = substitute_with_amplifier(host, gadget);
   EXPECT_EQ(report.substituted.g.edge_count(),
             report.gadget_size * report.host_size);

@@ -7,15 +7,15 @@ namespace ftcs::graph {
 namespace {
 
 Network tiny_net() {
-  Network net;
-  net.g.add_vertices(4);
-  net.g.add_edge(0, 1);
-  net.g.add_edge(1, 2);
-  net.g.add_edge(1, 3);
-  net.inputs = {0};
-  net.outputs = {2, 3};
-  net.stage = {0, 1, 2, 2};
-  return net;
+  NetworkBuilder nb;
+  nb.g.add_vertices(4);
+  nb.g.add_edge(0, 1);
+  nb.g.add_edge(1, 2);
+  nb.g.add_edge(1, 3);
+  nb.inputs = {0};
+  nb.outputs = {2, 3};
+  nb.stage = {0, 1, 2, 2};
+  return nb.finalize();
 }
 
 TEST(Mirror, SwapsTerminalsAndReversesEdges) {
@@ -47,14 +47,14 @@ TEST(Mirror, InvolutionOnStructure) {
 
 Network two_switch_gadget() {
   // input -> mid -> output: a 2-switch chain 1-network.
-  Network gadget;
-  gadget.g.add_vertices(3);
-  gadget.g.add_edge(0, 1);
-  gadget.g.add_edge(1, 2);
-  gadget.inputs = {0};
-  gadget.outputs = {2};
-  gadget.name = "chain2";
-  return gadget;
+  NetworkBuilder gadget_nb;
+  gadget_nb.g.add_vertices(3);
+  gadget_nb.g.add_edge(0, 1);
+  gadget_nb.g.add_edge(1, 2);
+  gadget_nb.inputs = {0};
+  gadget_nb.outputs = {2};
+  gadget_nb.name = "chain2";
+  return gadget_nb.finalize();
 }
 
 TEST(Substitution, CountsMatchFormula) {
@@ -80,22 +80,24 @@ TEST(Substitution, PreservesReachability) {
 
 TEST(Substitution, RejectsNonOneNetworkGadget) {
   const auto base = tiny_net();
-  Network bad;
-  bad.g.add_vertices(2);
-  bad.inputs = {0, 1};
-  bad.outputs = {1};
+  NetworkBuilder bad_nb;
+  bad_nb.g.add_vertices(2);
+  bad_nb.inputs = {0, 1};
+  bad_nb.outputs = {1};
+  const Network bad = bad_nb.finalize();
   EXPECT_THROW(substitute_edges(base, bad), std::invalid_argument);
 }
 
 TEST(Substitution, ParallelGadget) {
   // Gadget: two parallel switches input -> output.
-  Network gadget;
-  gadget.g.add_vertices(2);
-  gadget.g.add_edge(0, 1);
-  gadget.g.add_edge(0, 1);
-  gadget.inputs = {0};
-  gadget.outputs = {1};
+  NetworkBuilder gadget_nb;
+  gadget_nb.g.add_vertices(2);
+  gadget_nb.g.add_edge(0, 1);
+  gadget_nb.g.add_edge(0, 1);
+  gadget_nb.inputs = {0};
+  gadget_nb.outputs = {1};
   const auto base = tiny_net();
+  const Network gadget = gadget_nb.finalize();
   const auto sub = substitute_edges(base, gadget);
   EXPECT_EQ(sub.g.vertex_count(), base.g.vertex_count());
   EXPECT_EQ(sub.g.edge_count(), 2 * base.g.edge_count());

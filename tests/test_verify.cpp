@@ -20,15 +20,16 @@ TEST(SuperconcentratorExhaustive, CrossbarIsSC) {
 TEST(SuperconcentratorExhaustive, BrokenCrossbarIsNot) {
   // Remove all edges from input 0 except to output 0, and give input 1 only
   // output 0 as well: the pair {0,1} -> {1,2} then fails.
-  graph::Network net;
-  net.g.add_vertices(6);
-  net.inputs = {0, 1, 2};
-  net.outputs = {3, 4, 5};
-  net.g.add_edge(0, 3);
-  net.g.add_edge(1, 3);
-  net.g.add_edge(2, 3);
-  net.g.add_edge(2, 4);
-  net.g.add_edge(2, 5);
+  graph::NetworkBuilder nb;
+  nb.g.add_vertices(6);
+  nb.inputs = {0, 1, 2};
+  nb.outputs = {3, 4, 5};
+  nb.g.add_edge(0, 3);
+  nb.g.add_edge(1, 3);
+  nb.g.add_edge(2, 3);
+  nb.g.add_edge(2, 4);
+  nb.g.add_edge(2, 5);
+  const graph::Network net = nb.finalize();
   EXPECT_FALSE(is_superconcentrator_exhaustive(net));
 }
 
@@ -102,10 +103,11 @@ TEST(ValidateRouting, CatchesViolations) {
                               {net.inputs[0], net.outputs[1]}}),
             "");
   // Non-edge.
-  graph::Network disconnected;
-  disconnected.g.add_vertices(4);
-  disconnected.inputs = {0, 1};
-  disconnected.outputs = {2, 3};
+  graph::NetworkBuilder disconnected_nb;
+  disconnected_nb.g.add_vertices(4);
+  disconnected_nb.inputs = {0, 1};
+  disconnected_nb.outputs = {2, 3};
+  const graph::Network disconnected = disconnected_nb.finalize();
   EXPECT_NE(validate_routing(disconnected, perm, {{0, 2}, {1, 3}}), "");
   // Count mismatch.
   EXPECT_NE(validate_routing(net, perm, {}), "");
