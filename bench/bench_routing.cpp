@@ -7,6 +7,7 @@
 // routing full random permutations on damaged instances.
 #include <benchmark/benchmark.h>
 
+#include <barrier>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -14,10 +15,13 @@
 #include <numeric>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "fault/fault_instance.hpp"
 #include "fault/repair.hpp"
+#include "ftcs/concurrent_router.hpp"
 #include "ftcs/monte_carlo.hpp"
 #include "ftcs/router.hpp"
 #include "ftcs/verify.hpp"
@@ -173,6 +177,92 @@ ChurnMeasure churn_workload(const std::string& name, const graph::Network& net,
   return {name, connects, dt, router.stats()};
 }
 
+// ---------------------------------------------------------------------------
+// --threads=K thread-scaling mode: the same churn served by a shared
+// core::ConcurrentRouter with T worker threads, T swept up to K. Each thread
+// drives its own Worker session; per-worker RouterStats are merged with
+// RouterStats::operator+=. Total operation count is held constant across T so
+// calls/sec is directly comparable along the curve.
+
+struct ScalingPoint {
+  unsigned threads = 1;
+  std::size_t connects = 0;
+  double seconds = 0.0;
+  core::RouterStats stats;  // merged across workers
+  [[nodiscard]] double calls_per_sec() const {
+    return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
+  }
+};
+
+ScalingPoint concurrent_churn(const graph::Network& net, unsigned threads,
+                              std::size_t total_ops) {
+  core::ConcurrentRouter router(net, threads);
+  const auto n = static_cast<std::uint32_t>(net.inputs.size());
+  const std::size_t ops_per_thread = total_ops / threads;
+  std::vector<std::size_t> connects(threads, 0);
+
+  std::chrono::steady_clock::time_point t0;
+  std::barrier sync(static_cast<std::ptrdiff_t>(threads),
+                    [&t0]() noexcept { t0 = std::chrono::steady_clock::now(); });
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      auto& worker = router.worker(t);
+      util::Xoshiro256 rng(util::derive_seed(21, t));
+      std::vector<core::ConcurrentRouter::CallId> active;
+      active.reserve(n);
+      std::size_t local_connects = 0;
+      const auto step = [&] {
+        if (!active.empty() && (rng() & 3u) == 0) {
+          const auto idx = rng() % active.size();
+          worker.disconnect(active[idx]);
+          active[idx] = active.back();
+          active.pop_back();
+        } else {
+          const auto in = static_cast<std::uint32_t>(rng() % n);
+          const auto out = static_cast<std::uint32_t>(rng() % n);
+          const auto call = worker.connect(in, out);
+          ++local_connects;
+          if (call != core::ConcurrentRouter::kNoCall) active.push_back(call);
+        }
+      };
+      for (std::size_t i = 0; i < ops_per_thread / 10; ++i) step();  // warmup
+      local_connects = 0;
+      worker.reset_stats();
+      sync.arrive_and_wait();  // last arriver stamps t0
+      for (std::size_t i = 0; i < ops_per_thread; ++i) step();
+      connects[t] = local_connects;
+    });
+  }
+  for (auto& th : pool) th.join();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ScalingPoint p;
+  p.threads = threads;
+  p.seconds = dt;
+  for (unsigned t = 0; t < threads; ++t) p.connects += connects[t];
+  p.stats = router.stats();  // per-worker blocks merged via operator+=
+  return p;
+}
+
+std::vector<ScalingPoint> thread_scaling_curve(const graph::Network& net,
+                                               unsigned max_threads,
+                                               std::size_t total_ops) {
+  std::vector<ScalingPoint> curve;
+  for (unsigned t = 1; t <= max_threads; t *= 2) {
+    curve.push_back(concurrent_churn(net, t, total_ops));
+    if (t == max_threads) return curve;
+    if (t * 2 > max_threads) {
+      curve.push_back(concurrent_churn(net, max_threads, total_ops));
+      return curve;
+    }
+  }
+  return curve;
+}
+
 /// Extracts `"key": <number>` from a JSON-ish text; returns -1 if absent.
 double extract_number(const std::string& text, const std::string& key) {
   const auto pos = text.find("\"" + key + "\"");
@@ -182,7 +272,7 @@ double extract_number(const std::string& text, const std::string& key) {
   return std::strtod(text.c_str() + colon + 1, nullptr);
 }
 
-int run_json_smoke(const std::string& path) {
+int run_json_smoke(const std::string& path, unsigned max_threads) {
   std::vector<ChurnMeasure> rows;
   rows.push_back(churn_workload("cantor-k5", networks::build_cantor({5, 0}),
                                 bench::scaled(100'000)));
@@ -192,9 +282,11 @@ int run_json_smoke(const std::string& path) {
 
   std::size_t total_connects = 0;
   double total_seconds = 0.0;
+  core::RouterStats merged;  // all per-network blocks, via operator+=
   for (const auto& r : rows) {
     total_connects += r.connects;
     total_seconds += r.seconds;
+    merged += r.stats;
   }
   const double aggregate =
       total_seconds > 0 ? static_cast<double>(total_connects) / total_seconds : 0.0;
@@ -228,6 +320,36 @@ int run_json_smoke(const std::string& path) {
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"total_path_vertices\": " << merged.path_vertices << ",\n";
+  out << "  \"total_vertices_visited\": " << merged.vertices_visited << ",\n";
+
+  // Thread-scaling curve: the same churn on a shared ConcurrentRouter.
+  if (max_threads >= 1) {
+    const auto curve = thread_scaling_curve(networks::build_cantor({5, 0}),
+                                            max_threads,
+                                            bench::scaled(100'000));
+    const double base_1t = curve.front().calls_per_sec();
+    out << "  \"thread_scaling\": {\"network\": \"cantor-k5\", \"points\": [\n";
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      const auto& p = curve[i];
+      out << "    {\"threads\": " << p.threads << ", \"connects\": "
+          << p.connects << ", \"calls_per_sec\": "
+          << static_cast<std::uint64_t>(p.calls_per_sec())
+          << ", \"speedup_vs_1t\": "
+          << (base_1t > 0 ? p.calls_per_sec() / base_1t : 0.0)
+          << ", \"claim_conflicts\": " << p.stats.claim_conflicts
+          << ", \"search_retries\": " << p.stats.search_retries
+          << ", \"rejected_contention\": " << p.stats.rejected_contention
+          << "}" << (i + 1 < curve.size() ? "," : "") << "\n";
+      std::cout << "concurrent churn cantor-k5 x" << p.threads << ": "
+                << static_cast<std::uint64_t>(p.calls_per_sec())
+                << " calls/sec (speedup vs 1t "
+                << (base_1t > 0 ? p.calls_per_sec() / base_1t : 0.0)
+                << ", conflicts " << p.stats.claim_conflicts << ")\n";
+    }
+    out << "  ]},\n";
+  }
+
   out << "  \"calls_per_sec\": " << static_cast<std::uint64_t>(aggregate) << ",\n";
   out << "  \"baseline_calls_per_sec\": " << static_cast<std::uint64_t>(baseline)
       << ",\n";
@@ -242,10 +364,19 @@ int run_json_smoke(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
+  unsigned max_threads = 0;  // 0 = no thread-scaling curve
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) return run_json_smoke(arg.substr(7));
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    if (arg.rfind("--threads=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 10, nullptr, 10);
+      if (v >= 1) max_threads = static_cast<unsigned>(v);
+    }
   }
+  // --threads=K without --json still records the curve at the default path.
+  if (max_threads > 0 && json_path.empty()) json_path = "BENCH_routing.json";
+  if (!json_path.empty()) return run_json_smoke(json_path, max_threads);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_success_table();

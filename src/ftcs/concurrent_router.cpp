@@ -1,0 +1,206 @@
+#include "ftcs/concurrent_router.hpp"
+
+#include <algorithm>
+
+namespace ftcs::core {
+
+ConcurrentRouter::ConcurrentRouter(const graph::Network& net, unsigned workers,
+                                   std::vector<std::uint8_t> blocked,
+                                   std::vector<std::uint8_t> blocked_edges)
+    : net_(&net) {
+  const std::size_t v_count = net.g.vertex_count();
+  blocked_.resize(v_count);
+  if (!blocked.empty()) blocked_.assign_bytes(blocked.data(), blocked.size());
+  busy_.resize(v_count);
+  for (std::size_t v = 0; v < v_count; ++v)
+    if (blocked_.test(v)) busy_.set(v);  // blocked bits are never released
+  if (!blocked_edges.empty())
+    blocked_edges_.assign_bytes(blocked_edges.data(), blocked_edges.size());
+  in_busy_.resize(net.inputs.size());
+  out_busy_.resize(net.outputs.size());
+  path_next_.assign(v_count, graph::kNoVertex);
+  if (workers == 0) workers = 1;
+  for (unsigned w = 0; w < workers; ++w) workers_.emplace_back(Worker(*this));
+}
+
+ConcurrentRouter::Worker::Worker(ConcurrentRouter& r) : r_(&r) {
+  const std::size_t v_count = r.net_->g.vertex_count();
+  scratch_.init(v_count);
+  path_buf_.reserve(v_count);
+  claim_buf_.reserve(v_count);
+  // Worst case one worker carries every call; reserving that bound keeps
+  // connect()/disconnect() allocation-free (as in GreedyRouter).
+  const std::size_t max_calls =
+      std::min(r.net_->inputs.size(), r.net_->outputs.size()) + 1;
+  calls_.reserve(max_calls);
+  free_slots_.reserve(max_calls);
+}
+
+ConcurrentRouter::CallId ConcurrentRouter::Worker::connect(std::uint32_t in,
+                                                           std::uint32_t out) {
+  ConcurrentRouter& r = *r_;
+  ++stats_.connect_calls;
+
+  // 1. Terminal acquire: input slot, then output slot.
+  if (r.blocked_.test(r.net_->inputs[in]) ||
+      r.blocked_.test(r.net_->outputs[out])) {
+    ++stats_.rejected_terminal;
+    return kNoCall;
+  }
+  if (!r.in_busy_.try_set(in)) {
+    ++stats_.rejected_terminal;
+    return kNoCall;
+  }
+  if (!r.out_busy_.try_set(out)) {
+    r.in_busy_.reset(in);
+    ++stats_.rejected_terminal;
+    return kNoCall;
+  }
+  const graph::VertexId src = r.net_->inputs[in];
+  const graph::VertexId dst = r.net_->outputs[out];
+
+  // A terminal vertex occupied as an intermediate hop of another call cannot
+  // anchor a new path (same rule as GreedyRouter: the successor array holds
+  // at most one call per vertex). With concurrency this read is a snapshot;
+  // a stale positive costs one rejected request, never a corrupted chain.
+  if (r.busy_.test(src) || r.busy_.test(dst)) {
+    r.out_busy_.reset(out);
+    r.in_busy_.reset(in);
+    ++stats_.rejected_no_path;
+    return kNoCall;
+  }
+
+  const bool edge_faults = !r.blocked_edges_.empty();
+  const auto is_busy = [&r](graph::VertexId v) { return r.busy_.test(v); };
+  const auto edge_blocked = [&r, edge_faults](graph::EdgeId e) {
+    return edge_faults && r.blocked_edges_.test(e);
+  };
+
+  for (unsigned attempt = 0;; ++attempt) {
+    // 2. Search on a dirty busy snapshot (relaxed reads, private scratch).
+    const graph::VertexId meet = detail::bidir_shortest_idle_path(
+        r.net_->g, src, dst, scratch_, stats_.vertices_visited, is_busy,
+        edge_blocked);
+    if (meet == graph::kNoVertex) {
+      r.out_busy_.reset(out);
+      r.in_busy_.reset(in);
+      ++stats_.rejected_no_path;
+      return kNoCall;
+    }
+
+    // Materialize src..dst into path_buf_ from the two parent chains.
+    path_buf_.clear();
+    for (graph::VertexId v = meet; v != graph::kNoVertex;
+         v = scratch_.parent_f[v])
+      path_buf_.push_back(v);
+    std::reverse(path_buf_.begin(), path_buf_.end());
+    for (graph::VertexId v = meet; v != dst;) {
+      v = scratch_.parent_b[v];
+      path_buf_.push_back(v);
+    }
+
+    // 3. Claim in canonical (ascending vertex id) order.
+    claim_buf_.assign(path_buf_.begin(), path_buf_.end());
+    std::sort(claim_buf_.begin(), claim_buf_.end());
+    std::size_t claimed = 0;
+    while (claimed < claim_buf_.size() && r.busy_.try_set(claim_buf_[claimed]))
+      ++claimed;
+    if (claimed == claim_buf_.size()) break;  // path is ours
+
+    // 4. Conflict: back off (release the prefix, newest first) and retry
+    // against fresher busy state, up to the bounded budget.
+    ++stats_.claim_conflicts;
+    while (claimed > 0) r.busy_.reset(claim_buf_[--claimed]);
+    if (attempt + 1 >= kMaxClaimRetries) {
+      r.out_busy_.reset(out);
+      r.in_busy_.reset(in);
+      ++stats_.rejected_contention;
+      return kNoCall;
+    }
+    ++stats_.search_retries;
+  }
+
+  // 5. Settle: we own every path vertex, so the successor-array writes are
+  // exclusive; they become visible to the next claimer of each vertex via
+  // the release/acquire pairing on its busy bit.
+  const auto length = static_cast<std::uint32_t>(path_buf_.size());
+  for (std::size_t i = 0; i < path_buf_.size(); ++i)
+    r.path_next_[path_buf_[i]] =
+        i + 1 < path_buf_.size() ? path_buf_[i + 1] : graph::kNoVertex;
+  busy_count_ += length;
+  ++active_;
+  ++stats_.accepted;
+  stats_.path_vertices += length;
+
+  CallId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<CallId>(calls_.size());
+    calls_.emplace_back();  // within capacity reserved at construction
+  }
+  calls_[id] = {in, out, src, length};
+  return id;
+}
+
+void ConcurrentRouter::Worker::disconnect(CallId call) {
+  ConcurrentRouter& r = *r_;
+  Call& c = calls_[call];
+  ++stats_.disconnects;
+  // Read each successor BEFORE releasing its vertex: reset(v) publishes
+  // path_next_[v] to the next claimer, after which v is no longer ours.
+  for (graph::VertexId v = c.head; v != graph::kNoVertex;) {
+    const graph::VertexId nxt = r.path_next_[v];
+    r.path_next_[v] = graph::kNoVertex;
+    r.busy_.reset(v);
+    v = nxt;
+  }
+  busy_count_ -= c.length;
+  r.out_busy_.reset(c.out);
+  r.in_busy_.reset(c.in);
+  c.head = graph::kNoVertex;
+  c.length = 0;
+  --active_;
+  free_slots_.push_back(call);
+}
+
+std::vector<graph::VertexId> ConcurrentRouter::Worker::path_of(
+    CallId call) const {
+  const Call& c = calls_[call];
+  std::vector<graph::VertexId> path;
+  path.reserve(c.length);
+  for (graph::VertexId v = c.head; v != graph::kNoVertex;
+       v = r_->path_next_[v])
+    path.push_back(v);
+  return path;
+}
+
+std::vector<ConcurrentRouter::CallId>
+ConcurrentRouter::Worker::active_call_ids() const {
+  std::vector<CallId> ids;
+  ids.reserve(active_);
+  for (CallId id = 0; id < calls_.size(); ++id)
+    if (calls_[id].head != graph::kNoVertex) ids.push_back(id);
+  return ids;
+}
+
+RouterStats ConcurrentRouter::stats() const {
+  RouterStats total;
+  for (const Worker& w : workers_) total += w.stats();
+  return total;
+}
+
+std::size_t ConcurrentRouter::active_calls() const {
+  std::size_t total = 0;
+  for (const Worker& w : workers_) total += w.active_calls();
+  return total;
+}
+
+std::size_t ConcurrentRouter::busy_vertices() const {
+  std::size_t total = 0;
+  for (const Worker& w : workers_) total += w.busy_vertices();
+  return total;
+}
+
+}  // namespace ftcs::core

@@ -1,0 +1,175 @@
+// Concurrent greedy circuit-switching engine: N workers route over ONE
+// shared immutable CSR network with lock-free path claiming.
+//
+// Why this is sound (conf_spaa_PippengerL92 §4): the contained network is
+// strictly nonblocking, so one greedy search can never destroy another's
+// feasibility — concurrent searches race only on WHICH idle vertices they
+// grab, never on whether a route exists. That is the optimistic
+// resource-packing structure: search on a dirty snapshot, claim with CAS,
+// retry on conflict.
+//
+// Protocol per connect(in, out), executed by a Worker (one per thread):
+//   1. TERMINAL ACQUIRE — CAS the input slot, then the output slot, in the
+//      shared AtomicBitsets. Failure → rejected_terminal (slot released in
+//      reverse order on partial acquire).
+//   2. SEARCH — the shared epoch-stamped bidirectional BFS (ftcs/search.hpp)
+//      runs on the worker's PRIVATE scratch, reading the shared busy bitset
+//      with RELAXED loads: a dirty snapshot, deliberately unvalidated. No
+//      idle path → rejected_no_path.
+//   3. CLAIM — the settled path's vertices are claimed one-by-one with
+//      word-level CAS (AtomicBitset::try_set, acq_rel) in CANONICAL order
+//      (ascending vertex id). Canonical order makes two overlapping claims
+//      collide at their smallest shared vertex, so the loser has claimed as
+//      little as possible before backing off.
+//   4. CONFLICT — on a failed CAS the worker RELEASES every vertex it
+//      claimed for this attempt (release order: the claim prefix, reversed)
+//      and re-runs step 2 against the fresher busy state; claim_conflicts
+//      and search_retries count these. After kMaxClaimRetries failed
+//      attempts the call is rejected (rejected_contention) — bounded work
+//      per call, no livelock.
+//   5. SETTLE — with every path vertex owned, the worker threads the path
+//      through the shared per-vertex successor array and records the call
+//      in its private call table.
+//
+// Memory-ordering contract (see util/atomic_bitset.hpp):
+//   - busy_.try_set is acq_rel: a successful claim of v synchronizes-with
+//     the busy_.reset(v) (release) of v's previous owner, so the owner's
+//     writes to path_next_[v] are visible before anyone re-claims v. All
+//     bitset-word writes are RMWs, so intervening claims of OTHER bits in
+//     the same word do not break the release sequence.
+//   - path_next_[v] is plain (non-atomic) data OWNED by whoever holds busy
+//     bit v: written only between a successful try_set(v) and the matching
+//     reset(v). disconnect() reads the successor BEFORE releasing the bit.
+//   - BFS busy reads are relaxed; every positive routing decision is
+//     re-validated by the claim CAS, so stale reads cost retries, not
+//     correctness.
+//
+// Ownership model: a Worker is a single-threaded session — exactly one
+// thread may use worker(w) at a time, and a call must be disconnected
+// through the worker that connected it (call tables are per-worker, like
+// sharded session state). Aggregate readers (stats(), busy_vertices(),
+// active_calls()) are exact only at quiescence (no concurrent connects);
+// they are meant for end-of-run reporting, not for the hot path.
+//
+// A 1-worker ConcurrentRouter is path-for-path identical to GreedyRouter:
+// both run the same search (ftcs/search.hpp) and with no contention the
+// claim phase always succeeds on the first attempt.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ftcs/router.hpp"
+#include "ftcs/search.hpp"
+#include "graph/digraph.hpp"
+#include "util/atomic_bitset.hpp"
+#include "util/bitset.hpp"
+
+namespace ftcs::core {
+
+class ConcurrentRouter {
+ public:
+  using CallId = std::uint32_t;
+  static constexpr CallId kNoCall = static_cast<CallId>(-1);
+  /// Failed claim attempts per call before rejecting with
+  /// rejected_contention. Conflicts need two calls' paths to overlap in the
+  /// same instant, so even 2 retries are rarely consumed; 16 bounds the
+  /// pathological case without ever rejecting a realistic workload.
+  static constexpr unsigned kMaxClaimRetries = 16;
+
+  /// `workers` fixes the session count (>= 1). `blocked` / `blocked_edges`
+  /// as in GreedyRouter. The network must outlive the router; all scratch
+  /// (global and per-worker) is allocated here, once.
+  ConcurrentRouter(const graph::Network& net, unsigned workers,
+                   std::vector<std::uint8_t> blocked = {},
+                   std::vector<std::uint8_t> blocked_edges = {});
+
+  // Pinned: every Worker holds a back-pointer to this router, so moving the
+  // router would leave its sessions dangling into the moved-from object.
+  ConcurrentRouter(const ConcurrentRouter&) = delete;
+  ConcurrentRouter& operator=(const ConcurrentRouter&) = delete;
+  ConcurrentRouter(ConcurrentRouter&&) = delete;
+  ConcurrentRouter& operator=(ConcurrentRouter&&) = delete;
+
+  /// One routing session; use from ONE thread at a time. Obtained via
+  /// worker(w); lives as long as the router.
+  class Worker {
+   public:
+    /// Steps 1-5 above. Returns kNoCall on busy terminal, no idle path, or
+    /// claim-retry exhaustion (see stats). Allocation-free.
+    CallId connect(std::uint32_t in, std::uint32_t out);
+    /// Releases a call made through THIS worker. Allocation-free.
+    void disconnect(CallId call);
+
+    /// Vertices of a call's path, input first (cold path).
+    [[nodiscard]] std::vector<graph::VertexId> path_of(CallId call) const;
+    [[nodiscard]] std::size_t path_length(CallId call) const {
+      return calls_[call].length;
+    }
+    /// Ids of this worker's active calls (cold path; for draining/tests).
+    [[nodiscard]] std::vector<CallId> active_call_ids() const;
+
+    [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
+    void reset_stats() noexcept { stats_ = RouterStats{}; }
+    [[nodiscard]] std::size_t active_calls() const noexcept { return active_; }
+    /// Total vertices held by this worker's active calls.
+    [[nodiscard]] std::size_t busy_vertices() const noexcept {
+      return busy_count_;
+    }
+
+   private:
+    friend class ConcurrentRouter;
+    struct Call {
+      std::uint32_t in = 0, out = 0;
+      graph::VertexId head = graph::kNoVertex;  // kNoVertex = slot free
+      std::uint32_t length = 0;                 // vertices on the path
+    };
+
+    explicit Worker(ConcurrentRouter& r);
+
+    ConcurrentRouter* r_;
+    detail::SearchScratch scratch_;
+    std::vector<graph::VertexId> path_buf_;   // settled path, src..dst
+    std::vector<graph::VertexId> claim_buf_;  // same vertices, ascending id
+    std::vector<Call> calls_;
+    std::vector<CallId> free_slots_;
+    std::size_t active_ = 0;
+    std::size_t busy_count_ = 0;
+    RouterStats stats_;
+  };
+
+  [[nodiscard]] Worker& worker(unsigned w) { return workers_[w]; }
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  [[nodiscard]] bool input_idle(std::uint32_t in) const {
+    return !in_busy_.test(in) && !blocked_.test(net_->inputs[in]);
+  }
+  [[nodiscard]] bool output_idle(std::uint32_t out) const {
+    return !out_busy_.test(out) && !blocked_.test(net_->outputs[out]);
+  }
+  [[nodiscard]] bool is_busy(graph::VertexId v) const {
+    return busy_.test(v, std::memory_order_acquire);
+  }
+
+  // Quiescent aggregates over all workers (exact once no connects/
+  // disconnects are in flight).
+  [[nodiscard]] RouterStats stats() const;          // merged via operator+=
+  [[nodiscard]] std::size_t active_calls() const;   // sum of sessions
+  [[nodiscard]] std::size_t busy_vertices() const;  // sum of path lengths
+
+ private:
+  const graph::Network* net_;
+  util::Bitset blocked_;        // static vertex faults (read-only)
+  util::Bitset blocked_edges_;  // static switch faults (read-only)
+  util::AtomicBitset busy_;     // shared: blocked | claimed by some path
+  util::AtomicBitset in_busy_, out_busy_;  // terminal slots
+  // Shared successor array threading every active path; entry v is owned by
+  // the holder of busy bit v (see the memory-ordering contract above).
+  std::vector<graph::VertexId> path_next_;
+  std::deque<Worker> workers_;  // deque: stable addresses for worker(w) refs
+};
+
+}  // namespace ftcs::core

@@ -17,14 +17,7 @@ GreedyRouter::GreedyRouter(const graph::Network& net,
   in_busy_.assign(net.inputs.size(), 0);
   out_busy_.assign(net.outputs.size(), 0);
 
-  epoch_f_.assign(v_count, 0);
-  epoch_b_.assign(v_count, 0);
-  dist_f_.resize(v_count);
-  dist_b_.resize(v_count);
-  parent_f_.assign(v_count, graph::kNoVertex);
-  parent_b_.assign(v_count, graph::kNoVertex);
-  queue_f_.resize(v_count);
-  queue_b_.resize(v_count);
+  scratch_.init(v_count);
   path_next_.assign(v_count, graph::kNoVertex);
 
   // Each active call consumes one input and one output, so slot count is
@@ -60,129 +53,34 @@ GreedyRouter::CallId GreedyRouter::connect(std::uint32_t in, std::uint32_t out) 
     ++stats_.rejected_no_path;
     return kNoCall;
   }
-  if (++epoch_ == 0) {  // epoch wrap: one bulk clear per 2^32 searches
-    std::fill(epoch_f_.begin(), epoch_f_.end(), 0u);
-    std::fill(epoch_b_.begin(), epoch_b_.end(), 0u);
-    epoch_ = 1;
-  }
-
-  graph::VertexId best_meet = graph::kNoVertex;
-  std::uint32_t best_total = graph::kNoVertex;  // path length in edges
-  if (src == dst) {
-    best_meet = dst;
-    best_total = 0;
-    epoch_f_[src] = epoch_;
-    parent_f_[src] = graph::kNoVertex;
-    dist_f_[src] = 0;
-  } else {
-    // Level-synchronized bidirectional BFS over idle vertices; expands the
-    // smaller frontier. A stamped-but-busy vertex gets no parent and never
-    // counts as a meeting point (the opposite side is also stopped by the
-    // same busy bit), so every recorded meet lies on a fully idle path.
-    // Termination: once best_total <= df + db + 1, every strictly shorter
-    // path would already have produced a meet, so the best one is final.
-    const bool edge_faults = !blocked_edges_.empty();
-    epoch_f_[src] = epoch_;
-    parent_f_[src] = graph::kNoVertex;
-    dist_f_[src] = 0;
-    epoch_b_[dst] = epoch_;
-    parent_b_[dst] = graph::kNoVertex;
-    dist_b_[dst] = 0;
-    std::size_t fh = 0, ft = 0, bh = 0, bt = 0;
-    queue_f_[ft++] = src;
-    queue_b_[bt++] = dst;
-    std::size_t flevel = 1, blevel = 1;  // vertices in the current frontier
-    std::uint32_t df = 0, db = 0;        // distance of those frontiers
-
-    while (flevel > 0 && blevel > 0 && best_total > df + db + 1) {
-      if (flevel <= blevel) {
-        std::size_t next_level = 0;
-        for (std::size_t n = 0; n < flevel; ++n) {
-          const graph::VertexId u = queue_f_[fh++];
-          const auto eids = g.out_edges(u);
-          const auto tgts = g.out_targets(u);
-          for (std::size_t i = 0; i < eids.size(); ++i) {
-            if (edge_faults && blocked_edges_.test(eids[i])) continue;
-            const graph::VertexId v = tgts[i];
-            if (epoch_f_[v] == epoch_) continue;
-            epoch_f_[v] = epoch_;
-            ++stats_.vertices_visited;
-            if (busy_.test(v)) continue;
-            parent_f_[v] = u;
-            dist_f_[v] = df + 1;
-            if (epoch_b_[v] == epoch_ && parent_b_[v] != graph::kNoVertex) {
-              const std::uint32_t total = df + 1 + dist_b_[v];
-              if (total < best_total) {
-                best_total = total;
-                best_meet = v;
-              }
-              continue;  // expanding a meet can never improve on it
-            }
-            if (v == dst) {  // dst seeded backward with parent kNoVertex
-              const std::uint32_t total = df + 1;
-              if (total < best_total) {
-                best_total = total;
-                best_meet = v;
-              }
-              continue;
-            }
-            queue_f_[ft++] = v;
-            ++next_level;
-          }
-        }
-        flevel = next_level;
-        ++df;
-      } else {
-        std::size_t next_level = 0;
-        for (std::size_t n = 0; n < blevel; ++n) {
-          const graph::VertexId u = queue_b_[bh++];
-          const auto eids = g.in_edges(u);
-          const auto srcs = g.in_sources(u);
-          for (std::size_t i = 0; i < eids.size(); ++i) {
-            if (edge_faults && blocked_edges_.test(eids[i])) continue;
-            const graph::VertexId v = srcs[i];
-            if (epoch_b_[v] == epoch_) continue;
-            epoch_b_[v] = epoch_;
-            ++stats_.vertices_visited;
-            if (busy_.test(v)) continue;  // src/dst rejected upfront if busy
-            parent_b_[v] = u;
-            dist_b_[v] = db + 1;
-            if (epoch_f_[v] == epoch_ &&
-                (parent_f_[v] != graph::kNoVertex || v == src)) {
-              const std::uint32_t total = dist_f_[v] + db + 1;
-              if (total < best_total) {
-                best_total = total;
-                best_meet = v;
-              }
-              continue;
-            }
-            queue_b_[bt++] = v;
-            ++next_level;
-          }
-        }
-        blevel = next_level;
-        ++db;
-      }
-    }
-  }
+  // Shared level-synchronized bidirectional BFS (ftcs/search.hpp); the busy
+  // test is a plain bitset read — this router is the sole owner of busy_.
+  const bool edge_faults = !blocked_edges_.empty();
+  const graph::VertexId best_meet = detail::bidir_shortest_idle_path(
+      g, src, dst, scratch_, stats_.vertices_visited,
+      [this](graph::VertexId v) { return busy_.test(v); },
+      [this, edge_faults](graph::EdgeId e) {
+        return edge_faults && blocked_edges_.test(e);
+      });
   if (best_meet == graph::kNoVertex) {
     ++stats_.rejected_no_path;
     return kNoCall;
   }
 
   // Settle: thread the path through the successor array and mark it busy.
-  // Forward half: src .. best_meet via parent_f_.
+  // Forward half: src .. best_meet via parent_f.
   std::uint32_t length = 0;
   graph::VertexId next = graph::kNoVertex;
-  for (graph::VertexId v = best_meet; v != graph::kNoVertex; v = parent_f_[v]) {
+  for (graph::VertexId v = best_meet; v != graph::kNoVertex;
+       v = scratch_.parent_f[v]) {
     path_next_[v] = next;
     busy_.set(v);
     next = v;
     ++length;
   }
-  // Backward half: best_meet .. dst via parent_b_.
+  // Backward half: best_meet .. dst via parent_b.
   for (graph::VertexId v = best_meet; v != dst;) {
-    const graph::VertexId w = parent_b_[v];
+    const graph::VertexId w = scratch_.parent_b[v];
     path_next_[v] = w;
     busy_.set(w);
     v = w;

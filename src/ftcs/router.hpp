@@ -24,18 +24,27 @@
 //     (path_next_): a vertex carries at most one call, so one VertexId per
 //     vertex stores every active path with zero per-call storage.
 // Per-call counters are collected in RouterStats for the benches.
+//
+// The search itself lives in ftcs/search.hpp and is shared with
+// core::ConcurrentRouter (concurrent_router.hpp), which runs N of these
+// searches in parallel over one network with CAS-claimed busy state; this
+// single-owner router remains the fastest option for one thread and the
+// reference semantics the concurrent engine is tested against.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "ftcs/search.hpp"
 #include "graph/digraph.hpp"
 #include "util/bitset.hpp"
 
 namespace ftcs::core {
 
-/// Counter block filled by the router; reset with GreedyRouter::reset_stats().
+/// Counter block filled by the routers; reset with reset_stats().
+/// Mergeable: operator+= aggregates per-worker blocks (ConcurrentRouter)
+/// and per-network blocks (bench_routing) into one summary.
 struct RouterStats {
   std::uint64_t connect_calls = 0;     // connect() invocations
   std::uint64_t accepted = 0;          // calls that settled a path
@@ -44,6 +53,24 @@ struct RouterStats {
   std::uint64_t disconnects = 0;
   std::uint64_t vertices_visited = 0;  // BFS visits across all searches
   std::uint64_t path_vertices = 0;     // total length of settled paths
+  // Concurrent-engine counters (always 0 for GreedyRouter):
+  std::uint64_t claim_conflicts = 0;      // CAS lost a vertex to another worker
+  std::uint64_t search_retries = 0;       // searches re-run after a conflict
+  std::uint64_t rejected_contention = 0;  // gave up after the retry budget
+
+  RouterStats& operator+=(const RouterStats& o) noexcept {
+    connect_calls += o.connect_calls;
+    accepted += o.accepted;
+    rejected_terminal += o.rejected_terminal;
+    rejected_no_path += o.rejected_no_path;
+    disconnects += o.disconnects;
+    vertices_visited += o.vertices_visited;
+    path_vertices += o.path_vertices;
+    claim_conflicts += o.claim_conflicts;
+    search_retries += o.search_retries;
+    rejected_contention += o.rejected_contention;
+    return *this;
+  }
 };
 
 class GreedyRouter {
@@ -105,13 +132,9 @@ class GreedyRouter {
   util::Bitset busy_;           // blocked | on an active path
   std::vector<std::uint8_t> in_busy_, out_busy_;
 
-  // Bidirectional BFS scratch, sized to vertex_count at construction.
-  std::vector<std::uint32_t> epoch_f_, epoch_b_;   // visited stamps per side
-  std::vector<std::uint32_t> dist_f_, dist_b_;     // valid where stamped
-  std::vector<graph::VertexId> parent_f_;          // toward the input
-  std::vector<graph::VertexId> parent_b_;          // toward the output
-  std::vector<graph::VertexId> queue_f_, queue_b_; // frontier rings
-  std::uint32_t epoch_ = 0;
+  // Bidirectional BFS scratch, sized to vertex_count at construction
+  // (shared search implementation: ftcs/search.hpp).
+  detail::SearchScratch scratch_;
 
   // Active-path storage: path_next_[v] = successor of v on its call's path.
   std::vector<graph::VertexId> path_next_;

@@ -1,0 +1,159 @@
+// Shared level-synchronized bidirectional BFS over idle vertices.
+//
+// Extracted from GreedyRouter so the single-thread and concurrent routers
+// run the SAME search (same expansion order, same tie-breaks — the
+// 1-worker ConcurrentRouter is path-for-path identical to GreedyRouter by
+// construction). The busy test is a template parameter: GreedyRouter plugs
+// in a plain util::Bitset read, ConcurrentRouter a relaxed AtomicBitset
+// read (optimistic dirty snapshot, re-validated later by CAS claiming).
+//
+// Search invariants (unchanged from the PR 1 router):
+//   - forward frontier expands out-edges from src, backward in-edges from
+//     dst, always the smaller frontier first;
+//   - a stamped-but-busy vertex gets no parent and never counts as a
+//     meeting point, so every recorded meet lies on a fully idle path;
+//   - termination: once best_total <= df + db + 1, every strictly shorter
+//     path would already have produced a meet, so the best one is final.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace ftcs::core::detail {
+
+/// Per-searcher scratch, sized once with init(); no allocation afterwards.
+/// Epoch-stamped visited arrays: one bulk clear per 2^32 searches.
+struct SearchScratch {
+  std::vector<std::uint32_t> epoch_f, epoch_b;  // visited stamps per side
+  std::vector<std::uint32_t> dist_f, dist_b;    // valid where stamped
+  std::vector<graph::VertexId> parent_f;        // toward the input
+  std::vector<graph::VertexId> parent_b;        // toward the output
+  std::vector<graph::VertexId> queue_f, queue_b;  // frontier rings
+  std::uint32_t epoch = 0;
+
+  void init(std::size_t v_count) {
+    epoch_f.assign(v_count, 0);
+    epoch_b.assign(v_count, 0);
+    dist_f.resize(v_count);
+    dist_b.resize(v_count);
+    parent_f.assign(v_count, graph::kNoVertex);
+    parent_b.assign(v_count, graph::kNoVertex);
+    queue_f.resize(v_count);
+    queue_b.resize(v_count);
+    epoch = 0;
+  }
+};
+
+/// Finds a shortest idle src->dst path; returns the meeting vertex (parents
+/// in `s` recover the two halves) or graph::kNoVertex if no idle path
+/// exists. `is_busy(v)` and `edge_blocked(e)` gate expansion; `visited`
+/// accumulates stamped vertices for RouterStats. Allocation-free.
+template <class BusyFn, class EdgeBlockedFn>
+[[nodiscard]] graph::VertexId bidir_shortest_idle_path(
+    const graph::CsrGraph& g, graph::VertexId src, graph::VertexId dst,
+    SearchScratch& s, std::uint64_t& visited, BusyFn&& is_busy,
+    EdgeBlockedFn&& edge_blocked) {
+  if (++s.epoch == 0) {  // epoch wrap: one bulk clear per 2^32 searches
+    std::fill(s.epoch_f.begin(), s.epoch_f.end(), 0u);
+    std::fill(s.epoch_b.begin(), s.epoch_b.end(), 0u);
+    s.epoch = 1;
+  }
+  if (src == dst) {
+    s.epoch_f[src] = s.epoch;
+    s.parent_f[src] = graph::kNoVertex;
+    s.dist_f[src] = 0;
+    return dst;
+  }
+
+  graph::VertexId best_meet = graph::kNoVertex;
+  std::uint32_t best_total = graph::kNoVertex;  // path length in edges
+  s.epoch_f[src] = s.epoch;
+  s.parent_f[src] = graph::kNoVertex;
+  s.dist_f[src] = 0;
+  s.epoch_b[dst] = s.epoch;
+  s.parent_b[dst] = graph::kNoVertex;
+  s.dist_b[dst] = 0;
+  std::size_t fh = 0, ft = 0, bh = 0, bt = 0;
+  s.queue_f[ft++] = src;
+  s.queue_b[bt++] = dst;
+  std::size_t flevel = 1, blevel = 1;  // vertices in the current frontier
+  std::uint32_t df = 0, db = 0;        // distance of those frontiers
+
+  while (flevel > 0 && blevel > 0 && best_total > df + db + 1) {
+    if (flevel <= blevel) {
+      std::size_t next_level = 0;
+      for (std::size_t n = 0; n < flevel; ++n) {
+        const graph::VertexId u = s.queue_f[fh++];
+        const auto eids = g.out_edges(u);
+        const auto tgts = g.out_targets(u);
+        for (std::size_t i = 0; i < eids.size(); ++i) {
+          if (edge_blocked(eids[i])) continue;
+          const graph::VertexId v = tgts[i];
+          if (s.epoch_f[v] == s.epoch) continue;
+          s.epoch_f[v] = s.epoch;
+          ++visited;
+          if (is_busy(v)) continue;
+          s.parent_f[v] = u;
+          s.dist_f[v] = df + 1;
+          if (s.epoch_b[v] == s.epoch && s.parent_b[v] != graph::kNoVertex) {
+            const std::uint32_t total = df + 1 + s.dist_b[v];
+            if (total < best_total) {
+              best_total = total;
+              best_meet = v;
+            }
+            continue;  // expanding a meet can never improve on it
+          }
+          if (v == dst) {  // dst seeded backward with parent kNoVertex
+            const std::uint32_t total = df + 1;
+            if (total < best_total) {
+              best_total = total;
+              best_meet = v;
+            }
+            continue;
+          }
+          s.queue_f[ft++] = v;
+          ++next_level;
+        }
+      }
+      flevel = next_level;
+      ++df;
+    } else {
+      std::size_t next_level = 0;
+      for (std::size_t n = 0; n < blevel; ++n) {
+        const graph::VertexId u = s.queue_b[bh++];
+        const auto eids = g.in_edges(u);
+        const auto srcs = g.in_sources(u);
+        for (std::size_t i = 0; i < eids.size(); ++i) {
+          if (edge_blocked(eids[i])) continue;
+          const graph::VertexId v = srcs[i];
+          if (s.epoch_b[v] == s.epoch) continue;
+          s.epoch_b[v] = s.epoch;
+          ++visited;
+          if (is_busy(v)) continue;  // src/dst rejected upfront if busy
+          s.parent_b[v] = u;
+          s.dist_b[v] = db + 1;
+          if (s.epoch_f[v] == s.epoch &&
+              (s.parent_f[v] != graph::kNoVertex || v == src)) {
+            const std::uint32_t total = s.dist_f[v] + db + 1;
+            if (total < best_total) {
+              best_total = total;
+              best_meet = v;
+            }
+            continue;
+          }
+          s.queue_b[bt++] = v;
+          ++next_level;
+        }
+      }
+      blevel = next_level;
+      ++db;
+    }
+  }
+  return best_meet;
+}
+
+}  // namespace ftcs::core::detail

@@ -29,6 +29,9 @@ RareEventEstimate importance_sample(
                          : -std::numeric_limits<double>::infinity();
   const double lrn = std::log((1.0 - model.total()) / (1.0 - biased.total()));
 
+  // Runs on the shared util::ThreadPool via parallel_chunks; per-chunk
+  // accumulators merged in chunk order below keep the estimate bit-identical
+  // across pool sizes (seeds derive from the global trial index).
   const unsigned threads = util::worker_count();
   std::vector<util::RunningStats> stats(threads);
   std::vector<std::size_t> hits(threads, 0);

@@ -1,0 +1,99 @@
+// Atomically shared packed bitset: 64 flags per word, word-level CAS.
+//
+// The concurrent counterpart of util::Bitset, used for busy/claim state
+// shared between router workers. The central primitive is try_set(): an
+// atomic test-and-set that doubles as a per-bit lock acquisition, so a bit
+// can guard ownership of adjacent non-atomic data (the routing successor
+// arrays). Memory-ordering contract:
+//   - try_set(i) uses acq_rel: a successful claim ACQUIRES everything the
+//     previous owner published before releasing bit i;
+//   - reset(i) uses release: it PUBLISHES every write made while the bit
+//     was held to the next claimer of the same bit;
+//   - test(i) defaults to relaxed: cheap dirty reads for optimistic search
+//     passes that are re-validated by a later try_set().
+// Sized at construction; resize() is NOT thread-safe (call before sharing).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ftcs::util {
+
+class AtomicBitset {
+ public:
+  AtomicBitset() = default;
+  explicit AtomicBitset(std::size_t bits) { resize(bits); }
+
+  /// Not thread-safe; establish size (all bits clear) before sharing.
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    word_count_ = (bits + 63) / 64;
+    words_ = std::make_unique<std::atomic<std::uint64_t>[]>(word_count_);
+    for (std::size_t w = 0; w < word_count_; ++w)
+      words_[w].store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] bool empty() const noexcept { return bits_ == 0; }
+
+  [[nodiscard]] bool test(std::size_t i, std::memory_order order =
+                                             std::memory_order_relaxed) const noexcept {
+    return (words_[i >> 6].load(order) >> (i & 63)) & 1u;
+  }
+
+  /// Atomic test-and-set. Returns true iff the bit was clear (the caller now
+  /// owns it). acq_rel: success synchronizes-with the reset() that last
+  /// released this bit.
+  [[nodiscard]] bool try_set(std::size_t i) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+    return (prev & mask) == 0;
+  }
+
+  /// Unconditional set (relaxed) — for single-threaded initialization only.
+  void set(std::size_t i) noexcept {
+    words_[i >> 6].fetch_or(std::uint64_t{1} << (i & 63),
+                            std::memory_order_relaxed);
+  }
+
+  /// Clears the bit, publishing the owner's writes (release).
+  void reset(std::size_t i) noexcept {
+    words_[i >> 6].fetch_and(~(std::uint64_t{1} << (i & 63)),
+                             std::memory_order_release);
+  }
+
+  /// Number of set bits (relaxed snapshot; exact only at quiescence).
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (std::size_t w = 0; w < word_count_; ++w)
+      c += static_cast<std::size_t>(__builtin_popcountll(
+          words_[w].load(std::memory_order_relaxed)));
+    return c;
+  }
+
+  /// Copies from a byte mask (any nonzero byte sets the bit). Init-time only.
+  void assign_bytes(const std::uint8_t* data, std::size_t n) {
+    resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (data[i]) set(i);
+  }
+
+  /// Expands to a byte mask (relaxed snapshot) — for span-based interop.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const {
+    std::vector<std::uint8_t> out(bits_, 0);
+    for (std::size_t i = 0; i < bits_; ++i)
+      if (test(i)) out[i] = 1;
+    return out;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::size_t word_count_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+};
+
+}  // namespace ftcs::util

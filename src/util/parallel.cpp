@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "util/thread_pool.hpp"
+
 namespace ftcs::util {
 
 unsigned worker_count() noexcept {
@@ -25,16 +27,17 @@ void parallel_chunks(
     body(0, 0, total);
     return;
   }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
+  // The chunk partition depends only on (total, threads) — NOT on pool size
+  // or scheduling — so per-chunk accumulators merged in chunk order give
+  // bit-identical results run-to-run regardless of which worker executes
+  // which chunk.
   const std::size_t chunk = (total + threads - 1) / threads;
-  for (unsigned t = 0; t < threads; ++t) {
+  const unsigned used = static_cast<unsigned>((total + chunk - 1) / chunk);
+  ThreadPool::global().run(used, [&](std::size_t t) {
     const std::size_t begin = std::min(total, t * chunk);
     const std::size_t end = std::min(total, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&body, t, begin, end] { body(t, begin, end); });
-  }
-  for (auto& th : pool) th.join();
+    if (begin < end) body(static_cast<unsigned>(t), begin, end);
+  });
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

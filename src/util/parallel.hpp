@@ -1,9 +1,11 @@
-// Minimal thread-parallel building blocks for Monte Carlo experiments.
+// Thread-parallel building blocks for Monte Carlo experiments.
 //
-// There is deliberately no persistent thread pool: experiment batches are
-// coarse (thousands of trials, each microseconds-to-milliseconds), so
-// spawn-per-batch keeps the code simple and the Core Guidelines happy
-// (CP.23: joining threads, no detach, no shared mutable state).
+// All three helpers dispatch onto the persistent work-stealing
+// util::ThreadPool (thread_pool.hpp) — batches no longer pay a
+// thread-spawn per call. The chunk partition is a pure function of
+// (total, threads), so per-chunk accumulators merged in chunk order are
+// bit-identical across runs and pool sizes; bodies must key any randomness
+// on the global trial index, never on the executing thread.
 #pragma once
 
 #include <cstddef>

@@ -1,10 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <mutex>
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "util/atomic_bitset.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ftcs::util {
 namespace {
@@ -44,6 +51,101 @@ TEST(Parallel, EmptyRangeIsNoop) {
 }
 
 TEST(Parallel, WorkerCountPositive) { EXPECT_GE(worker_count(), 1u); }
+
+TEST(Parallel, ChunkPartitionIsPureFunctionOfTotalAndThreads) {
+  // The bit-identical contract of the parallel_* helpers: chunk boundaries
+  // depend only on (total, threads), never on the pool or scheduling.
+  std::mutex m;
+  std::vector<std::array<std::size_t, 3>> seen;
+  parallel_chunks(1000, 7, [&](unsigned t, std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lk(m);
+    seen.push_back({t, lo, hi});
+  });
+  std::sort(seen.begin(), seen.end());
+  const std::size_t chunk = (1000 + 6) / 7;  // 143
+  ASSERT_EQ(seen.size(), 7u);
+  for (std::size_t t = 0; t < seen.size(); ++t) {
+    EXPECT_EQ(seen[t][0], t);
+    EXPECT_EQ(seen[t][1], t * chunk);
+    EXPECT_EQ(seen[t][2], std::min<std::size_t>(1000, t * chunk + chunk));
+  }
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ManySequentialBatchesReuseWorkers) {
+  // Exercises the park/wake cycle: each batch must wake parked workers and
+  // complete; a lost wakeup would hang this test.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 300; ++batch)
+    pool.run(5, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 1500u);
+}
+
+TEST(ThreadPool, NestedRunFromWorkerExecutesInline) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> inner_total{0};
+  pool.run(4, [&](std::size_t) {
+    pool.run(8, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32u);
+}
+
+TEST(ThreadPool, ConcurrentExternalSubmittersShareThePool) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s)
+    submitters.emplace_back([&] {
+      for (int batch = 0; batch < 50; ++batch)
+        pool.run(7, [&](std::size_t) { total.fetch_add(1); });
+    });
+  for (auto& th : submitters) th.join();
+  EXPECT_EQ(total.load(), 4u * 50u * 7u);
+}
+
+TEST(ThreadPool, ZeroWorkersDegradesToInline) {
+  ThreadPool pool(0);
+  std::size_t sum = 0;  // non-atomic on purpose: must run on this thread
+  pool.run(10, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 45u);
+}
+
+TEST(AtomicBitset, TrySetClaimsEachBitExactlyOnce) {
+  AtomicBitset bits(200);
+  EXPECT_TRUE(bits.try_set(67));
+  EXPECT_FALSE(bits.try_set(67));  // second claim of the same bit loses
+  EXPECT_TRUE(bits.test(67));
+  EXPECT_TRUE(bits.try_set(68));  // neighbor in the same word unaffected
+  bits.reset(67);
+  EXPECT_FALSE(bits.test(67));
+  EXPECT_TRUE(bits.try_set(67));  // released bits are claimable again
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(AtomicBitset, ConcurrentClaimsHaveUniqueWinners) {
+  constexpr std::size_t kBits = 128;
+  constexpr unsigned kThreads = 4;
+  AtomicBitset bits(kBits);
+  std::vector<std::atomic<int>> winners(kBits);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kBits; ++i)
+        if (bits.try_set(i)) winners[i].fetch_add(1);
+    });
+  for (auto& th : threads) th.join();
+  for (std::size_t i = 0; i < kBits; ++i)
+    EXPECT_EQ(winners[i].load(), 1) << "bit " << i << " had multiple winners";
+  EXPECT_EQ(bits.count(), kBits);
+}
 
 TEST(Table, PrintsAlignedColumns) {
   Table t({"name", "value"});
