@@ -5,6 +5,13 @@
 // search), (2) routing on the surviving strictly-nonblocking network =
 // greedy BFS. We time both primitives and report the success rate of
 // routing full random permutations on damaged instances.
+//
+// The churn workloads are served through svc::Exchange — the service facade
+// every consumer now speaks — on the greedy backend (--json), the sharded
+// concurrent backend (--threads=K immediate plane), and the batched
+// admission front-end (--batch=N epochs at the max worker count).
+// BM_GreedyConnect vs BM_ExchangeCall isolates the facade's handle +
+// classification overhead over the raw router.
 #include <benchmark/benchmark.h>
 
 #include <barrier>
@@ -21,13 +28,15 @@
 #include "bench_common.hpp"
 #include "fault/fault_instance.hpp"
 #include "fault/repair.hpp"
-#include "ftcs/concurrent_router.hpp"
 #include "ftcs/monte_carlo.hpp"
 #include "ftcs/router.hpp"
 #include "ftcs/verify.hpp"
 #include "networks/cantor.hpp"
+#include "svc/admission.hpp"
+#include "svc/exchange.hpp"
 #include "util/prng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -79,6 +88,21 @@ void BM_GreedyConnect(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyConnect)->Arg(1)->Arg(2)->Arg(3);
 
+// Same loop through the service facade: the delta over BM_GreedyConnect is
+// the cost of typed outcomes + generation-tagged handles.
+void BM_ExchangeCall(benchmark::State& state) {
+  const auto& ft = shared_ft(static_cast<std::uint32_t>(state.range(0)));
+  svc::Exchange exchange(ft.net, {});
+  const auto n = static_cast<std::uint32_t>(ft.n());
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const svc::Outcome o = exchange.call({i % n, (i * 7 + 3) % n});
+    if (o.connected()) exchange.hangup(o.id);
+    ++i;
+  }
+}
+BENCHMARK(BM_ExchangeCall)->Arg(1)->Arg(2)->Arg(3);
+
 void BM_Theorem2Trial(benchmark::State& state) {
   const auto& ft = shared_ft(static_cast<std::uint32_t>(state.range(0)));
   std::uint64_t seed = 0;
@@ -120,9 +144,10 @@ void print_success_table() {
 
 // ---------------------------------------------------------------------------
 // --json=PATH smoke mode: a fixed deterministic connect/disconnect churn on a
-// few networks, reporting aggregate connect() calls/sec. The emitted file
-// preserves any "baseline_calls_per_sec" already present at PATH, so the
-// committed pre-refactor baseline survives re-runs and CI can track speedup.
+// few networks, served through svc::Exchange on the greedy backend and
+// reporting aggregate call()s/sec. The emitted file preserves any
+// "baseline_calls_per_sec" already present at PATH, so the committed
+// pre-refactor baseline survives re-runs and CI can track speedup.
 
 struct ChurnMeasure {
   std::string name;
@@ -146,49 +171,49 @@ struct ChurnMeasure {
 
 ChurnMeasure churn_workload(const std::string& name, const graph::Network& net,
                             std::size_t ops) {
-  core::GreedyRouter router(net);
+  svc::Exchange exchange(net, {});
   const auto n = static_cast<std::uint32_t>(net.inputs.size());
   util::Xoshiro256 rng(util::derive_seed(13, 0));
   const auto next = [&rng] { return rng(); };
-  std::vector<core::GreedyRouter::CallId> active;
+  std::vector<svc::CallId> active;
   active.reserve(n);
   std::size_t connects = 0;
   const auto step = [&] {
     if (!active.empty() && (next() & 3u) == 0) {
       const auto idx = next() % active.size();
-      router.disconnect(active[idx]);
+      exchange.hangup(active[idx]);
       active[idx] = active.back();
       active.pop_back();
     } else {
       const auto in = static_cast<std::uint32_t>(next() % n);
       const auto out = static_cast<std::uint32_t>(next() % n);
-      const auto call = router.connect(in, out);
+      const svc::Outcome o = exchange.call({in, out});
       ++connects;
-      if (call != core::GreedyRouter::kNoCall) active.push_back(call);
+      if (o.connected()) active.push_back(o.id);
     }
   };
   for (std::size_t i = 0; i < ops / 10; ++i) step();  // warmup
   connects = 0;
-  router.reset_stats();
+  exchange.reset_stats();
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < ops; ++i) step();
   const double dt =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return {name, connects, dt, router.stats()};
+  return {name, connects, dt, exchange.stats().router};
 }
 
 // ---------------------------------------------------------------------------
-// --threads=K thread-scaling mode: the same churn served by a shared
-// core::ConcurrentRouter with T worker threads, T swept up to K. Each thread
-// drives its own Worker session; per-worker RouterStats are merged with
-// RouterStats::operator+=. Total operation count is held constant across T so
-// calls/sec is directly comparable along the curve.
+// --threads=K thread-scaling mode: the same churn served by one Exchange
+// over the sharded concurrent backend with T sessions, T swept up to K.
+// Each OS thread drives its own session on the immediate plane; stats are
+// the exchange's merged books. Total operation count is held constant
+// across T so calls/sec is directly comparable along the curve.
 
 struct ScalingPoint {
   unsigned threads = 1;
   std::size_t connects = 0;
   double seconds = 0.0;
-  core::RouterStats stats;  // merged across workers
+  core::RouterStats stats;  // merged across sessions
   [[nodiscard]] double calls_per_sec() const {
     return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
   }
@@ -196,41 +221,48 @@ struct ScalingPoint {
 
 ScalingPoint concurrent_churn(const graph::Network& net, unsigned threads,
                               std::size_t total_ops) {
-  core::ConcurrentRouter router(net, threads);
+  svc::ExchangeConfig cfg;
+  cfg.backend = svc::Backend::kConcurrent;
+  cfg.sessions = threads;
+  svc::Exchange exchange(net, std::move(cfg));
   const auto n = static_cast<std::uint32_t>(net.inputs.size());
   const std::size_t ops_per_thread = total_ops / threads;
   std::vector<std::size_t> connects(threads, 0);
 
   std::chrono::steady_clock::time_point t0;
+  // Two rendezvous: after warmup everyone parks while thread 0 zeroes the
+  // exchange's books (the warmup must not leak into the recorded stats),
+  // then the timing barrier's last arriver stamps t0.
+  std::barrier warm(static_cast<std::ptrdiff_t>(threads));
   std::barrier sync(static_cast<std::ptrdiff_t>(threads),
                     [&t0]() noexcept { t0 = std::chrono::steady_clock::now(); });
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
-      auto& worker = router.worker(t);
       util::Xoshiro256 rng(util::derive_seed(21, t));
-      std::vector<core::ConcurrentRouter::CallId> active;
+      std::vector<svc::CallId> active;
       active.reserve(n);
       std::size_t local_connects = 0;
       const auto step = [&] {
         if (!active.empty() && (rng() & 3u) == 0) {
           const auto idx = rng() % active.size();
-          worker.disconnect(active[idx]);
+          exchange.hangup(active[idx]);
           active[idx] = active.back();
           active.pop_back();
         } else {
           const auto in = static_cast<std::uint32_t>(rng() % n);
           const auto out = static_cast<std::uint32_t>(rng() % n);
-          const auto call = worker.connect(in, out);
+          const svc::Outcome o = exchange.call({in, out}, t);
           ++local_connects;
-          if (call != core::ConcurrentRouter::kNoCall) active.push_back(call);
+          if (o.connected()) active.push_back(o.id);
         }
       };
       for (std::size_t i = 0; i < ops_per_thread / 10; ++i) step();  // warmup
       local_connects = 0;
-      worker.reset_stats();
-      sync.arrive_and_wait();  // last arriver stamps t0
+      warm.arrive_and_wait();  // quiesce every session...
+      if (t == 0) exchange.reset_stats();
+      sync.arrive_and_wait();  // ...then the last arriver stamps t0
       for (std::size_t i = 0; i < ops_per_thread; ++i) step();
       connects[t] = local_connects;
     });
@@ -244,7 +276,7 @@ ScalingPoint concurrent_churn(const graph::Network& net, unsigned threads,
   p.threads = threads;
   p.seconds = dt;
   for (unsigned t = 0; t < threads; ++t) p.connects += connects[t];
-  p.stats = router.stats();  // per-worker blocks merged via operator+=
+  p.stats = exchange.stats().router;  // per-session books, merged
   return p;
 }
 
@@ -263,6 +295,95 @@ std::vector<ScalingPoint> thread_scaling_curve(const graph::Network& net,
   return curve;
 }
 
+// ---------------------------------------------------------------------------
+// --batch=N admission-mode series: the same churn mix served through the
+// BATCHED front-end — submit an epoch's worth of requests, drain across all
+// sessions on the shared thread pool, then release a third of the active
+// calls (per session, in parallel) to keep the 3:1 connect:disconnect mix
+// of the unbatched churn. Batch size sweeps powers of 4 up to N.
+
+struct BatchedPoint {
+  std::size_t batch = 0;
+  std::size_t connects = 0;  // requests admitted and routed
+  double seconds = 0.0;
+  core::RouterStats stats;
+  std::uint64_t deferred = 0, refused = 0, epochs = 0;
+  [[nodiscard]] double calls_per_sec() const {
+    return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
+  }
+};
+
+BatchedPoint batched_churn(const graph::Network& net, unsigned sessions,
+                           std::size_t batch, std::size_t total_ops) {
+  svc::ExchangeConfig cfg;
+  cfg.backend = svc::Backend::kConcurrent;
+  cfg.sessions = sessions;
+  svc::Exchange exchange(net, std::move(cfg));
+  const auto n = static_cast<std::uint32_t>(net.inputs.size());
+  util::Xoshiro256 rng(util::derive_seed(33, batch));
+
+  // Completion callbacks append per-session; drain() partitions the batch
+  // so exactly one pool task touches session s, which makes this safe.
+  std::vector<std::vector<svc::CallId>> active(sessions);
+  const auto on_done = [&active](const svc::Outcome& o) {
+    if (o.connected()) active[o.session].push_back(o.id);
+  };
+
+  std::size_t connects = 0;
+  const auto epoch = [&] {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto in = static_cast<std::uint32_t>(rng() % n);
+      const auto out = static_cast<std::uint32_t>(rng() % n);
+      exchange.submit({in, out}, on_done);
+    }
+    connects += exchange.drain_all();
+    // Hang up a third of each session's calls, sessions in parallel.
+    util::ThreadPool::global().run(sessions, [&](std::size_t s) {
+      auto& mine = active[s];
+      util::Xoshiro256 vrng(util::derive_seed(47, s));
+      std::size_t drop = mine.size() / 3;
+      while (drop-- > 0 && !mine.empty()) {
+        const auto idx = vrng() % mine.size();
+        exchange.hangup(mine[idx]);
+        mine[idx] = mine.back();
+        mine.pop_back();
+      }
+    });
+  };
+
+  const std::size_t warm_target = total_ops / 10;
+  while (connects < warm_target) epoch();
+  connects = 0;
+  exchange.reset_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  while (connects < total_ops) epoch();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const svc::ExchangeStats st = exchange.stats();
+  BatchedPoint p;
+  p.batch = batch;
+  p.connects = connects;
+  p.seconds = dt;
+  p.stats = st.router;
+  p.deferred = st.deferred;
+  p.refused = st.refused;
+  p.epochs = st.epochs;
+  return p;
+}
+
+std::vector<BatchedPoint> batched_series(const graph::Network& net,
+                                         unsigned sessions,
+                                         std::size_t max_batch,
+                                         std::size_t total_ops) {
+  std::vector<BatchedPoint> series;
+  for (std::size_t b = 64; b < max_batch; b *= 4)
+    series.push_back(batched_churn(net, sessions, b, total_ops));
+  series.push_back(batched_churn(net, sessions, max_batch, total_ops));
+  return series;
+}
+
 /// Extracts `"key": <number>` from a JSON-ish text; returns -1 if absent.
 double extract_number(const std::string& text, const std::string& key) {
   const auto pos = text.find("\"" + key + "\"");
@@ -272,7 +393,15 @@ double extract_number(const std::string& text, const std::string& key) {
   return std::strtod(text.c_str() + colon + 1, nullptr);
 }
 
-int run_json_smoke(const std::string& path, unsigned max_threads) {
+/// `"<to_string(reason)>": <count>` — every reject key in the JSON is
+/// spelled by the shared RejectReason enum, nothing hand-written.
+std::string reject_key(svc::RejectReason reason, std::uint64_t count) {
+  return "\"" + std::string(svc::to_string(reason)) +
+         "\": " + std::to_string(count);
+}
+
+int run_json_smoke(const std::string& path, unsigned max_threads,
+                   std::size_t max_batch) {
   std::vector<ChurnMeasure> rows;
   rows.push_back(churn_workload("cantor-k5", networks::build_cantor({5, 0}),
                                 bench::scaled(100'000)));
@@ -309,7 +438,7 @@ int run_json_smoke(const std::string& path, unsigned max_threads) {
     return 1;
   }
   out << "{\n  \"bench\": \"routing_churn\",\n";
-  out << "  \"workload\": \"deterministic connect/disconnect churn, 25% disconnect\",\n";
+  out << "  \"workload\": \"deterministic connect/disconnect churn, 25% disconnect, served via svc::Exchange\",\n";
   out << "  \"networks\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
@@ -322,13 +451,22 @@ int run_json_smoke(const std::string& path, unsigned max_threads) {
   out << "  ],\n";
   out << "  \"total_path_vertices\": " << merged.path_vertices << ",\n";
   out << "  \"total_vertices_visited\": " << merged.vertices_visited << ",\n";
+  out << "  \"rejects\": {"
+      << reject_key(svc::RejectReason::kTerminalBusy, merged.rejected_terminal)
+      << ", "
+      << reject_key(svc::RejectReason::kNoPath, merged.rejected_no_path) << ", "
+      << reject_key(svc::RejectReason::kContention, merged.rejected_contention)
+      << "},\n";
 
-  // Thread-scaling curve: the same churn on a shared ConcurrentRouter.
+  // Thread-scaling curve: the same churn on the concurrent backend,
+  // immediate plane, one session per OS thread.
+  double unbatched_at_max = 0.0;
   if (max_threads >= 1) {
     const auto curve = thread_scaling_curve(networks::build_cantor({5, 0}),
                                             max_threads,
                                             bench::scaled(100'000));
     const double base_1t = curve.front().calls_per_sec();
+    unbatched_at_max = curve.back().calls_per_sec();
     out << "  \"thread_scaling\": {\"network\": \"cantor-k5\", \"points\": [\n";
     for (std::size_t i = 0; i < curve.size(); ++i) {
       const auto& p = curve[i];
@@ -338,14 +476,46 @@ int run_json_smoke(const std::string& path, unsigned max_threads) {
           << ", \"speedup_vs_1t\": "
           << (base_1t > 0 ? p.calls_per_sec() / base_1t : 0.0)
           << ", \"claim_conflicts\": " << p.stats.claim_conflicts
-          << ", \"search_retries\": " << p.stats.search_retries
-          << ", \"rejected_contention\": " << p.stats.rejected_contention
+          << ", \"search_retries\": " << p.stats.search_retries << ", "
+          << reject_key(svc::RejectReason::kContention,
+                        p.stats.rejected_contention)
           << "}" << (i + 1 < curve.size() ? "," : "") << "\n";
       std::cout << "concurrent churn cantor-k5 x" << p.threads << ": "
                 << static_cast<std::uint64_t>(p.calls_per_sec())
                 << " calls/sec (speedup vs 1t "
                 << (base_1t > 0 ? p.calls_per_sec() / base_1t : 0.0)
                 << ", conflicts " << p.stats.claim_conflicts << ")\n";
+    }
+    out << "  ]},\n";
+  }
+
+  // Batched-admission series: submit/drain epochs at the max session count.
+  if (max_batch >= 1 && max_threads >= 1) {
+    const auto series = batched_series(networks::build_cantor({5, 0}),
+                                       max_threads, max_batch,
+                                       bench::scaled(100'000));
+    out << "  \"batched_admission\": {\"network\": \"cantor-k5\", \"sessions\": "
+        << max_threads << ", \"points\": [\n";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const auto& p = series[i];
+      out << "    {\"batch\": " << p.batch << ", \"connects\": " << p.connects
+          << ", \"calls_per_sec\": "
+          << static_cast<std::uint64_t>(p.calls_per_sec())
+          << ", \"epochs\": " << p.epochs << ", \"deferred\": " << p.deferred
+          << ", \"refused\": " << p.refused
+          << ", \"claim_conflicts\": " << p.stats.claim_conflicts << ", "
+          << reject_key(svc::RejectReason::kContention,
+                        p.stats.rejected_contention)
+          << ", \"vs_unbatched_max_threads\": "
+          << (unbatched_at_max > 0 ? p.calls_per_sec() / unbatched_at_max : 0.0)
+          << "}" << (i + 1 < series.size() ? "," : "") << "\n";
+      std::cout << "batched churn cantor-k5 batch=" << p.batch << " x"
+                << max_threads << " sessions: "
+                << static_cast<std::uint64_t>(p.calls_per_sec())
+                << " calls/sec (vs unbatched x" << max_threads << " "
+                << (unbatched_at_max > 0 ? p.calls_per_sec() / unbatched_at_max
+                                         : 0.0)
+                << ")\n";
     }
     out << "  ]},\n";
   }
@@ -365,7 +535,8 @@ int run_json_smoke(const std::string& path, unsigned max_threads) {
 
 int main(int argc, char** argv) {
   std::string json_path;
-  unsigned max_threads = 0;  // 0 = no thread-scaling curve
+  unsigned max_threads = 0;   // 0 = no thread-scaling curve
+  std::size_t max_batch = 0;  // 0 = no batched-admission series
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
@@ -373,10 +544,16 @@ int main(int argc, char** argv) {
       const long v = std::strtol(arg.c_str() + 10, nullptr, 10);
       if (v >= 1) max_threads = static_cast<unsigned>(v);
     }
+    if (arg.rfind("--batch=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 8, nullptr, 10);
+      if (v >= 1) max_batch = static_cast<std::size_t>(v);
+    }
   }
-  // --threads=K without --json still records the curve at the default path.
-  if (max_threads > 0 && json_path.empty()) json_path = "BENCH_routing.json";
-  if (!json_path.empty()) return run_json_smoke(json_path, max_threads);
+  // --threads / --batch without --json still record to the default path.
+  if ((max_threads > 0 || max_batch > 0) && json_path.empty())
+    json_path = "BENCH_routing.json";
+  if (max_batch > 0 && max_threads == 0) max_threads = 8;
+  if (!json_path.empty()) return run_json_smoke(json_path, max_threads, max_batch);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_success_table();

@@ -15,31 +15,35 @@
 
 #include "fault/fault_instance.hpp"
 #include "ftcs/ft_network.hpp"
-#include "ftcs/router.hpp"
 #include "ftcs/traffic.hpp"
 #include "networks/benes.hpp"
 #include "networks/clos.hpp"
+#include "svc/exchange.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-struct Exchange {
+struct Office {
   std::string name;
   const ftcs::graph::Network* net;
 };
 
+// One day of service: the office is a svc::Exchange owning the year's
+// cumulative fault mask; the traffic simulation serves calls through it.
 ftcs::core::TrafficReport run_day(const ftcs::graph::Network& net,
                                   const ftcs::fault::FaultModel& wear,
                                   std::uint64_t seed) {
   ftcs::fault::FaultInstance inst(net, wear, seed);
-  ftcs::core::GreedyRouter router(net, inst.faulty_non_terminal_mask(),
-                                  inst.failed_edge_mask());
+  ftcs::svc::ExchangeConfig cfg;
+  cfg.blocked = inst.faulty_non_terminal_mask();
+  cfg.blocked_edges = inst.failed_edge_mask();
+  ftcs::svc::Exchange exchange(net, std::move(cfg));
   ftcs::core::TrafficParams p;
   p.arrival_rate = 4.0;   // calls per minute across the exchange
   p.mean_holding = 3.0;   // minutes
   p.sim_time = 1440;      // one day
   p.seed = seed ^ 0xD417;
-  return simulate_traffic(router, p);
+  return simulate_traffic(exchange, p);
 }
 
 }  // namespace
@@ -52,7 +56,7 @@ int main(int argc, char** argv) {
   const auto clos = networks::build_clos(networks::clos_nonblocking_for(16));
   const networks::Benes benes(4);
   const auto ft = core::build_ft_network(core::FtParams::sim(2, 8, 6, 1, 5));
-  const Exchange exchanges[] = {
+  const Office exchanges[] = {
       {"clos-strict (" + std::to_string(clos.g.edge_count()) + " sw)", &clos},
       {"benes (" + std::to_string(benes.network().g.edge_count()) + " sw)",
        &benes.network()},

@@ -71,6 +71,21 @@ struct RouterStats {
     rejected_contention += o.rejected_contention;
     return *this;
   }
+
+  /// Counter delta (all fields are monotone), for before/after snapshots.
+  RouterStats& operator-=(const RouterStats& o) noexcept {
+    connect_calls -= o.connect_calls;
+    accepted -= o.accepted;
+    rejected_terminal -= o.rejected_terminal;
+    rejected_no_path -= o.rejected_no_path;
+    disconnects -= o.disconnects;
+    vertices_visited -= o.vertices_visited;
+    path_vertices -= o.path_vertices;
+    claim_conflicts -= o.claim_conflicts;
+    search_retries -= o.search_retries;
+    rejected_contention -= o.rejected_contention;
+    return *this;
+  }
 };
 
 class GreedyRouter {

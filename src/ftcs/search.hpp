@@ -96,7 +96,15 @@ template <class BusyFn, class EdgeBlockedFn>
           if (s.epoch_f[v] == s.epoch) continue;
           s.epoch_f[v] = s.epoch;
           ++visited;
-          if (is_busy(v)) continue;
+          if (is_busy(v)) {
+            // Record "no parent this epoch" EXPLICITLY. Parent arrays
+            // persist across searches, and under a concurrent (dirty) busy
+            // view the other side may probe v again after it went idle: a
+            // stale parent from an earlier search would then chain a meet
+            // through garbage (broken or even cyclic paths).
+            s.parent_f[v] = graph::kNoVertex;
+            continue;
+          }
           s.parent_f[v] = u;
           s.dist_f[v] = df + 1;
           if (s.epoch_b[v] == s.epoch && s.parent_b[v] != graph::kNoVertex) {
@@ -133,7 +141,10 @@ template <class BusyFn, class EdgeBlockedFn>
           if (s.epoch_b[v] == s.epoch) continue;
           s.epoch_b[v] = s.epoch;
           ++visited;
-          if (is_busy(v)) continue;  // src/dst rejected upfront if busy
+          if (is_busy(v)) {  // src/dst rejected upfront if busy
+            s.parent_b[v] = graph::kNoVertex;  // see the forward-side note
+            continue;
+          }
           s.parent_b[v] = u;
           s.dist_b[v] = db + 1;
           if (s.epoch_f[v] == s.epoch &&

@@ -1,5 +1,6 @@
 #include "ftcs/traffic.hpp"
 
+#include <algorithm>
 #include <queue>
 #include <vector>
 
@@ -7,13 +8,15 @@
 
 namespace ftcs::core {
 
-TrafficReport simulate_traffic(GreedyRouter& router, const TrafficParams& p) {
+TrafficReport simulate_traffic(svc::Exchange& exchange,
+                               const TrafficParams& p) {
   util::Xoshiro256 rng(p.seed);
   TrafficReport report;
+  const svc::ExchangeStats before = exchange.stats();
 
   struct Departure {
     double time;
-    GreedyRouter::CallId call;
+    svc::CallId call;
     bool operator>(const Departure& other) const { return time > other.time; }
   };
   std::priority_queue<Departure, std::vector<Departure>, std::greater<>> departures;
@@ -22,10 +25,12 @@ TrafficReport simulate_traffic(GreedyRouter& router, const TrafficParams& p) {
   double next_arrival = rng.exponential(p.arrival_rate);
   double active_integral = 0.0;
   double last_event = 0.0;
-  std::size_t total_path_vertices = 0;
+  const std::size_t base_active = exchange.active_calls();
 
   auto advance = [&](double t) {
-    active_integral += static_cast<double>(router.active_calls()) * (t - last_event);
+    active_integral +=
+        static_cast<double>(exchange.active_calls() - base_active) *
+        (t - last_event);
     last_event = t;
   };
 
@@ -40,14 +45,12 @@ TrafficReport simulate_traffic(GreedyRouter& router, const TrafficParams& p) {
       next_arrival = now + rng.exponential(p.arrival_rate);
 
       // Uniform random idle terminal pair (rejection sampling, bounded).
-      // Terminal counts are available through the router's network indirectly;
-      // we sample indices until both are idle or give up.
       std::uint32_t in = 0, out = 0;
       bool found = false;
       for (int attempt = 0; attempt < 64; ++attempt) {
-        in = static_cast<std::uint32_t>(rng.below(router.input_count()));
-        out = static_cast<std::uint32_t>(rng.below(router.output_count()));
-        if (router.input_idle(in) && router.output_idle(out)) {
+        in = static_cast<std::uint32_t>(rng.below(exchange.input_count()));
+        out = static_cast<std::uint32_t>(rng.below(exchange.output_count()));
+        if (exchange.input_idle(in) && exchange.output_idle(out)) {
           found = true;
           break;
         }
@@ -56,28 +59,32 @@ TrafficReport simulate_traffic(GreedyRouter& router, const TrafficParams& p) {
         ++report.terminal_busy;
         continue;
       }
-      ++report.offered;
-      const auto call = router.connect(in, out);
-      if (call == GreedyRouter::kNoCall) {
-        ++report.blocked;
-        continue;
-      }
-      ++report.carried;
-      total_path_vertices += router.path_length(call);
-      departures.push({now + rng.exponential(1.0 / p.mean_holding), call});
+      const svc::Outcome outcome = exchange.call({in, out});
+      if (!outcome.connected()) continue;  // counted via the stats delta
+      departures.push(
+          {now + rng.exponential(1.0 / p.mean_holding), outcome.id});
     } else {
       const auto dep = departures.top();
       departures.pop();
       now = dep.time;
       advance(now);
-      router.disconnect(dep.call);
+      exchange.hangup(dep.call);
     }
   }
   advance(std::max(now, p.sim_time));
 
+  // One set of books: every call counter is the exchange's delta over the
+  // run. (blocked covers every post-admission rejection — no-path,
+  // contention, and the never-expected terminal races.)
+  svc::ExchangeStats service = exchange.stats();
+  service -= before;
+  report.service = service;
+  report.offered = service.router.connect_calls;
+  report.carried = service.router.accepted;
+  report.blocked = report.offered - report.carried;
   report.mean_active = last_event > 0 ? active_integral / last_event : 0.0;
   report.mean_path_length =
-      report.carried ? static_cast<double>(total_path_vertices) /
+      report.carried ? static_cast<double>(service.router.path_vertices) /
                            static_cast<double>(report.carried)
                      : 0.0;
   return report;

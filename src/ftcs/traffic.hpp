@@ -3,14 +3,21 @@
 //
 // Calls arrive as a Poisson process; each call picks a uniformly random
 // idle input/output pair and holds an exponential time. A call is *blocked*
-// if its terminals are busy-free but the router finds no idle path (on a
+// if its terminals are busy-free but the exchange finds no idle path (on a
 // strictly nonblocking surviving network this never happens; on damaged or
 // blocking networks it measures the grade of service).
+//
+// The simulation drives a svc::Exchange (the service facade over either
+// routing engine), so one simulator serves both the single-threaded greedy
+// backend and the sharded concurrent backend. The report's call counters
+// are DERIVED from the exchange's counter deltas (svc::ExchangeStats) —
+// there is one set of books, kept by the engine; the traffic tests assert
+// the derivation's invariants.
 #pragma once
 
 #include <cstdint>
 
-#include "ftcs/router.hpp"
+#include "svc/exchange.hpp"
 
 namespace ftcs::core {
 
@@ -22,20 +29,26 @@ struct TrafficParams {
 };
 
 struct TrafficReport {
-  std::size_t offered = 0;        // arrivals with an idle terminal pair
-  std::size_t carried = 0;        // successfully routed
-  std::size_t blocked = 0;        // no idle path despite idle terminals
+  // Derived from `service` (the exchange's counter delta for this run):
+  std::size_t offered = 0;  // arrivals with an idle terminal pair
+  std::size_t carried = 0;  // successfully routed
+  std::size_t blocked = 0;  // no idle path despite idle terminals
+  // Simulator-side bookkeeping (never reaches the exchange):
   std::size_t terminal_busy = 0;  // arrivals dropped: no idle terminal pair
   double mean_active = 0.0;       // time-averaged calls in progress
   double mean_path_length = 0.0;  // vertices per carried call
+  /// Exchange counter delta over the run — the authoritative books the
+  /// fields above are computed from (one RejectReason spelling throughout).
+  svc::ExchangeStats service;
 
   [[nodiscard]] double blocking_probability() const {
     return offered == 0 ? 0.0 : static_cast<double>(blocked) / static_cast<double>(offered);
   }
 };
 
-/// Runs the simulation on a router (which carries the network + fault mask).
-[[nodiscard]] TrafficReport simulate_traffic(GreedyRouter& router,
+/// Runs the simulation on an exchange (which carries the network + fault
+/// mask + engine backend). Uses the immediate service plane on session 0.
+[[nodiscard]] TrafficReport simulate_traffic(svc::Exchange& exchange,
                                              const TrafficParams& params);
 
 }  // namespace ftcs::core

@@ -1,0 +1,119 @@
+// Admission policies for the Exchange's batched front-end.
+//
+// Submitted requests queue until a drain() epoch admits a window of them
+// onto the engine. The policy decides two things: how many queued requests
+// enter the epoch about to run (epoch_window), and how deep the queue may
+// grow before further submissions are Refused outright (max_queue_depth).
+// Requests that stay queued past an epoch are Deferred — they keep their
+// place and their deferral count is surfaced in the eventual Outcome.
+//
+// ConflictAdaptiveAdmission closes the loop the ROADMAP asked for: it sizes
+// the window from the concurrent engine's measured claim_conflicts rate
+// (AIMD — halve on a contended epoch, grow additively on a clean one), so
+// the batch size settles where optimistic path-claiming stops paying for
+// retries.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace ftcs::svc {
+
+/// What the policy sees before each epoch: queue pressure plus the
+/// previous epoch's engine feedback (deltas, not totals).
+struct EpochFeedback {
+  std::uint64_t epoch = 0;       // index of the epoch about to run
+  std::size_t queued = 0;        // requests currently waiting
+  std::size_t sessions = 1;      // engine parallelism available to the batch
+  std::size_t admitted_last = 0; // requests admitted into the previous epoch
+  std::uint64_t claim_conflicts_last = 0;      // engine CAS conflicts, delta
+  std::uint64_t rejected_contention_last = 0;  // retry-budget rejects, delta
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  /// Maximum number of queued requests to admit into the epoch about to
+  /// run. May use feedback state; called once per drain().
+  [[nodiscard]] virtual std::size_t epoch_window(const EpochFeedback& fb) = 0;
+  /// Queue cap: a submit() that would grow the queue past this depth is
+  /// Refused with RejectReason::kRefused. 0 = unbounded.
+  [[nodiscard]] virtual std::size_t max_queue_depth() const noexcept {
+    return 0;
+  }
+};
+
+/// Admit everything that is queued, every epoch. No overload protection.
+class UnboundedAdmission final : public AdmissionPolicy {
+ public:
+  [[nodiscard]] std::size_t epoch_window(const EpochFeedback& fb) override {
+    return fb.queued;
+  }
+};
+
+/// Fixed per-epoch window with an optional queue cap: the classic
+/// rate-limiter. Requests beyond the window wait (Deferred); submissions
+/// beyond the cap bounce (Refused).
+class FixedWindowAdmission final : public AdmissionPolicy {
+ public:
+  explicit FixedWindowAdmission(std::size_t window, std::size_t max_queue = 0)
+      : window_(window), max_queue_(max_queue) {}
+  [[nodiscard]] std::size_t epoch_window(const EpochFeedback&) override {
+    return window_;
+  }
+  [[nodiscard]] std::size_t max_queue_depth() const noexcept override {
+    return max_queue_;
+  }
+
+ private:
+  std::size_t window_;
+  std::size_t max_queue_;
+};
+
+/// AIMD window driven by the concurrent engine's claim_conflicts counters:
+/// an epoch whose conflicts-per-admitted-call exceed `high_rate` halves the
+/// window (contention means too many calls raced in one batch); an epoch
+/// below `low_rate` grows it by a quarter (the engine has headroom). A
+/// retry-budget rejection (rejected_contention) always halves — the engine
+/// actually failed a call. Window stays within [min_window, max_window].
+class ConflictAdaptiveAdmission final : public AdmissionPolicy {
+ public:
+  explicit ConflictAdaptiveAdmission(std::size_t initial = 64,
+                                     std::size_t min_window = 8,
+                                     std::size_t max_window = 4096,
+                                     double high_rate = 0.10,
+                                     double low_rate = 0.02,
+                                     std::size_t max_queue = 0)
+      : window_(std::clamp(initial, min_window, max_window)),
+        min_(min_window),
+        max_(max_window),
+        high_(high_rate),
+        low_(low_rate),
+        max_queue_(max_queue) {}
+
+  [[nodiscard]] std::size_t epoch_window(const EpochFeedback& fb) override {
+    if (fb.admitted_last > 0) {
+      const double rate = static_cast<double>(fb.claim_conflicts_last) /
+                          static_cast<double>(fb.admitted_last);
+      if (fb.rejected_contention_last > 0 || rate > high_) {
+        window_ = std::max(min_, window_ / 2);
+      } else if (rate < low_) {
+        window_ = std::min(max_, window_ + std::max<std::size_t>(1, window_ / 4));
+      }
+    }
+    return window_;
+  }
+  [[nodiscard]] std::size_t max_queue_depth() const noexcept override {
+    return max_queue_;
+  }
+  [[nodiscard]] std::size_t current_window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+  std::size_t min_, max_;
+  double high_, low_;
+  std::size_t max_queue_;
+};
+
+}  // namespace ftcs::svc

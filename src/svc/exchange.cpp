@@ -1,0 +1,327 @@
+#include "svc/exchange.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/thread_pool.hpp"
+
+namespace ftcs::svc {
+
+namespace {
+// Every Exchange gets a process-unique id tagged into its handles, so a
+// handle presented to the wrong Exchange is detected (kForeignHandle)
+// instead of silently indexing someone else's call table.
+std::atomic<std::uint32_t> next_exchange_id{1};
+}  // namespace
+
+Exchange::Exchange(const graph::Network& net, ExchangeConfig cfg)
+    : Exchange(&net, nullptr, std::move(cfg)) {}
+
+Exchange::Exchange(graph::Network&& net, ExchangeConfig cfg)
+    : Exchange(nullptr, std::make_unique<graph::Network>(std::move(net)),
+               std::move(cfg)) {}
+
+Exchange::Exchange(const graph::Network* net,
+                   std::unique_ptr<graph::Network> owned, ExchangeConfig cfg)
+    : owned_net_(std::move(owned)),
+      net_(owned_net_ ? owned_net_.get() : net),
+      engine_(make_engine(cfg.backend, *net_, cfg.sessions,
+                          std::move(cfg.blocked),
+                          std::move(cfg.blocked_edges))),
+      admission_(cfg.admission ? std::move(cfg.admission)
+                               : std::make_unique<UnboundedAdmission>()),
+      id_(next_exchange_id.fetch_add(1, std::memory_order_relaxed)),
+      sessions_(engine_->sessions()) {}
+
+// ------------------------------------------------------------------ handles
+
+CallId Exchange::issue_handle(unsigned session, Engine::RawCall raw) {
+  Session& s = sessions_[session];
+  std::uint32_t slot;
+  if (!s.free.empty()) {
+    slot = s.free.back();
+    s.free.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(s.slots.size());
+    s.slots.emplace_back();
+  }
+  Slot& sl = s.slots[slot];
+  sl.raw = raw;
+  sl.live = true;
+  CallId id;
+  id.exchange_ = id_;
+  id.session_ = session;
+  id.slot_ = slot;
+  id.gen_ = sl.gen;
+  return id;
+}
+
+RejectReason Exchange::check_handle(CallId id) const {
+  if (id.exchange_ == 0) return RejectReason::kStaleHandle;  // null handle
+  if (id.exchange_ != id_) return RejectReason::kForeignHandle;
+  if (id.session_ >= sessions_.size()) return RejectReason::kBadSession;
+  const Session& s = sessions_[id.session_];
+  if (id.slot_ >= s.slots.size()) return RejectReason::kStaleHandle;
+  const Slot& slot = s.slots[id.slot_];
+  if (!slot.live || slot.gen != id.gen_) return RejectReason::kStaleHandle;
+  return RejectReason::kNone;
+}
+
+// ---------------------------------------------------------- immediate plane
+
+Outcome Exchange::route_one(const CallRequest& req, unsigned session,
+                            std::uint32_t deferrals) {
+  Outcome o;
+  o.tag = req.tag;
+  o.session = session;
+  o.deferrals = deferrals;
+  const Engine::Connect c = engine_->connect(session, req.input, req.output);
+  o.reject = c.reject;
+  o.path_length = c.path_length;
+  if (c.reject == RejectReason::kNone) o.id = issue_handle(session, c.call);
+  return o;
+}
+
+Outcome Exchange::call(const CallRequest& req, unsigned session) {
+  if (session >= engine_->sessions()) {
+    // Counted with the handle misuses: without this, a caller fanning out
+    // over more sessions than the engine has would see its traffic vanish
+    // from every stats()-derived report.
+    handle_errors_.fetch_add(1, std::memory_order_relaxed);
+    Outcome o;
+    o.tag = req.tag;
+    o.session = session;
+    o.reject = RejectReason::kBadSession;
+    return o;
+  }
+  return route_one(req, session, 0);
+}
+
+RejectReason Exchange::hangup(CallId id) {
+  const RejectReason err = check_handle(id);
+  if (err != RejectReason::kNone) {
+    handle_errors_.fetch_add(1, std::memory_order_relaxed);
+    return err;
+  }
+  Session& s = sessions_[id.session_];
+  Slot& slot = s.slots[id.slot_];
+  engine_->disconnect(id.session_, slot.raw);
+  // Retire the slot: bumping the generation invalidates every outstanding
+  // copy of this handle, so double hangups and stale copies are caught by
+  // check_handle() forever after.
+  slot.live = false;
+  slot.raw = Engine::kNoRawCall;
+  ++slot.gen;
+  s.free.push_back(id.slot_);
+  ++s.hangups;
+  return RejectReason::kNone;
+}
+
+std::vector<graph::VertexId> Exchange::path_of(CallId id) {
+  if (check_handle(id) != RejectReason::kNone) return {};
+  return engine_->path_of(id.session_, sessions_[id.session_].slots[id.slot_].raw);
+}
+
+// ------------------------------------------------------------ batched plane
+
+Ticket Exchange::submit(const CallRequest& req) {
+  return submit_impl(req, CompletionFn{});
+}
+
+Ticket Exchange::submit(const CallRequest& req, CompletionFn done) {
+  return submit_impl(req, std::move(done));
+}
+
+Ticket Exchange::submit_impl(const CallRequest& req, CompletionFn done) {
+  Ticket ticket;
+  bool refused = false;
+  {
+    std::lock_guard<std::mutex> lk(front_mu_);
+    ticket = next_ticket_++;
+    ++submitted_;
+    const std::size_t cap = admission_->max_queue_depth();
+    if (cap > 0 && queue_.size() >= cap) {
+      refused = true;
+      ++refused_;
+      ++completed_count_;
+      if (!done) {
+        Outcome o;
+        o.reject = RejectReason::kRefused;
+        o.tag = req.tag;
+        completed_.emplace(ticket, o);
+      }
+    } else {
+      queue_.push_back(Pending{req, ticket, std::move(done), 0});
+      queue_high_water_ = std::max<std::uint64_t>(queue_high_water_,
+                                                  queue_.size());
+    }
+  }
+  if (refused && done) {
+    // Refusal callback fires on the submitting thread — there is no epoch
+    // to defer it to.
+    Outcome o;
+    o.reject = RejectReason::kRefused;
+    o.tag = req.tag;
+    done(o);
+  }
+  return ticket;
+}
+
+std::vector<Exchange::Pending> Exchange::take_window(std::size_t window) {
+  std::vector<Pending> out;
+  out.reserve(std::min(window, queue_.size()));
+  if (window >= queue_.size()) {
+    for (auto& p : queue_) out.push_back(std::move(p));
+    queue_.clear();
+    return out;
+  }
+  // Fast path: one service class queued -> plain FIFO.
+  bool uniform = true;
+  for (const auto& p : queue_)
+    if (p.req.priority != queue_.front().req.priority) {
+      uniform = false;
+      break;
+    }
+  if (uniform) {
+    for (std::size_t i = 0; i < window; ++i) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return out;
+  }
+  // Mixed classes: admit the highest priorities, stable (FIFO) among
+  // equals; the admitted batch keeps arrival order.
+  std::vector<std::size_t> idx(queue_.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
+    return queue_[a].req.priority > queue_[b].req.priority;
+  });
+  idx.resize(window);
+  std::sort(idx.begin(), idx.end());
+  std::vector<char> taken(queue_.size(), 0);
+  for (const std::size_t i : idx) {
+    out.push_back(std::move(queue_[i]));
+    taken[i] = 1;
+  }
+  std::deque<Pending> rest;
+  for (std::size_t i = 0; i < taken.size(); ++i)
+    if (!taken[i]) rest.push_back(std::move(queue_[i]));
+  queue_ = std::move(rest);
+  return out;
+}
+
+std::size_t Exchange::drain() {
+  std::vector<Pending> batch;
+  {
+    std::lock_guard<std::mutex> lk(front_mu_);
+    if (queue_.empty()) return 0;
+    EpochFeedback fb;
+    fb.epoch = epochs_;
+    fb.queued = queue_.size();
+    fb.sessions = engine_->sessions();
+    fb.admitted_last = last_admitted_;
+    fb.claim_conflicts_last = last_conflicts_;
+    fb.rejected_contention_last = last_contention_;
+    const std::size_t window = admission_->epoch_window(fb);
+    if (window == 0) return 0;
+    batch = take_window(window);
+    ++epochs_;
+    admitted_ += batch.size();
+    // Everyone still queued waits (at least) one more epoch: Deferred.
+    deferred_ += queue_.size();
+    for (auto& p : queue_) ++p.deferrals;
+  }
+
+  const core::RouterStats before = engine_->stats();
+  const std::size_t m = batch.size();
+  const unsigned s_count = engine_->sessions();
+  std::vector<Outcome> outs(m);
+  // Deterministic contiguous partition: session s routes batch indices
+  // [m*s/S, m*(s+1)/S). Each pool task owns exactly one session, so the
+  // per-session handle shards stay single-threaded; callbacks for a
+  // request fire from the task that routed it.
+  const auto route_chunk = [&](unsigned s) {
+    const std::size_t lo = m * s / s_count;
+    const std::size_t hi = m * (s + 1) / s_count;
+    for (std::size_t i = lo; i < hi; ++i) {
+      outs[i] = route_one(batch[i].req, s, batch[i].deferrals);
+      if (batch[i].done) batch[i].done(outs[i]);
+    }
+  };
+  if (s_count == 1) {
+    route_chunk(0);
+  } else {
+    util::ThreadPool::global().run(
+        s_count, [&route_chunk](std::size_t s) {
+          route_chunk(static_cast<unsigned>(s));
+        });
+  }
+  const core::RouterStats after = engine_->stats();
+
+  {
+    std::lock_guard<std::mutex> lk(front_mu_);
+    for (std::size_t i = 0; i < m; ++i)
+      if (!batch[i].done) completed_.emplace(batch[i].ticket, outs[i]);
+    completed_count_ += m;
+    last_admitted_ = m;
+    last_conflicts_ = after.claim_conflicts - before.claim_conflicts;
+    last_contention_ = after.rejected_contention - before.rejected_contention;
+  }
+  return m;
+}
+
+std::size_t Exchange::drain_all() {
+  std::size_t total = 0;
+  for (;;) {
+    const std::size_t n = drain();
+    if (n == 0) return total;  // queue empty, or a zero-window policy
+    total += n;
+  }
+}
+
+std::optional<Outcome> Exchange::poll(Ticket ticket) {
+  std::lock_guard<std::mutex> lk(front_mu_);
+  const auto it = completed_.find(ticket);
+  if (it == completed_.end()) return std::nullopt;
+  Outcome o = it->second;
+  completed_.erase(it);
+  return o;
+}
+
+std::size_t Exchange::pending() const {
+  std::lock_guard<std::mutex> lk(front_mu_);
+  return queue_.size();
+}
+
+// ------------------------------------------------------------ introspection
+
+ExchangeStats Exchange::stats() const {
+  ExchangeStats st;
+  st.router = engine_->stats();
+  {
+    std::lock_guard<std::mutex> lk(front_mu_);
+    st.submitted = submitted_;
+    st.admitted = admitted_;
+    st.completed = completed_count_;
+    st.deferred = deferred_;
+    st.refused = refused_;
+    st.epochs = epochs_;
+    st.queue_high_water = queue_high_water_;
+  }
+  for (const Session& s : sessions_) st.hangups += s.hangups;
+  st.handle_errors = handle_errors_.load(std::memory_order_relaxed);
+  return st;
+}
+
+void Exchange::reset_stats() {
+  engine_->reset_stats();
+  std::lock_guard<std::mutex> lk(front_mu_);
+  submitted_ = admitted_ = completed_count_ = deferred_ = refused_ = 0;
+  epochs_ = queue_high_water_ = 0;
+  last_admitted_ = 0;
+  last_conflicts_ = last_contention_ = 0;
+  for (Session& s : sessions_) s.hangups = 0;
+  handle_errors_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ftcs::svc

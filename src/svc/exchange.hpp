@@ -1,0 +1,249 @@
+// ftcs::svc::Exchange — session-oriented call service over both routing
+// engines.
+//
+// The paper's networks are telephone exchanges (Clos [Cl]): an exchange
+// serves calls, it does not expose raw connect(in, out) pokes at a router.
+// Exchange is that service facade. It owns the fault mask (and optionally
+// the network), serves typed CallRequests through a pluggable Engine
+// backend (GreedyRouter or sharded ConcurrentRouter sessions, selected at
+// construction), and hands back generation-tagged CallId handles whose
+// misuse — stale handle, double hangup, handle from another Exchange — is a
+// typed error, never corrupted busy state.
+//
+// Two service planes:
+//   - IMMEDIATE: call(req, session) routes now on one engine session and
+//     returns the Outcome; hangup(id) releases. This is the low-latency,
+//     event-driven plane (the traffic simulation lives here).
+//   - BATCHED:   submit(req[, callback]) enqueues; drain() runs one
+//     admission epoch — the AdmissionPolicy picks a window, the highest-
+//     priority window of queued requests is routed across ALL engine
+//     sessions in parallel on util::ThreadPool::global(), and completions
+//     are delivered through the callback (on the pool threads) or a
+//     pollable Ticket. Requests beyond the window stay queued (Deferred,
+//     counted per epoch and surfaced in Outcome::deferrals); submissions
+//     beyond the policy's queue cap bounce immediately (Refused).
+//
+// Threading rules (full contract in svc/README.md):
+//   - submit() and poll() are thread-safe from any thread.
+//   - call()/hangup() on session s must be externally serialized per
+//     session; distinct sessions may run concurrently. A handle must be
+//     hung up by the thread currently driving its session (CallId::session).
+//   - drain() runs from one thread at a time and must not overlap immediate
+//     calls (it temporarily owns every session).
+//   - stats() aggregates are exact at quiescence, like the engines'.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/admission.hpp"
+#include "svc/call.hpp"
+#include "svc/engine.hpp"
+
+namespace ftcs::svc {
+
+/// Mergeable service-level counter block: the engines' RouterStats plus the
+/// admission front-end's queue/defer/epoch counters. operator+= aggregates
+/// across exchanges (bench summaries); operator-= takes before/after deltas
+/// (traffic reports).
+struct ExchangeStats {
+  core::RouterStats router;           // merged engine counters
+  std::uint64_t submitted = 0;        // batch-plane requests enqueued
+  std::uint64_t admitted = 0;         // requests admitted into some epoch
+  std::uint64_t completed = 0;        // batch outcomes delivered
+  std::uint64_t deferred = 0;         // request-epochs spent past the window
+  std::uint64_t refused = 0;          // submissions bounced at the queue cap
+  std::uint64_t epochs = 0;           // drain() epochs run
+  std::uint64_t queue_high_water = 0; // max queue depth observed
+  std::uint64_t hangups = 0;          // successful hangups (both planes)
+  std::uint64_t handle_errors = 0;    // misuse detected: stale/foreign/double
+                                      // hangups and bad-session calls
+
+  ExchangeStats& operator+=(const ExchangeStats& o) noexcept {
+    router += o.router;
+    submitted += o.submitted;
+    admitted += o.admitted;
+    completed += o.completed;
+    deferred += o.deferred;
+    refused += o.refused;
+    epochs += o.epochs;
+    queue_high_water = queue_high_water > o.queue_high_water
+                           ? queue_high_water
+                           : o.queue_high_water;
+    hangups += o.hangups;
+    handle_errors += o.handle_errors;
+    return *this;
+  }
+  /// Delta of monotone counters (queue_high_water is kept, not subtracted).
+  ExchangeStats& operator-=(const ExchangeStats& o) noexcept {
+    router -= o.router;
+    submitted -= o.submitted;
+    admitted -= o.admitted;
+    completed -= o.completed;
+    deferred -= o.deferred;
+    refused -= o.refused;
+    epochs -= o.epochs;
+    hangups -= o.hangups;
+    handle_errors -= o.handle_errors;
+    return *this;
+  }
+};
+
+struct ExchangeConfig {
+  Backend backend = Backend::kGreedy;
+  /// Engine sessions (concurrent backend parallelism; clamped to 1 for the
+  /// greedy backend).
+  unsigned sessions = 1;
+  /// Static fault masks, owned by the Exchange (as in the routers).
+  std::vector<std::uint8_t> blocked;
+  std::vector<std::uint8_t> blocked_edges;
+  /// Batched-plane policy; null = UnboundedAdmission.
+  std::unique_ptr<AdmissionPolicy> admission;
+};
+
+class Exchange {
+ public:
+  /// Serves calls on `net`, which must outlive the Exchange (the usual
+  /// router contract — networks are shared, immutable CSR structures).
+  explicit Exchange(const graph::Network& net, ExchangeConfig cfg = {});
+  /// Owning variant: the Exchange takes the network with it.
+  explicit Exchange(graph::Network&& net, ExchangeConfig cfg = {});
+
+  Exchange(const Exchange&) = delete;
+  Exchange& operator=(const Exchange&) = delete;
+
+  // ----------------------------------------------------------- immediate
+  /// Routes the request now on `session` and returns the Outcome
+  /// (Outcome::id is live iff connected()).
+  Outcome call(const CallRequest& req, unsigned session = 0);
+  /// Releases a call. Returns kNone on success; kStaleHandle /
+  /// kForeignHandle / kBadSession on a handle that is not currently live
+  /// here — in which case nothing is touched.
+  RejectReason hangup(CallId id);
+  /// Vertices of a live call's path (input first); empty for a non-live
+  /// handle.
+  [[nodiscard]] std::vector<graph::VertexId> path_of(CallId id);
+
+  // ------------------------------------------------------------- batched
+  /// Completion hook for the batched plane; runs on a pool thread during
+  /// drain() (or on the draining thread when sessions() == 1).
+  using CompletionFn = std::function<void(const Outcome&)>;
+  /// Enqueues a request; the Outcome becomes available via poll(ticket)
+  /// after the epoch that serves it. Thread-safe. If the admission queue is
+  /// at its cap the request is Refused: its Outcome (reject == kRefused) is
+  /// immediately pollable.
+  Ticket submit(const CallRequest& req);
+  /// Callback flavour: `done` is invoked with the Outcome instead of
+  /// storing it for poll().
+  Ticket submit(const CallRequest& req, CompletionFn done);
+  /// Runs one admission epoch: admits up to the policy window (highest
+  /// priority first, FIFO among equals), routes the batch across all
+  /// sessions on util::ThreadPool::global(), delivers completions. Returns
+  /// the number of requests admitted.
+  std::size_t drain();
+  /// Drains until the queue is empty. Stops early (returning the total
+  /// admitted) if the policy ever yields a zero window on a non-empty
+  /// queue, so a misconfigured policy cannot spin forever.
+  std::size_t drain_all();
+  /// Takes the completed Outcome for `ticket` (once); nullopt if the
+  /// request is still queued, was delivered via callback, or was already
+  /// polled. Thread-safe.
+  [[nodiscard]] std::optional<Outcome> poll(Ticket ticket);
+  /// Requests waiting in the admission queue. Thread-safe.
+  [[nodiscard]] std::size_t pending() const;
+
+  // ------------------------------------------------------- introspection
+  [[nodiscard]] unsigned sessions() const noexcept {
+    return engine_->sessions();
+  }
+  [[nodiscard]] const graph::Network& network() const noexcept { return *net_; }
+  [[nodiscard]] bool input_idle(std::uint32_t in) const {
+    return engine_->input_idle(in);
+  }
+  [[nodiscard]] bool output_idle(std::uint32_t out) const {
+    return engine_->output_idle(out);
+  }
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return net_->inputs.size();
+  }
+  [[nodiscard]] std::size_t output_count() const noexcept {
+    return net_->outputs.size();
+  }
+  [[nodiscard]] std::size_t active_calls() const {
+    return engine_->active_calls();
+  }
+  [[nodiscard]] std::size_t busy_vertices() const {
+    return engine_->busy_vertices();
+  }
+  /// Engine + front-end counters, merged. Exact at quiescence.
+  [[nodiscard]] ExchangeStats stats() const;
+  void reset_stats();
+
+ private:
+  /// One handle-table shard per engine session: single-threaded by the
+  /// session contract, so handle issue/retire is lock-free.
+  struct Slot {
+    Engine::RawCall raw = Engine::kNoRawCall;
+    std::uint32_t gen = 1;  // bumped on retire; a handle is live iff its
+                            // gen matches AND live is set
+    bool live = false;
+  };
+  struct Session {
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> free;
+    std::uint64_t hangups = 0;
+  };
+  struct Pending {
+    CallRequest req;
+    Ticket ticket = 0;
+    CompletionFn done;  // may be empty -> pollable
+    std::uint32_t deferrals = 0;
+  };
+
+  Exchange(const graph::Network* net, std::unique_ptr<graph::Network> owned,
+           ExchangeConfig cfg);
+
+  CallId issue_handle(unsigned session, Engine::RawCall raw);
+  /// Validates a handle: kNone if it is live here, else the typed error.
+  RejectReason check_handle(CallId id) const;
+  Outcome route_one(const CallRequest& req, unsigned session,
+                    std::uint32_t deferrals);
+  Ticket submit_impl(const CallRequest& req, CompletionFn done);
+  /// Pops the admitted window (priority-ordered) off the queue. Caller
+  /// holds front_mu_.
+  std::vector<Pending> take_window(std::size_t window);
+
+  std::unique_ptr<graph::Network> owned_net_;  // set only for the owning ctor
+  const graph::Network* net_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<AdmissionPolicy> admission_;
+  std::uint32_t id_;  // process-unique, tagged into every CallId
+  std::vector<Session> sessions_;
+
+  // Batched front-end state, guarded by front_mu_ (never held while
+  // routing).
+  mutable std::mutex front_mu_;
+  std::deque<Pending> queue_;
+  std::unordered_map<Ticket, Outcome> completed_;
+  Ticket next_ticket_ = 1;
+  std::uint64_t submitted_ = 0, admitted_ = 0, completed_count_ = 0,
+                deferred_ = 0, refused_ = 0, epochs_ = 0, queue_high_water_ = 0;
+  // Previous epoch's engine feedback for the admission policy.
+  std::size_t last_admitted_ = 0;
+  std::uint64_t last_conflicts_ = 0, last_contention_ = 0;
+  // Null-handle and foreign-handle checks touch only immutable fields
+  // (id_, sessions_.size()), so THOSE misuses are detected safely from any
+  // thread and the counter is atomic. Stale-handle detection reads the
+  // session's slot table and therefore follows the per-session threading
+  // rule, like hangup() itself (see svc/README.md).
+  std::atomic<std::uint64_t> handle_errors_{0};
+};
+
+}  // namespace ftcs::svc

@@ -203,5 +203,79 @@ TEST(ConcurrentRouter, BlockedVerticesNeverClaimed) {
   EXPECT_TRUE(router.output_idle(1));
 }
 
+// Regression: under the concurrent engine's DIRTY busy snapshot a vertex
+// can probe busy for one search direction and idle for the other (another
+// worker released it in between). The search must never declare a meeting
+// point through such a vertex using a parent left over from an EARLIER
+// search — that chained meets through garbage (broken or cyclic "paths",
+// the former SEGV in Worker::connect). Simulated deterministically with an
+// adversarial busy view: every vertex reads busy on its first probe of a
+// search and idle afterwards, maximizing first-probe/second-probe
+// disagreement. Every returned meet must recover a real src..dst path.
+TEST(ConcurrentRouter, DirtyBusyViewNeverYieldsBrokenParentChains) {
+  const auto net = networks::build_cantor({5, 0});
+  const auto& g = net.g;
+  const auto n = static_cast<std::uint32_t>(net.inputs.size());
+  core::detail::SearchScratch scratch;
+  scratch.init(g.vertex_count());
+  std::vector<std::uint32_t> probe_epoch(g.vertex_count(), 0);
+  std::uint32_t search_id = 0;
+  std::uint64_t visited = 0;
+
+  const auto has_edge = [&g](graph::VertexId from, graph::VertexId to) {
+    for (const graph::VertexId t : g.out_targets(from))
+      if (t == to) return true;
+    return false;
+  };
+
+  util::Xoshiro256 rng(util::derive_seed(555, 1));
+  for (int trial = 0; trial < 2000; ++trial) {
+    const graph::VertexId src = net.inputs[rng.below(n)];
+    const graph::VertexId dst = net.outputs[rng.below(n)];
+    ++search_id;
+    // Terminals always idle (connect() checks them upfront). A per-search
+    // random quarter of the other vertices reads busy on its FIRST probe
+    // and idle on any later probe — the two search directions disagree
+    // about exactly those vertices, as they can under real concurrency.
+    // (Flipping every vertex would kill both frontiers at level one and no
+    // meeting point would ever form.)
+    const auto flaky_busy = [&](graph::VertexId v) {
+      if (v == src || v == dst) return false;
+      std::uint64_t h = (static_cast<std::uint64_t>(search_id) << 32) | v;
+      if (util::splitmix64(h) % 4 != 0) return false;  // stable this search
+      if (probe_epoch[v] == search_id) return false;   // later probes: idle
+      probe_epoch[v] = search_id;
+      return true;  // first probe: busy
+    };
+    const graph::VertexId meet = core::detail::bidir_shortest_idle_path(
+        g, src, dst, scratch, visited, flaky_busy,
+        [](graph::EdgeId) { return false; });
+    if (meet == graph::kNoVertex) continue;
+
+    // Recover both halves exactly as Worker::connect does, bounded: a
+    // sound chain reaches src/dst within vertex_count hops and every hop
+    // is a real edge of the graph.
+    std::vector<graph::VertexId> path;
+    graph::VertexId v = meet;
+    for (std::size_t hops = 0; v != graph::kNoVertex; ++hops) {
+      ASSERT_LE(hops, g.vertex_count()) << "cyclic forward parent chain";
+      path.push_back(v);
+      const graph::VertexId p = scratch.parent_f[v];
+      if (p != graph::kNoVertex)
+        ASSERT_TRUE(has_edge(p, v)) << "forward chain hop is not an edge";
+      v = p;
+    }
+    ASSERT_EQ(path.back(), src);
+    v = meet;
+    for (std::size_t hops = 0; v != dst; ++hops) {
+      ASSERT_LE(hops, g.vertex_count()) << "cyclic backward parent chain";
+      const graph::VertexId nxt = scratch.parent_b[v];
+      ASSERT_NE(nxt, graph::kNoVertex) << "backward chain broke before dst";
+      ASSERT_TRUE(has_edge(v, nxt)) << "backward chain hop is not an edge";
+      v = nxt;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ftcs

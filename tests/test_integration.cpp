@@ -66,18 +66,22 @@ TEST(Integration, TrafficOnDamagedFtNetwork) {
   fault::FaultInstance instance(ft.net, fault::FaultModel::symmetric(1e-3), 5);
   ASSERT_TRUE(theorem2_trial(ft, fault::FaultModel::symmetric(1e-3), 5).success());
 
-  GreedyRouter router(ft.net, instance.faulty_non_terminal_mask(),
-                      instance.failed_edge_mask());
+  svc::ExchangeConfig cfg;
+  cfg.blocked = instance.faulty_non_terminal_mask();
+  cfg.blocked_edges = instance.failed_edge_mask();
+  svc::Exchange exchange(ft.net, std::move(cfg));
   TrafficParams p;
   p.arrival_rate = 1.0;
   p.mean_holding = 2.0;
   p.sim_time = 500;
   p.seed = 11;
-  const auto report = simulate_traffic(router, p);
+  const auto report = simulate_traffic(exchange, p);
   EXPECT_GT(report.carried, 100u);
   // Majority access held, so the surviving network is strictly nonblocking
   // and greedy routing must never block.
   EXPECT_EQ(report.blocked, 0u);
+  EXPECT_EQ(report.blocked, report.service.router.rejected_no_path +
+                                report.service.router.rejected_contention);
 }
 
 TEST(Integration, ChurnOnDamagedFtNetworkNeverBlocks) {

@@ -4,6 +4,7 @@
 #include "ftcs/traffic.hpp"
 #include "networks/clos.hpp"
 #include "networks/crossbar.hpp"
+#include "svc/exchange.hpp"
 
 namespace ftcs::core {
 namespace {
@@ -63,59 +64,111 @@ TEST(Router, FullLoadOnCrossbar) {
   EXPECT_EQ(router.active_calls(), 5u);
 }
 
+/// The report's call counters must be exactly the exchange's counter
+/// deltas — one set of books (the double-bookkeeping fix).
+void expect_report_agrees_with_stats(const TrafficReport& report) {
+  const core::RouterStats& r = report.service.router;
+  EXPECT_EQ(report.offered, r.connect_calls);
+  EXPECT_EQ(report.carried, r.accepted);
+  EXPECT_EQ(report.carried + report.blocked, report.offered);
+  EXPECT_EQ(report.blocked,
+            r.rejected_no_path + r.rejected_contention + r.rejected_terminal);
+  // The simulator pre-checks terminal idleness, so nothing should ever be
+  // rejected at a terminal by the engine on the single-session plane.
+  EXPECT_EQ(r.rejected_terminal, 0u);
+  // Every carried call is hung up by the end of the run.
+  EXPECT_EQ(report.service.hangups, report.carried);
+  EXPECT_EQ(report.service.handle_errors, 0u);
+}
+
 TEST(Traffic, LightLoadNoBlockingOnStrictClos) {
   const auto net = networks::build_clos({2, 3, 4});  // strictly nonblocking
-  GreedyRouter router(net);
   TrafficParams p;
   p.arrival_rate = 0.5;
   p.mean_holding = 1.0;
   p.sim_time = 2000;
   p.seed = 3;
-  const auto report = simulate_traffic(router, p);
-  EXPECT_GT(report.offered, 500u);
-  EXPECT_EQ(report.blocked, 0u);  // strictly nonblocking: greedy never blocks
-  EXPECT_EQ(report.carried, report.offered);
-  EXPECT_GT(report.mean_path_length, 0.0);
+  // The same simulation must hold on BOTH engine backends.
+  for (const svc::Backend backend :
+       {svc::Backend::kGreedy, svc::Backend::kConcurrent}) {
+    svc::ExchangeConfig cfg;
+    cfg.backend = backend;
+    svc::Exchange exchange(net, std::move(cfg));
+    const auto report = simulate_traffic(exchange, p);
+    EXPECT_GT(report.offered, 500u);
+    EXPECT_EQ(report.blocked, 0u);  // strictly nonblocking: never blocks
+    EXPECT_EQ(report.carried, report.offered);
+    EXPECT_GT(report.mean_path_length, 0.0);
+    expect_report_agrees_with_stats(report);
+  }
+}
+
+TEST(Traffic, BothBackendsProduceIdenticalReports) {
+  const auto net = networks::build_crossbar(8);
+  TrafficParams p;
+  p.arrival_rate = 2.0;
+  p.mean_holding = 1.0;
+  p.sim_time = 800;
+  p.seed = 9;
+  svc::Exchange greedy(net, {});
+  svc::ExchangeConfig ccfg;
+  ccfg.backend = svc::Backend::kConcurrent;
+  ccfg.sessions = 1;
+  svc::Exchange concurrent(net, std::move(ccfg));
+  const auto a = simulate_traffic(greedy, p);
+  const auto b = simulate_traffic(concurrent, p);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.carried, b.carried);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.terminal_busy, b.terminal_busy);
+  EXPECT_DOUBLE_EQ(a.mean_active, b.mean_active);
+  EXPECT_DOUBLE_EQ(a.mean_path_length, b.mean_path_length);
+  EXPECT_EQ(a.service.router.vertices_visited, b.service.router.vertices_visited);
+  EXPECT_EQ(a.service.router.path_vertices, b.service.router.path_vertices);
+  EXPECT_EQ(a.service.hangups, b.service.hangups);
 }
 
 TEST(Traffic, OfferedLoadMatchesLittleLaw) {
   const auto net = networks::build_crossbar(16);
-  GreedyRouter router(net);
+  svc::Exchange exchange(net, {});
   TrafficParams p;
   p.arrival_rate = 2.0;
   p.mean_holding = 1.5;
   p.sim_time = 3000;
   p.seed = 4;
-  const auto report = simulate_traffic(router, p);
+  const auto report = simulate_traffic(exchange, p);
   // Little's law: mean active ~ lambda * holding = 3 (minus terminal-busy
   // rejections, small at 16 terminals).
   EXPECT_NEAR(report.mean_active, 3.0, 0.5);
   EXPECT_EQ(report.blocked, 0u);
+  expect_report_agrees_with_stats(report);
 }
 
 TEST(Traffic, SaturationDropsAtTerminals) {
   const auto net = networks::build_crossbar(2);
-  GreedyRouter router(net);
+  svc::Exchange exchange(net, {});
   TrafficParams p;
   p.arrival_rate = 50.0;
   p.mean_holding = 1.0;
   p.sim_time = 100;
   p.seed = 5;
-  const auto report = simulate_traffic(router, p);
+  const auto report = simulate_traffic(exchange, p);
   EXPECT_GT(report.terminal_busy, 0u);
   EXPECT_LE(report.mean_active, 2.01);
+  expect_report_agrees_with_stats(report);
 }
 
 TEST(Traffic, ZeroFaultCrossbarAllCarried) {
   const auto net = networks::build_crossbar(8);
-  GreedyRouter router(net);
+  svc::Exchange exchange(net, {});
   TrafficParams p;
   p.arrival_rate = 1.0;
   p.sim_time = 500;
   p.seed = 6;
-  const auto report = simulate_traffic(router, p);
+  const auto report = simulate_traffic(exchange, p);
   EXPECT_EQ(report.carried + report.blocked, report.offered);
   EXPECT_EQ(report.blocked, 0u);
+  expect_report_agrees_with_stats(report);
 }
 
 }  // namespace
