@@ -8,10 +8,12 @@
 //
 // The churn workloads are served through svc::Exchange — the service facade
 // every consumer now speaks — on the greedy backend (--json), the sharded
-// concurrent backend (--threads=K immediate plane), and the batched
-// admission front-end (--batch=N epochs at the max worker count).
-// BM_GreedyConnect vs BM_ExchangeCall isolates the facade's handle +
-// classification overhead over the raw router.
+// concurrent backend (--threads=K immediate plane), the batched admission
+// front-end (--batch=N epochs at the max worker count), and the runtime
+// fault plane (--faults=EPS: the batched churn degraded by live switch
+// fail/repair events, eps swept in decades). BM_GreedyConnect vs
+// BM_ExchangeCall isolates the facade's handle + classification overhead
+// over the raw router.
 #include <benchmark/benchmark.h>
 
 #include <barrier>
@@ -28,6 +30,7 @@
 #include "bench_common.hpp"
 #include "fault/fault_instance.hpp"
 #include "fault/repair.hpp"
+#include "fault/schedule.hpp"
 #include "ftcs/monte_carlo.hpp"
 #include "ftcs/router.hpp"
 #include "ftcs/verify.hpp"
@@ -384,6 +387,125 @@ std::vector<BatchedPoint> batched_series(const graph::Network& net,
   return series;
 }
 
+// ---------------------------------------------------------------------------
+// --faults=EPS degraded-mode series: the batched churn with the runtime
+// fault plane live — a FaultSchedule (one epoch = one time unit, per-switch
+// hazard eps, mean time-to-repair 10 epochs) is applied between admission
+// epochs, killing calls mid-churn and rerouting the victims. Sweeps eps in
+// decades up to EPS; reports throughput under degradation plus the kill /
+// reroute books.
+
+struct DegradedPoint {
+  double eps = 0.0;
+  std::size_t connects = 0;  // churn requests admitted and routed (victim
+                             // reroutes are in the books, not this count)
+  double seconds = 0.0;
+  core::RouterStats stats;
+  std::uint64_t injected = 0, repaired = 0, killed = 0;
+  std::uint64_t reroute_ok = 0, reroute_fail = 0;
+  [[nodiscard]] double calls_per_sec() const {
+    return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
+  }
+  [[nodiscard]] double reroute_success_rate() const {
+    const auto total = reroute_ok + reroute_fail;
+    return total ? static_cast<double>(reroute_ok) / static_cast<double>(total)
+                 : 1.0;
+  }
+};
+
+DegradedPoint degraded_churn(const graph::Network& net, unsigned sessions,
+                             double eps, std::size_t total_ops,
+                             std::uint64_t seed) {
+  svc::ExchangeConfig cfg;
+  cfg.backend = svc::Backend::kConcurrent;
+  cfg.sessions = sessions;
+  svc::Exchange exchange(net, std::move(cfg));
+  const auto n = static_cast<std::uint32_t>(net.inputs.size());
+  const std::size_t batch = 256;
+  util::Xoshiro256 rng(util::derive_seed(71, seed));
+
+  // Generous horizon: warmup + measured epochs both draw from one stream.
+  const double horizon = static_cast<double>(total_ops / batch + 16) * 8.0;
+  const auto schedule = fault::FaultSchedule::from_model(
+      fault::FaultModel::symmetric(eps / 2), net.g.edge_count(), horizon,
+      /*mean_repair=*/10.0, util::derive_seed(73, seed));
+  std::size_t fault_idx = 0;
+  double epoch_clock = 0.0;
+
+  std::vector<std::vector<svc::CallId>> active(sessions);
+  const auto on_done = [&active](const svc::Outcome& o) {
+    if (o.connected()) active[o.session].push_back(o.id);
+  };
+
+  std::size_t connects = 0;
+  const auto epoch = [&] {
+    // Fault plane first: apply every schedule event due this epoch. The
+    // victims' reroutes are routed inside apply() (their work lands in the
+    // elapsed time and the kill/reroute books, not in `connects`); their
+    // new handles join the churn so they eventually hang up like everyone
+    // else.
+    epoch_clock += 1.0;
+    while (fault_idx < schedule.events().size() &&
+           schedule.events()[fault_idx].time <= epoch_clock) {
+      const svc::FaultImpact impact =
+          exchange.apply(schedule.events()[fault_idx]);
+      ++fault_idx;
+      for (const auto& re : impact.reroutes)
+        if (re.connected()) active[re.session].push_back(re.id);
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto in = static_cast<std::uint32_t>(rng() % n);
+      const auto out = static_cast<std::uint32_t>(rng() % n);
+      exchange.submit({in, out}, on_done);
+    }
+    connects += exchange.drain_all();
+    util::ThreadPool::global().run(sessions, [&](std::size_t s) {
+      auto& mine = active[s];
+      util::Xoshiro256 vrng(util::derive_seed(79, s));
+      std::size_t drop = mine.size() / 3;
+      while (drop-- > 0 && !mine.empty()) {
+        const auto idx = vrng() % mine.size();
+        exchange.hangup(mine[idx]);  // kFaulted/stale acks for killed calls
+        mine[idx] = mine.back();
+        mine.pop_back();
+      }
+    });
+  };
+
+  const std::size_t warm_target = total_ops / 10;
+  while (connects < warm_target) epoch();
+  connects = 0;
+  exchange.reset_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  while (connects < total_ops) epoch();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const svc::ExchangeStats st = exchange.stats();
+  DegradedPoint p;
+  p.eps = eps;
+  p.connects = connects;
+  p.seconds = dt;
+  p.stats = st.router;
+  p.injected = st.faults_injected;
+  p.repaired = st.faults_repaired;
+  p.killed = st.calls_killed_by_fault;
+  p.reroute_ok = st.reroute_succeeded;
+  p.reroute_fail = st.reroute_failed;
+  return p;
+}
+
+std::vector<DegradedPoint> degraded_series(const graph::Network& net,
+                                           unsigned sessions, double max_eps,
+                                           std::size_t total_ops) {
+  std::vector<DegradedPoint> series;
+  std::uint64_t idx = 0;
+  for (const double eps : {max_eps / 100, max_eps / 10, max_eps})
+    series.push_back(degraded_churn(net, sessions, eps, total_ops, ++idx));
+  return series;
+}
+
 /// Extracts `"key": <number>` from a JSON-ish text; returns -1 if absent.
 double extract_number(const std::string& text, const std::string& key) {
   const auto pos = text.find("\"" + key + "\"");
@@ -401,7 +523,7 @@ std::string reject_key(svc::RejectReason reason, std::uint64_t count) {
 }
 
 int run_json_smoke(const std::string& path, unsigned max_threads,
-                   std::size_t max_batch) {
+                   std::size_t max_batch, double max_faults) {
   std::vector<ChurnMeasure> rows;
   rows.push_back(churn_workload("cantor-k5", networks::build_cantor({5, 0}),
                                 bench::scaled(100'000)));
@@ -520,6 +642,38 @@ int run_json_smoke(const std::string& path, unsigned max_threads,
     out << "  ]},\n";
   }
 
+  // Degraded-mode series: the same batched churn with the fault plane
+  // injecting/repairing switches mid-run, eps swept in decades.
+  if (max_faults > 0 && max_threads >= 1) {
+    const auto series = degraded_series(networks::build_cantor({5, 0}),
+                                        max_threads, max_faults,
+                                        bench::scaled(100'000));
+    out << "  \"degraded_mode\": {\"network\": \"cantor-k5\", \"sessions\": "
+        << max_threads << ", \"mean_repair_epochs\": 10, \"points\": [\n";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const auto& p = series[i];
+      out << "    {\"eps\": " << p.eps << ", \"connects\": " << p.connects
+          << ", \"calls_per_sec\": "
+          << static_cast<std::uint64_t>(p.calls_per_sec())
+          << ", \"faults_injected\": " << p.injected
+          << ", \"faults_repaired\": " << p.repaired
+          << ", \"calls_killed_by_fault\": " << p.killed
+          << ", \"reroute_succeeded\": " << p.reroute_ok
+          << ", \"reroute_failed\": " << p.reroute_fail
+          << ", \"reroute_success_rate\": " << p.reroute_success_rate() << ", "
+          << reject_key(svc::RejectReason::kNoPath, p.stats.rejected_no_path)
+          << ", \"overlay_conflicts\": " << p.stats.overlay_conflicts << "}"
+          << (i + 1 < series.size() ? "," : "") << "\n";
+      std::cout << "degraded churn cantor-k5 eps=" << p.eps << " x"
+                << max_threads << " sessions: "
+                << static_cast<std::uint64_t>(p.calls_per_sec())
+                << " calls/sec (injected " << p.injected << ", killed "
+                << p.killed << ", reroute success "
+                << p.reroute_success_rate() << ")\n";
+    }
+    out << "  ]},\n";
+  }
+
   out << "  \"calls_per_sec\": " << static_cast<std::uint64_t>(aggregate) << ",\n";
   out << "  \"baseline_calls_per_sec\": " << static_cast<std::uint64_t>(baseline)
       << ",\n";
@@ -537,6 +691,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   unsigned max_threads = 0;   // 0 = no thread-scaling curve
   std::size_t max_batch = 0;  // 0 = no batched-admission series
+  double max_faults = 0.0;    // 0 = no degraded-mode series
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
@@ -548,12 +703,19 @@ int main(int argc, char** argv) {
       const long v = std::strtol(arg.c_str() + 8, nullptr, 10);
       if (v >= 1) max_batch = static_cast<std::size_t>(v);
     }
+    if (arg.rfind("--faults=", 0) == 0) {
+      const double v = std::strtod(arg.c_str() + 9, nullptr);
+      if (v > 0) max_faults = v;
+    }
   }
-  // --threads / --batch without --json still record to the default path.
-  if ((max_threads > 0 || max_batch > 0) && json_path.empty())
+  // --threads / --batch / --faults without --json still record to the
+  // default path.
+  if ((max_threads > 0 || max_batch > 0 || max_faults > 0) &&
+      json_path.empty())
     json_path = "BENCH_routing.json";
-  if (max_batch > 0 && max_threads == 0) max_threads = 8;
-  if (!json_path.empty()) return run_json_smoke(json_path, max_threads, max_batch);
+  if ((max_batch > 0 || max_faults > 0) && max_threads == 0) max_threads = 8;
+  if (!json_path.empty())
+    return run_json_smoke(json_path, max_threads, max_batch, max_faults);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_success_table();

@@ -1,7 +1,7 @@
 // Telephone exchange: the Clos [Cl] motivation — circuit-switched voice
 // traffic on an exchange whose switches age and fail.
 //
-//   $ ./telephone_exchange [years]
+//   $ ./telephone_exchange [years] [sessions]
 //
 // Scenario: a 16-line exchange built three ways — a strict-sense Clos, a
 // Beneš, and the paper's fault-tolerant 𝒩̂ — operated for `years` of
@@ -9,11 +9,21 @@
 // ~lambda per switch-year (both stuck-open and stuck-closed). Each year we
 // re-sample the cumulative fault state and run a day of Poisson call
 // traffic, reporting grade of service (blocking probability).
+//
+// The run ends with a mid-life OUTAGE EPISODE on the FT exchange: one day
+// of traffic during which switches fail and crews repair them WHILE CALLS
+// ARE LIVE (the runtime fault plane: Exchange::inject/repair driven by a
+// fault::FaultSchedule). Calls crossing a dying switch are torn down with
+// the typed killed_by_fault outcome and immediately re-admitted through
+// the batched plane; the episode reports killed vs rerouted vs dropped.
+// With `sessions` > 1 the episode serves traffic through the batched
+// multi-session admission plane instead of the single immediate session.
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 
 #include "fault/fault_instance.hpp"
+#include "fault/schedule.hpp"
 #include "ftcs/ft_network.hpp"
 #include "ftcs/traffic.hpp"
 #include "networks/benes.hpp"
@@ -51,6 +61,8 @@ ftcs::core::TrafficReport run_day(const ftcs::graph::Network& net,
 int main(int argc, char** argv) {
   using namespace ftcs;
   const int years = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int sessions_arg = argc > 2 ? std::atoi(argv[2]) : 1;
+  const unsigned sessions = sessions_arg > 0 ? static_cast<unsigned>(sessions_arg) : 1;
   const double lambda = 2e-4;  // per-switch failure probability per year
 
   const auto clos = networks::build_clos(networks::clos_nonblocking_for(16));
@@ -81,6 +93,62 @@ int main(int argc, char** argv) {
     t.add_row(row);
   }
   t.print(std::cout);
+
+  // ------------------------------------------------------- outage episode
+  // Mid-life, the FT exchange has a bad day: switches keep failing at
+  // ~200x the wear rate (a cable cut, a lightning storm) and repair crews
+  // turn them around in ~2 simulated hours — all while the day's calls are
+  // up. The liveness overlay routes new calls around the damage; calls on
+  // a dying component are killed (typed killed_by_fault) and immediately
+  // re-admitted through the batched plane.
+  const int outage_year = years / 2;
+  const double worn_eps =
+      (1.0 - std::pow(1.0 - lambda, outage_year)) / 2;  // cumulative wear
+  fault::FaultInstance worn(ft.net, fault::FaultModel::symmetric(worn_eps),
+                            9000 + outage_year);
+  svc::ExchangeConfig cfg;
+  cfg.blocked = worn.faulty_non_terminal_mask();
+  cfg.blocked_edges = worn.failed_edge_mask();
+  if (sessions > 1) {
+    cfg.backend = svc::Backend::kConcurrent;
+    cfg.sessions = sessions;
+  }
+  svc::Exchange exchange(ft.net, std::move(cfg));
+  // ~0.05 failures per switch over the day (a couple hundred outages on
+  // this exchange), two-hour mean repair: a violent but survivable storm.
+  const double storm_rate_per_minute = 0.05 / 1440.0;
+  const auto storm = fault::FaultSchedule::from_model(
+      fault::FaultModel::symmetric(storm_rate_per_minute / 2),
+      ft.net.g.edge_count(),
+      /*horizon=*/1440.0, /*mean_repair=*/120.0, /*seed=*/4242);
+  core::TrafficParams storm_day;
+  storm_day.arrival_rate = 4.0;
+  storm_day.mean_holding = 3.0;
+  storm_day.sim_time = 1440;
+  storm_day.seed = 0xBAD0DA1;
+  storm_day.faults = &storm;
+  if (sessions > 1) storm_day.epoch_interval = 0.25;  // batched, all sessions
+  const auto report = simulate_traffic(exchange, storm_day);
+
+  std::cout << "\n== outage episode: year " << outage_year
+            << ", ftcs-nhat, one day of live switch failures ==\n"
+            << (sessions > 1
+                    ? "batched admission plane, " + std::to_string(sessions) +
+                          " sessions\n"
+                    : std::string("immediate plane, 1 session\n"))
+            << "  switch failures injected:  " << report.faults_injected
+            << " (repaired " << report.faults_repaired << ")\n"
+            << "  calls offered/carried:     " << report.offered << "/"
+            << report.carried << "\n"
+            << "  " << svc::to_string(svc::RejectReason::kFaulted)
+            << ":           " << report.killed_by_fault << "\n"
+            << "    ...rerouted on a detour: " << report.reroute_succeeded
+            << "\n"
+            << "    ...dropped (no path):    " << report.reroute_failed << "\n"
+            << "  " << svc::to_string(svc::RejectReason::kNoPath) << ":        "
+            << report.service.router.rejected_no_path
+            << " (degraded topology, incl. failed reroutes)\n";
+
   std::cout << "\nReading: blocking probability (blocked/offered calls). The Beneš\n"
                "blocks even when new — it is rearrangeable, not strictly\n"
                "nonblocking, and live calls cannot be rearranged. The strict Clos\n"

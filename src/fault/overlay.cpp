@@ -1,0 +1,14 @@
+#include "fault/overlay.hpp"
+
+namespace ftcs::fault {
+
+LivenessOverlay overlay_from_instance(const FaultInstance& inst,
+                                      bool spare_terminals) {
+  LivenessOverlay overlay;
+  overlay.dead_vertices = spare_terminals ? inst.faulty_non_terminal_mask()
+                                          : inst.faulty_vertices();
+  overlay.dead_edges = inst.failed_edge_mask();
+  return overlay;
+}
+
+}  // namespace ftcs::fault

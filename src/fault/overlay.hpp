@@ -1,0 +1,47 @@
+// Liveness overlay construction: the bridge between the offline Monte Carlo
+// fault path (FaultInstance -> repair_by_discard -> rebuild) and the runtime
+// fault plane (routers' fail_edge/kill_vertex on the FULL network).
+//
+// Instead of rebuilding a surviving network, an overlay marks the same
+// components dead in place: every failed switch, and every vertex §6 calls
+// faulty (incident to a failed switch). Routing on the full network under
+// the overlay reaches exactly the terminal pairs the repair_by_discard
+// network reaches — that equivalence is pinned by tests and is what lets
+// the serving path degrade a live topology without a rebuild.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_instance.hpp"
+
+namespace ftcs::fault {
+
+/// Byte masks over the ORIGINAL network's vertices and edges; 1 = dead.
+/// Apply via the routers' kill_vertex()/fail_edge() or feed to
+/// svc::Exchange at construction.
+struct LivenessOverlay {
+  std::vector<std::uint8_t> dead_vertices;
+  std::vector<std::uint8_t> dead_edges;
+
+  [[nodiscard]] std::size_t dead_vertex_count() const noexcept {
+    std::size_t c = 0;
+    for (const auto b : dead_vertices) c += b;
+    return c;
+  }
+  [[nodiscard]] std::size_t dead_edge_count() const noexcept {
+    std::size_t c = 0;
+    for (const auto b : dead_edges) c += b;
+    return c;
+  }
+};
+
+/// Builds the overlay for a sampled instance. With `spare_terminals` false
+/// the dead-vertex mask is exactly the §6 faulty mask repair_by_discard
+/// discards (terminals included) — the equivalence-test semantics. With it
+/// true (the serving default), terminal vertices stay alive and only their
+/// failed switches die, matching FaultInstance::faulty_non_terminal_mask().
+[[nodiscard]] LivenessOverlay overlay_from_instance(const FaultInstance& inst,
+                                                    bool spare_terminals);
+
+}  // namespace ftcs::fault

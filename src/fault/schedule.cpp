@@ -1,0 +1,63 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace ftcs::fault {
+
+FaultSchedule::FaultSchedule(std::size_t edge_count, const Params& params) {
+  if (params.failure_rate < 0.0 || params.horizon < 0.0)
+    throw std::invalid_argument("FaultSchedule: negative rate or horizon");
+  if (params.failure_rate == 0.0 || params.horizon == 0.0 || edge_count == 0)
+    return;
+
+  // Probability a switch's FIRST failure lands inside the horizon; edges
+  // with no event are skipped geometrically (sample_failures idiom), so the
+  // cost is O(#affected switches).
+  const double p_hit = -std::expm1(-params.failure_rate * params.horizon);
+  util::Xoshiro256 skip_rng(params.seed);
+  for (std::uint64_t e = skip_rng.geometric(p_hit); e < edge_count;
+       e += 1 + skip_rng.geometric(p_hit)) {
+    // Per-edge substream: the edge's timeline does not depend on how many
+    // other edges were hit before it.
+    util::Xoshiro256 rng(util::derive_seed(params.seed, e));
+    // First failure conditioned on < horizon: inverse-CDF of the truncated
+    // exponential.
+    double t = -std::log1p(-rng.uniform() * p_hit) / params.failure_rate;
+    const auto edge = static_cast<graph::EdgeId>(e);
+    while (t < params.horizon) {
+      events_.push_back({t, edge, FaultEvent::Kind::kFail});
+      if (params.mean_repair <= 0.0) break;  // permanent fault
+      t += rng.exponential(1.0 / params.mean_repair);
+      if (t >= params.horizon) break;
+      events_.push_back({t, edge, FaultEvent::Kind::kRepair});
+      t += rng.exponential(params.failure_rate);  // next failure, unconditioned
+    }
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.edge != b.edge) return a.edge < b.edge;
+              return a.kind < b.kind;  // fail orders before repair
+            });
+  for (const FaultEvent& ev : events_)
+    if (ev.kind == FaultEvent::Kind::kFail) ++fails_;
+}
+
+FaultSchedule FaultSchedule::from_model(const FaultModel& model,
+                                        std::size_t edge_count, double horizon,
+                                        double mean_repair,
+                                        std::uint64_t seed) {
+  model.validate();
+  Params p;
+  p.failure_rate = model.total();
+  p.mean_repair = mean_repair;
+  p.horizon = horizon;
+  p.seed = seed;
+  return FaultSchedule(edge_count, p);
+}
+
+}  // namespace ftcs::fault

@@ -1,0 +1,69 @@
+// Runtime fault schedule: a deterministic, seeded event stream of switch
+// fail/repair events, derived from the same FaultModel the offline Monte
+// Carlo path samples.
+//
+// The offline path draws one cumulative outcome per trial (sample_states);
+// the live fault plane needs the TIMELINE instead: each switch fails as a
+// Poisson process with the model's total hazard interpreted per unit time,
+// stays down for an exponential time-to-repair, then becomes failable
+// again (an alternating renewal process per switch). Events are generated
+// with geometric skipping over the edge set — a schedule costs
+// O(#affected switches), not O(#switches), so the paper's eps = 1e-6 on
+// million-switch networks stays cheap — and are merged into one stream
+// sorted by time, deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_model.hpp"
+#include "graph/types.hpp"
+
+namespace ftcs::fault {
+
+/// One runtime fault-plane event: switch `edge` fails or is repaired at
+/// `time`. Consumed by svc::Exchange::inject()/repair() (or apply()).
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kFail = 0, kRepair = 1 };
+  double time = 0.0;
+  graph::EdgeId edge = 0;
+  Kind kind = Kind::kFail;
+};
+
+class FaultSchedule {
+ public:
+  struct Params {
+    double failure_rate = 0.0;  // per-switch failures per unit time
+    double mean_repair = 0.0;   // mean time-to-repair; <= 0: never repaired
+    double horizon = 0.0;       // events generated in [0, horizon)
+    std::uint64_t seed = 1;
+  };
+
+  FaultSchedule() = default;
+  /// Generates the stream for `edge_count` switches. Deterministic given
+  /// `params.seed`; independent of evaluation order.
+  FaultSchedule(std::size_t edge_count, const Params& params);
+
+  /// Convenience: interprets `model.total()` as the per-unit-time hazard —
+  /// the live counterpart of sampling one outcome at probability eps.
+  [[nodiscard]] static FaultSchedule from_model(const FaultModel& model,
+                                                std::size_t edge_count,
+                                                double horizon,
+                                                double mean_repair,
+                                                std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t fail_count() const noexcept { return fails_; }
+  [[nodiscard]] std::size_t repair_count() const noexcept {
+    return events_.size() - fails_;
+  }
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by (time, edge)
+  std::size_t fails_ = 0;
+};
+
+}  // namespace ftcs::fault

@@ -18,6 +18,11 @@ ConcurrentRouter::ConcurrentRouter(const graph::Network& net, unsigned workers,
     blocked_edges_.assign_bytes(blocked_edges.data(), blocked_edges.size());
   in_busy_.resize(net.inputs.size());
   out_busy_.resize(net.outputs.size());
+  // Overlay state is sized up front: AtomicBitset::resize is not thread-safe
+  // and the overlay must be flippable while workers are live.
+  dead_edges_.resize(net.g.edge_count());
+  dead_vertices_.resize(v_count);
+  fault_claimed_.resize(v_count);
   path_next_.assign(v_count, graph::kNoVertex);
   if (workers == 0) workers = 1;
   for (unsigned w = 0; w < workers; ++w) workers_.emplace_back(Worker(*this));
@@ -71,9 +76,14 @@ ConcurrentRouter::CallId ConcurrentRouter::Worker::connect(std::uint32_t in,
   }
 
   const bool edge_faults = !r.blocked_edges_.empty();
+  // One load per connect: until the first fault event ever, the overlay
+  // branch below is a dead register test and the search runs exactly the
+  // PR 2 hot path.
+  const bool overlay = r.overlay_active_.load(std::memory_order_acquire);
   const auto is_busy = [&r](graph::VertexId v) { return r.busy_.test(v); };
-  const auto edge_blocked = [&r, edge_faults](graph::EdgeId e) {
-    return edge_faults && r.blocked_edges_.test(e);
+  const auto edge_blocked = [&r, edge_faults, overlay](graph::EdgeId e) {
+    return (edge_faults && r.blocked_edges_.test(e)) ||
+           (overlay && r.dead_edges_.test(e));  // relaxed: dirty snapshot
   };
 
   for (unsigned attempt = 0;; ++attempt) {
@@ -105,7 +115,24 @@ ConcurrentRouter::CallId ConcurrentRouter::Worker::connect(std::uint32_t in,
     std::size_t claimed = 0;
     while (claimed < claim_buf_.size() && r.busy_.try_set(claim_buf_[claimed]))
       ++claimed;
-    if (claimed == claim_buf_.size()) break;  // path is ours
+    if (claimed == claim_buf_.size()) {
+      // 3b. Overlay re-validation: the search read the liveness overlay with
+      // relaxed (dirty) loads, so a switch may have failed mid-search. With
+      // every path vertex now owned, acquire-re-check each hop; a hit is
+      // handled exactly like losing a claim CAS — release and re-search
+      // against the now-visible overlay.
+      if (!overlay || r.path_switches_alive(path_buf_)) break;  // path is ours
+      ++stats_.overlay_conflicts;
+      while (claimed > 0) r.busy_.reset(claim_buf_[--claimed]);
+      if (attempt + 1 >= kMaxClaimRetries) {
+        r.out_busy_.reset(out);
+        r.in_busy_.reset(in);
+        ++stats_.rejected_contention;
+        return kNoCall;
+      }
+      ++stats_.search_retries;
+      continue;
+    }
 
     // 4. Conflict: back off (release the prefix, newest first) and retry
     // against fresher busy state, up to the bounded budget.
@@ -183,6 +210,58 @@ ConcurrentRouter::Worker::active_call_ids() const {
   for (CallId id = 0; id < calls_.size(); ++id)
     if (calls_[id].head != graph::kNoVertex) ids.push_back(id);
   return ids;
+}
+
+// ------------------------------------------------------- liveness overlay
+
+void ConcurrentRouter::fail_edge(graph::EdgeId e) {
+  // The flag is published before the bit so any search that can already see
+  // the bit also runs with the overlay branch enabled.
+  overlay_active_.store(true, std::memory_order_release);
+  (void)dead_edges_.try_set(e);  // acq_rel RMW; idempotent by definition
+}
+
+void ConcurrentRouter::repair_edge(graph::EdgeId e) {
+  dead_edges_.reset(e);  // release; static blocked_edges_ is a separate mask
+}
+
+void ConcurrentRouter::kill_vertex(graph::VertexId v) {
+  if (dead_vertices_.test(v)) return;
+  dead_vertices_.set(v);
+  // Folded semantics: a dead vertex holds its own busy bit, so searches and
+  // claims avoid it with no overlay read. Quiescent contract: if try_set
+  // fails the bit belongs to the static blocked mask (an active call is
+  // excluded by precondition), and is not ours to release on revive.
+  if (busy_.try_set(v)) fault_claimed_.set(v);
+}
+
+void ConcurrentRouter::revive_vertex(graph::VertexId v) {
+  if (!dead_vertices_.test(v)) return;
+  dead_vertices_.reset(v);
+  if (fault_claimed_.test(v)) {
+    fault_claimed_.reset(v);
+    busy_.reset(v);
+  }
+}
+
+bool ConcurrentRouter::path_switches_alive(
+    const std::vector<graph::VertexId>& path) const {
+  const bool edge_faults = !blocked_edges_.empty();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const graph::VertexId u = path[i], v = path[i + 1];
+    const auto eids = net_->g.out_edges(u);
+    const auto tgts = net_->g.out_targets(u);
+    bool hop_alive = false;
+    for (std::size_t k = 0; k < eids.size(); ++k) {
+      if (tgts[k] != v) continue;
+      if (edge_faults && blocked_edges_.test(eids[k])) continue;
+      if (dead_edges_.test(eids[k], std::memory_order_acquire)) continue;
+      hop_alive = true;  // some parallel switch still carries this hop
+      break;
+    }
+    if (!hop_alive) return false;
+  }
+  return true;
 }
 
 RouterStats ConcurrentRouter::stats() const {

@@ -44,6 +44,23 @@
 //     re-validated by the claim CAS, so stale reads cost retries, not
 //     correctness.
 //
+// Liveness overlay (runtime fault plane): dead_edges_ is an AtomicBitset the
+// BFS consults alongside the busy state (relaxed loads — the same dirty-
+// snapshot discipline as busy reads). fail_edge()/repair_edge() MAY race
+// in-flight connects: after a worker claims a settled path it RE-VALIDATES
+// every hop against the overlay with acquire loads, releasing the claim and
+// re-searching on a hit (overlay_conflicts). The guarantee is the usual
+// happens-before one: a connect that starts after fail_edge(e) completes
+// (ordering established by the caller — a flag, a mutex, the Exchange's
+// session ownership) can never settle a path through e. A connect already
+// past validation when the flip lands keeps its path; reconciling those
+// stragglers is the fault plane's job (svc::Exchange::inject tears them
+// down while holding every session). kill_vertex()/revive_vertex() fold
+// vertex death into the busy bitset (a dead vertex holds its own busy bit,
+// so searches and claims avoid it with no extra state) and therefore
+// require quiescence: no connect in flight on any session, victims torn
+// down first — the same contract as Exchange::drain().
+//
 // Ownership model: a Worker is a single-threaded session — exactly one
 // thread may use worker(w) at a time, and a call must be disconnected
 // through the worker that connected it (call tables are per-worker, like
@@ -154,6 +171,34 @@ class ConcurrentRouter {
     return busy_.test(v, std::memory_order_acquire);
   }
 
+  // ------------------------------------------------------ liveness overlay
+  // See the header comment for the memory-ordering and quiescence contract.
+
+  /// Marks switch `e` failed. Safe to call while connects are in flight on
+  /// other threads (atomic flip + claim-phase re-validation). Idempotent.
+  void fail_edge(graph::EdgeId e);
+  /// Clears a runtime switch failure (statically blocked edges stay
+  /// blocked). Safe under the same racing contract as fail_edge().
+  void repair_edge(graph::EdgeId e);
+  /// Marks `v` dead and fault-claims its busy bit. QUIESCENT ONLY: no
+  /// connect in flight, no active call through v.
+  void kill_vertex(graph::VertexId v);
+  /// Revives a dead vertex (releases the busy bit iff fault-claimed).
+  /// QUIESCENT ONLY.
+  void revive_vertex(graph::VertexId v);
+
+  [[nodiscard]] bool vertex_dead(graph::VertexId v) const {
+    return dead_vertices_.test(v);
+  }
+  [[nodiscard]] bool edge_failed(graph::EdgeId e) const {
+    return dead_edges_.test(e, std::memory_order_acquire);
+  }
+  /// Usable = neither statically blocked nor runtime-failed.
+  [[nodiscard]] bool edge_usable(graph::EdgeId e) const {
+    return !(!blocked_edges_.empty() && blocked_edges_.test(e)) &&
+           !dead_edges_.test(e, std::memory_order_acquire);
+  }
+
   // Quiescent aggregates over all workers (exact once no connects/
   // disconnects are in flight).
   [[nodiscard]] RouterStats stats() const;          // merged via operator+=
@@ -161,10 +206,23 @@ class ConcurrentRouter {
   [[nodiscard]] std::size_t busy_vertices() const;  // sum of path lengths
 
  private:
+  /// True iff every hop of the settled path still has a usable switch;
+  /// acquire loads on the overlay (the claim-phase re-validation).
+  [[nodiscard]] bool path_switches_alive(
+      const std::vector<graph::VertexId>& path) const;
+
   const graph::Network* net_;
   util::Bitset blocked_;        // static vertex faults (read-only)
   util::Bitset blocked_edges_;  // static switch faults (read-only)
-  util::AtomicBitset busy_;     // shared: blocked | claimed by some path
+  util::AtomicBitset busy_;     // shared: blocked | dead | claimed by a path
+  // Liveness overlay: dead_edges_ is read by in-flight searches (relaxed)
+  // and validations (acquire); overlay_active_ gates those reads so the
+  // fault-free hot path pays one register test. The vertex registries are
+  // cold state touched only under the quiescent kill/revive contract.
+  util::AtomicBitset dead_edges_;
+  std::atomic<bool> overlay_active_{false};
+  util::Bitset dead_vertices_;
+  util::Bitset fault_claimed_;
   util::AtomicBitset in_busy_, out_busy_;  // terminal slots
   // Shared successor array threading every active path; entry v is owned by
   // the holder of busy bit v (see the memory-ordering contract above).

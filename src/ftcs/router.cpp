@@ -28,6 +28,53 @@ GreedyRouter::GreedyRouter(const graph::Network& net,
   free_slots_.reserve(max_calls);
 }
 
+void GreedyRouter::ensure_overlay() {
+  if (!dead_.empty()) return;
+  const std::size_t v_count = net_->g.vertex_count();
+  const std::size_t e_count = net_->g.edge_count();
+  dead_.resize(v_count);
+  fault_claimed_.resize(v_count);
+  dead_edges_.resize(e_count);
+  static_edges_ = blocked_edges_;  // snapshot of the construction-time mask
+  if (blocked_edges_.empty()) blocked_edges_.resize(e_count);
+}
+
+void GreedyRouter::fail_edge(graph::EdgeId e) {
+  ensure_overlay();
+  if (dead_edges_.test(e)) return;
+  dead_edges_.set(e);
+  blocked_edges_.set(e);  // folded into the hot-path mask the BFS reads
+}
+
+void GreedyRouter::repair_edge(graph::EdgeId e) {
+  if (dead_edges_.empty() || !dead_edges_.test(e)) return;
+  dead_edges_.reset(e);
+  if (static_edges_.empty() || !static_edges_.test(e)) blocked_edges_.reset(e);
+}
+
+void GreedyRouter::kill_vertex(graph::VertexId v) {
+  ensure_overlay();
+  if (dead_.test(v)) return;
+  dead_.set(v);
+  // A dead vertex holds its own busy bit, exactly like a statically blocked
+  // one — the BFS then avoids it with zero extra hot-path state. If the bit
+  // is already set the vertex was statically blocked (an active call is
+  // excluded by precondition), and the claim is not ours to release.
+  if (!busy_.test(v)) {
+    busy_.set(v);
+    fault_claimed_.set(v);
+  }
+}
+
+void GreedyRouter::revive_vertex(graph::VertexId v) {
+  if (dead_.empty() || !dead_.test(v)) return;
+  dead_.reset(v);
+  if (fault_claimed_.test(v)) {
+    fault_claimed_.reset(v);
+    busy_.reset(v);
+  }
+}
+
 bool GreedyRouter::input_idle(std::uint32_t in) const {
   return !in_busy_[in] && !blocked_.test(net_->inputs[in]);
 }

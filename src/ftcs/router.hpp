@@ -57,6 +57,9 @@ struct RouterStats {
   std::uint64_t claim_conflicts = 0;      // CAS lost a vertex to another worker
   std::uint64_t search_retries = 0;       // searches re-run after a conflict
   std::uint64_t rejected_contention = 0;  // gave up after the retry budget
+  std::uint64_t overlay_conflicts = 0;    // settled path crossed a switch that
+                                          // failed during the search (released
+                                          // and re-searched, like a claim loss)
 
   RouterStats& operator+=(const RouterStats& o) noexcept {
     connect_calls += o.connect_calls;
@@ -69,6 +72,7 @@ struct RouterStats {
     claim_conflicts += o.claim_conflicts;
     search_retries += o.search_retries;
     rejected_contention += o.rejected_contention;
+    overlay_conflicts += o.overlay_conflicts;
     return *this;
   }
 
@@ -84,6 +88,7 @@ struct RouterStats {
     claim_conflicts -= o.claim_conflicts;
     search_retries -= o.search_retries;
     rejected_contention -= o.rejected_contention;
+    overlay_conflicts -= o.overlay_conflicts;
     return *this;
   }
 };
@@ -123,6 +128,43 @@ class GreedyRouter {
     return calls_[call].length;
   }
 
+  // ----------------------------------------------------------------------
+  // Liveness overlay (runtime fault plane). Unlike the static `blocked` /
+  // `blocked_edges` construction masks, these flip while the router serves
+  // traffic. Semantics follow §6: the fault unit is the switch (edge); a
+  // vertex dies when the fault plane decides its incident switches make it
+  // unusable. The overlay folds into the hot-path state — a dead vertex
+  // holds its own busy bit, a failed switch its blocked_edges_ bit — so
+  // connect() pays nothing for the capability until a fault exists.
+  //
+  // Preconditions (the svc::Exchange fault plane upholds them):
+  //   - kill_vertex(v): no active call traverses v (tear victims down
+  //     first); idempotent on an already-dead vertex.
+  //   - revive_vertex(v) / repair_edge(e): only meaningful for components
+  //     the fault plane killed; statically blocked state is never released.
+
+  /// Marks switch `e` failed: no future path may use it. Idempotent.
+  void fail_edge(graph::EdgeId e);
+  /// Clears a runtime switch failure. A statically blocked edge stays
+  /// blocked. Idempotent.
+  void repair_edge(graph::EdgeId e);
+  /// Marks `v` dead and claims its busy bit (unless already blocked/busy).
+  void kill_vertex(graph::VertexId v);
+  /// Revives a dead vertex, releasing the busy bit iff the fault plane
+  /// claimed it.
+  void revive_vertex(graph::VertexId v);
+
+  [[nodiscard]] bool vertex_dead(graph::VertexId v) const {
+    return !dead_.empty() && dead_.test(v);
+  }
+  [[nodiscard]] bool edge_failed(graph::EdgeId e) const {
+    return !dead_edges_.empty() && dead_edges_.test(e);
+  }
+  /// Usable = neither statically blocked nor runtime-failed.
+  [[nodiscard]] bool edge_usable(graph::EdgeId e) const {
+    return blocked_edges_.empty() || !blocked_edges_.test(e);
+  }
+
   [[nodiscard]] bool is_busy(graph::VertexId v) const { return busy_.test(v); }
   /// Busy mask as bytes (cold path: expands the packed bitset).
   [[nodiscard]] std::vector<std::uint8_t> busy_mask() const {
@@ -141,10 +183,19 @@ class GreedyRouter {
     std::uint32_t length = 0;                 // vertices on the path
   };
 
+  /// Sizes the overlay bitsets on the first fault event (off the hot path).
+  void ensure_overlay();
+
   const graph::Network* net_;
   util::Bitset blocked_;        // static vertex faults
-  util::Bitset blocked_edges_;  // static switch faults (may be empty)
-  util::Bitset busy_;           // blocked | on an active path
+  util::Bitset blocked_edges_;  // unusable switches: static | runtime-failed
+  util::Bitset busy_;           // blocked | dead | on an active path
+  // Liveness overlay registries, sized lazily by the first fault event:
+  util::Bitset dead_;           // vertices killed by the fault plane
+  util::Bitset fault_claimed_;  // dead vertices whose busy bit WE set (vs
+                                // vertices that were already statically busy)
+  util::Bitset dead_edges_;     // runtime switch failures (repairable)
+  util::Bitset static_edges_;   // construction-time mask, guards repair_edge
   std::vector<std::uint8_t> in_busy_, out_busy_;
 
   // Bidirectional BFS scratch, sized to vertex_count at construction

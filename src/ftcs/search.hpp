@@ -6,6 +6,11 @@
 // construction). The busy test is a template parameter: GreedyRouter plugs
 // in a plain util::Bitset read, ConcurrentRouter a relaxed AtomicBitset
 // read (optimistic dirty snapshot, re-validated later by CAS claiming).
+// The edge_blocked test likewise carries the routers' liveness overlay
+// (runtime switch failures) alongside any static fault mask, so the search
+// routes around open-failed switches with no state of its own: greedy folds
+// failed switches into its blocked-edge bitset, the concurrent engine reads
+// its AtomicBitset overlay relaxed and re-validates after the claim phase.
 //
 // Search invariants (unchanged from the PR 1 router):
 //   - forward frontier expands out-edges from src, backward in-edges from

@@ -1,50 +1,164 @@
 #include "ftcs/traffic.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "util/prng.hpp"
 
 namespace ftcs::core {
 
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}  // namespace
+
+// One event loop, four event streams merged by simulated time: arrivals,
+// departures, fault-schedule events, and (batched plane only) admission
+// epochs. Calls are tracked by a unique tag, not by handle, because the
+// fault plane can swap a call's handle mid-flight (kill + reroute) or
+// remove it entirely; departures look the tag up when they fire. With no
+// schedule and epoch_interval == 0 the loop reduces to the original
+// immediate-plane simulation, RNG draw for RNG draw.
 TrafficReport simulate_traffic(svc::Exchange& exchange,
                                const TrafficParams& p) {
   util::Xoshiro256 rng(p.seed);
   TrafficReport report;
   const svc::ExchangeStats before = exchange.stats();
+  const bool batched = p.epoch_interval > 0.0;
 
   struct Departure {
     double time;
-    svc::CallId call;
+    std::uint64_t tag;
     bool operator>(const Departure& other) const { return time > other.time; }
   };
-  std::priority_queue<Departure, std::vector<Departure>, std::greater<>> departures;
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+  // tag -> live handle; absent once the call departed or died unrerouted.
+  std::unordered_map<std::uint64_t, svc::CallId> live;
+  // Batched-plane lag: a call can be killed (and maybe rerouted) by a fault
+  // event before its original drain outcome was settled; the superseding
+  // outcome waits here keyed by tag until the stale one surfaces.
+  std::unordered_map<std::uint64_t, svc::Outcome> superseded;
+  std::uint64_t next_tag = 1;
+
+  // Batched plane: completions land in per-session buckets (drain() runs
+  // one pool task per session, so each bucket has a single writer; refusals
+  // fire on this thread before the call returns).
+  const unsigned session_count = exchange.sessions();
+  std::vector<std::vector<svc::Outcome>> buckets(session_count);
+  const auto on_done = [&buckets](const svc::Outcome& o) {
+    buckets[o.session].push_back(o);
+  };
+  // Schedules departures for drained outcomes. Session order, then routing
+  // order within a session: deterministic given the engine's outcomes.
+  const auto settle_buckets = [&](double now) {
+    for (auto& bucket : buckets) {
+      for (const svc::Outcome& o : bucket) {
+        if (!o.connected()) continue;
+        const auto sup = superseded.find(o.tag);
+        if (sup != superseded.end()) {
+          // This outcome's handle already died in a fault event; track the
+          // superseding reroute (if it carried) under the same tag.
+          if (sup->second.connected()) {
+            live.emplace(o.tag, sup->second.id);
+            departures.push(
+                {now + rng.exponential(1.0 / p.mean_holding), o.tag});
+          }
+          superseded.erase(sup);
+          continue;
+        }
+        live.emplace(o.tag, o.id);
+        departures.push({now + rng.exponential(1.0 / p.mean_holding), o.tag});
+      }
+      bucket.clear();
+    }
+  };
+  const auto settle_impact = [&](const svc::FaultImpact& impact) {
+    for (std::size_t i = 0; i < impact.killed.size(); ++i) {
+      const std::uint64_t tag = impact.killed[i].tag;
+      const svc::Outcome& re = impact.reroutes[i];
+      const auto it = live.find(tag);
+      if (it == live.end()) {
+        superseded[tag] = re;  // original outcome not settled yet (see above)
+        continue;
+      }
+      if (re.connected())
+        it->second = re.id;  // same tag, same departure time, new path
+      else
+        live.erase(it);  // the degraded topology dropped the call
+    }
+  };
+
+  static const std::vector<fault::FaultEvent> kNoEvents;
+  const auto& fault_events = p.faults ? p.faults->events() : kNoEvents;
+  std::size_t fault_idx = 0;
+  while (fault_idx < fault_events.size() &&
+         fault_events[fault_idx].time >= p.sim_time)
+    ++fault_idx;  // schedule may outrun the horizon
 
   double now = 0.0;
   double next_arrival = rng.exponential(p.arrival_rate);
+  double next_epoch = batched ? p.epoch_interval : kNever;
+  bool epoch_stuck = false;  // a zero-window policy refused to drain
   double active_integral = 0.0;
   double last_event = 0.0;
   const std::size_t base_active = exchange.active_calls();
 
   auto advance = [&](double t) {
-    active_integral +=
-        static_cast<double>(exchange.active_calls() - base_active) *
-        (t - last_event);
+    // Signed: a fault event can kill calls that PREDATE this simulation,
+    // pushing active_calls() below the baseline.
+    const auto excess = static_cast<std::ptrdiff_t>(exchange.active_calls()) -
+                        static_cast<std::ptrdiff_t>(base_active);
+    active_integral += static_cast<double>(excess) * (t - last_event);
     last_event = t;
   };
 
-  while (next_arrival < p.sim_time || !departures.empty()) {
-    const bool arrival_next =
-        departures.empty() || (next_arrival < departures.top().time &&
-                               next_arrival < p.sim_time);
-    if (arrival_next && next_arrival >= p.sim_time) break;
-    if (arrival_next) {
+  for (;;) {
+    const double ta = next_arrival < p.sim_time ? next_arrival : kNever;
+    const double td = departures.empty() ? kNever : departures.top().time;
+    const double tf = fault_idx < fault_events.size() &&
+                              fault_events[fault_idx].time < p.sim_time
+                          ? fault_events[fault_idx].time
+                          : kNever;
+    const bool backlog =
+        batched &&
+        (ta != kNever || (exchange.pending() > 0 && !epoch_stuck));
+    const double te = backlog ? next_epoch : kNever;
+    const double t = std::min(std::min(ta, td), std::min(tf, te));
+    if (t == kNever) break;
+
+    if (t == tf) {
+      // Fault event. Settle any outcomes a previous mid-interval drain left
+      // in the buckets first, so the live map is current when the impact
+      // lands; inject()'s own drain_all may refill them (victim reroutes
+      // ride with whatever was queued), so settle again after.
+      now = t;
+      advance(now);
+      settle_buckets(now);
+      const svc::FaultImpact impact = exchange.apply(fault_events[fault_idx]);
+      ++fault_idx;
+      settle_impact(impact);
+      settle_buckets(now);
+    } else if (t == td && t <= ta) {  // departures win ties against arrivals
+      const auto dep = departures.top();
+      departures.pop();
+      now = dep.time;
+      advance(now);
+      const auto it = live.find(dep.tag);
+      if (it != live.end()) {  // absent: killed by a fault, never rerouted
+        exchange.hangup(it->second);
+        live.erase(it);
+      }
+    } else if (t == ta) {
       now = next_arrival;
       advance(now);
       next_arrival = now + rng.exponential(p.arrival_rate);
 
       // Uniform random idle terminal pair (rejection sampling, bounded).
+      // On the batched plane idleness is a best-effort check: queued
+      // requests may claim the pair first, and the engine's verdict rules.
       std::uint32_t in = 0, out = 0;
       bool found = false;
       for (int attempt = 0; attempt < 64; ++attempt) {
@@ -59,29 +173,47 @@ TrafficReport simulate_traffic(svc::Exchange& exchange,
         ++report.terminal_busy;
         continue;
       }
-      const svc::Outcome outcome = exchange.call({in, out});
-      if (!outcome.connected()) continue;  // counted via the stats delta
-      departures.push(
-          {now + rng.exponential(1.0 / p.mean_holding), outcome.id});
+      const std::uint64_t tag = next_tag++;
+      if (batched) {
+        exchange.submit({in, out, 0, tag}, on_done);
+      } else {
+        const svc::Outcome outcome = exchange.call({in, out, 0, tag});
+        if (!outcome.connected()) continue;  // counted via the stats delta
+        live.emplace(tag, outcome.id);
+        departures.push({now + rng.exponential(1.0 / p.mean_holding), tag});
+      }
     } else {
-      const auto dep = departures.top();
-      departures.pop();
-      now = dep.time;
+      // Admission epoch: route the backlog across every session. The timer
+      // freezes while there is no backlog, so on resume an overdue boundary
+      // fires at the CURRENT time and re-anchors — simulated time never
+      // moves backwards.
+      now = std::max(now, next_epoch);
+      next_epoch += p.epoch_interval;
+      if (next_epoch <= now) next_epoch = now + p.epoch_interval;
       advance(now);
-      exchange.hangup(dep.call);
+      const std::size_t served = exchange.drain_all();
+      epoch_stuck = served == 0 && exchange.pending() > 0;
+      settle_buckets(now);
     }
   }
   advance(std::max(now, p.sim_time));
 
   // One set of books: every call counter is the exchange's delta over the
   // run. (blocked covers every post-admission rejection — no-path,
-  // contention, and the never-expected terminal races.)
+  // contention, the never-expected terminal races, and victims the fault
+  // plane could not reroute; a killed-then-rerouted call counts as carried
+  // twice, once per settled path, matching the switching work done.)
   svc::ExchangeStats service = exchange.stats();
   service -= before;
   report.service = service;
   report.offered = service.router.connect_calls;
   report.carried = service.router.accepted;
   report.blocked = report.offered - report.carried;
+  report.faults_injected = service.faults_injected;
+  report.faults_repaired = service.faults_repaired;
+  report.killed_by_fault = service.calls_killed_by_fault;
+  report.reroute_succeeded = service.reroute_succeeded;
+  report.reroute_failed = service.reroute_failed;
   report.mean_active = last_event > 0 ? active_integral / last_event : 0.0;
   report.mean_path_length =
       report.carried ? static_cast<double>(service.router.path_vertices) /

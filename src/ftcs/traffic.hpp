@@ -13,10 +13,25 @@
 // are DERIVED from the exchange's counter deltas (svc::ExchangeStats) —
 // there is one set of books, kept by the engine; the traffic tests assert
 // the derivation's invariants.
+//
+// Two service planes, selected by TrafficParams::epoch_interval:
+//   - 0 (default): the immediate plane on session 0, event by event — the
+//     original low-latency simulation, bit-identical to its pre-fault-plane
+//     behaviour when no schedule is attached;
+//   - > 0: the BATCHED plane across ALL engine sessions — arrivals submit()
+//     into the admission queue and every epoch_interval of simulated time a
+//     drain_all() routes the backlog across the sessions, so the simulator
+//     exercises the same multi-session admission path production traffic
+//     takes.
+// Either plane accepts a fault::FaultSchedule: its fail/repair events are
+// applied at their simulated times through Exchange::inject()/repair(),
+// killing calls mid-flight (typed kFaulted) and rerouting the victims; the
+// report surfaces the fault-plane counters from the same stats delta.
 #pragma once
 
 #include <cstdint>
 
+#include "fault/schedule.hpp"
 #include "svc/exchange.hpp"
 
 namespace ftcs::core {
@@ -26,6 +41,13 @@ struct TrafficParams {
   double mean_holding = 1.0;   // mean call duration
   double sim_time = 1000.0;    // simulated time horizon
   std::uint64_t seed = 1;
+  /// 0: immediate plane on session 0. > 0: batched plane — arrivals queue
+  /// via submit() and drain across all sessions every `epoch_interval` of
+  /// simulated time.
+  double epoch_interval = 0.0;
+  /// Optional runtime fault events (fail/repair switches), applied at their
+  /// times while calls are live. Must outlive the simulation call.
+  const fault::FaultSchedule* faults = nullptr;
 };
 
 struct TrafficReport {
@@ -33,6 +55,12 @@ struct TrafficReport {
   std::size_t offered = 0;  // arrivals with an idle terminal pair
   std::size_t carried = 0;  // successfully routed
   std::size_t blocked = 0;  // no idle path despite idle terminals
+  // Fault-plane outcome of the run (also derived from `service`):
+  std::size_t faults_injected = 0;   // switch failures applied
+  std::size_t faults_repaired = 0;   // switch repairs applied
+  std::size_t killed_by_fault = 0;   // live calls torn down by a fault
+  std::size_t reroute_succeeded = 0; // victims reconnected on a detour
+  std::size_t reroute_failed = 0;    // victims the degraded topology dropped
   // Simulator-side bookkeeping (never reaches the exchange):
   std::size_t terminal_busy = 0;  // arrivals dropped: no idle terminal pair
   double mean_active = 0.0;       // time-averaged calls in progress
@@ -47,7 +75,8 @@ struct TrafficReport {
 };
 
 /// Runs the simulation on an exchange (which carries the network + fault
-/// mask + engine backend). Uses the immediate service plane on session 0.
+/// mask + engine backend). Plane selection and fault schedule per
+/// TrafficParams above.
 [[nodiscard]] TrafficReport simulate_traffic(svc::Exchange& exchange,
                                              const TrafficParams& params);
 

@@ -29,6 +29,8 @@ struct EpochFeedback {
   std::size_t admitted_last = 0; // requests admitted into the previous epoch
   std::uint64_t claim_conflicts_last = 0;      // engine CAS conflicts, delta
   std::uint64_t rejected_contention_last = 0;  // retry-budget rejects, delta
+  double last_epoch_seconds = 0.0;  // wall time the previous epoch spent
+                                    // routing (0 before the first epoch)
 };
 
 class AdmissionPolicy {
@@ -113,6 +115,53 @@ class ConflictAdaptiveAdmission final : public AdmissionPolicy {
   std::size_t window_;
   std::size_t min_, max_;
   double high_, low_;
+  std::size_t max_queue_;
+};
+
+/// Latency-aware window: each epoch has a wall-clock deadline budget. An
+/// epoch that overran shrinks the next window proportionally (window *
+/// deadline / observed — one overrun corrects in one step instead of
+/// halving repeatedly); an epoch comfortably inside the budget (below
+/// `grow_below` of it) grows the window by a quarter. Per-class SLAs
+/// reduce to one exchange per class with its own deadline.
+class DeadlineAdmission final : public AdmissionPolicy {
+ public:
+  explicit DeadlineAdmission(double deadline_seconds,
+                             std::size_t initial = 64,
+                             std::size_t min_window = 8,
+                             std::size_t max_window = 4096,
+                             double grow_below = 0.5,
+                             std::size_t max_queue = 0)
+      : deadline_(deadline_seconds),
+        window_(std::clamp(initial, min_window, max_window)),
+        min_(min_window),
+        max_(max_window),
+        grow_below_(grow_below),
+        max_queue_(max_queue) {}
+
+  [[nodiscard]] std::size_t epoch_window(const EpochFeedback& fb) override {
+    if (fb.admitted_last > 0 && fb.last_epoch_seconds > 0.0 &&
+        deadline_ > 0.0) {
+      if (fb.last_epoch_seconds > deadline_) {
+        const double scale = deadline_ / fb.last_epoch_seconds;
+        window_ = std::max(
+            min_, static_cast<std::size_t>(static_cast<double>(window_) * scale));
+      } else if (fb.last_epoch_seconds < grow_below_ * deadline_) {
+        window_ = std::min(max_, window_ + std::max<std::size_t>(1, window_ / 4));
+      }
+    }
+    return window_;
+  }
+  [[nodiscard]] std::size_t max_queue_depth() const noexcept override {
+    return max_queue_;
+  }
+  [[nodiscard]] std::size_t current_window() const noexcept { return window_; }
+
+ private:
+  double deadline_;
+  std::size_t window_;
+  std::size_t min_, max_;
+  double grow_below_;
   std::size_t max_queue_;
 };
 

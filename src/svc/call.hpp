@@ -27,6 +27,9 @@ enum class RejectReason : std::uint8_t {
   kStaleHandle,      // handle's generation expired (hung up, or never issued)
   kForeignHandle,    // handle was issued by a different Exchange
   kBadSession,       // session index out of range for this engine
+  kFaulted,          // call was torn down by the fault plane (a component on
+                     // its path died); also the ack a hangup of that handle
+                     // receives — informative, not a handle misuse
 };
 
 /// Canonical spelling, used verbatim in tables and JSON keys.
@@ -40,6 +43,7 @@ enum class RejectReason : std::uint8_t {
     case RejectReason::kStaleHandle: return "stale_handle";
     case RejectReason::kForeignHandle: return "foreign_handle";
     case RejectReason::kBadSession: return "bad_session";
+    case RejectReason::kFaulted: return "killed_by_fault";
   }
   return "unknown";
 }

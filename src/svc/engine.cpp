@@ -64,6 +64,17 @@ class GreedyEngine final : public Engine {
     return router_.output_idle(out);
   }
 
+  void fail_edge(graph::EdgeId e) override { router_.fail_edge(e); }
+  void repair_edge(graph::EdgeId e) override { router_.repair_edge(e); }
+  void kill_vertex(graph::VertexId v) override { router_.kill_vertex(v); }
+  void revive_vertex(graph::VertexId v) override { router_.revive_vertex(v); }
+  [[nodiscard]] bool vertex_dead(graph::VertexId v) const override {
+    return router_.vertex_dead(v);
+  }
+  [[nodiscard]] bool edge_usable(graph::EdgeId e) const override {
+    return router_.edge_usable(e);
+  }
+
  private:
   core::GreedyRouter router_;
 };
@@ -117,6 +128,17 @@ class ConcurrentEngine final : public Engine {
   }
   [[nodiscard]] bool output_idle(std::uint32_t out) const override {
     return router_.output_idle(out);
+  }
+
+  void fail_edge(graph::EdgeId e) override { router_.fail_edge(e); }
+  void repair_edge(graph::EdgeId e) override { router_.repair_edge(e); }
+  void kill_vertex(graph::VertexId v) override { router_.kill_vertex(v); }
+  void revive_vertex(graph::VertexId v) override { router_.revive_vertex(v); }
+  [[nodiscard]] bool vertex_dead(graph::VertexId v) const override {
+    return router_.vertex_dead(v);
+  }
+  [[nodiscard]] bool edge_usable(graph::EdgeId e) const override {
+    return router_.edge_usable(e);
   }
 
  private:

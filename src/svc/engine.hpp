@@ -59,6 +59,17 @@ class Engine {
 
   [[nodiscard]] virtual bool input_idle(std::uint32_t in) const = 0;
   [[nodiscard]] virtual bool output_idle(std::uint32_t out) const = 0;
+
+  // Liveness overlay (runtime fault plane) — forwarded to the backing
+  // router's overlay primitives; see their headers for the mutation
+  // contracts (Exchange::inject/repair uphold them by holding every
+  // session, like drain()).
+  virtual void fail_edge(graph::EdgeId e) = 0;
+  virtual void repair_edge(graph::EdgeId e) = 0;
+  virtual void kill_vertex(graph::VertexId v) = 0;
+  virtual void revive_vertex(graph::VertexId v) = 0;
+  [[nodiscard]] virtual bool vertex_dead(graph::VertexId v) const = 0;
+  [[nodiscard]] virtual bool edge_usable(graph::EdgeId e) const = 0;
 };
 
 /// Builds the backend over `net` (which must outlive the engine).

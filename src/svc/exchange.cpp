@@ -1,6 +1,7 @@
 #include "svc/exchange.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "util/thread_pool.hpp"
@@ -35,7 +36,8 @@ Exchange::Exchange(const graph::Network* net,
 
 // ------------------------------------------------------------------ handles
 
-CallId Exchange::issue_handle(unsigned session, Engine::RawCall raw) {
+CallId Exchange::issue_handle(unsigned session, Engine::RawCall raw,
+                              const CallRequest& req) {
   Session& s = sessions_[session];
   std::uint32_t slot;
   if (!s.free.empty()) {
@@ -48,6 +50,7 @@ CallId Exchange::issue_handle(unsigned session, Engine::RawCall raw) {
   Slot& sl = s.slots[slot];
   sl.raw = raw;
   sl.live = true;
+  sl.req = req;
   CallId id;
   id.exchange_ = id_;
   id.session_ = session;
@@ -78,7 +81,8 @@ Outcome Exchange::route_one(const CallRequest& req, unsigned session,
   const Engine::Connect c = engine_->connect(session, req.input, req.output);
   o.reject = c.reject;
   o.path_length = c.path_length;
-  if (c.reject == RejectReason::kNone) o.id = issue_handle(session, c.call);
+  if (c.reject == RejectReason::kNone)
+    o.id = issue_handle(session, c.call, req);
   return o;
 }
 
@@ -100,6 +104,19 @@ Outcome Exchange::call(const CallRequest& req, unsigned session) {
 RejectReason Exchange::hangup(CallId id) {
   const RejectReason err = check_handle(id);
   if (err != RejectReason::kNone) {
+    // A handle whose call the fault plane tore down is NOT a misuse: the
+    // owner could not have known. Its first post-kill hangup gets the typed
+    // kFaulted ack (one-generation memory: once the slot's next call
+    // retires, the handle degrades to the ordinary stale error).
+    if (err == RejectReason::kStaleHandle && id.exchange_ == id_ &&
+        id.session_ < sessions_.size()) {
+      const Session& s = sessions_[id.session_];
+      if (id.slot_ < s.slots.size()) {
+        const Slot& slot = s.slots[id.slot_];
+        if (slot.retired_by_fault && id.gen_ + 1 == slot.gen)
+          return RejectReason::kFaulted;
+      }
+    }
     handle_errors_.fetch_add(1, std::memory_order_relaxed);
     return err;
   }
@@ -111,6 +128,7 @@ RejectReason Exchange::hangup(CallId id) {
   // check_handle() forever after.
   slot.live = false;
   slot.raw = Engine::kNoRawCall;
+  slot.retired_by_fault = false;
   ++slot.gen;
   s.free.push_back(id.slot_);
   ++s.hangups;
@@ -222,6 +240,7 @@ std::size_t Exchange::drain() {
     fb.admitted_last = last_admitted_;
     fb.claim_conflicts_last = last_conflicts_;
     fb.rejected_contention_last = last_contention_;
+    fb.last_epoch_seconds = last_epoch_seconds_;
     const std::size_t window = admission_->epoch_window(fb);
     if (window == 0) return 0;
     batch = take_window(window);
@@ -233,6 +252,7 @@ std::size_t Exchange::drain() {
   }
 
   const core::RouterStats before = engine_->stats();
+  const auto t0 = std::chrono::steady_clock::now();
   const std::size_t m = batch.size();
   const unsigned s_count = engine_->sessions();
   std::vector<Outcome> outs(m);
@@ -257,6 +277,9 @@ std::size_t Exchange::drain() {
         });
   }
   const core::RouterStats after = engine_->stats();
+  const double epoch_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 
   {
     std::lock_guard<std::mutex> lk(front_mu_);
@@ -266,6 +289,7 @@ std::size_t Exchange::drain() {
     last_admitted_ = m;
     last_conflicts_ = after.claim_conflicts - before.claim_conflicts;
     last_contention_ = after.rejected_contention - before.rejected_contention;
+    last_epoch_seconds_ = epoch_seconds;
   }
   return m;
 }
@@ -293,6 +317,159 @@ std::size_t Exchange::pending() const {
   return queue_.size();
 }
 
+// -------------------------------------------------------------- fault plane
+
+void Exchange::ensure_fault_state() {
+  if (!failed_switches_.empty()) return;
+  failed_switches_.resize(net_->g.edge_count());
+  vertex_fault_degree_.assign(net_->g.vertex_count(), 0);
+  is_terminal_.assign(net_->g.vertex_count(), 0);
+  for (const graph::VertexId v : net_->inputs) is_terminal_[v] = 1;
+  for (const graph::VertexId v : net_->outputs) is_terminal_[v] = 1;
+}
+
+bool Exchange::path_alive(const std::vector<graph::VertexId>& path,
+                          const std::vector<graph::VertexId>& newly_dead)
+    const {
+  for (const graph::VertexId v : path) {
+    if (engine_->vertex_dead(v)) return false;
+    for (const graph::VertexId d : newly_dead)
+      if (v == d) return false;
+  }
+  const auto& g = net_->g;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto eids = g.out_edges(path[i]);
+    const auto tgts = g.out_targets(path[i]);
+    bool hop_alive = false;
+    for (std::size_t k = 0; k < eids.size(); ++k)
+      if (tgts[k] == path[i + 1] && engine_->edge_usable(eids[k])) {
+        hop_alive = true;  // some parallel switch still carries this hop
+        break;
+      }
+    if (!hop_alive) return false;
+  }
+  return true;
+}
+
+FaultImpact Exchange::inject(const fault::FaultEvent& ev) {
+  FaultImpact impact;
+  impact.event = ev;
+  ensure_fault_state();
+  if (failed_switches_.test(ev.edge)) return impact;  // already down
+  failed_switches_.set(ev.edge);
+  ++failed_switch_count_;
+  ++faults_injected_;
+  engine_->fail_edge(ev.edge);
+
+  // §6 vertex death: a non-terminal vertex is faulty while ANY incident
+  // switch is failed; it dies with the first one. Terminals stay alive —
+  // their surviving switches keep serving (the failed one is edge-dead).
+  const auto& edge = net_->g.edge(ev.edge);
+  std::vector<graph::VertexId> newly_dead;
+  for (const graph::VertexId v : {edge.from, edge.to}) {
+    if (!is_terminal_[v] && ++vertex_fault_degree_[v] == 1)
+      newly_dead.push_back(v);
+    if (edge.from == edge.to) break;  // self-loop: one endpoint, one count
+  }
+
+  // Tear down every call whose path lost a component. The victims' busy
+  // state must be released BEFORE the dead vertices are fault-claimed.
+  for (std::uint32_t s = 0; s < sessions_.size(); ++s) {
+    Session& sess = sessions_[s];
+    for (std::uint32_t slot_idx = 0; slot_idx < sess.slots.size();
+         ++slot_idx) {
+      Slot& slot = sess.slots[slot_idx];
+      if (!slot.live) continue;
+      const auto path = engine_->path_of(s, slot.raw);
+      if (path_alive(path, newly_dead)) continue;
+      Outcome dead;
+      dead.reject = RejectReason::kFaulted;
+      dead.session = s;
+      dead.path_length = static_cast<std::uint32_t>(path.size());
+      dead.tag = slot.req.tag;
+      // The (now stale) handle is echoed so owners can reconcile their maps.
+      dead.id.exchange_ = id_;
+      dead.id.session_ = s;
+      dead.id.slot_ = slot_idx;
+      dead.id.gen_ = slot.gen;
+      impact.killed.push_back(dead);
+      engine_->disconnect(s, slot.raw);
+      slot.live = false;
+      slot.raw = Engine::kNoRawCall;
+      slot.retired_by_fault = true;
+      ++slot.gen;
+      sess.free.push_back(slot_idx);
+      ++calls_killed_by_fault_;
+    }
+  }
+  for (const graph::VertexId v : newly_dead) engine_->kill_vertex(v);
+
+  // Immediate re-admission of the victims through the batched plane. Their
+  // terminals are free again (the kill released them); whether a detour
+  // exists is the engine's verdict. Anything already queued rides along.
+  // Every victim RESOLVES within this call: if the policy refuses to drain
+  // (zero window), the leftover victim submissions are cancelled and
+  // reported kRefused — nothing fires after this frame returns. The
+  // completion buffer is shared-owned anyway, as defense in depth.
+  if (!impact.killed.empty()) {
+    auto reroutes =
+        std::make_shared<std::vector<Outcome>>(impact.killed.size());
+    std::vector<Ticket> tickets;
+    tickets.reserve(impact.killed.size());
+    for (std::size_t i = 0; i < impact.killed.size(); ++i) {
+      const CallRequest& req =
+          sessions_[impact.killed[i].session].slots[impact.killed[i].id.slot_]
+              .req;
+      (*reroutes)[i].reject = RejectReason::kRefused;
+      (*reroutes)[i].tag = req.tag;
+      tickets.push_back(
+          submit(req, [reroutes, i](const Outcome& o) { (*reroutes)[i] = o; }));
+    }
+    drain_all();
+    {
+      // Cancel victims a zero-window policy left queued (their sentinel
+      // outcome above stays kRefused).
+      std::lock_guard<std::mutex> lk(front_mu_);
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (std::find(tickets.begin(), tickets.end(), it->ticket) !=
+            tickets.end())
+          it = queue_.erase(it);
+        else
+          ++it;
+      }
+    }
+    impact.reroutes = *reroutes;
+    for (const Outcome& o : impact.reroutes) {
+      if (o.connected())
+        ++impact.reroute_succeeded;
+      else
+        ++impact.reroute_failed;
+    }
+    reroute_succeeded_ += impact.reroute_succeeded;
+    reroute_failed_ += impact.reroute_failed;
+  }
+  return impact;
+}
+
+FaultImpact Exchange::repair(const fault::FaultEvent& ev) {
+  FaultImpact impact;
+  impact.event = ev;
+  ensure_fault_state();
+  if (!failed_switches_.test(ev.edge)) return impact;  // not down
+  failed_switches_.reset(ev.edge);
+  --failed_switch_count_;
+  ++faults_repaired_;
+  const auto& edge = net_->g.edge(ev.edge);
+  for (const graph::VertexId v : {edge.from, edge.to}) {
+    if (!is_terminal_[v] && vertex_fault_degree_[v] > 0 &&
+        --vertex_fault_degree_[v] == 0)
+      engine_->revive_vertex(v);
+    if (edge.from == edge.to) break;  // self-loop: one decrement
+  }
+  engine_->repair_edge(ev.edge);
+  return impact;
+}
+
 // ------------------------------------------------------------ introspection
 
 ExchangeStats Exchange::stats() const {
@@ -310,6 +487,11 @@ ExchangeStats Exchange::stats() const {
   }
   for (const Session& s : sessions_) st.hangups += s.hangups;
   st.handle_errors = handle_errors_.load(std::memory_order_relaxed);
+  st.faults_injected = faults_injected_;
+  st.faults_repaired = faults_repaired_;
+  st.calls_killed_by_fault = calls_killed_by_fault_;
+  st.reroute_succeeded = reroute_succeeded_;
+  st.reroute_failed = reroute_failed_;
   return st;
 }
 
@@ -320,8 +502,11 @@ void Exchange::reset_stats() {
   epochs_ = queue_high_water_ = 0;
   last_admitted_ = 0;
   last_conflicts_ = last_contention_ = 0;
+  last_epoch_seconds_ = 0.0;
   for (Session& s : sessions_) s.hangups = 0;
   handle_errors_.store(0, std::memory_order_relaxed);
+  faults_injected_ = faults_repaired_ = 0;
+  calls_killed_by_fault_ = reroute_succeeded_ = reroute_failed_ = 0;
 }
 
 }  // namespace ftcs::svc

@@ -43,9 +43,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/schedule.hpp"
 #include "svc/admission.hpp"
 #include "svc/call.hpp"
 #include "svc/engine.hpp"
+#include "util/bitset.hpp"
 
 namespace ftcs::svc {
 
@@ -65,6 +67,12 @@ struct ExchangeStats {
   std::uint64_t hangups = 0;          // successful hangups (both planes)
   std::uint64_t handle_errors = 0;    // misuse detected: stale/foreign/double
                                       // hangups and bad-session calls
+  // Fault-plane counters (inject()/repair()):
+  std::uint64_t faults_injected = 0;       // switch failures applied
+  std::uint64_t faults_repaired = 0;       // switch repairs applied
+  std::uint64_t calls_killed_by_fault = 0; // live calls torn down by inject()
+  std::uint64_t reroute_succeeded = 0;     // victims re-admitted and carried
+  std::uint64_t reroute_failed = 0;        // victims whose re-admission failed
 
   ExchangeStats& operator+=(const ExchangeStats& o) noexcept {
     router += o.router;
@@ -79,6 +87,11 @@ struct ExchangeStats {
                            : o.queue_high_water;
     hangups += o.hangups;
     handle_errors += o.handle_errors;
+    faults_injected += o.faults_injected;
+    faults_repaired += o.faults_repaired;
+    calls_killed_by_fault += o.calls_killed_by_fault;
+    reroute_succeeded += o.reroute_succeeded;
+    reroute_failed += o.reroute_failed;
     return *this;
   }
   /// Delta of monotone counters (queue_high_water is kept, not subtracted).
@@ -92,7 +105,27 @@ struct ExchangeStats {
     epochs -= o.epochs;
     hangups -= o.hangups;
     handle_errors -= o.handle_errors;
+    faults_injected -= o.faults_injected;
+    faults_repaired -= o.faults_repaired;
+    calls_killed_by_fault -= o.calls_killed_by_fault;
+    reroute_succeeded -= o.reroute_succeeded;
+    reroute_failed -= o.reroute_failed;
     return *this;
+  }
+};
+
+/// What one fault-plane operation did: which calls died (typed kFaulted
+/// outcomes echoing the original request's tag, with the now-dead handle)
+/// and how their immediate re-admission through the batched plane went
+/// (reroutes[i] is the new outcome for killed[i]).
+struct FaultImpact {
+  fault::FaultEvent event;
+  std::vector<Outcome> killed;    // reject == kFaulted; id is the dead handle
+  std::vector<Outcome> reroutes;  // index-aligned with killed
+  std::uint64_t reroute_succeeded = 0;
+  std::uint64_t reroute_failed = 0;
+  [[nodiscard]] std::size_t calls_killed() const noexcept {
+    return killed.size();
   }
 };
 
@@ -159,6 +192,32 @@ class Exchange {
   /// Requests waiting in the admission queue. Thread-safe.
   [[nodiscard]] std::size_t pending() const;
 
+  // --------------------------------------------------------- fault plane
+  // Runtime fault injection on the live topology (§4/§6: the network keeps
+  // switching calls in the presence of faulty switches). Threading contract
+  // is drain()'s: one thread at a time, never overlapping immediate calls —
+  // a fault event temporarily owns every session.
+  //
+  // inject(): fails the event's switch in the liveness overlay, derives §6
+  // vertex death (a NON-TERMINAL vertex dies with its first failed incident
+  // switch; terminals stay serviceable through their surviving switches),
+  // tears down every active call whose path lost a component (typed
+  // kFaulted outcomes), then immediately re-admits the victims' original
+  // requests through the batched plane (anything already queued rides along
+  // in those epochs). repair(): reverses the switch failure; a vertex
+  // revives when its last failed incident switch is repaired. Both are
+  // idempotent per switch state and count into ExchangeStats.
+  FaultImpact inject(const fault::FaultEvent& ev);
+  FaultImpact repair(const fault::FaultEvent& ev);
+  /// Dispatches on ev.kind — the one-liner consumers of a FaultSchedule use.
+  FaultImpact apply(const fault::FaultEvent& ev) {
+    return ev.kind == fault::FaultEvent::Kind::kFail ? inject(ev) : repair(ev);
+  }
+  /// Switches currently failed by the fault plane (static masks excluded).
+  [[nodiscard]] std::size_t failed_switch_count() const noexcept {
+    return failed_switch_count_;
+  }
+
   // ------------------------------------------------------- introspection
   [[nodiscard]] unsigned sessions() const noexcept {
     return engine_->sessions();
@@ -194,6 +253,11 @@ class Exchange {
     std::uint32_t gen = 1;  // bumped on retire; a handle is live iff its
                             // gen matches AND live is set
     bool live = false;
+    // True iff the PREVIOUS generation was retired by the fault plane: the
+    // owner's retained handle then gets a kFaulted ack (not a kStaleHandle
+    // misuse) on its first post-kill hangup. One-generation memory.
+    bool retired_by_fault = false;
+    CallRequest req;  // original request, kept for fault-plane re-admission
   };
   struct Session {
     std::vector<Slot> slots;
@@ -210,12 +274,20 @@ class Exchange {
   Exchange(const graph::Network* net, std::unique_ptr<graph::Network> owned,
            ExchangeConfig cfg);
 
-  CallId issue_handle(unsigned session, Engine::RawCall raw);
+  CallId issue_handle(unsigned session, Engine::RawCall raw,
+                      const CallRequest& req);
   /// Validates a handle: kNone if it is live here, else the typed error.
   RejectReason check_handle(CallId id) const;
   Outcome route_one(const CallRequest& req, unsigned session,
                     std::uint32_t deferrals);
   Ticket submit_impl(const CallRequest& req, CompletionFn done);
+  /// Sizes the fault-plane bookkeeping on the first event (off hot paths).
+  void ensure_fault_state();
+  /// True iff every component of `path` is still alive (vertices against
+  /// the engine overlay + `newly_dead`, hops against usable switches).
+  [[nodiscard]] bool path_alive(const std::vector<graph::VertexId>& path,
+                                const std::vector<graph::VertexId>& newly_dead)
+      const;
   /// Pops the admitted window (priority-ordered) off the queue. Caller
   /// holds front_mu_.
   std::vector<Pending> take_window(std::size_t window);
@@ -238,6 +310,17 @@ class Exchange {
   // Previous epoch's engine feedback for the admission policy.
   std::size_t last_admitted_ = 0;
   std::uint64_t last_conflicts_ = 0, last_contention_ = 0;
+  double last_epoch_seconds_ = 0.0;
+  // Fault-plane bookkeeping (same single-owner contract as the sessions;
+  // sized lazily by the first event). A vertex is §6-faulty while any
+  // incident switch is failed — vertex_fault_degree_ counts those.
+  util::Bitset failed_switches_;
+  std::vector<std::uint32_t> vertex_fault_degree_;
+  std::vector<std::uint8_t> is_terminal_;
+  std::size_t failed_switch_count_ = 0;
+  std::uint64_t faults_injected_ = 0, faults_repaired_ = 0,
+                calls_killed_by_fault_ = 0, reroute_succeeded_ = 0,
+                reroute_failed_ = 0;
   // Null-handle and foreign-handle checks touch only immutable fields
   // (id_, sessions_.size()), so THOSE misuses are detected safely from any
   // thread and the counter is atomic. Stale-handle detection reads the

@@ -1,0 +1,738 @@
+// The live fault plane: liveness overlay on both routing engines, the
+// overlay-vs-repair_by_discard equivalence (§6 semantics), the runtime
+// FaultSchedule, svc::Exchange inject/repair with call teardown + reroute,
+// fault-aware traffic simulation on both service planes, and the TSan-run
+// churn-with-faults stress. (This file is in the TSan CI job's regex.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_instance.hpp"
+#include "fault/overlay.hpp"
+#include "fault/repair.hpp"
+#include "fault/schedule.hpp"
+#include "ftcs/concurrent_router.hpp"
+#include "ftcs/ft_network.hpp"
+#include "ftcs/router.hpp"
+#include "ftcs/traffic.hpp"
+#include "networks/cantor.hpp"
+#include "networks/crossbar.hpp"
+#include "svc/admission.hpp"
+#include "svc/exchange.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs {
+namespace {
+
+/// First edge id from u to v (kNoEdge-style sentinel: edge_count).
+graph::EdgeId edge_between(const graph::CsrGraph& g, graph::VertexId u,
+                           graph::VertexId v) {
+  const auto eids = g.out_edges(u);
+  const auto tgts = g.out_targets(u);
+  for (std::size_t i = 0; i < eids.size(); ++i)
+    if (tgts[i] == v) return eids[i];
+  return static_cast<graph::EdgeId>(g.edge_count());
+}
+
+/// in -> a -> m -> b -> out line network, plus a spur switch m -> spur.
+/// Unique path between the terminals; the spur gives m a second incident
+/// switch that is NOT on the path.
+graph::Network build_line_with_spur() {
+  graph::NetworkBuilder nb;
+  const auto in = nb.g.add_vertex();
+  const auto a = nb.g.add_vertex();
+  const auto m = nb.g.add_vertex();
+  const auto b = nb.g.add_vertex();
+  const auto out = nb.g.add_vertex();
+  const auto spur = nb.g.add_vertex();
+  nb.g.add_edge(in, a);    // edge 0
+  nb.g.add_edge(a, m);     // edge 1
+  nb.g.add_edge(m, b);     // edge 2
+  nb.g.add_edge(b, out);   // edge 3
+  nb.g.add_edge(m, spur);  // edge 4: m's off-path switch
+  nb.inputs = {in};
+  nb.outputs = {out};
+  nb.name = "line-with-spur";
+  return nb.finalize();
+}
+
+// ------------------------------------------------------- router overlays
+
+TEST(GreedyOverlay, FailAndRepairEdge) {
+  const auto net = networks::build_crossbar(3);
+  core::GreedyRouter router(net);
+  const auto e00 = edge_between(net.g, net.inputs[0], net.outputs[0]);
+  ASSERT_LT(e00, net.g.edge_count());
+
+  ASSERT_NE(router.connect(0, 0), core::GreedyRouter::kNoCall);
+  router.disconnect(0);
+  router.fail_edge(e00);
+  EXPECT_TRUE(router.edge_failed(e00));
+  EXPECT_FALSE(router.edge_usable(e00));
+  EXPECT_EQ(router.connect(0, 0), core::GreedyRouter::kNoCall);
+  const auto detour = router.connect(0, 1);  // other switches unaffected
+  ASSERT_NE(detour, core::GreedyRouter::kNoCall);
+  router.disconnect(detour);
+  router.repair_edge(e00);
+  EXPECT_FALSE(router.edge_failed(e00));
+  EXPECT_NE(router.connect(0, 0), core::GreedyRouter::kNoCall);
+}
+
+TEST(GreedyOverlay, RepairNeverReleasesStaticBlockedEdges) {
+  const auto net = networks::build_crossbar(3);
+  const auto e00 = edge_between(net.g, net.inputs[0], net.outputs[0]);
+  std::vector<std::uint8_t> blocked_edges(net.g.edge_count(), 0);
+  blocked_edges[e00] = 1;
+  core::GreedyRouter router(net, {}, blocked_edges);
+  EXPECT_EQ(router.connect(0, 0), core::GreedyRouter::kNoCall);
+  // A runtime fail + repair cycle over the statically blocked switch must
+  // not resurrect it.
+  router.fail_edge(e00);
+  router.repair_edge(e00);
+  EXPECT_FALSE(router.edge_usable(e00));
+  EXPECT_EQ(router.connect(0, 0), core::GreedyRouter::kNoCall);
+}
+
+TEST(GreedyOverlay, KillAndReviveVertex) {
+  const auto net = build_line_with_spur();
+  core::GreedyRouter router(net);
+  const graph::VertexId m = 2;
+  router.kill_vertex(m);
+  EXPECT_TRUE(router.vertex_dead(m));
+  EXPECT_EQ(router.connect(0, 0), core::GreedyRouter::kNoCall);
+  router.kill_vertex(m);  // idempotent
+  router.revive_vertex(m);
+  EXPECT_FALSE(router.vertex_dead(m));
+  const auto call = router.connect(0, 0);
+  ASSERT_NE(call, core::GreedyRouter::kNoCall);
+  router.disconnect(call);
+  EXPECT_EQ(router.busy_vertices(), 0u);
+}
+
+TEST(ConcurrentOverlay, FailRepairAndKillReviveMirrorGreedy) {
+  const auto net = build_line_with_spur();
+  core::ConcurrentRouter router(net, 1);
+  auto& w = router.worker(0);
+  const auto e1 = edge_between(net.g, 1, 2);  // a -> m
+  router.fail_edge(e1);
+  EXPECT_TRUE(router.edge_failed(e1));
+  EXPECT_FALSE(router.edge_usable(e1));
+  EXPECT_EQ(w.connect(0, 0), core::ConcurrentRouter::kNoCall);
+  router.repair_edge(e1);
+  const auto call = w.connect(0, 0);
+  ASSERT_NE(call, core::ConcurrentRouter::kNoCall);
+  w.disconnect(call);
+
+  router.kill_vertex(2);
+  EXPECT_TRUE(router.vertex_dead(2));
+  EXPECT_EQ(w.connect(0, 0), core::ConcurrentRouter::kNoCall);
+  router.revive_vertex(2);
+  EXPECT_FALSE(router.vertex_dead(2));
+  EXPECT_NE(w.connect(0, 0), core::ConcurrentRouter::kNoCall);
+}
+
+// ---------------------------------------- overlay == repair_by_discard
+
+// Satellite pin: routing on the FULL network under the liveness overlay
+// built from a sampled FaultInstance reaches exactly the terminal pairs the
+// repair_by_discard rebuilt network reaches — on both engines. Overlay
+// semantics: spare_terminals = false, i.e. the §6 faulty mask verbatim.
+void expect_overlay_matches_discard(const graph::Network& net, double eps,
+                                    std::uint64_t seed) {
+  const fault::FaultInstance inst(net, fault::FaultModel::symmetric(eps),
+                                  seed);
+  const auto overlay = fault::overlay_from_instance(inst, false);
+  const auto repaired = fault::repair_by_discard(inst);
+
+  // Apply the overlay through the runtime primitives on both engines.
+  core::GreedyRouter greedy(net);
+  core::ConcurrentRouter concurrent(net, 1);
+  for (graph::VertexId v = 0; v < net.g.vertex_count(); ++v)
+    if (overlay.dead_vertices[v]) {
+      greedy.kill_vertex(v);
+      concurrent.kill_vertex(v);
+    }
+  for (graph::EdgeId e = 0; e < net.g.edge_count(); ++e)
+    if (overlay.dead_edges[e]) {
+      greedy.fail_edge(e);
+      concurrent.fail_edge(e);
+    }
+
+  // Terminal-index mapping into the rebuilt network.
+  std::vector<std::uint32_t> in_map(net.inputs.size(),
+                                    static_cast<std::uint32_t>(-1));
+  std::vector<std::uint32_t> out_map(net.outputs.size(),
+                                     static_cast<std::uint32_t>(-1));
+  for (std::size_t i = 0; i < net.inputs.size(); ++i) {
+    const auto nv = repaired.old_to_new[net.inputs[i]];
+    if (nv == graph::kNoVertex) continue;
+    for (std::size_t k = 0; k < repaired.net.inputs.size(); ++k)
+      if (repaired.net.inputs[k] == nv) in_map[i] = static_cast<std::uint32_t>(k);
+  }
+  for (std::size_t o = 0; o < net.outputs.size(); ++o) {
+    const auto nv = repaired.old_to_new[net.outputs[o]];
+    if (nv == graph::kNoVertex) continue;
+    for (std::size_t k = 0; k < repaired.net.outputs.size(); ++k)
+      if (repaired.net.outputs[k] == nv)
+        out_map[o] = static_cast<std::uint32_t>(k);
+  }
+
+  core::GreedyRouter reference(repaired.net);
+  auto& worker = concurrent.worker(0);
+  for (std::uint32_t i = 0; i < net.inputs.size(); ++i) {
+    for (std::uint32_t o = 0; o < net.outputs.size(); ++o) {
+      bool reference_reaches = false;
+      if (in_map[i] != static_cast<std::uint32_t>(-1) &&
+          out_map[o] != static_cast<std::uint32_t>(-1)) {
+        const auto c = reference.connect(in_map[i], out_map[o]);
+        if (c != core::GreedyRouter::kNoCall) {
+          reference_reaches = true;
+          reference.disconnect(c);
+        }
+      }
+      const auto gc = greedy.connect(i, o);
+      EXPECT_EQ(gc != core::GreedyRouter::kNoCall, reference_reaches)
+          << "greedy overlay pair (" << i << "," << o << ") eps " << eps
+          << " seed " << seed;
+      if (gc != core::GreedyRouter::kNoCall) greedy.disconnect(gc);
+      const auto cc = worker.connect(i, o);
+      EXPECT_EQ(cc != core::ConcurrentRouter::kNoCall, reference_reaches)
+          << "concurrent overlay pair (" << i << "," << o << ") eps " << eps
+          << " seed " << seed;
+      if (cc != core::ConcurrentRouter::kNoCall) worker.disconnect(cc);
+    }
+  }
+}
+
+TEST(OverlayEquivalence, MatchesRepairByDiscardOnBothEngines) {
+  const auto& ft = core::build_ft_network(core::FtParams::sim(1, 8, 6, 1, 3));
+  for (const std::uint64_t seed : {11u, 12u, 13u})
+    expect_overlay_matches_discard(ft.net, 0.02, seed);
+  const auto cantor = networks::build_cantor({4, 0});
+  for (const std::uint64_t seed : {21u, 22u})
+    expect_overlay_matches_discard(cantor, 0.01, seed);
+  // Heavier damage: discard tears real holes, the overlay must follow.
+  expect_overlay_matches_discard(networks::build_crossbar(6), 0.15, 31);
+}
+
+// ------------------------------------------------------- fault schedule
+
+TEST(FaultSchedule, DeterministicSortedAndAlternating) {
+  fault::FaultSchedule::Params params;
+  params.failure_rate = 2e-3;
+  params.mean_repair = 20.0;
+  params.horizon = 500.0;
+  params.seed = 77;
+  const fault::FaultSchedule a(4000, params);
+  const fault::FaultSchedule b(4000, params);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].edge, b.events()[i].edge);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+  }
+  // Sorted by time; per edge the stream alternates fail, repair, fail, ...
+  std::map<graph::EdgeId, fault::FaultEvent::Kind> last;
+  double prev = 0.0;
+  for (const auto& ev : a.events()) {
+    EXPECT_GE(ev.time, prev);
+    EXPECT_LT(ev.time, params.horizon);
+    prev = ev.time;
+    const auto it = last.find(ev.edge);
+    if (it == last.end())
+      EXPECT_EQ(ev.kind, fault::FaultEvent::Kind::kFail);
+    else
+      EXPECT_NE(ev.kind, it->second);
+    last[ev.edge] = ev.kind;
+  }
+  EXPECT_GE(a.fail_count(), a.repair_count());
+  EXPECT_GT(a.repair_count(), 0u);
+}
+
+TEST(FaultSchedule, PermanentFaultsAndRateScaling) {
+  fault::FaultSchedule::Params params;
+  params.failure_rate = 1e-3;
+  params.mean_repair = 0.0;  // permanent
+  params.horizon = 1000.0;
+  params.seed = 5;
+  const fault::FaultSchedule permanent(2000, params);
+  EXPECT_EQ(permanent.repair_count(), 0u);
+  // ~ E * (1 - exp(-rate * horizon)) ~ 2000 * 0.63 ~ 1264 expected fails.
+  EXPECT_GT(permanent.fail_count(), 900u);
+  EXPECT_LT(permanent.fail_count(), 1600u);
+  // At most one (permanent) failure per switch.
+  std::set<graph::EdgeId> seen;
+  for (const auto& ev : permanent.events()) {
+    EXPECT_TRUE(seen.insert(ev.edge).second);
+  }
+  const auto quiet = fault::FaultSchedule::from_model(
+      fault::FaultModel::none(), 2000, 1000.0, 0.0, 5);
+  EXPECT_TRUE(quiet.empty());
+}
+
+// ------------------------------------------------- exchange fault plane
+
+TEST(ExchangeFaultPlane, InjectKillsAndReroutesOnRichTopology) {
+  const auto net = networks::build_cantor({5, 0});
+  svc::Exchange ex(net, {});
+  const svc::Outcome o = ex.call({0, 3, 0, /*tag=*/42});
+  ASSERT_TRUE(o.connected());
+  const auto path = ex.path_of(o.id);
+  ASSERT_GE(path.size(), 2u);
+  const auto e = edge_between(net.g, path[0], path[1]);
+  ASSERT_LT(e, net.g.edge_count());
+
+  fault::FaultEvent ev;
+  ev.edge = e;
+  const svc::FaultImpact impact = ex.inject(ev);
+  ASSERT_EQ(impact.calls_killed(), 1u);
+  EXPECT_EQ(impact.killed[0].reject, svc::RejectReason::kFaulted);
+  EXPECT_EQ(impact.killed[0].tag, 42u);
+  EXPECT_STREQ(to_string(impact.killed[0].reject), "killed_by_fault");
+  // Cantor has path diversity: the victim must come back on a detour.
+  ASSERT_EQ(impact.reroutes.size(), 1u);
+  EXPECT_EQ(impact.reroute_succeeded, 1u);
+  EXPECT_EQ(impact.reroute_failed, 0u);
+  ASSERT_TRUE(impact.reroutes[0].connected());
+  EXPECT_EQ(impact.reroutes[0].tag, 42u);
+
+  // The retained old handle gets the typed kFaulted ack, not a misuse.
+  EXPECT_EQ(ex.hangup(o.id), svc::RejectReason::kFaulted);
+  const svc::ExchangeStats st = ex.stats();
+  EXPECT_EQ(st.handle_errors, 0u);
+  EXPECT_EQ(st.faults_injected, 1u);
+  EXPECT_EQ(st.calls_killed_by_fault, 1u);
+  EXPECT_EQ(st.reroute_succeeded, 1u);
+  EXPECT_EQ(ex.failed_switch_count(), 1u);
+
+  // Double inject of the same switch is a no-op.
+  EXPECT_EQ(ex.inject(ev).calls_killed(), 0u);
+  EXPECT_EQ(ex.stats().faults_injected, 1u);
+
+  EXPECT_EQ(ex.hangup(impact.reroutes[0].id), svc::RejectReason::kNone);
+  EXPECT_EQ(ex.active_calls(), 0u);
+  EXPECT_EQ(ex.busy_vertices(), 0u);
+}
+
+TEST(ExchangeFaultPlane, RerouteFailsWithoutDetourAndRepairRestores) {
+  for (const svc::Backend backend :
+       {svc::Backend::kGreedy, svc::Backend::kConcurrent}) {
+    const auto net = build_line_with_spur();
+    svc::ExchangeConfig cfg;
+    cfg.backend = backend;
+    svc::Exchange ex(net, std::move(cfg));
+    const svc::Outcome o = ex.call({0, 0, 0, /*tag=*/7});
+    ASSERT_TRUE(o.connected());
+
+    fault::FaultEvent ev;
+    ev.edge = edge_between(net.g, 1, 2);  // a -> m: only path dies, m dies
+    const svc::FaultImpact impact = ex.inject(ev);
+    ASSERT_EQ(impact.calls_killed(), 1u);
+    EXPECT_EQ(impact.reroute_failed, 1u);
+    EXPECT_EQ(impact.reroute_succeeded, 0u);
+    EXPECT_FALSE(impact.reroutes[0].connected());
+    EXPECT_EQ(impact.reroutes[0].reject, svc::RejectReason::kNoPath);
+    // Terminals were released by the kill; only the topology is degraded.
+    EXPECT_TRUE(ex.input_idle(0));
+    EXPECT_TRUE(ex.output_idle(0));
+    EXPECT_EQ(ex.active_calls(), 0u);
+    EXPECT_FALSE(ex.call({0, 0}).connected());
+
+    const svc::FaultImpact healed = ex.repair(ev);
+    EXPECT_EQ(healed.calls_killed(), 0u);
+    EXPECT_EQ(ex.failed_switch_count(), 0u);
+    const svc::Outcome back = ex.call({0, 0});
+    ASSERT_TRUE(back.connected());
+    EXPECT_EQ(ex.hangup(back.id), svc::RejectReason::kNone);
+    EXPECT_EQ(ex.stats().faults_repaired, 1u);
+  }
+}
+
+TEST(ExchangeFaultPlane, VertexRevivesOnlyWithLastIncidentRepair) {
+  const auto net = build_line_with_spur();
+  svc::Exchange ex(net, {});
+  fault::FaultEvent spur_ev;  // m -> spur: kills m without touching the path
+  spur_ev.edge = edge_between(net.g, 2, 5);
+  fault::FaultEvent path_ev;  // a -> m
+  path_ev.edge = edge_between(net.g, 1, 2);
+
+  ex.inject(spur_ev);
+  EXPECT_FALSE(ex.call({0, 0}).connected());  // m §6-faulty: unusable
+  ex.inject(path_ev);                         // second incident failure
+  ex.repair(spur_ev);
+  // m still has a failed incident switch (AND the path edge is dead).
+  EXPECT_FALSE(ex.call({0, 0}).connected());
+  ex.repair(path_ev);  // last incident switch healed -> m revives
+  const svc::Outcome o = ex.call({0, 0});
+  ASSERT_TRUE(o.connected());
+  EXPECT_EQ(ex.hangup(o.id), svc::RejectReason::kNone);
+  EXPECT_EQ(ex.busy_vertices(), 0u);
+}
+
+TEST(ExchangeFaultPlane, ZeroWindowPolicyLeavesVictimsQueuedAsRefused) {
+  const auto net = networks::build_cantor({4, 0});
+  svc::ExchangeConfig cfg;
+  cfg.admission = std::make_unique<svc::FixedWindowAdmission>(0);
+  svc::Exchange ex(net, std::move(cfg));
+  const svc::Outcome o = ex.call({0, 1, 0, /*tag=*/5});
+  ASSERT_TRUE(o.connected());
+  const auto path = ex.path_of(o.id);
+  fault::FaultEvent ev;
+  ev.edge = edge_between(net.g, path[0], path[1]);
+  // The kill succeeds; re-admission cannot drain (zero window), so the
+  // victim's submission is CANCELLED and reported kRefused — every victim
+  // resolves inside inject(), nothing fires after it returns.
+  const svc::FaultImpact impact = ex.inject(ev);
+  ASSERT_EQ(impact.calls_killed(), 1u);
+  EXPECT_EQ(impact.reroutes[0].reject, svc::RejectReason::kRefused);
+  EXPECT_EQ(impact.reroutes[0].tag, 5u);
+  EXPECT_EQ(impact.reroute_failed, 1u);
+  EXPECT_EQ(ex.pending(), 0u);  // cancelled, not left to a later drain
+}
+
+TEST(ExchangeFaultPlane, StatsDeltaCarriesFaultCounters) {
+  svc::ExchangeStats a, b;
+  a.calls_killed_by_fault = 5;
+  a.reroute_succeeded = 3;
+  a.faults_injected = 2;
+  b.calls_killed_by_fault = 2;
+  b.reroute_failed = 1;
+  b.faults_repaired = 4;
+  svc::ExchangeStats sum = a;
+  sum += b;
+  EXPECT_EQ(sum.calls_killed_by_fault, 7u);
+  EXPECT_EQ(sum.reroute_succeeded, 3u);
+  EXPECT_EQ(sum.reroute_failed, 1u);
+  EXPECT_EQ(sum.faults_injected, 2u);
+  EXPECT_EQ(sum.faults_repaired, 4u);
+  sum -= a;
+  EXPECT_EQ(sum.calls_killed_by_fault, 2u);
+  EXPECT_EQ(sum.faults_repaired, 4u);
+}
+
+// -------------------------------------------------- latency-aware policy
+
+TEST(DeadlineAdmission, WindowTracksEpochDuration) {
+  svc::DeadlineAdmission policy(/*deadline_seconds=*/0.010, /*initial=*/64,
+                                /*min_window=*/8, /*max_window=*/256);
+  svc::EpochFeedback fb;
+  fb.queued = 10'000;
+  // No feedback yet: initial window.
+  EXPECT_EQ(policy.epoch_window(fb), 64u);
+  // Previous epoch overran 2x: window shrinks proportionally in ONE step.
+  fb.admitted_last = 64;
+  fb.last_epoch_seconds = 0.020;
+  EXPECT_EQ(policy.epoch_window(fb), 32u);
+  // Comfortably inside the budget (< half the deadline): additive growth.
+  fb.admitted_last = 32;
+  fb.last_epoch_seconds = 0.002;
+  EXPECT_EQ(policy.epoch_window(fb), 40u);
+  // Between half-deadline and deadline: hold steady.
+  fb.admitted_last = 40;
+  fb.last_epoch_seconds = 0.008;
+  EXPECT_EQ(policy.epoch_window(fb), 40u);
+  // Massive overrun clamps at the floor.
+  fb.last_epoch_seconds = 10.0;
+  EXPECT_EQ(policy.epoch_window(fb), 8u);
+  // Sustained headroom climbs to the ceiling.
+  fb.last_epoch_seconds = 0.001;
+  for (int i = 0; i < 40; ++i) {
+    fb.admitted_last = policy.current_window();
+    (void)policy.epoch_window(fb);
+  }
+  EXPECT_EQ(policy.current_window(), 256u);
+}
+
+// ----------------------------------------------- traffic with live faults
+
+TEST(TrafficFaults, ImmediatePlaneSurvivesAnOutageStorm) {
+  const auto net = networks::build_cantor({5, 0});
+  const auto schedule = fault::FaultSchedule::from_model(
+      fault::FaultModel::symmetric(2e-4), net.g.edge_count(),
+      /*horizon=*/2000.0, /*mean_repair=*/50.0, /*seed=*/3);
+  ASSERT_FALSE(schedule.empty());
+  svc::Exchange ex(net, {});
+  core::TrafficParams p;
+  p.arrival_rate = 2.0;
+  p.mean_holding = 4.0;
+  p.sim_time = 2000.0;
+  p.seed = 17;
+  p.faults = &schedule;
+  const auto report = simulate_traffic(ex, p);
+  EXPECT_GT(report.offered, 1000u);
+  EXPECT_GT(report.faults_injected, 0u);
+  EXPECT_GT(report.faults_repaired, 0u);
+  EXPECT_GT(report.killed_by_fault, 0u);
+  EXPECT_EQ(report.killed_by_fault,
+            report.reroute_succeeded + report.reroute_failed);
+  // Every accepted call is accounted for: hung up by its owner or torn
+  // down by the fault plane — nothing leaks.
+  EXPECT_EQ(report.service.router.accepted,
+            report.service.hangups + report.killed_by_fault);
+  EXPECT_EQ(ex.active_calls(), 0u);
+  EXPECT_EQ(report.carried + report.blocked, report.offered);
+  EXPECT_EQ(report.service.handle_errors, 0u);
+}
+
+TEST(TrafficFaults, BatchedMultiSessionPlaneSurvivesTheSameStorm) {
+  const auto net = networks::build_cantor({5, 0});
+  const auto schedule = fault::FaultSchedule::from_model(
+      fault::FaultModel::symmetric(2e-4), net.g.edge_count(),
+      /*horizon=*/1500.0, /*mean_repair=*/40.0, /*seed=*/9);
+  svc::ExchangeConfig cfg;
+  cfg.backend = svc::Backend::kConcurrent;
+  cfg.sessions = 4;
+  svc::Exchange ex(net, std::move(cfg));
+  core::TrafficParams p;
+  p.arrival_rate = 3.0;
+  p.mean_holding = 3.0;
+  p.sim_time = 1500.0;
+  p.seed = 23;
+  p.epoch_interval = 0.5;  // batched admission plane across all 4 sessions
+  p.faults = &schedule;
+  const auto report = simulate_traffic(ex, p);
+  EXPECT_GT(report.offered, 1000u);
+  EXPECT_GT(report.service.epochs, 100u);
+  EXPECT_EQ(report.service.admitted, report.service.submitted);
+  EXPECT_GT(report.faults_injected, 0u);
+  EXPECT_EQ(report.killed_by_fault,
+            report.reroute_succeeded + report.reroute_failed);
+  EXPECT_EQ(report.service.router.accepted,
+            report.service.hangups + report.killed_by_fault);
+  EXPECT_EQ(ex.active_calls(), 0u);
+  EXPECT_EQ(ex.busy_vertices(), 0u);
+  EXPECT_EQ(report.service.handle_errors, 0u);
+}
+
+TEST(TrafficFaults, BatchedPlaneMatchesImmediateBooksWithoutFaults) {
+  const auto net = networks::build_cantor({4, 0});
+  svc::ExchangeConfig cfg;
+  cfg.backend = svc::Backend::kConcurrent;
+  cfg.sessions = 2;
+  svc::Exchange ex(net, std::move(cfg));
+  core::TrafficParams p;
+  p.arrival_rate = 2.0;
+  p.mean_holding = 2.0;
+  p.sim_time = 500.0;
+  p.seed = 31;
+  p.epoch_interval = 1.0;
+  const auto report = simulate_traffic(ex, p);
+  EXPECT_GT(report.offered, 300u);
+  EXPECT_EQ(report.carried + report.blocked, report.offered);
+  EXPECT_EQ(report.service.router.accepted, report.service.hangups);
+  EXPECT_EQ(report.killed_by_fault, 0u);
+  EXPECT_EQ(ex.active_calls(), 0u);
+}
+
+// --------------------------------------------------- concurrency stress
+
+// Router-level happens-before guarantee: once a thread has observed (with
+// acquire) that a set of switches failed, no connect it runs afterwards may
+// settle a path that NEEDS a failed switch. Claim-phase re-validation is
+// what closes the search's dirty-read window. TSan-run.
+TEST(ConcurrentOverlay, EdgeFlipsRacingConnectsNeverSettleDeadPaths) {
+  const auto net = networks::build_cantor({5, 0});
+  constexpr unsigned kWorkers = 4;
+  core::ConcurrentRouter router(net, kWorkers);
+  const auto n = static_cast<std::uint32_t>(net.inputs.size());
+
+  // The doomed set: every switch leaving the first TWO layers' vertices on
+  // paths of a probe call — enough density that racing searches keep
+  // crossing it.
+  std::vector<graph::EdgeId> doomed;
+  {
+    core::GreedyRouter probe(net);
+    for (std::uint32_t i = 0; i + 1 < n; i += 2) {
+      const auto c = probe.connect(i, i + 1);
+      if (c == core::GreedyRouter::kNoCall) continue;
+      const auto path = probe.path_of(c);
+      if (path.size() >= 2) doomed.push_back(edge_between(net.g, path[0], path[1]));
+      probe.disconnect(c);
+    }
+  }
+  ASSERT_FALSE(doomed.empty());
+
+  std::atomic<bool> flipped{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers + 1);
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      auto& w = router.worker(t);
+      util::Xoshiro256 rng(util::derive_seed(311, t));
+      std::vector<core::ConcurrentRouter::CallId> mine;
+      for (int op = 0; op < 3000; ++op) {
+        const bool after_flip = flipped.load(std::memory_order_acquire);
+        if (!mine.empty() && (rng() & 3u) == 0) {
+          const auto idx = rng() % mine.size();
+          w.disconnect(mine[idx]);
+          mine[idx] = mine.back();
+          mine.pop_back();
+        } else {
+          const auto in = static_cast<std::uint32_t>(rng() % n);
+          const auto out = static_cast<std::uint32_t>(rng() % n);
+          const auto call = w.connect(in, out);
+          if (call == core::ConcurrentRouter::kNoCall) continue;
+          if (after_flip) {
+            // Every hop must still be routable on a LIVE switch.
+            const auto path = w.path_of(call);
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+              bool hop_alive = false;
+              const auto eids = net.g.out_edges(path[i]);
+              const auto tgts = net.g.out_targets(path[i]);
+              for (std::size_t k = 0; k < eids.size(); ++k)
+                if (tgts[k] == path[i + 1] && router.edge_usable(eids[k]))
+                  hop_alive = true;
+              EXPECT_TRUE(hop_alive)
+                  << "worker " << t << " settled through a dead switch";
+            }
+          }
+          mine.push_back(call);
+        }
+      }
+      for (const auto c : mine) w.disconnect(c);
+    });
+  }
+  threads.emplace_back([&] {
+    // Let the churn get going, then fail the doomed set while searches are
+    // mid-flight; never repaired, so the assertion above is stable.
+    for (int spin = 0; spin < 1000; ++spin) std::this_thread::yield();
+    for (const auto e : doomed) router.fail_edge(e);
+    flipped.store(true, std::memory_order_release);
+  });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(router.active_calls(), 0u);
+  EXPECT_EQ(router.busy_vertices(), 0u);
+  for (const auto e : doomed) EXPECT_TRUE(router.edge_failed(e));
+}
+
+// The acceptance-criteria churn: N concurrent sessions serve calls while a
+// fault plane injects and repairs switches from a deterministic schedule.
+// Sessions hold the plane shared; a fault event holds it exclusively (the
+// documented inject/repair contract: a fault event owns every session, like
+// drain). Invariants: a session's settled path never crosses a component
+// that was dead when it connected, every kill surfaces as a typed kFaulted
+// ack (never a corrupted slot), and busy state balances exactly after the
+// final drain. TSan-run.
+TEST(ExchangeFaultPlane, ChurnWithInjectRepairRacingSessionsStaysSound) {
+  const auto net = networks::build_cantor({5, 0});
+  constexpr unsigned kSessions = 4;
+  svc::ExchangeConfig cfg;
+  cfg.backend = svc::Backend::kConcurrent;
+  cfg.sessions = kSessions;
+  svc::Exchange ex(net, std::move(cfg));
+  const auto n = static_cast<std::uint32_t>(net.inputs.size());
+
+  const auto schedule = fault::FaultSchedule::from_model(
+      fault::FaultModel::symmetric(4e-4), net.g.edge_count(),
+      /*horizon=*/400.0, /*mean_repair=*/15.0, /*seed=*/41);
+  ASSERT_GT(schedule.fail_count(), 10u);
+
+  std::shared_mutex plane;  // sessions shared, fault events exclusive
+  std::vector<std::uint8_t> failed_now(net.g.edge_count(), 0);  // rwlock'd
+  std::vector<svc::Outcome> strays;  // rerouted survivors (injector-owned)
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions + 1);
+  std::vector<std::vector<svc::CallId>> leftover(kSessions);
+  for (unsigned s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s] {
+      util::Xoshiro256 rng(util::derive_seed(613, s));
+      std::vector<svc::Outcome> mine;
+      for (int op = 0; op < 2500; ++op) {
+        std::shared_lock<std::shared_mutex> lk(plane);
+        if (!mine.empty() && (rng() & 3u) == 0) {
+          const auto idx = rng() % mine.size();
+          const svc::RejectReason r = ex.hangup(mine[idx].id);
+          // kNone: still ours. kFaulted: the fault plane tore it down and
+          // this ack is the typed notification. kStaleHandle: killed AND the
+          // slot's replacement call has already retired (the one-generation
+          // ack memory expired). Nothing else is legal, and none of these
+          // can touch another call's state.
+          EXPECT_TRUE(r == svc::RejectReason::kNone ||
+                      r == svc::RejectReason::kFaulted ||
+                      r == svc::RejectReason::kStaleHandle)
+              << to_string(r);
+          mine[idx] = mine.back();
+          mine.pop_back();
+        } else {
+          const auto in = static_cast<std::uint32_t>(rng() % n);
+          const auto out = static_cast<std::uint32_t>(rng() % n);
+          const svc::Outcome o = ex.call({in, out, 0, 0}, s);
+          if (!o.connected()) continue;
+          // Under the shared lock no fault event can intervene: the path
+          // must be fully alive w.r.t. the CURRENT failed set.
+          const auto path = ex.path_of(o.id);
+          EXPECT_FALSE(path.empty());
+          for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            bool hop_alive = false;
+            const auto eids = net.g.out_edges(path[i]);
+            const auto tgts = net.g.out_targets(path[i]);
+            for (std::size_t k = 0; k < eids.size(); ++k)
+              if (tgts[k] == path[i + 1] && !failed_now[eids[k]])
+                hop_alive = true;
+            EXPECT_TRUE(hop_alive)
+                << "session " << s << " path crosses a dead switch";
+          }
+          mine.push_back(o);
+        }
+      }
+      // Keep handles for the final quiescent drain (kills may have staled
+      // them — that is the point).
+      for (const auto& o : mine) leftover[s].push_back(o.id);
+    });
+  }
+  threads.emplace_back([&] {
+    for (const auto& ev : schedule.events()) {
+      if (done.load(std::memory_order_acquire)) break;
+      std::unique_lock<std::shared_mutex> lk(plane);
+      const svc::FaultImpact impact = ex.apply(ev);
+      failed_now[ev.edge] = ev.kind == fault::FaultEvent::Kind::kFail;
+      for (const auto& re : impact.reroutes)
+        if (re.connected()) strays.push_back(re);
+      std::this_thread::yield();
+    }
+  });
+  for (unsigned s = 0; s < kSessions; ++s) threads[s].join();
+  done.store(true, std::memory_order_release);
+  threads.back().join();
+
+  // Quiescent drain: this thread now owns every session. Every collected
+  // handle is either still live (kNone) or was killed by a fault (typed
+  // kFaulted / stale after slot reuse) — never anything that corrupts
+  // another call.
+  for (const auto& session_calls : leftover)
+    for (const auto id : session_calls) {
+      const svc::RejectReason r = ex.hangup(id);
+      EXPECT_TRUE(r == svc::RejectReason::kNone ||
+                  r == svc::RejectReason::kFaulted ||
+                  r == svc::RejectReason::kStaleHandle)
+          << to_string(r);
+    }
+  for (const auto& o : strays) {
+    const svc::RejectReason r = ex.hangup(o.id);
+    EXPECT_TRUE(r == svc::RejectReason::kNone ||
+                r == svc::RejectReason::kFaulted ||
+                r == svc::RejectReason::kStaleHandle)
+        << to_string(r);
+  }
+  EXPECT_EQ(ex.active_calls(), 0u);
+  EXPECT_EQ(ex.busy_vertices(), 0u);
+  const svc::ExchangeStats st = ex.stats();
+  EXPECT_EQ(st.router.accepted, st.hangups + st.calls_killed_by_fault);
+  EXPECT_GT(st.faults_injected, 0u);
+  EXPECT_EQ(st.calls_killed_by_fault,
+            st.reroute_succeeded + st.reroute_failed);
+}
+
+}  // namespace
+}  // namespace ftcs
