@@ -389,11 +389,12 @@ std::vector<BatchedPoint> batched_series(const graph::Network& net,
 
 // ---------------------------------------------------------------------------
 // --faults=EPS degraded-mode series: the batched churn with the runtime
-// fault plane live — a FaultSchedule (one epoch = one time unit, per-switch
-// hazard eps, mean time-to-repair 10 epochs) is applied between admission
-// epochs, killing calls mid-churn and rerouting the victims. Sweeps eps in
-// decades up to EPS; reports throughput under degradation plus the kill /
-// reroute books.
+// fault plane live — a MIXED FaultSchedule (one epoch = one time unit,
+// per-switch hazard eps split evenly between open failures and stuck-on
+// welds by the symmetric model, mean time-to-repair 10 epochs) is applied
+// between admission epochs, killing calls mid-churn, welding free forced
+// hops, and rerouting the victims. Sweeps eps in decades up to EPS; reports
+// throughput under degradation plus the kill / reroute books per mode.
 
 struct DegradedPoint {
   double eps = 0.0;
@@ -401,7 +402,7 @@ struct DegradedPoint {
                              // reroutes are in the books, not this count)
   double seconds = 0.0;
   core::RouterStats stats;
-  std::uint64_t injected = 0, repaired = 0, killed = 0;
+  std::uint64_t injected = 0, stuck = 0, repaired = 0, killed = 0;
   std::uint64_t reroute_ok = 0, reroute_fail = 0;
   [[nodiscard]] double calls_per_sec() const {
     return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
@@ -489,6 +490,7 @@ DegradedPoint degraded_churn(const graph::Network& net, unsigned sessions,
   p.seconds = dt;
   p.stats = st.router;
   p.injected = st.faults_injected;
+  p.stuck = st.faults_stuck;
   p.repaired = st.faults_repaired;
   p.killed = st.calls_killed_by_fault;
   p.reroute_ok = st.reroute_succeeded;
@@ -516,10 +518,15 @@ double extract_number(const std::string& text, const std::string& key) {
 }
 
 /// `"<to_string(reason)>": <count>` — every reject key in the JSON is
-/// spelled by the shared RejectReason enum, nothing hand-written.
+/// spelled by the shared RejectReason enum, nothing hand-written. (Built by
+/// append: GCC 12's inliner flags rvalue operator+ chains with a spurious
+/// -Wrestrict.)
 std::string reject_key(svc::RejectReason reason, std::uint64_t count) {
-  return "\"" + std::string(svc::to_string(reason)) +
-         "\": " + std::to_string(count);
+  std::string key = "\"";
+  key += svc::to_string(reason);
+  key += "\": ";
+  key += std::to_string(count);
+  return key;
 }
 
 int run_json_smoke(const std::string& path, unsigned max_threads,
@@ -656,6 +663,7 @@ int run_json_smoke(const std::string& path, unsigned max_threads,
           << ", \"calls_per_sec\": "
           << static_cast<std::uint64_t>(p.calls_per_sec())
           << ", \"faults_injected\": " << p.injected
+          << ", \"stuck_injected\": " << p.stuck
           << ", \"faults_repaired\": " << p.repaired
           << ", \"calls_killed_by_fault\": " << p.killed
           << ", \"reroute_succeeded\": " << p.reroute_ok
@@ -667,8 +675,8 @@ int run_json_smoke(const std::string& path, unsigned max_threads,
       std::cout << "degraded churn cantor-k5 eps=" << p.eps << " x"
                 << max_threads << " sessions: "
                 << static_cast<std::uint64_t>(p.calls_per_sec())
-                << " calls/sec (injected " << p.injected << ", killed "
-                << p.killed << ", reroute success "
+                << " calls/sec (open " << p.injected << ", stuck-on "
+                << p.stuck << ", killed " << p.killed << ", reroute success "
                 << p.reroute_success_rate() << ")\n";
     }
     out << "  ]},\n";

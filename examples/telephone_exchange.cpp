@@ -98,9 +98,13 @@ int main(int argc, char** argv) {
   // Mid-life, the FT exchange has a bad day: switches keep failing at
   // ~200x the wear rate (a cable cut, a lightning storm) and repair crews
   // turn them around in ~2 simulated hours — all while the day's calls are
-  // up. The liveness overlay routes new calls around the damage; calls on
-  // a dying component are killed (typed killed_by_fault) and immediately
-  // re-admitted through the batched plane.
+  // up. The symmetric model makes the storm MIXED: half the failures are
+  // OPEN (the liveness overlay routes new calls around them; calls on a
+  // dying component are killed with the typed killed_by_fault outcome and
+  // immediately re-admitted through the batched plane) and half are
+  // STUCK-ON (the contact welds conducting: live calls keep their paths,
+  // the hop becomes a free forced ride — runtime contraction — and the
+  // crew's repair can sever a call that crossed the weld backwards).
   const int outage_year = years / 2;
   const double worn_eps =
       (1.0 - std::pow(1.0 - lambda, outage_year)) / 2;  // cumulative wear
@@ -136,8 +140,12 @@ int main(int argc, char** argv) {
                     ? "batched admission plane, " + std::to_string(sessions) +
                           " sessions\n"
                     : std::string("immediate plane, 1 session\n"))
-            << "  switch failures injected:  " << report.faults_injected
-            << " (repaired " << report.faults_repaired << ")\n"
+            << "  open failures injected:    " << report.faults_injected
+            << "\n"
+            << "  stuck-on welds injected:   " << report.stuck_injected
+            << " (live contraction: calls ride the weld for free)\n"
+            << "  switches repaired:         " << report.faults_repaired
+            << "\n"
             << "  calls offered/carried:     " << report.offered << "/"
             << report.carried << "\n"
             << "  " << svc::to_string(svc::RejectReason::kFaulted)

@@ -38,6 +38,22 @@ std::vector<std::uint8_t> FaultInstance::faulty_non_terminal_mask() const {
   return mask;
 }
 
+std::vector<std::uint8_t> FaultInstance::open_faulty_mask(
+    bool spare_terminals) const {
+  std::vector<std::uint8_t> mask(net_->g.vertex_count(), 0);
+  for (const Failure& f : failures_) {
+    if (f.state != SwitchState::kOpenFail) continue;
+    const auto& ed = net_->g.edge(f.edge);
+    mask[ed.from] = 1;
+    mask[ed.to] = 1;
+  }
+  if (spare_terminals) {
+    for (graph::VertexId v : net_->inputs) mask[v] = 0;
+    for (graph::VertexId v : net_->outputs) mask[v] = 0;
+  }
+  return mask;
+}
+
 std::vector<std::uint8_t> FaultInstance::failed_edge_mask() const {
   std::vector<std::uint8_t> mask(net_->g.edge_count(), 0);
   for (const Failure& f : failures_) mask[f.edge] = 1;

@@ -48,6 +48,14 @@ class FaultInstance {
   /// endpoint, or through failed_edge_mask() for terminal-terminal edges).
   [[nodiscard]] std::vector<std::uint8_t> faulty_non_terminal_mask() const;
 
+  /// The §6 faulty notion restricted to OPEN failures: 1 where an
+  /// open-failed switch is incident (a stuck-on switch still conducts, so
+  /// it never marks its endpoints). This is the discard set shared by
+  /// repair_by_contraction and the kContractStuck liveness overlay; with
+  /// `spare_terminals`, terminal vertices are never marked.
+  [[nodiscard]] std::vector<std::uint8_t> open_faulty_mask(
+      bool spare_terminals) const;
+
   /// Per-edge mask: 1 where the switch is in a failed state.
   [[nodiscard]] std::vector<std::uint8_t> failed_edge_mask() const;
   [[nodiscard]] bool is_faulty(graph::VertexId v) const { return faulty_vertex_[v] != 0; }

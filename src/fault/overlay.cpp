@@ -1,13 +1,34 @@
 #include "fault/overlay.hpp"
 
+#include "graph/digraph.hpp"
+
 namespace ftcs::fault {
 
 LivenessOverlay overlay_from_instance(const FaultInstance& inst,
-                                      bool spare_terminals) {
+                                      bool spare_terminals, OverlayMode mode) {
   LivenessOverlay overlay;
-  overlay.dead_vertices = spare_terminals ? inst.faulty_non_terminal_mask()
-                                          : inst.faulty_vertices();
-  overlay.dead_edges = inst.failed_edge_mask();
+  if (mode == OverlayMode::kDiscardAll) {
+    overlay.dead_vertices = spare_terminals ? inst.faulty_non_terminal_mask()
+                                            : inst.faulty_vertices();
+    overlay.dead_edges = inst.failed_edge_mask();
+    return overlay;
+  }
+
+  // kContractStuck: split by failure mode. Only open failures kill — a
+  // stuck-on switch still conducts, so its endpoints stay serviceable and
+  // the switch itself becomes a free forced hop. The dead-vertex mask is
+  // the ONE shared §6 open-discard notion (also repair_by_contraction's),
+  // so the live-vs-offline equivalence cannot drift.
+  const graph::Network& net = inst.network();
+  overlay.dead_vertices = inst.open_faulty_mask(spare_terminals);
+  overlay.dead_edges.assign(net.g.edge_count(), 0);
+  overlay.contracted_edges.assign(net.g.edge_count(), 0);
+  for (const Failure& f : inst.failures()) {
+    if (f.state == SwitchState::kOpenFail)
+      overlay.dead_edges[f.edge] = 1;
+    else
+      overlay.contracted_edges[f.edge] = 1;
+  }
   return overlay;
 }
 

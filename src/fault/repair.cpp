@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/dsu.hpp"
+
 namespace ftcs::fault {
 
 namespace {
@@ -43,6 +45,75 @@ std::vector<std::uint8_t> faulty_with_neighbors(const FaultInstance& instance) {
 
 RepairResult repair_by_discard_with_neighbors(const FaultInstance& instance) {
   return repair_with_mask(instance, faulty_with_neighbors(instance));
+}
+
+ContractionResult repair_by_contraction(const FaultInstance& instance,
+                                        bool spare_terminals) {
+  const graph::Network& net = instance.network();
+  const std::size_t v_count = net.g.vertex_count();
+
+  // 1. Open failures discard — the same shared §6 open-discard mask the
+  // kContractStuck overlay uses, so live and offline cannot drift.
+  const std::vector<std::uint8_t> dead =
+      instance.open_faulty_mask(spare_terminals);
+
+  // 2. Contract the stuck-on switches among survivors. A closed switch
+  // with a discarded endpoint is severed along with that endpoint — the
+  // live plane cannot cross it either (the dead endpoint holds its busy
+  // bit), so it contributes no merge.
+  graph::Dsu dsu(v_count);
+  std::size_t contracted = 0;
+  for (const Failure& f : instance.failures()) {
+    if (f.state != SwitchState::kClosedFail) continue;
+    const auto& e = net.g.edge(f.edge);
+    if (dead[e.from] || dead[e.to]) continue;
+    dsu.unite(e.from, e.to);
+    ++contracted;
+  }
+
+  // 3. One rebuilt vertex per surviving electrical node; ids dense in the
+  // order classes are first seen (ascending original vertex id).
+  graph::NetworkBuilder nb;
+  std::vector<graph::VertexId> class_vertex(v_count, graph::kNoVertex);
+  ContractionResult result;
+  result.old_to_new.assign(v_count, graph::kNoVertex);
+  for (graph::VertexId v = 0; v < v_count; ++v) {
+    if (dead[v]) {
+      ++result.discarded_vertices;
+      continue;
+    }
+    const auto root = dsu.find(v);
+    if (class_vertex[root] == graph::kNoVertex)
+      class_vertex[root] = nb.g.add_vertex();
+    result.old_to_new[v] = class_vertex[root];
+  }
+
+  // 4. Normal-state switches between distinct surviving nodes. A switch
+  // whose endpoints merged into one node switches nothing and is dropped.
+  for (graph::EdgeId e = 0; e < net.g.edge_count(); ++e) {
+    if (instance.state(e) != SwitchState::kNormal) continue;
+    const auto& ed = net.g.edge(e);
+    if (dead[ed.from] || dead[ed.to]) continue;
+    const auto a = result.old_to_new[ed.from];
+    const auto b = result.old_to_new[ed.to];
+    if (a == b) continue;
+    nb.g.add_edge(a, b);
+  }
+
+  // 5. Terminals keep their list order; shorted terminals may share a node.
+  for (const graph::VertexId v : net.inputs)
+    if (result.old_to_new[v] != graph::kNoVertex)
+      nb.inputs.push_back(result.old_to_new[v]);
+  for (const graph::VertexId v : net.outputs)
+    if (result.old_to_new[v] != graph::kNoVertex)
+      nb.outputs.push_back(result.old_to_new[v]);
+  nb.name = net.name + "-contracted";
+
+  result.contracted_switches = contracted;
+  result.surviving_inputs = nb.inputs.size();
+  result.surviving_outputs = nb.outputs.size();
+  result.net = nb.finalize();
+  return result;
 }
 
 }  // namespace ftcs::fault

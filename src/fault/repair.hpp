@@ -6,6 +6,13 @@
 // Discarding every faulty vertex (a vertex incident to any failed switch)
 // removes, in particular, every failed edge, so the surviving network
 // consists of normal-state switches only.
+//
+// Repair-by-contraction is the §2-faithful alternative for CLOSED failures:
+// a stuck-on switch is permanently conducting, so instead of discarding its
+// endpoints the edge is contracted — the endpoints merge into one
+// electrical node. Open failures still discard as above. This offline
+// rebuild is the reference the live fault plane's runtime contraction
+// (routers' contract_edge) is equivalence-tested against.
 #pragma once
 
 #include <cstdint>
@@ -35,5 +42,29 @@ struct RepairResult {
 /// Discards faulty vertices and their immediate neighbors.
 [[nodiscard]] RepairResult repair_by_discard_with_neighbors(
     const FaultInstance& instance);
+
+struct ContractionResult {
+  graph::Network net;  // rebuilt: open-faulty discarded, stuck-on contracted
+  /// Original vertex -> its electrical node in `net`; kNoVertex where
+  /// discarded. Vertices merged by contraction share one new id.
+  std::vector<graph::VertexId> old_to_new;
+  std::size_t discarded_vertices = 0;   // killed by open failures
+  std::size_t contracted_switches = 0;  // closed switches folded into nodes
+  std::size_t surviving_inputs = 0;
+  std::size_t surviving_outputs = 0;
+};
+
+/// The mixed-mode offline rebuild: vertices incident to an OPEN-failed
+/// switch are discarded (terminals spared iff `spare_terminals` — the same
+/// mask overlay_from_instance uses under kContractStuck), then every
+/// closed-failed switch between survivors is contracted (endpoints merged
+/// via union-find, both directions — a welded contact conducts either way),
+/// and the normal-state switches are re-laid between the resulting
+/// electrical nodes (switches internal to one node are dropped). Routing on
+/// the FULL network under the kContractStuck liveness overlay reaches
+/// exactly the terminal pairs this network reaches — the live-contraction
+/// equivalence the fault-plane tests pin.
+[[nodiscard]] ContractionResult repair_by_contraction(
+    const FaultInstance& instance, bool spare_terminals = false);
 
 }  // namespace ftcs::fault

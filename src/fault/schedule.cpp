@@ -29,7 +29,14 @@ FaultSchedule::FaultSchedule(std::size_t edge_count, const Params& params) {
     double t = -std::log1p(-rng.uniform() * p_hit) / params.failure_rate;
     const auto edge = static_cast<graph::EdgeId>(e);
     while (t < params.horizon) {
-      events_.push_back({t, edge, FaultEvent::Kind::kFail});
+      // Failure mode per §2: open with prob 1 - stuck_fraction, closed
+      // (stuck-on) otherwise. The draw is skipped entirely at fraction 0,
+      // keeping pre-stuck-on streams bit-identical.
+      const bool stuck = params.stuck_fraction > 0.0 &&
+                         rng.uniform() < params.stuck_fraction;
+      events_.push_back({t, edge,
+                         stuck ? FaultEvent::Kind::kStuckOn
+                               : FaultEvent::Kind::kFail});
       if (params.mean_repair <= 0.0) break;  // permanent fault
       t += rng.exponential(1.0 / params.mean_repair);
       if (t >= params.horizon) break;
@@ -37,14 +44,20 @@ FaultSchedule::FaultSchedule(std::size_t edge_count, const Params& params) {
       t += rng.exponential(params.failure_rate);  // next failure, unconditioned
     }
   }
-  std::sort(events_.begin(), events_.end(),
-            [](const FaultEvent& a, const FaultEvent& b) {
-              if (a.time != b.time) return a.time < b.time;
-              if (a.edge != b.edge) return a.edge < b.edge;
-              return a.kind < b.kind;  // fail orders before repair
-            });
-  for (const FaultEvent& ev : events_)
-    if (ev.kind == FaultEvent::Kind::kFail) ++fails_;
+  // stable_sort on (time, edge) only: per-edge events are generated in
+  // renewal order, and stability preserves that order under an exact time
+  // tie (a zero-duration repair or zero inter-failure gap), which no
+  // kind-based tie-break can get right in both directions — so the per-edge
+  // failure/repair alternation invariant survives ties.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.edge < b.edge;
+                   });
+  for (const FaultEvent& ev : events_) {
+    if (is_failure(ev.kind)) ++fails_;
+    if (ev.kind == FaultEvent::Kind::kStuckOn) ++stuck_;
+  }
 }
 
 FaultSchedule FaultSchedule::from_model(const FaultModel& model,
@@ -56,6 +69,7 @@ FaultSchedule FaultSchedule::from_model(const FaultModel& model,
   p.failure_rate = model.total();
   p.mean_repair = mean_repair;
   p.horizon = horizon;
+  p.stuck_fraction = p.failure_rate > 0 ? model.eps_closed / p.failure_rate : 0;
   p.seed = seed;
   return FaultSchedule(edge_count, p);
 }

@@ -21,6 +21,7 @@ ConcurrentRouter::ConcurrentRouter(const graph::Network& net, unsigned workers,
   // Overlay state is sized up front: AtomicBitset::resize is not thread-safe
   // and the overlay must be flippable while workers are live.
   dead_edges_.resize(net.g.edge_count());
+  contracted_edges_.resize(net.g.edge_count());
   dead_vertices_.resize(v_count);
   fault_claimed_.resize(v_count);
   path_next_.assign(v_count, graph::kNoVertex);
@@ -80,17 +81,22 @@ ConcurrentRouter::CallId ConcurrentRouter::Worker::connect(std::uint32_t in,
   // branch below is a dead register test and the search runs exactly the
   // PR 2 hot path.
   const bool overlay = r.overlay_active_.load(std::memory_order_acquire);
+  const bool contraction =
+      r.contraction_active_.load(std::memory_order_acquire);
   const auto is_busy = [&r](graph::VertexId v) { return r.busy_.test(v); };
   const auto edge_blocked = [&r, edge_faults, overlay](graph::EdgeId e) {
     return (edge_faults && r.blocked_edges_.test(e)) ||
            (overlay && r.dead_edges_.test(e));  // relaxed: dirty snapshot
+  };
+  const auto edge_contracted = [&r](graph::EdgeId e) {
+    return r.contracted_edges_.test(e);  // relaxed: dirty snapshot
   };
 
   for (unsigned attempt = 0;; ++attempt) {
     // 2. Search on a dirty busy snapshot (relaxed reads, private scratch).
     const graph::VertexId meet = detail::bidir_shortest_idle_path(
         r.net_->g, src, dst, scratch_, stats_.vertices_visited, is_busy,
-        edge_blocked);
+        edge_blocked, edge_contracted, contraction);
     if (meet == graph::kNoVertex) {
       r.out_busy_.reset(out);
       r.in_busy_.reset(in);
@@ -117,11 +123,12 @@ ConcurrentRouter::CallId ConcurrentRouter::Worker::connect(std::uint32_t in,
       ++claimed;
     if (claimed == claim_buf_.size()) {
       // 3b. Overlay re-validation: the search read the liveness overlay with
-      // relaxed (dirty) loads, so a switch may have failed mid-search. With
-      // every path vertex now owned, acquire-re-check each hop; a hit is
-      // handled exactly like losing a claim CAS — release and re-search
-      // against the now-visible overlay.
-      if (!overlay || r.path_switches_alive(path_buf_)) break;  // path is ours
+      // relaxed (dirty) loads, so a switch may have failed (or a stuck-on
+      // weld been repaired) mid-search. With every path vertex now owned,
+      // acquire-re-check each hop; a hit is handled exactly like losing a
+      // claim CAS — release and re-search against the now-visible overlay.
+      if (!(overlay || contraction) || r.path_switches_alive(path_buf_))
+        break;  // path is ours
       ++stats_.overlay_conflicts;
       while (claimed > 0) r.busy_.reset(claim_buf_[--claimed]);
       if (attempt + 1 >= kMaxClaimRetries) {
@@ -225,6 +232,17 @@ void ConcurrentRouter::repair_edge(graph::EdgeId e) {
   dead_edges_.reset(e);  // release; static blocked_edges_ is a separate mask
 }
 
+void ConcurrentRouter::contract_edge(graph::EdgeId e) {
+  // Flag first, bit second: any search that can already see the bit also
+  // runs with the contraction branches enabled (same order as fail_edge).
+  contraction_active_.store(true, std::memory_order_release);
+  (void)contracted_edges_.try_set(e);  // acq_rel RMW; idempotent
+}
+
+void ConcurrentRouter::uncontract_edge(graph::EdgeId e) {
+  contracted_edges_.reset(e);  // release
+}
+
 void ConcurrentRouter::kill_vertex(graph::VertexId v) {
   if (dead_vertices_.test(v)) return;
   dead_vertices_.set(v);
@@ -247,6 +265,7 @@ void ConcurrentRouter::revive_vertex(graph::VertexId v) {
 bool ConcurrentRouter::path_switches_alive(
     const std::vector<graph::VertexId>& path) const {
   const bool edge_faults = !blocked_edges_.empty();
+  const bool contraction = contraction_active_.load(std::memory_order_acquire);
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     const graph::VertexId u = path[i], v = path[i + 1];
     const auto eids = net_->g.out_edges(u);
@@ -258,6 +277,21 @@ bool ConcurrentRouter::path_switches_alive(
       if (dead_edges_.test(eids[k], std::memory_order_acquire)) continue;
       hop_alive = true;  // some parallel switch still carries this hop
       break;
+    }
+    if (!hop_alive && contraction) {
+      // A contracted switch conducts both ways: the hop may be carried by
+      // a welded v -> u switch traversed against its direction.
+      const auto reids = net_->g.in_edges(u);
+      const auto rsrcs = net_->g.in_sources(u);
+      for (std::size_t k = 0; k < reids.size(); ++k) {
+        if (rsrcs[k] != v) continue;
+        if (edge_faults && blocked_edges_.test(reids[k])) continue;
+        if (dead_edges_.test(reids[k], std::memory_order_acquire)) continue;
+        if (!contracted_edges_.test(reids[k], std::memory_order_acquire))
+          continue;
+        hop_alive = true;
+        break;
+      }
     }
     if (!hop_alive) return false;
   }

@@ -61,6 +61,20 @@
 // require quiescence: no connect in flight on any session, victims torn
 // down first — the same contract as Exchange::drain().
 //
+// CLOSED failures (stuck-on switches, §2 contraction): contracted_edges_ is
+// a second AtomicBitset under the same dirty-snapshot discipline — the BFS
+// reads it relaxed and treats a contracted switch as a zero-cost hop that
+// conducts in BOTH directions (see ftcs/search.hpp). contract_edge()/
+// uncontract_edge() may race in-flight connects exactly like fail_edge():
+// a stuck flip observed mid-search costs at most a suboptimal-but-valid
+// path (the hop is conducting either way), and the post-claim re-validation
+// accepts a hop carried by a live parallel switch OR by a contracted one in
+// either direction. The one genuine hazard is stuck -> repaired: a settled
+// path that crossed the weld AGAINST the edge direction is electrically
+// severed by the repair; as with open-failure stragglers, reconciling those
+// calls is the fault plane's job (svc::Exchange::repair sweeps victims
+// while holding every session).
+//
 // Ownership model: a Worker is a single-threaded session — exactly one
 // thread may use worker(w) at a time, and a call must be disconnected
 // through the worker that connected it (call tables are per-worker, like
@@ -180,6 +194,15 @@ class ConcurrentRouter {
   /// Clears a runtime switch failure (statically blocked edges stay
   /// blocked). Safe under the same racing contract as fail_edge().
   void repair_edge(graph::EdgeId e);
+  /// Marks switch `e` stuck on (closed failure): the search crosses it as
+  /// a zero-cost forced hop in both directions instead of claiming it as a
+  /// switching element. Safe while connects are in flight (atomic flip +
+  /// claim-phase re-validation). Idempotent.
+  void contract_edge(graph::EdgeId e);
+  /// Clears a stuck-on state. Calls that crossed the weld against the edge
+  /// direction are severed — the fault plane sweeps them (see the header
+  /// comment). Idempotent.
+  void uncontract_edge(graph::EdgeId e);
   /// Marks `v` dead and fault-claims its busy bit. QUIESCENT ONLY: no
   /// connect in flight, no active call through v.
   void kill_vertex(graph::VertexId v);
@@ -192,6 +215,9 @@ class ConcurrentRouter {
   }
   [[nodiscard]] bool edge_failed(graph::EdgeId e) const {
     return dead_edges_.test(e, std::memory_order_acquire);
+  }
+  [[nodiscard]] bool edge_contracted(graph::EdgeId e) const {
+    return contracted_edges_.test(e, std::memory_order_acquire);
   }
   /// Usable = neither statically blocked nor runtime-failed.
   [[nodiscard]] bool edge_usable(graph::EdgeId e) const {
@@ -206,8 +232,9 @@ class ConcurrentRouter {
   [[nodiscard]] std::size_t busy_vertices() const;  // sum of path lengths
 
  private:
-  /// True iff every hop of the settled path still has a usable switch;
-  /// acquire loads on the overlay (the claim-phase re-validation).
+  /// True iff every hop of the settled path is still carried: by a usable
+  /// forward switch, or by a contracted (stuck-on) switch in either
+  /// direction. Acquire loads on the overlay (claim-phase re-validation).
   [[nodiscard]] bool path_switches_alive(
       const std::vector<graph::VertexId>& path) const;
 
@@ -220,7 +247,12 @@ class ConcurrentRouter {
   // fault-free hot path pays one register test. The vertex registries are
   // cold state touched only under the quiescent kill/revive contract.
   util::AtomicBitset dead_edges_;
+  // Stuck-on switches (closed failures): read relaxed by searches alongside
+  // dead_edges_, gated by its own sticky flag so open-failure-only runs do
+  // not pay the reverse-conduction scans in the shared BFS.
+  util::AtomicBitset contracted_edges_;
   std::atomic<bool> overlay_active_{false};
+  std::atomic<bool> contraction_active_{false};
   util::Bitset dead_vertices_;
   util::Bitset fault_claimed_;
   util::AtomicBitset in_busy_, out_busy_;  // terminal slots

@@ -35,6 +35,7 @@ void GreedyRouter::ensure_overlay() {
   dead_.resize(v_count);
   fault_claimed_.resize(v_count);
   dead_edges_.resize(e_count);
+  contracted_edges_.resize(e_count);
   static_edges_ = blocked_edges_;  // snapshot of the construction-time mask
   if (blocked_edges_.empty()) blocked_edges_.resize(e_count);
 }
@@ -50,6 +51,22 @@ void GreedyRouter::repair_edge(graph::EdgeId e) {
   if (dead_edges_.empty() || !dead_edges_.test(e)) return;
   dead_edges_.reset(e);
   if (static_edges_.empty() || !static_edges_.test(e)) blocked_edges_.reset(e);
+}
+
+void GreedyRouter::contract_edge(graph::EdgeId e) {
+  ensure_overlay();
+  if (contracted_edges_.test(e)) return;
+  // The blocked mask wins: the BFS tests edge_blocked before the contracted
+  // predicate, so contracting a dead or statically blocked switch changes
+  // nothing until it is repaired/never.
+  contracted_edges_.set(e);
+  ++contracted_count_;
+}
+
+void GreedyRouter::uncontract_edge(graph::EdgeId e) {
+  if (contracted_edges_.empty() || !contracted_edges_.test(e)) return;
+  contracted_edges_.reset(e);
+  --contracted_count_;
 }
 
 void GreedyRouter::kill_vertex(graph::VertexId v) {
@@ -103,12 +120,18 @@ GreedyRouter::CallId GreedyRouter::connect(std::uint32_t in, std::uint32_t out) 
   // Shared level-synchronized bidirectional BFS (ftcs/search.hpp); the busy
   // test is a plain bitset read — this router is the sole owner of busy_.
   const bool edge_faults = !blocked_edges_.empty();
+  // Gated on OUTSTANDING welds (not the bitset's size — ensure_overlay
+  // allocates it for any fault event): with none, the search instantiates
+  // the exact pre-contraction hot path.
+  const bool contraction = contracted_count_ > 0;
   const graph::VertexId best_meet = detail::bidir_shortest_idle_path(
       g, src, dst, scratch_, stats_.vertices_visited,
       [this](graph::VertexId v) { return busy_.test(v); },
       [this, edge_faults](graph::EdgeId e) {
         return edge_faults && blocked_edges_.test(e);
-      });
+      },
+      [this](graph::EdgeId e) { return contracted_edges_.test(e); },
+      contraction);
   if (best_meet == graph::kNoVertex) {
     ++stats_.rejected_no_path;
     return kNoCall;

@@ -148,6 +148,20 @@ class GreedyRouter {
   /// Clears a runtime switch failure. A statically blocked edge stays
   /// blocked. Idempotent.
   void repair_edge(graph::EdgeId e);
+  /// Marks switch `e` STUCK ON (closed failure, §2): the contact is welded
+  /// conducting, so the search crosses it as a zero-cost forced hop — in
+  /// both directions — instead of claiming it as a switching element. The
+  /// runtime analogue of contraction; the CSR graph is never mutated.
+  /// Occupancy still applies to the hop's endpoints (the merged electrical
+  /// node carries at most one call). An open-failed or statically blocked
+  /// switch cannot be contracted into service: the blocked mask wins.
+  /// Idempotent.
+  void contract_edge(graph::EdgeId e);
+  /// Clears a stuck-on state (the switch is repaired to normal). Calls
+  /// that crossed the weld AGAINST the edge direction are now electrically
+  /// severed — reconciling them is the fault plane's job
+  /// (svc::Exchange::repair sweeps victims). Idempotent.
+  void uncontract_edge(graph::EdgeId e);
   /// Marks `v` dead and claims its busy bit (unless already blocked/busy).
   void kill_vertex(graph::VertexId v);
   /// Revives a dead vertex, releasing the busy bit iff the fault plane
@@ -159,6 +173,9 @@ class GreedyRouter {
   }
   [[nodiscard]] bool edge_failed(graph::EdgeId e) const {
     return !dead_edges_.empty() && dead_edges_.test(e);
+  }
+  [[nodiscard]] bool edge_contracted(graph::EdgeId e) const {
+    return !contracted_edges_.empty() && contracted_edges_.test(e);
   }
   /// Usable = neither statically blocked nor runtime-failed.
   [[nodiscard]] bool edge_usable(graph::EdgeId e) const {
@@ -195,6 +212,9 @@ class GreedyRouter {
   util::Bitset fault_claimed_;  // dead vertices whose busy bit WE set (vs
                                 // vertices that were already statically busy)
   util::Bitset dead_edges_;     // runtime switch failures (repairable)
+  util::Bitset contracted_edges_;  // stuck-on switches: free forced hops
+  std::size_t contracted_count_ = 0;  // outstanding welds: gates the
+                                      // contraction search variant
   util::Bitset static_edges_;   // construction-time mask, guards repair_edge
   std::vector<std::uint8_t> in_busy_, out_busy_;
 

@@ -12,6 +12,21 @@
 // failed switches into its blocked-edge bitset, the concurrent engine reads
 // its AtomicBitset overlay relaxed and re-validates after the claim phase.
 //
+// CLOSED (stuck-on) failures — the paper's §2 contraction — ride the
+// edge_contracted predicate: a contracted switch is permanently conducting,
+// so the search crosses it as a FREE hop (cost 0 in the level sync, the 0-1
+// BFS discipline: zero-cost discoveries expand within the current level)
+// and in BOTH directions (a welded contact carries signal either way, so a
+// contracted in-edge of u is a free hop out of u). Occupancy is still
+// enforced on the hop's target — the merged electrical node can carry at
+// most one call, exactly like the contracted-and-rebuilt network's merged
+// vertex — and the settled path claims every vertex it crosses as usual.
+// The whole machinery is a COMPILE-TIME branch (`kContraction`): the
+// dispatcher instantiates the contraction-free variant until a stuck-on
+// event exists, so a network that has never seen one runs the exact
+// pre-contraction hot path (measured: the runtime-flag version cost ~15%
+// on the greedy churn; this one is noise-level).
+//
 // Search invariants (unchanged from the PR 1 router):
 //   - forward frontier expands out-edges from src, backward in-edges from
 //     dst, always the smaller frontier first;
@@ -19,6 +34,13 @@
 //     meeting point, so every recorded meet lies on a fully idle path;
 //   - termination: once best_total <= df + db + 1, every strictly shorter
 //     path would already have produced a meet, so the best one is final.
+// With contracted edges the returned path is always a REAL idle path, but
+// not necessarily a globally shortest one under the 0-1 metric: a vertex
+// first stamped at level d+1 through a normal switch is not re-stamped when
+// a later free hop would have reached it at level d (the epoch stamps admit
+// one discovery per vertex). Reachability — the property the offline
+// contraction equivalence pins — is exact; on contraction-free networks the
+// search is bit-identical to the PR 1/PR 2 behaviour.
 #pragma once
 
 #include <algorithm>
@@ -38,6 +60,7 @@ struct SearchScratch {
   std::vector<graph::VertexId> parent_f;        // toward the input
   std::vector<graph::VertexId> parent_b;        // toward the output
   std::vector<graph::VertexId> queue_f, queue_b;  // frontier rings
+  std::vector<graph::VertexId> zero_f, zero_b;  // free-hop (contracted) stacks
   std::uint32_t epoch = 0;
 
   void init(std::size_t v_count) {
@@ -49,19 +72,20 @@ struct SearchScratch {
     parent_b.assign(v_count, graph::kNoVertex);
     queue_f.resize(v_count);
     queue_b.resize(v_count);
+    zero_f.resize(v_count);
+    zero_b.resize(v_count);
     epoch = 0;
   }
 };
 
-/// Finds a shortest idle src->dst path; returns the meeting vertex (parents
-/// in `s` recover the two halves) or graph::kNoVertex if no idle path
-/// exists. `is_busy(v)` and `edge_blocked(e)` gate expansion; `visited`
-/// accumulates stamped vertices for RouterStats. Allocation-free.
-template <class BusyFn, class EdgeBlockedFn>
-[[nodiscard]] graph::VertexId bidir_shortest_idle_path(
+/// The search body; kContraction selects the stuck-on machinery at compile
+/// time. Use the bidir_shortest_idle_path dispatchers below.
+template <bool kContraction, class BusyFn, class EdgeBlockedFn,
+          class EdgeContractedFn>
+[[nodiscard]] graph::VertexId bidir_shortest_idle_path_impl(
     const graph::CsrGraph& g, graph::VertexId src, graph::VertexId dst,
     SearchScratch& s, std::uint64_t& visited, BusyFn&& is_busy,
-    EdgeBlockedFn&& edge_blocked) {
+    EdgeBlockedFn&& edge_blocked, EdgeContractedFn&& edge_contracted) {
   if (++s.epoch == 0) {  // epoch wrap: one bulk clear per 2^32 searches
     std::fill(s.epoch_f.begin(), s.epoch_f.end(), 0u);
     std::fill(s.epoch_b.begin(), s.epoch_b.end(), 0u);
@@ -91,78 +115,136 @@ template <class BusyFn, class EdgeBlockedFn>
   while (flevel > 0 && blevel > 0 && best_total > df + db + 1) {
     if (flevel <= blevel) {
       std::size_t next_level = 0;
-      for (std::size_t n = 0; n < flevel; ++n) {
-        const graph::VertexId u = s.queue_f[fh++];
+      std::size_t zt = 0;  // top of the free-hop stack (current level)
+      // Discovery of v from u at cost `free ? 0 : 1`.
+      const auto visit_f = [&](graph::VertexId v, graph::VertexId u,
+                               bool free) {
+        if (s.epoch_f[v] == s.epoch) return;
+        s.epoch_f[v] = s.epoch;
+        ++visited;
+        if (is_busy(v)) {
+          // Record "no parent this epoch" EXPLICITLY. Parent arrays
+          // persist across searches, and under a concurrent (dirty) busy
+          // view the other side may probe v again after it went idle: a
+          // stale parent from an earlier search would then chain a meet
+          // through garbage (broken or even cyclic paths).
+          s.parent_f[v] = graph::kNoVertex;
+          return;
+        }
+        s.parent_f[v] = u;
+        const std::uint32_t dv = free ? df : df + 1;
+        s.dist_f[v] = dv;
+        if (s.epoch_b[v] == s.epoch && s.parent_b[v] != graph::kNoVertex) {
+          const std::uint32_t total = dv + s.dist_b[v];
+          if (total < best_total) {
+            best_total = total;
+            best_meet = v;
+          }
+          return;  // expanding a meet can never improve on it
+        }
+        if (v == dst) {  // dst seeded backward with parent kNoVertex
+          if (dv < best_total) {
+            best_total = dv;
+            best_meet = v;
+          }
+          return;
+        }
+        if (kContraction && free) {
+          s.zero_f[zt++] = v;  // same level: expand before the level ends
+        } else {
+          s.queue_f[ft++] = v;
+          ++next_level;
+        }
+      };
+      std::size_t n = 0;
+      for (;;) {
+        graph::VertexId u;
+        if (n < flevel) {
+          u = s.queue_f[fh++];
+          ++n;
+        } else if (kContraction && zt > 0) {
+          u = s.zero_f[--zt];
+        } else {
+          break;
+        }
         const auto eids = g.out_edges(u);
         const auto tgts = g.out_targets(u);
         for (std::size_t i = 0; i < eids.size(); ++i) {
           if (edge_blocked(eids[i])) continue;
-          const graph::VertexId v = tgts[i];
-          if (s.epoch_f[v] == s.epoch) continue;
-          s.epoch_f[v] = s.epoch;
-          ++visited;
-          if (is_busy(v)) {
-            // Record "no parent this epoch" EXPLICITLY. Parent arrays
-            // persist across searches, and under a concurrent (dirty) busy
-            // view the other side may probe v again after it went idle: a
-            // stale parent from an earlier search would then chain a meet
-            // through garbage (broken or even cyclic paths).
-            s.parent_f[v] = graph::kNoVertex;
-            continue;
+          visit_f(tgts[i], u, kContraction && edge_contracted(eids[i]));
+        }
+        if constexpr (kContraction) {
+          // A stuck-on switch conducts both ways: a contracted in-edge
+          // w->u is a free hop u->w (traversed against the edge direction).
+          const auto reids = g.in_edges(u);
+          const auto rsrcs = g.in_sources(u);
+          for (std::size_t i = 0; i < reids.size(); ++i) {
+            if (!edge_contracted(reids[i]) || edge_blocked(reids[i]))
+              continue;
+            visit_f(rsrcs[i], u, true);
           }
-          s.parent_f[v] = u;
-          s.dist_f[v] = df + 1;
-          if (s.epoch_b[v] == s.epoch && s.parent_b[v] != graph::kNoVertex) {
-            const std::uint32_t total = df + 1 + s.dist_b[v];
-            if (total < best_total) {
-              best_total = total;
-              best_meet = v;
-            }
-            continue;  // expanding a meet can never improve on it
-          }
-          if (v == dst) {  // dst seeded backward with parent kNoVertex
-            const std::uint32_t total = df + 1;
-            if (total < best_total) {
-              best_total = total;
-              best_meet = v;
-            }
-            continue;
-          }
-          s.queue_f[ft++] = v;
-          ++next_level;
         }
       }
       flevel = next_level;
       ++df;
     } else {
       std::size_t next_level = 0;
-      for (std::size_t n = 0; n < blevel; ++n) {
-        const graph::VertexId u = s.queue_b[bh++];
+      std::size_t zt = 0;
+      const auto visit_b = [&](graph::VertexId v, graph::VertexId u,
+                               bool free) {
+        if (s.epoch_b[v] == s.epoch) return;
+        s.epoch_b[v] = s.epoch;
+        ++visited;
+        if (is_busy(v)) {  // src/dst rejected upfront if busy
+          s.parent_b[v] = graph::kNoVertex;  // see the forward-side note
+          return;
+        }
+        s.parent_b[v] = u;
+        const std::uint32_t dv = free ? db : db + 1;
+        s.dist_b[v] = dv;
+        if (s.epoch_f[v] == s.epoch &&
+            (s.parent_f[v] != graph::kNoVertex || v == src)) {
+          const std::uint32_t total = s.dist_f[v] + dv;
+          if (total < best_total) {
+            best_total = total;
+            best_meet = v;
+          }
+          return;
+        }
+        if (kContraction && free) {
+          s.zero_b[zt++] = v;
+        } else {
+          s.queue_b[bt++] = v;
+          ++next_level;
+        }
+      };
+      std::size_t n = 0;
+      for (;;) {
+        graph::VertexId u;
+        if (n < blevel) {
+          u = s.queue_b[bh++];
+          ++n;
+        } else if (kContraction && zt > 0) {
+          u = s.zero_b[--zt];
+        } else {
+          break;
+        }
         const auto eids = g.in_edges(u);
         const auto srcs = g.in_sources(u);
         for (std::size_t i = 0; i < eids.size(); ++i) {
           if (edge_blocked(eids[i])) continue;
-          const graph::VertexId v = srcs[i];
-          if (s.epoch_b[v] == s.epoch) continue;
-          s.epoch_b[v] = s.epoch;
-          ++visited;
-          if (is_busy(v)) {  // src/dst rejected upfront if busy
-            s.parent_b[v] = graph::kNoVertex;  // see the forward-side note
-            continue;
+          visit_b(srcs[i], u, kContraction && edge_contracted(eids[i]));
+        }
+        if constexpr (kContraction) {
+          // Reverse conduction: a contracted out-edge u->w means the path
+          // segment w -> u is carried by the welded switch for free.
+          const auto reids = g.out_edges(u);
+          const auto rtgts = g.out_targets(u);
+          for (std::size_t i = 0; i < reids.size(); ++i) {
+            if (!edge_contracted(reids[i]) || edge_blocked(reids[i]))
+              continue;
+            visit_b(rtgts[i], u, true);
           }
-          s.parent_b[v] = u;
-          s.dist_b[v] = db + 1;
-          if (s.epoch_f[v] == s.epoch &&
-              (s.parent_f[v] != graph::kNoVertex || v == src)) {
-            const std::uint32_t total = s.dist_f[v] + db + 1;
-            if (total < best_total) {
-              best_total = total;
-              best_meet = v;
-            }
-            continue;
-          }
-          s.queue_b[bt++] = v;
-          ++next_level;
         }
       }
       blevel = next_level;
@@ -170,6 +252,43 @@ template <class BusyFn, class EdgeBlockedFn>
     }
   }
   return best_meet;
+}
+
+/// Finds a shortest idle src->dst path; returns the meeting vertex (parents
+/// in `s` recover the two halves) or graph::kNoVertex if no idle path
+/// exists. `is_busy(v)` and `edge_blocked(e)` gate expansion;
+/// `edge_contracted(e)` marks stuck-on switches crossed as free hops (both
+/// directions). `contraction_live` selects the instantiation: false runs
+/// the exact pre-contraction hot path. `visited` accumulates stamped
+/// vertices for RouterStats. Allocation-free.
+template <class BusyFn, class EdgeBlockedFn, class EdgeContractedFn>
+[[nodiscard]] graph::VertexId bidir_shortest_idle_path(
+    const graph::CsrGraph& g, graph::VertexId src, graph::VertexId dst,
+    SearchScratch& s, std::uint64_t& visited, BusyFn&& is_busy,
+    EdgeBlockedFn&& edge_blocked, EdgeContractedFn&& edge_contracted,
+    bool contraction_live) {
+  if (contraction_live)
+    return bidir_shortest_idle_path_impl<true>(
+        g, src, dst, s, visited, static_cast<BusyFn&&>(is_busy),
+        static_cast<EdgeBlockedFn&&>(edge_blocked),
+        static_cast<EdgeContractedFn&&>(edge_contracted));
+  return bidir_shortest_idle_path_impl<false>(
+      g, src, dst, s, visited, static_cast<BusyFn&&>(is_busy),
+      static_cast<EdgeBlockedFn&&>(edge_blocked),
+      static_cast<EdgeContractedFn&&>(edge_contracted));
+}
+
+/// Contraction-free convenience overload (the PR 2 signature): used by
+/// callers that never see a stuck-on event.
+template <class BusyFn, class EdgeBlockedFn>
+[[nodiscard]] graph::VertexId bidir_shortest_idle_path(
+    const graph::CsrGraph& g, graph::VertexId src, graph::VertexId dst,
+    SearchScratch& s, std::uint64_t& visited, BusyFn&& is_busy,
+    EdgeBlockedFn&& edge_blocked) {
+  return bidir_shortest_idle_path_impl<false>(
+      g, src, dst, s, visited, static_cast<BusyFn&&>(is_busy),
+      static_cast<EdgeBlockedFn&&>(edge_blocked),
+      [](graph::EdgeId) { return false; });
 }
 
 }  // namespace ftcs::core::detail

@@ -210,6 +210,7 @@ TrafficReport simulate_traffic(svc::Exchange& exchange,
   report.carried = service.router.accepted;
   report.blocked = report.offered - report.carried;
   report.faults_injected = service.faults_injected;
+  report.stuck_injected = service.faults_stuck;
   report.faults_repaired = service.faults_repaired;
   report.killed_by_fault = service.calls_killed_by_fault;
   report.reroute_succeeded = service.reroute_succeeded;

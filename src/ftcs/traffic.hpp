@@ -23,10 +23,14 @@
 //     drain_all() routes the backlog across the sessions, so the simulator
 //     exercises the same multi-session admission path production traffic
 //     takes.
-// Either plane accepts a fault::FaultSchedule: its fail/repair events are
-// applied at their simulated times through Exchange::inject()/repair(),
-// killing calls mid-flight (typed kFaulted) and rerouting the victims; the
-// report surfaces the fault-plane counters from the same stats delta.
+// Either plane accepts a fault::FaultSchedule: its fail / stuck-on /
+// repair events are applied at their simulated times through
+// Exchange::apply(). Open failures kill calls mid-flight (typed kFaulted)
+// and reroute the victims; stuck-on failures weld switches into free
+// forced hops (runtime contraction — live calls keep their paths); a
+// repair of a stuck switch can sever calls that crossed the weld against
+// its direction. The report surfaces all fault-plane counters from the
+// same stats delta.
 #pragma once
 
 #include <cstdint>
@@ -56,8 +60,9 @@ struct TrafficReport {
   std::size_t carried = 0;  // successfully routed
   std::size_t blocked = 0;  // no idle path despite idle terminals
   // Fault-plane outcome of the run (also derived from `service`):
-  std::size_t faults_injected = 0;   // switch failures applied
-  std::size_t faults_repaired = 0;   // switch repairs applied
+  std::size_t faults_injected = 0;   // open switch failures applied
+  std::size_t stuck_injected = 0;    // stuck-on (closed) failures applied
+  std::size_t faults_repaired = 0;   // switch repairs applied (either mode)
   std::size_t killed_by_fault = 0;   // live calls torn down by a fault
   std::size_t reroute_succeeded = 0; // victims reconnected on a detour
   std::size_t reroute_failed = 0;    // victims the degraded topology dropped

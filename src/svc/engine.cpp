@@ -66,6 +66,10 @@ class GreedyEngine final : public Engine {
 
   void fail_edge(graph::EdgeId e) override { router_.fail_edge(e); }
   void repair_edge(graph::EdgeId e) override { router_.repair_edge(e); }
+  void contract_edge(graph::EdgeId e) override { router_.contract_edge(e); }
+  void uncontract_edge(graph::EdgeId e) override {
+    router_.uncontract_edge(e);
+  }
   void kill_vertex(graph::VertexId v) override { router_.kill_vertex(v); }
   void revive_vertex(graph::VertexId v) override { router_.revive_vertex(v); }
   [[nodiscard]] bool vertex_dead(graph::VertexId v) const override {
@@ -73,6 +77,9 @@ class GreedyEngine final : public Engine {
   }
   [[nodiscard]] bool edge_usable(graph::EdgeId e) const override {
     return router_.edge_usable(e);
+  }
+  [[nodiscard]] bool edge_contracted(graph::EdgeId e) const override {
+    return router_.edge_contracted(e);
   }
 
  private:
@@ -132,6 +139,10 @@ class ConcurrentEngine final : public Engine {
 
   void fail_edge(graph::EdgeId e) override { router_.fail_edge(e); }
   void repair_edge(graph::EdgeId e) override { router_.repair_edge(e); }
+  void contract_edge(graph::EdgeId e) override { router_.contract_edge(e); }
+  void uncontract_edge(graph::EdgeId e) override {
+    router_.uncontract_edge(e);
+  }
   void kill_vertex(graph::VertexId v) override { router_.kill_vertex(v); }
   void revive_vertex(graph::VertexId v) override { router_.revive_vertex(v); }
   [[nodiscard]] bool vertex_dead(graph::VertexId v) const override {
@@ -139,6 +150,9 @@ class ConcurrentEngine final : public Engine {
   }
   [[nodiscard]] bool edge_usable(graph::EdgeId e) const override {
     return router_.edge_usable(e);
+  }
+  [[nodiscard]] bool edge_contracted(graph::EdgeId e) const override {
+    return router_.edge_contracted(e);
   }
 
  private:

@@ -66,10 +66,15 @@ class Engine {
   // session, like drain()).
   virtual void fail_edge(graph::EdgeId e) = 0;
   virtual void repair_edge(graph::EdgeId e) = 0;
+  /// Stuck-on (closed failure): the switch becomes a zero-cost forced hop
+  /// conducting both ways; uncontract restores it to a normal switch.
+  virtual void contract_edge(graph::EdgeId e) = 0;
+  virtual void uncontract_edge(graph::EdgeId e) = 0;
   virtual void kill_vertex(graph::VertexId v) = 0;
   virtual void revive_vertex(graph::VertexId v) = 0;
   [[nodiscard]] virtual bool vertex_dead(graph::VertexId v) const = 0;
   [[nodiscard]] virtual bool edge_usable(graph::EdgeId e) const = 0;
+  [[nodiscard]] virtual bool edge_contracted(graph::EdgeId e) const = 0;
 };
 
 /// Builds the backend over `net` (which must outlive the engine).

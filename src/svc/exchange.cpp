@@ -322,6 +322,7 @@ std::size_t Exchange::pending() const {
 void Exchange::ensure_fault_state() {
   if (!failed_switches_.empty()) return;
   failed_switches_.resize(net_->g.edge_count());
+  stuck_switches_.resize(net_->g.edge_count());
   vertex_fault_degree_.assign(net_->g.vertex_count(), 0);
   is_terminal_.assign(net_->g.vertex_count(), 0);
   for (const graph::VertexId v : net_->inputs) is_terminal_[v] = 1;
@@ -346,34 +347,27 @@ bool Exchange::path_alive(const std::vector<graph::VertexId>& path,
         hop_alive = true;  // some parallel switch still carries this hop
         break;
       }
+    if (!hop_alive && stuck_switch_count_ > 0) {
+      // A stuck-on switch conducts both ways: the hop may ride a welded
+      // switch whose edge points path[i+1] -> path[i].
+      const auto reids = g.in_edges(path[i]);
+      const auto rsrcs = g.in_sources(path[i]);
+      for (std::size_t k = 0; k < reids.size(); ++k)
+        if (rsrcs[k] == path[i + 1] && engine_->edge_contracted(reids[k]) &&
+            engine_->edge_usable(reids[k])) {
+          hop_alive = true;
+          break;
+        }
+    }
     if (!hop_alive) return false;
   }
   return true;
 }
 
-FaultImpact Exchange::inject(const fault::FaultEvent& ev) {
-  FaultImpact impact;
-  impact.event = ev;
-  ensure_fault_state();
-  if (failed_switches_.test(ev.edge)) return impact;  // already down
-  failed_switches_.set(ev.edge);
-  ++failed_switch_count_;
-  ++faults_injected_;
-  engine_->fail_edge(ev.edge);
-
-  // §6 vertex death: a non-terminal vertex is faulty while ANY incident
-  // switch is failed; it dies with the first one. Terminals stay alive —
-  // their surviving switches keep serving (the failed one is edge-dead).
-  const auto& edge = net_->g.edge(ev.edge);
-  std::vector<graph::VertexId> newly_dead;
-  for (const graph::VertexId v : {edge.from, edge.to}) {
-    if (!is_terminal_[v] && ++vertex_fault_degree_[v] == 1)
-      newly_dead.push_back(v);
-    if (edge.from == edge.to) break;  // self-loop: one endpoint, one count
-  }
-
+void Exchange::reap_victims(FaultImpact& impact,
+                            const std::vector<graph::VertexId>& newly_dead) {
   // Tear down every call whose path lost a component. The victims' busy
-  // state must be released BEFORE the dead vertices are fault-claimed.
+  // state must be released BEFORE any dead vertices are fault-claimed.
   for (std::uint32_t s = 0; s < sessions_.size(); ++s) {
     Session& sess = sessions_[s];
     for (std::uint32_t slot_idx = 0; slot_idx < sess.slots.size();
@@ -402,8 +396,9 @@ FaultImpact Exchange::inject(const fault::FaultEvent& ev) {
       ++calls_killed_by_fault_;
     }
   }
-  for (const graph::VertexId v : newly_dead) engine_->kill_vertex(v);
+}
 
+void Exchange::reroute_victims(FaultImpact& impact) {
   // Immediate re-admission of the victims through the batched plane. Their
   // terminals are free again (the kill released them); whether a detour
   // exists is the engine's verdict. Anything already queued rides along.
@@ -411,43 +406,85 @@ FaultImpact Exchange::inject(const fault::FaultEvent& ev) {
   // (zero window), the leftover victim submissions are cancelled and
   // reported kRefused — nothing fires after this frame returns. The
   // completion buffer is shared-owned anyway, as defense in depth.
-  if (!impact.killed.empty()) {
-    auto reroutes =
-        std::make_shared<std::vector<Outcome>>(impact.killed.size());
-    std::vector<Ticket> tickets;
-    tickets.reserve(impact.killed.size());
-    for (std::size_t i = 0; i < impact.killed.size(); ++i) {
-      const CallRequest& req =
-          sessions_[impact.killed[i].session].slots[impact.killed[i].id.slot_]
-              .req;
-      (*reroutes)[i].reject = RejectReason::kRefused;
-      (*reroutes)[i].tag = req.tag;
-      tickets.push_back(
-          submit(req, [reroutes, i](const Outcome& o) { (*reroutes)[i] = o; }));
-    }
-    drain_all();
-    {
-      // Cancel victims a zero-window policy left queued (their sentinel
-      // outcome above stays kRefused).
-      std::lock_guard<std::mutex> lk(front_mu_);
-      for (auto it = queue_.begin(); it != queue_.end();) {
-        if (std::find(tickets.begin(), tickets.end(), it->ticket) !=
-            tickets.end())
-          it = queue_.erase(it);
-        else
-          ++it;
-      }
-    }
-    impact.reroutes = *reroutes;
-    for (const Outcome& o : impact.reroutes) {
-      if (o.connected())
-        ++impact.reroute_succeeded;
-      else
-        ++impact.reroute_failed;
-    }
-    reroute_succeeded_ += impact.reroute_succeeded;
-    reroute_failed_ += impact.reroute_failed;
+  if (impact.killed.empty()) return;
+  auto reroutes = std::make_shared<std::vector<Outcome>>(impact.killed.size());
+  std::vector<Ticket> tickets;
+  tickets.reserve(impact.killed.size());
+  for (std::size_t i = 0; i < impact.killed.size(); ++i) {
+    const CallRequest& req =
+        sessions_[impact.killed[i].session].slots[impact.killed[i].id.slot_]
+            .req;
+    (*reroutes)[i].reject = RejectReason::kRefused;
+    (*reroutes)[i].tag = req.tag;
+    tickets.push_back(
+        submit(req, [reroutes, i](const Outcome& o) { (*reroutes)[i] = o; }));
   }
+  drain_all();
+  {
+    // Cancel victims a zero-window policy left queued (their sentinel
+    // outcome above stays kRefused).
+    std::lock_guard<std::mutex> lk(front_mu_);
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (std::find(tickets.begin(), tickets.end(), it->ticket) !=
+          tickets.end())
+        it = queue_.erase(it);
+      else
+        ++it;
+    }
+  }
+  impact.reroutes = *reroutes;
+  for (const Outcome& o : impact.reroutes) {
+    if (o.connected())
+      ++impact.reroute_succeeded;
+    else
+      ++impact.reroute_failed;
+  }
+  reroute_succeeded_ += impact.reroute_succeeded;
+  reroute_failed_ += impact.reroute_failed;
+}
+
+FaultImpact Exchange::inject(const fault::FaultEvent& ev) {
+  FaultImpact impact;
+  impact.event = ev;
+  ensure_fault_state();
+  if (failed_switches_.test(ev.edge) || stuck_switches_.test(ev.edge))
+    return impact;  // already down (in either failure mode)
+
+  if (ev.kind == fault::FaultEvent::Kind::kStuckOn) {
+    // Closed failure: the contact welds CONDUCTING. No call dies — a path
+    // over the switch is still carried, its hop merely becomes free — and
+    // no vertex dies (§6 death is about unusable switches; this one
+    // conducts, both ways). Only the feasibility bookkeeping moves: the
+    // switch is down until repaired, and the engines route through it as a
+    // zero-cost forced hop (runtime contraction).
+    stuck_switches_.set(ev.edge);
+    ++failed_switch_count_;
+    ++stuck_switch_count_;
+    ++faults_stuck_;
+    engine_->contract_edge(ev.edge);
+    return impact;
+  }
+
+  failed_switches_.set(ev.edge);
+  ++failed_switch_count_;
+  ++faults_injected_;
+  engine_->fail_edge(ev.edge);
+
+  // §6 vertex death: a non-terminal vertex is faulty while ANY incident
+  // switch is OPEN-failed; it dies with the first one. Terminals stay
+  // alive — their surviving switches keep serving (the failed one is
+  // edge-dead).
+  const auto& edge = net_->g.edge(ev.edge);
+  std::vector<graph::VertexId> newly_dead;
+  for (const graph::VertexId v : {edge.from, edge.to}) {
+    if (!is_terminal_[v] && ++vertex_fault_degree_[v] == 1)
+      newly_dead.push_back(v);
+    if (edge.from == edge.to) break;  // self-loop: one endpoint, one count
+  }
+
+  reap_victims(impact, newly_dead);
+  for (const graph::VertexId v : newly_dead) engine_->kill_vertex(v);
+  reroute_victims(impact);
   return impact;
 }
 
@@ -455,6 +492,25 @@ FaultImpact Exchange::repair(const fault::FaultEvent& ev) {
   FaultImpact impact;
   impact.event = ev;
   ensure_fault_state();
+
+  if (stuck_switches_.test(ev.edge)) {
+    // Un-welding a stuck-on contact: the switch is a normal switching
+    // element again. A call that crossed it ALONG its direction keeps its
+    // path (the hop is carried by the now-normal switch); a call that
+    // crossed it AGAINST its direction — legal only through the weld — has
+    // lost its conductor and is torn down + re-admitted exactly like an
+    // open-failure victim. No vertex state moves (stuck-on never killed
+    // any).
+    stuck_switches_.reset(ev.edge);
+    --failed_switch_count_;
+    --stuck_switch_count_;
+    ++faults_repaired_;
+    engine_->uncontract_edge(ev.edge);
+    reap_victims(impact, {});
+    reroute_victims(impact);
+    return impact;
+  }
+
   if (!failed_switches_.test(ev.edge)) return impact;  // not down
   failed_switches_.reset(ev.edge);
   --failed_switch_count_;
@@ -488,6 +544,7 @@ ExchangeStats Exchange::stats() const {
   for (const Session& s : sessions_) st.hangups += s.hangups;
   st.handle_errors = handle_errors_.load(std::memory_order_relaxed);
   st.faults_injected = faults_injected_;
+  st.faults_stuck = faults_stuck_;
   st.faults_repaired = faults_repaired_;
   st.calls_killed_by_fault = calls_killed_by_fault_;
   st.reroute_succeeded = reroute_succeeded_;
@@ -505,7 +562,7 @@ void Exchange::reset_stats() {
   last_epoch_seconds_ = 0.0;
   for (Session& s : sessions_) s.hangups = 0;
   handle_errors_.store(0, std::memory_order_relaxed);
-  faults_injected_ = faults_repaired_ = 0;
+  faults_injected_ = faults_stuck_ = faults_repaired_ = 0;
   calls_killed_by_fault_ = reroute_succeeded_ = reroute_failed_ = 0;
 }
 

@@ -68,8 +68,9 @@ struct ExchangeStats {
   std::uint64_t handle_errors = 0;    // misuse detected: stale/foreign/double
                                       // hangups and bad-session calls
   // Fault-plane counters (inject()/repair()):
-  std::uint64_t faults_injected = 0;       // switch failures applied
-  std::uint64_t faults_repaired = 0;       // switch repairs applied
+  std::uint64_t faults_injected = 0;       // open switch failures applied
+  std::uint64_t faults_stuck = 0;          // stuck-on (closed) failures applied
+  std::uint64_t faults_repaired = 0;       // switch repairs applied (either)
   std::uint64_t calls_killed_by_fault = 0; // live calls torn down by inject()
   std::uint64_t reroute_succeeded = 0;     // victims re-admitted and carried
   std::uint64_t reroute_failed = 0;        // victims whose re-admission failed
@@ -88,6 +89,7 @@ struct ExchangeStats {
     hangups += o.hangups;
     handle_errors += o.handle_errors;
     faults_injected += o.faults_injected;
+    faults_stuck += o.faults_stuck;
     faults_repaired += o.faults_repaired;
     calls_killed_by_fault += o.calls_killed_by_fault;
     reroute_succeeded += o.reroute_succeeded;
@@ -106,6 +108,7 @@ struct ExchangeStats {
     hangups -= o.hangups;
     handle_errors -= o.handle_errors;
     faults_injected -= o.faults_injected;
+    faults_stuck -= o.faults_stuck;
     faults_repaired -= o.faults_repaired;
     calls_killed_by_fault -= o.calls_killed_by_fault;
     reroute_succeeded -= o.reroute_succeeded;
@@ -198,24 +201,42 @@ class Exchange {
   // is drain()'s: one thread at a time, never overlapping immediate calls —
   // a fault event temporarily owns every session.
   //
-  // inject(): fails the event's switch in the liveness overlay, derives §6
-  // vertex death (a NON-TERMINAL vertex dies with its first failed incident
-  // switch; terminals stay serviceable through their surviving switches),
-  // tears down every active call whose path lost a component (typed
-  // kFaulted outcomes), then immediately re-admits the victims' original
-  // requests through the batched plane (anything already queued rides along
-  // in those epochs). repair(): reverses the switch failure; a vertex
-  // revives when its last failed incident switch is repaired. Both are
-  // idempotent per switch state and count into ExchangeStats.
+  // inject() dispatches on the failure MODE (ev.kind):
+  //   - kFail (open): fails the switch in the liveness overlay, derives §6
+  //     vertex death (a NON-TERMINAL vertex dies with its first OPEN-failed
+  //     incident switch; terminals stay serviceable through their surviving
+  //     switches), tears down every active call whose path lost a component
+  //     (typed kFaulted outcomes), then immediately re-admits the victims'
+  //     original requests through the batched plane (anything already
+  //     queued rides along in those epochs).
+  //   - kStuckOn (closed): the switch welds conducting — the engines treat
+  //     it as a zero-cost forced hop (runtime contraction). NO call dies
+  //     (a path over the weld is still carried; the hop merely becomes
+  //     free) and NO vertex dies (§6 death is about unusable switches; this
+  //     one conducts). Only the feasibility bookkeeping moves: the switch
+  //     counts as down until repaired.
+  // repair() reverses either failure. Repairing an OPEN switch revives a
+  // vertex when its last open-failed incident switch heals and kills
+  // nothing. Repairing a STUCK-ON switch un-welds the contact: calls that
+  // crossed it AGAINST its direction (the weld conducts both ways; a normal
+  // switch does not) lose their conductor and are torn down + re-admitted
+  // exactly like open-failure victims. All operations are idempotent per
+  // switch state and count into ExchangeStats.
   FaultImpact inject(const fault::FaultEvent& ev);
   FaultImpact repair(const fault::FaultEvent& ev);
   /// Dispatches on ev.kind — the one-liner consumers of a FaultSchedule use.
   FaultImpact apply(const fault::FaultEvent& ev) {
-    return ev.kind == fault::FaultEvent::Kind::kFail ? inject(ev) : repair(ev);
+    return ev.kind == fault::FaultEvent::Kind::kRepair ? repair(ev)
+                                                       : inject(ev);
   }
-  /// Switches currently failed by the fault plane (static masks excluded).
+  /// Switches currently down (open-failed or stuck-on; static masks
+  /// excluded).
   [[nodiscard]] std::size_t failed_switch_count() const noexcept {
     return failed_switch_count_;
+  }
+  /// The stuck-on subset of failed_switch_count().
+  [[nodiscard]] std::size_t stuck_switch_count() const noexcept {
+    return stuck_switch_count_;
   }
 
   // ------------------------------------------------------- introspection
@@ -284,10 +305,19 @@ class Exchange {
   /// Sizes the fault-plane bookkeeping on the first event (off hot paths).
   void ensure_fault_state();
   /// True iff every component of `path` is still alive (vertices against
-  /// the engine overlay + `newly_dead`, hops against usable switches).
+  /// the engine overlay + `newly_dead`, hops against usable switches — a
+  /// hop is also carried by a stuck-on switch welded in EITHER direction).
   [[nodiscard]] bool path_alive(const std::vector<graph::VertexId>& path,
                                 const std::vector<graph::VertexId>& newly_dead)
       const;
+  /// Tears down every live call whose path is no longer alive (typed
+  /// kFaulted outcomes into `impact.killed`); busy state is released so the
+  /// caller may fault-claim `newly_dead` afterwards.
+  void reap_victims(FaultImpact& impact,
+                    const std::vector<graph::VertexId>& newly_dead);
+  /// Re-admits impact.killed through the batched plane; fills
+  /// impact.reroutes (index-aligned) and the reroute counters.
+  void reroute_victims(FaultImpact& impact);
   /// Pops the admitted window (priority-ordered) off the queue. Caller
   /// holds front_mu_.
   std::vector<Pending> take_window(std::size_t window);
@@ -313,12 +343,15 @@ class Exchange {
   double last_epoch_seconds_ = 0.0;
   // Fault-plane bookkeeping (same single-owner contract as the sessions;
   // sized lazily by the first event). A vertex is §6-faulty while any
-  // incident switch is failed — vertex_fault_degree_ counts those.
-  util::Bitset failed_switches_;
+  // incident switch is OPEN-failed — vertex_fault_degree_ counts those
+  // (stuck-on switches conduct, so they never contribute).
+  util::Bitset failed_switches_;  // open failures
+  util::Bitset stuck_switches_;   // closed (stuck-on) failures
   std::vector<std::uint32_t> vertex_fault_degree_;
   std::vector<std::uint8_t> is_terminal_;
-  std::size_t failed_switch_count_ = 0;
-  std::uint64_t faults_injected_ = 0, faults_repaired_ = 0,
+  std::size_t failed_switch_count_ = 0;  // down switches, either mode
+  std::size_t stuck_switch_count_ = 0;
+  std::uint64_t faults_injected_ = 0, faults_stuck_ = 0, faults_repaired_ = 0,
                 calls_killed_by_fault_ = 0, reroute_succeeded_ = 0,
                 reroute_failed_ = 0;
   // Null-handle and foreign-handle checks touch only immutable fields

@@ -261,8 +261,9 @@ TEST(ConcurrentRouter, DirtyBusyViewNeverYieldsBrokenParentChains) {
       ASSERT_LE(hops, g.vertex_count()) << "cyclic forward parent chain";
       path.push_back(v);
       const graph::VertexId p = scratch.parent_f[v];
-      if (p != graph::kNoVertex)
+      if (p != graph::kNoVertex) {
         ASSERT_TRUE(has_edge(p, v)) << "forward chain hop is not an edge";
+      }
       v = p;
     }
     ASSERT_EQ(path.back(), src);

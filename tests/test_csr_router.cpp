@@ -26,7 +26,13 @@ std::atomic<std::uint64_t> g_alloc_count{0};
 }  // namespace
 
 // Counting allocator hooks: every global new is tallied so tests can assert
-// a region of code allocates nothing.
+// a region of code allocates nothing. GCC's -Wmismatched-new-delete cannot
+// see that these replacement operators pair malloc/aligned_alloc with free
+// consistently, so the (false-positive) diagnostic is silenced here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void* operator new(std::size_t size) {
   ++g_alloc_count;
   if (void* p = std::malloc(size)) return p;
@@ -47,6 +53,9 @@ void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace ftcs {
 namespace {
@@ -161,7 +170,9 @@ std::vector<std::vector<graph::VertexId>> churn_paths(
       const graph::VertexId srcs[1] = {net.inputs[in]};
       const auto ref = graph::shortest_path(net.g, srcs, target, busy_before);
       EXPECT_TRUE(ref.has_value());
-      if (ref) EXPECT_EQ(path.size(), ref->size());
+      if (ref) {
+        EXPECT_EQ(path.size(), ref->size());
+      }
     }
     paths.push_back(path);
     active.push_back(call);

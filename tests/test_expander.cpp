@@ -122,13 +122,14 @@ TEST(Exhaustive, MinNeighborhoodSmallCases) {
   EXPECT_EQ(min_neighborhood_exhaustive(b, 1), 2u);
   EXPECT_EQ(min_neighborhood_exhaustive(b, 2), 3u);  // adjacent pair shares one
   EXPECT_EQ(min_neighborhood_exhaustive(b, 4), 4u);
-  EXPECT_THROW(min_neighborhood_exhaustive(b, 0), std::invalid_argument);
-  EXPECT_THROW(min_neighborhood_exhaustive(b, 9), std::invalid_argument);
+  EXPECT_THROW((void)min_neighborhood_exhaustive(b, 0), std::invalid_argument);
+  EXPECT_THROW((void)min_neighborhood_exhaustive(b, 9), std::invalid_argument);
 }
 
 TEST(Exhaustive, WorkLimitGuard) {
   const auto b = random_regular(100, 3, 1);
-  EXPECT_THROW(min_neighborhood_exhaustive(b, 50, 1000), std::invalid_argument);
+  EXPECT_THROW((void)min_neighborhood_exhaustive(b, 50, 1000),
+               std::invalid_argument);
 }
 
 TEST(Adversarial, FindsTheExhaustiveMinimumOnSmallGraphs) {

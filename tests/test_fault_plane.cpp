@@ -1,8 +1,12 @@
-// The live fault plane: liveness overlay on both routing engines, the
-// overlay-vs-repair_by_discard equivalence (§6 semantics), the runtime
-// FaultSchedule, svc::Exchange inject/repair with call teardown + reroute,
-// fault-aware traffic simulation on both service planes, and the TSan-run
-// churn-with-faults stress. (This file is in the TSan CI job's regex.)
+// The live fault plane: liveness overlay on both routing engines for BOTH
+// §2 failure modes — open (routed around) and closed/stuck-on (runtime
+// contraction: the welded switch is a free forced hop conducting both
+// ways) — the overlay-vs-repair_by_discard and live-contraction-vs-
+// repair_by_contraction equivalences, the runtime mixed-mode FaultSchedule,
+// svc::Exchange inject/repair with call teardown + reroute (including weld
+// repairs severing reverse crossers), fault-aware traffic simulation on
+// both service planes, and the TSan-run churn-with-faults stresses. (This
+// file carries the `tsan` ctest label the sanitizer CI jobs select by.)
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -60,6 +64,68 @@ graph::Network build_line_with_spur() {
   nb.inputs = {in};
   nb.outputs = {out};
   nb.name = "line-with-spur";
+  return nb.finalize();
+}
+
+/// Two arms between the terminals: a short one (3 switches) and a long one
+/// (4 switches). Contracting two of the long arm's switches makes it the
+/// cheaper route (cost 2 < 3), so the stuck-on free-hop accounting is
+/// observable in which path settles.
+graph::Network build_two_arm_net() {
+  graph::NetworkBuilder nb;
+  const auto in = nb.g.add_vertex();   // 0
+  const auto x = nb.g.add_vertex();    // 1
+  const auto y = nb.g.add_vertex();    // 2
+  const auto a = nb.g.add_vertex();    // 3
+  const auto b = nb.g.add_vertex();    // 4
+  const auto c = nb.g.add_vertex();    // 5
+  const auto out = nb.g.add_vertex();  // 6
+  nb.g.add_edge(in, x);   // 0  short arm
+  nb.g.add_edge(x, y);    // 1
+  nb.g.add_edge(y, out);  // 2
+  nb.g.add_edge(in, a);   // 3  long arm
+  nb.g.add_edge(a, b);    // 4
+  nb.g.add_edge(b, c);    // 5
+  nb.g.add_edge(c, out);  // 6
+  nb.inputs = {in};
+  nb.outputs = {out};
+  nb.name = "two-arm";
+  return nb.finalize();
+}
+
+/// in -> a, b -> a (REVERSED: points away from the output), b -> out. No
+/// directed in->out path exists; only a stuck-on b->a switch — which
+/// conducts both ways — can carry the a..b hop.
+graph::Network build_reversed_line() {
+  graph::NetworkBuilder nb;
+  const auto in = nb.g.add_vertex();   // 0
+  const auto a = nb.g.add_vertex();    // 1
+  const auto b = nb.g.add_vertex();    // 2
+  const auto out = nb.g.add_vertex();  // 3
+  nb.g.add_edge(in, a);   // edge 0
+  nb.g.add_edge(b, a);    // edge 1: the only a..b conductor, reversed
+  nb.g.add_edge(b, out);  // edge 2
+  nb.inputs = {in};
+  nb.outputs = {out};
+  nb.name = "reversed-line";
+  return nb.finalize();
+}
+
+/// in -> u -> v -> out with TWO parallel u -> v switches (edges 1 and 2):
+/// the hop survives as long as either sibling carries it.
+graph::Network build_parallel_hop() {
+  graph::NetworkBuilder nb;
+  const auto in = nb.g.add_vertex();   // 0
+  const auto u = nb.g.add_vertex();    // 1
+  const auto v = nb.g.add_vertex();    // 2
+  const auto out = nb.g.add_vertex();  // 3
+  nb.g.add_edge(in, u);   // edge 0
+  nb.g.add_edge(u, v);    // edge 1: parallel switch A
+  nb.g.add_edge(u, v);    // edge 2: parallel switch B
+  nb.g.add_edge(v, out);  // edge 3
+  nb.inputs = {in};
+  nb.outputs = {out};
+  nb.name = "parallel-hop";
   return nb.finalize();
 }
 
@@ -136,6 +202,151 @@ TEST(ConcurrentOverlay, FailRepairAndKillReviveMirrorGreedy) {
   router.revive_vertex(2);
   EXPECT_FALSE(router.vertex_dead(2));
   EXPECT_NE(w.connect(0, 0), core::ConcurrentRouter::kNoCall);
+}
+
+// ---------------------------------------- stuck-on (contracted) switches
+
+TEST(StuckOverlay, ContractedSwitchesMakeTheLongArmCheaper) {
+  const auto net = build_two_arm_net();
+  core::GreedyRouter greedy(net);
+  core::ConcurrentRouter concurrent(net, 1);
+  auto& w = concurrent.worker(0);
+  const std::vector<graph::VertexId> short_arm{0, 1, 2, 6};
+  const std::vector<graph::VertexId> long_arm{0, 3, 4, 5, 6};
+
+  // Baseline: the 3-switch arm wins.
+  auto gc = greedy.connect(0, 0);
+  ASSERT_NE(gc, core::GreedyRouter::kNoCall);
+  EXPECT_EQ(greedy.path_of(gc), short_arm);
+  greedy.disconnect(gc);
+  auto cc = w.connect(0, 0);
+  ASSERT_NE(cc, core::ConcurrentRouter::kNoCall);
+  EXPECT_EQ(w.path_of(cc), short_arm);
+  w.disconnect(cc);
+
+  // Weld two of the long arm's switches: its cost drops to 2 and it wins.
+  // The welded hops are FREE but still claimed (one call per junction).
+  for (const graph::EdgeId e : {4u, 5u}) {
+    greedy.contract_edge(e);
+    concurrent.contract_edge(e);
+    EXPECT_TRUE(greedy.edge_contracted(e));
+    EXPECT_TRUE(concurrent.edge_contracted(e));
+  }
+  gc = greedy.connect(0, 0);
+  ASSERT_NE(gc, core::GreedyRouter::kNoCall);
+  EXPECT_EQ(greedy.path_of(gc), long_arm);
+  EXPECT_EQ(greedy.busy_vertices(), long_arm.size());
+  greedy.disconnect(gc);
+  EXPECT_EQ(greedy.busy_vertices(), 0u);
+  cc = w.connect(0, 0);
+  ASSERT_NE(cc, core::ConcurrentRouter::kNoCall);
+  EXPECT_EQ(w.path_of(cc), long_arm);
+  w.disconnect(cc);
+
+  // Repairing the welds restores the original economics.
+  for (const graph::EdgeId e : {4u, 5u}) {
+    greedy.uncontract_edge(e);
+    concurrent.uncontract_edge(e);
+  }
+  gc = greedy.connect(0, 0);
+  ASSERT_NE(gc, core::GreedyRouter::kNoCall);
+  EXPECT_EQ(greedy.path_of(gc), short_arm);
+  greedy.disconnect(gc);
+  cc = w.connect(0, 0);
+  ASSERT_NE(cc, core::ConcurrentRouter::kNoCall);
+  EXPECT_EQ(w.path_of(cc), short_arm);
+  w.disconnect(cc);
+}
+
+TEST(StuckOverlay, WeldedSwitchConductsAgainstItsDirection) {
+  const auto net = build_reversed_line();
+  core::GreedyRouter greedy(net);
+  core::ConcurrentRouter concurrent(net, 1);
+  auto& w = concurrent.worker(0);
+  // No directed path exists: edge 1 points b -> a.
+  EXPECT_EQ(greedy.connect(0, 0), core::GreedyRouter::kNoCall);
+  EXPECT_EQ(w.connect(0, 0), core::ConcurrentRouter::kNoCall);
+
+  greedy.contract_edge(1);
+  concurrent.contract_edge(1);
+  const std::vector<graph::VertexId> through_weld{0, 1, 2, 3};
+  const auto gc = greedy.connect(0, 0);
+  ASSERT_NE(gc, core::GreedyRouter::kNoCall);
+  EXPECT_EQ(greedy.path_of(gc), through_weld);
+  greedy.disconnect(gc);
+  const auto cc = w.connect(0, 0);
+  ASSERT_NE(cc, core::ConcurrentRouter::kNoCall);
+  EXPECT_EQ(w.path_of(cc), through_weld);
+  w.disconnect(cc);
+
+  // Un-welding severs the only conductor again.
+  greedy.uncontract_edge(1);
+  concurrent.uncontract_edge(1);
+  EXPECT_EQ(greedy.connect(0, 0), core::GreedyRouter::kNoCall);
+  EXPECT_EQ(w.connect(0, 0), core::ConcurrentRouter::kNoCall);
+  EXPECT_EQ(greedy.busy_vertices(), 0u);
+  EXPECT_EQ(concurrent.busy_vertices(), 0u);
+}
+
+// Satellite pin: stuck-on and open failures coexisting on PARALLEL switches
+// of the same hop. The forced-hop fast path must never mask an open-failed
+// sibling: the weld carries the hop while it lasts, but the open switch
+// stays dead, and once the weld is repaired the hop lives or dies on the
+// remaining siblings alone.
+TEST(StuckOverlay, StuckAndOpenSiblingsOnOneHop) {
+  for (const bool use_concurrent : {false, true}) {
+    const auto net = build_parallel_hop();
+    core::GreedyRouter greedy(net);
+    core::ConcurrentRouter concurrent(net, 1);
+    auto& w = concurrent.worker(0);
+    const auto connect_ok = [&]() -> bool {
+      if (use_concurrent) {
+        const auto c = w.connect(0, 0);
+        if (c == core::ConcurrentRouter::kNoCall) return false;
+        w.disconnect(c);
+        return true;
+      }
+      const auto c = greedy.connect(0, 0);
+      if (c == core::GreedyRouter::kNoCall) return false;
+      greedy.disconnect(c);
+      return true;
+    };
+    const auto fail = [&](graph::EdgeId e) {
+      greedy.fail_edge(e);
+      concurrent.fail_edge(e);
+    };
+    const auto repair = [&](graph::EdgeId e) {
+      greedy.repair_edge(e);
+      concurrent.repair_edge(e);
+    };
+    const auto weld = [&](graph::EdgeId e) {
+      greedy.contract_edge(e);
+      concurrent.contract_edge(e);
+    };
+    const auto unweld = [&](graph::EdgeId e) {
+      greedy.uncontract_edge(e);
+      concurrent.uncontract_edge(e);
+    };
+
+    EXPECT_TRUE(connect_ok());
+    fail(1);  // sibling A opens: B still switches the hop
+    EXPECT_TRUE(connect_ok());
+    weld(2);  // sibling B welds shut: the hop is a forced free ride
+    EXPECT_TRUE(connect_ok());
+    // The weld must not have masked A's open failure...
+    EXPECT_TRUE(greedy.edge_failed(1));
+    EXPECT_TRUE(concurrent.edge_failed(1));
+    EXPECT_FALSE(greedy.edge_usable(1));
+    EXPECT_FALSE(concurrent.edge_usable(1));
+    // ...so repairing ONLY the weld leaves the hop dead (A is still open).
+    unweld(2);
+    fail(2);  // B now fails open too
+    EXPECT_FALSE(connect_ok());
+    repair(1);  // A heals: the hop switches normally again
+    EXPECT_TRUE(connect_ok());
+    repair(2);
+    EXPECT_TRUE(connect_ok());
+  }
 }
 
 // ---------------------------------------- overlay == repair_by_discard
@@ -222,6 +433,116 @@ TEST(OverlayEquivalence, MatchesRepairByDiscardOnBothEngines) {
   expect_overlay_matches_discard(networks::build_crossbar(6), 0.15, 31);
 }
 
+// ------------------------------------ overlay == repair_by_contraction
+
+// The tentpole pin, mirroring the discard equivalence above: routing on the
+// FULL network under the kContractStuck liveness overlay (open failures
+// kill, stuck-on switches become free forced hops via the runtime
+// contract_edge primitive) reaches exactly the terminal pairs the OFFLINE
+// contracted-and-rebuilt network (repair_by_contraction) reaches — on both
+// engines.
+void expect_contraction_matches_offline(const graph::Network& net,
+                                        const fault::FaultModel& model,
+                                        std::uint64_t seed) {
+  const fault::FaultInstance inst(net, model, seed);
+  const auto overlay = fault::overlay_from_instance(
+      inst, false, fault::OverlayMode::kContractStuck);
+  const auto rebuilt = fault::repair_by_contraction(inst, false);
+
+  // Apply the overlay through the runtime primitives on both engines.
+  core::GreedyRouter greedy(net);
+  core::ConcurrentRouter concurrent(net, 1);
+  for (graph::VertexId v = 0; v < net.g.vertex_count(); ++v)
+    if (overlay.dead_vertices[v]) {
+      greedy.kill_vertex(v);
+      concurrent.kill_vertex(v);
+    }
+  for (graph::EdgeId e = 0; e < net.g.edge_count(); ++e) {
+    if (overlay.dead_edges[e]) {
+      greedy.fail_edge(e);
+      concurrent.fail_edge(e);
+    }
+    if (overlay.contracted_edges[e]) {
+      greedy.contract_edge(e);
+      concurrent.contract_edge(e);
+    }
+  }
+
+  // Terminal-index mapping: rebuilt terminal lists keep the original order,
+  // skipping discarded terminals (merged terminals share a vertex but keep
+  // distinct indices).
+  std::vector<std::uint32_t> in_map(net.inputs.size(),
+                                    static_cast<std::uint32_t>(-1));
+  std::vector<std::uint32_t> out_map(net.outputs.size(),
+                                     static_cast<std::uint32_t>(-1));
+  std::uint32_t next_in = 0;
+  for (std::size_t i = 0; i < net.inputs.size(); ++i)
+    if (rebuilt.old_to_new[net.inputs[i]] != graph::kNoVertex)
+      in_map[i] = next_in++;
+  std::uint32_t next_out = 0;
+  for (std::size_t o = 0; o < net.outputs.size(); ++o)
+    if (rebuilt.old_to_new[net.outputs[o]] != graph::kNoVertex)
+      out_map[o] = next_out++;
+  ASSERT_EQ(next_in, rebuilt.net.inputs.size());
+  ASSERT_EQ(next_out, rebuilt.net.outputs.size());
+
+  core::GreedyRouter reference(rebuilt.net);
+  auto& worker = concurrent.worker(0);
+  for (std::uint32_t i = 0; i < net.inputs.size(); ++i) {
+    for (std::uint32_t o = 0; o < net.outputs.size(); ++o) {
+      bool reference_reaches = false;
+      if (in_map[i] != static_cast<std::uint32_t>(-1) &&
+          out_map[o] != static_cast<std::uint32_t>(-1)) {
+        const auto c = reference.connect(in_map[i], out_map[o]);
+        if (c != core::GreedyRouter::kNoCall) {
+          reference_reaches = true;
+          reference.disconnect(c);
+        }
+      }
+      const auto gc = greedy.connect(i, o);
+      EXPECT_EQ(gc != core::GreedyRouter::kNoCall, reference_reaches)
+          << "greedy contraction pair (" << i << "," << o << ") on "
+          << net.name << " seed " << seed;
+      if (gc != core::GreedyRouter::kNoCall) greedy.disconnect(gc);
+      const auto cc = worker.connect(i, o);
+      EXPECT_EQ(cc != core::ConcurrentRouter::kNoCall, reference_reaches)
+          << "concurrent contraction pair (" << i << "," << o << ") on "
+          << net.name << " seed " << seed;
+      if (cc != core::ConcurrentRouter::kNoCall) worker.disconnect(cc);
+    }
+  }
+}
+
+TEST(OverlayEquivalence, LiveStuckOnMatchesOfflineContraction) {
+  // Pure closed failures: every fault is a weld, nothing dies.
+  const auto& ft = core::build_ft_network(core::FtParams::sim(1, 8, 6, 1, 3));
+  for (const std::uint64_t seed : {51u, 52u, 53u})
+    expect_contraction_matches_offline(ft.net, {0.0, 0.02}, seed);
+  const auto cantor = networks::build_cantor({4, 0});
+  for (const std::uint64_t seed : {61u, 62u})
+    expect_contraction_matches_offline(cantor, {0.0, 0.01}, seed);
+  // Heavy pure-closed damage on a dense net: long weld chains, terminal
+  // shorts (Lemma 7's catastrophe is a legal, reachable state here).
+  expect_contraction_matches_offline(networks::build_crossbar(6), {0.0, 0.2},
+                                     71);
+}
+
+TEST(OverlayEquivalence, MixedOpenAndStuckMatchesOfflineContraction) {
+  // Both failure modes at once: open failures discard, welds contract, and
+  // the interactions (a weld severed by a dead endpoint, a hop carried only
+  // by a weld) must agree with the offline rebuild.
+  const auto& ft = core::build_ft_network(core::FtParams::sim(1, 8, 6, 1, 3));
+  for (const std::uint64_t seed : {81u, 82u, 83u})
+    expect_contraction_matches_offline(
+        ft.net, fault::FaultModel::symmetric(0.02), seed);
+  const auto cantor = networks::build_cantor({4, 0});
+  for (const std::uint64_t seed : {91u, 92u})
+    expect_contraction_matches_offline(
+        cantor, fault::FaultModel::symmetric(0.01), seed);
+  expect_contraction_matches_offline(networks::build_crossbar(6),
+                                     fault::FaultModel::symmetric(0.12), 99);
+}
+
 // ------------------------------------------------------- fault schedule
 
 TEST(FaultSchedule, DeterministicSortedAndAlternating) {
@@ -276,6 +597,45 @@ TEST(FaultSchedule, PermanentFaultsAndRateScaling) {
   const auto quiet = fault::FaultSchedule::from_model(
       fault::FaultModel::none(), 2000, 1000.0, 0.0, 5);
   EXPECT_TRUE(quiet.empty());
+}
+
+TEST(FaultSchedule, MixedModeCarriesTheModelSplit) {
+  // A symmetric model welds half its failures shut; the stream stays
+  // deterministic and alternates failure (either kind) / repair per edge.
+  const auto mixed = fault::FaultSchedule::from_model(
+      fault::FaultModel::symmetric(1e-3), 4000, /*horizon=*/500.0,
+      /*mean_repair=*/20.0, /*seed=*/123);
+  const auto again = fault::FaultSchedule::from_model(
+      fault::FaultModel::symmetric(1e-3), 4000, 500.0, 20.0, 123);
+  ASSERT_EQ(mixed.events().size(), again.events().size());
+  for (std::size_t i = 0; i < mixed.events().size(); ++i)
+    EXPECT_EQ(mixed.events()[i].kind, again.events()[i].kind);
+  EXPECT_GT(mixed.stuck_count(), 0u);
+  EXPECT_GT(mixed.fail_count(), mixed.stuck_count());  // open events too
+  std::size_t fails = 0, stuck = 0;
+  std::map<graph::EdgeId, bool> down;  // edge -> currently failed
+  for (const auto& ev : mixed.events()) {
+    if (fault::is_failure(ev.kind)) {
+      ++fails;
+      if (ev.kind == fault::FaultEvent::Kind::kStuckOn) ++stuck;
+      EXPECT_FALSE(down[ev.edge]);  // never two failures without a repair
+      down[ev.edge] = true;
+    } else {
+      EXPECT_TRUE(down[ev.edge]);  // repairs only follow a failure
+      down[ev.edge] = false;
+    }
+  }
+  EXPECT_EQ(fails, mixed.fail_count());
+  EXPECT_EQ(stuck, mixed.stuck_count());
+
+  // An open-only model never welds; a closed-only model always does.
+  const auto open_only = fault::FaultSchedule::from_model(
+      {2e-3, 0.0}, 4000, 500.0, 20.0, 123);
+  EXPECT_EQ(open_only.stuck_count(), 0u);
+  const auto closed_only = fault::FaultSchedule::from_model(
+      {0.0, 2e-3}, 4000, 500.0, 20.0, 123);
+  EXPECT_EQ(closed_only.stuck_count(), closed_only.fail_count());
+  EXPECT_GT(closed_only.stuck_count(), 0u);
 }
 
 // ------------------------------------------------- exchange fault plane
@@ -377,6 +737,130 @@ TEST(ExchangeFaultPlane, VertexRevivesOnlyWithLastIncidentRepair) {
   EXPECT_EQ(ex.busy_vertices(), 0u);
 }
 
+TEST(ExchangeFaultPlane, StuckOnKeepsCallsAndCountsSeparately) {
+  const auto net = networks::build_cantor({5, 0});
+  svc::Exchange ex(net, {});
+  const svc::Outcome o = ex.call({0, 3, 0, /*tag=*/77});
+  ASSERT_TRUE(o.connected());
+  const auto path = ex.path_of(o.id);
+  ASSERT_GE(path.size(), 2u);
+  fault::FaultEvent ev;
+  ev.edge = edge_between(net.g, path[0], path[1]);
+  ev.kind = fault::FaultEvent::Kind::kStuckOn;
+  ASSERT_LT(ev.edge, net.g.edge_count());
+
+  // The switch welds CONDUCTING: the call keeps its path (the hop is now a
+  // free ride), nothing is killed, no vertex dies.
+  const svc::FaultImpact impact = ex.apply(ev);
+  EXPECT_EQ(impact.calls_killed(), 0u);
+  EXPECT_EQ(ex.failed_switch_count(), 1u);
+  EXPECT_EQ(ex.stuck_switch_count(), 1u);
+  EXPECT_TRUE(ex.call({1, 1}).connected());  // topology still serves
+
+  // A second failure of a down switch — either mode — is a no-op.
+  EXPECT_EQ(ex.inject(ev).calls_killed(), 0u);
+  fault::FaultEvent open_ev = ev;
+  open_ev.kind = fault::FaultEvent::Kind::kFail;
+  EXPECT_EQ(ex.inject(open_ev).calls_killed(), 0u);
+  svc::ExchangeStats st = ex.stats();
+  EXPECT_EQ(st.faults_stuck, 1u);
+  EXPECT_EQ(st.faults_injected, 0u);  // the open inject was the no-op
+  EXPECT_EQ(st.calls_killed_by_fault, 0u);
+
+  // The original call is still the owner's to hang up — a kNone ack, not a
+  // fault notification.
+  EXPECT_EQ(ex.hangup(o.id), svc::RejectReason::kNone);
+
+  // Repair un-welds: a forward crosser would have kept its hop; with no
+  // calls up nothing dies, and the books settle at one stuck + one repair.
+  fault::FaultEvent rep = ev;
+  rep.kind = fault::FaultEvent::Kind::kRepair;
+  EXPECT_EQ(ex.apply(rep).calls_killed(), 0u);
+  st = ex.stats();
+  EXPECT_EQ(st.faults_repaired, 1u);
+  EXPECT_EQ(ex.failed_switch_count(), 0u);
+  EXPECT_EQ(ex.stuck_switch_count(), 0u);
+  EXPECT_EQ(st.handle_errors, 0u);
+}
+
+TEST(ExchangeFaultPlane, StuckOnDoesNotKillEndpointVertices) {
+  // Open-failing m's spur switch kills m (§6); welding the SAME switch
+  // must not — a stuck-on contact still conducts, so m keeps serving.
+  const auto net = build_line_with_spur();
+  svc::Exchange ex(net, {});
+  fault::FaultEvent weld;
+  weld.edge = edge_between(net.g, 2, 5);  // m -> spur
+  weld.kind = fault::FaultEvent::Kind::kStuckOn;
+  ex.apply(weld);
+  const svc::Outcome o = ex.call({0, 0});
+  ASSERT_TRUE(o.connected());  // m alive: the unique path still works
+  EXPECT_EQ(ex.hangup(o.id), svc::RejectReason::kNone);
+
+  // Contrast: the open failure of the same switch kills m.
+  fault::FaultEvent rep = weld;
+  rep.kind = fault::FaultEvent::Kind::kRepair;
+  ex.apply(rep);
+  fault::FaultEvent open = weld;
+  open.kind = fault::FaultEvent::Kind::kFail;
+  ex.apply(open);
+  EXPECT_FALSE(ex.call({0, 0}).connected());
+}
+
+TEST(ExchangeFaultPlane, RepairOfAWeldSeversReverseCrossersOnly) {
+  for (const svc::Backend backend :
+       {svc::Backend::kGreedy, svc::Backend::kConcurrent}) {
+    // Reverse crosser: the call exists only because the weld conducts
+    // against its direction; the repair severs it, and the degraded
+    // topology has no detour.
+    const auto net = build_reversed_line();
+    svc::ExchangeConfig cfg;
+    cfg.backend = backend;
+    svc::Exchange ex(net, std::move(cfg));
+    fault::FaultEvent weld;
+    weld.edge = 1;  // b -> a, the only a..b conductor
+    weld.kind = fault::FaultEvent::Kind::kStuckOn;
+    ex.apply(weld);
+    const svc::Outcome o = ex.call({0, 0, 0, /*tag=*/9});
+    ASSERT_TRUE(o.connected());
+    EXPECT_EQ(o.path_length, 4u);
+
+    fault::FaultEvent rep = weld;
+    rep.kind = fault::FaultEvent::Kind::kRepair;
+    const svc::FaultImpact impact = ex.apply(rep);
+    ASSERT_EQ(impact.calls_killed(), 1u);
+    EXPECT_EQ(impact.killed[0].reject, svc::RejectReason::kFaulted);
+    EXPECT_EQ(impact.killed[0].tag, 9u);
+    ASSERT_EQ(impact.reroutes.size(), 1u);
+    EXPECT_FALSE(impact.reroutes[0].connected());
+    EXPECT_EQ(impact.reroute_failed, 1u);
+    // The retained handle gets the typed fault ack, not a misuse.
+    EXPECT_EQ(ex.hangup(o.id), svc::RejectReason::kFaulted);
+    EXPECT_EQ(ex.active_calls(), 0u);
+    EXPECT_EQ(ex.busy_vertices(), 0u);
+    const svc::ExchangeStats st = ex.stats();
+    EXPECT_EQ(st.calls_killed_by_fault, 1u);
+    EXPECT_EQ(st.handle_errors, 0u);
+
+    // Forward crosser: a call OVER a welded path-edge survives the repair
+    // (the switch keeps conducting in its own direction).
+    const auto line = build_line_with_spur();
+    svc::ExchangeConfig cfg2;
+    cfg2.backend = backend;
+    svc::Exchange ex2(line, std::move(cfg2));
+    fault::FaultEvent weld2;
+    weld2.edge = edge_between(line.g, 1, 2);  // a -> m, ON the unique path
+    weld2.kind = fault::FaultEvent::Kind::kStuckOn;
+    ex2.apply(weld2);
+    const svc::Outcome o2 = ex2.call({0, 0, 0, /*tag=*/10});
+    ASSERT_TRUE(o2.connected());
+    fault::FaultEvent rep2 = weld2;
+    rep2.kind = fault::FaultEvent::Kind::kRepair;
+    EXPECT_EQ(ex2.apply(rep2).calls_killed(), 0u);
+    EXPECT_EQ(ex2.hangup(o2.id), svc::RejectReason::kNone);
+    EXPECT_EQ(ex2.stats().calls_killed_by_fault, 0u);
+  }
+}
+
 TEST(ExchangeFaultPlane, ZeroWindowPolicyLeavesVictimsQueuedAsRefused) {
   const auto net = networks::build_cantor({4, 0});
   svc::ExchangeConfig cfg;
@@ -403,18 +887,22 @@ TEST(ExchangeFaultPlane, StatsDeltaCarriesFaultCounters) {
   a.calls_killed_by_fault = 5;
   a.reroute_succeeded = 3;
   a.faults_injected = 2;
+  a.faults_stuck = 6;
   b.calls_killed_by_fault = 2;
   b.reroute_failed = 1;
   b.faults_repaired = 4;
+  b.faults_stuck = 1;
   svc::ExchangeStats sum = a;
   sum += b;
   EXPECT_EQ(sum.calls_killed_by_fault, 7u);
   EXPECT_EQ(sum.reroute_succeeded, 3u);
   EXPECT_EQ(sum.reroute_failed, 1u);
   EXPECT_EQ(sum.faults_injected, 2u);
+  EXPECT_EQ(sum.faults_stuck, 7u);
   EXPECT_EQ(sum.faults_repaired, 4u);
   sum -= a;
   EXPECT_EQ(sum.calls_killed_by_fault, 2u);
+  EXPECT_EQ(sum.faults_stuck, 1u);
   EXPECT_EQ(sum.faults_repaired, 4u);
 }
 
@@ -469,6 +957,9 @@ TEST(TrafficFaults, ImmediatePlaneSurvivesAnOutageStorm) {
   const auto report = simulate_traffic(ex, p);
   EXPECT_GT(report.offered, 1000u);
   EXPECT_GT(report.faults_injected, 0u);
+  // A symmetric model makes the storm MIXED: half the failures weld shut
+  // (runtime contraction) and ride the same schedule.
+  EXPECT_GT(report.stuck_injected, 0u);
   EXPECT_GT(report.faults_repaired, 0u);
   EXPECT_GT(report.killed_by_fault, 0u);
   EXPECT_EQ(report.killed_by_fault,
@@ -503,6 +994,7 @@ TEST(TrafficFaults, BatchedMultiSessionPlaneSurvivesTheSameStorm) {
   EXPECT_GT(report.service.epochs, 100u);
   EXPECT_EQ(report.service.admitted, report.service.submitted);
   EXPECT_GT(report.faults_injected, 0u);
+  EXPECT_GT(report.stuck_injected, 0u);  // mixed open/closed storm
   EXPECT_EQ(report.killed_by_fault,
             report.reroute_succeeded + report.reroute_failed);
   EXPECT_EQ(report.service.router.accepted,
@@ -614,6 +1106,100 @@ TEST(ConcurrentOverlay, EdgeFlipsRacingConnectsNeverSettleDeadPaths) {
   for (const auto e : doomed) EXPECT_TRUE(router.edge_failed(e));
 }
 
+// Mixed-mode router-level race: while 4 workers churn, a flipper thread
+// open-fails one switch set and WELDS another (stuck-on) mid-flight. Both
+// flips are monotone (never undone), so once a thread observes the flip
+// every later settled path must be carried hop by hop: by a non-failed
+// forward switch (normal or welded) or by a welded switch conducting
+// against its direction. Exercises the contraction branches of the shared
+// search and the extended claim-phase re-validation under TSan.
+TEST(ConcurrentOverlay, StuckFlipsRacingConnectsStayCarried) {
+  const auto net = networks::build_cantor({5, 0});
+  constexpr unsigned kWorkers = 4;
+  core::ConcurrentRouter router(net, kWorkers);
+  const auto n = static_cast<std::uint32_t>(net.inputs.size());
+
+  // Disjoint flip sets off a probe's paths: first hops open-fail, second
+  // hops weld shut.
+  std::vector<graph::EdgeId> doomed, welded;
+  {
+    core::GreedyRouter probe(net);
+    for (std::uint32_t i = 0; i + 1 < n; i += 2) {
+      const auto c = probe.connect(i, i + 1);
+      if (c == core::GreedyRouter::kNoCall) continue;
+      const auto path = probe.path_of(c);
+      if (path.size() >= 3) {
+        doomed.push_back(edge_between(net.g, path[0], path[1]));
+        welded.push_back(edge_between(net.g, path[1], path[2]));
+      }
+      probe.disconnect(c);
+    }
+  }
+  ASSERT_FALSE(doomed.empty());
+  ASSERT_FALSE(welded.empty());
+
+  std::atomic<bool> flipped{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers + 1);
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      auto& w = router.worker(t);
+      util::Xoshiro256 rng(util::derive_seed(977, t));
+      std::vector<core::ConcurrentRouter::CallId> mine;
+      for (int op = 0; op < 3000; ++op) {
+        const bool after_flip = flipped.load(std::memory_order_acquire);
+        if (!mine.empty() && (rng() & 3u) == 0) {
+          const auto idx = rng() % mine.size();
+          w.disconnect(mine[idx]);
+          mine[idx] = mine.back();
+          mine.pop_back();
+        } else {
+          const auto in = static_cast<std::uint32_t>(rng() % n);
+          const auto out = static_cast<std::uint32_t>(rng() % n);
+          const auto call = w.connect(in, out);
+          if (call == core::ConcurrentRouter::kNoCall) continue;
+          if (after_flip) {
+            const auto path = w.path_of(call);
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+              bool hop_alive = false;
+              const auto eids = net.g.out_edges(path[i]);
+              const auto tgts = net.g.out_targets(path[i]);
+              for (std::size_t k = 0; k < eids.size(); ++k)
+                if (tgts[k] == path[i + 1] && router.edge_usable(eids[k]))
+                  hop_alive = true;
+              if (!hop_alive) {
+                const auto reids = net.g.in_edges(path[i]);
+                const auto rsrcs = net.g.in_sources(path[i]);
+                for (std::size_t k = 0; k < reids.size(); ++k)
+                  if (rsrcs[k] == path[i + 1] &&
+                      router.edge_contracted(reids[k]) &&
+                      router.edge_usable(reids[k]))
+                    hop_alive = true;
+              }
+              EXPECT_TRUE(hop_alive)
+                  << "worker " << t << " settled an uncarried hop";
+            }
+          }
+          mine.push_back(call);
+        }
+      }
+      for (const auto c : mine) w.disconnect(c);
+    });
+  }
+  threads.emplace_back([&] {
+    for (int spin = 0; spin < 1000; ++spin) std::this_thread::yield();
+    for (const auto e : doomed) router.fail_edge(e);
+    for (const auto e : welded) router.contract_edge(e);
+    flipped.store(true, std::memory_order_release);
+  });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(router.active_calls(), 0u);
+  EXPECT_EQ(router.busy_vertices(), 0u);
+  for (const auto e : doomed) EXPECT_TRUE(router.edge_failed(e));
+  for (const auto e : welded) EXPECT_TRUE(router.edge_contracted(e));
+}
+
 // The acceptance-criteria churn: N concurrent sessions serve calls while a
 // fault plane injects and repairs switches from a deterministic schedule.
 // Sessions hold the plane shared; a fault event holds it exclusively (the
@@ -636,8 +1222,11 @@ TEST(ExchangeFaultPlane, ChurnWithInjectRepairRacingSessionsStaysSound) {
       /*horizon=*/400.0, /*mean_repair=*/15.0, /*seed=*/41);
   ASSERT_GT(schedule.fail_count(), 10u);
 
+  ASSERT_GT(schedule.stuck_count(), 0u);  // symmetric model: mixed storm
+
   std::shared_mutex plane;  // sessions shared, fault events exclusive
   std::vector<std::uint8_t> failed_now(net.g.edge_count(), 0);  // rwlock'd
+  std::vector<std::uint8_t> stuck_now(net.g.edge_count(), 0);   // rwlock'd
   std::vector<svc::Outcome> strays;  // rerouted survivors (injector-owned)
   std::atomic<bool> done{false};
 
@@ -670,7 +1259,9 @@ TEST(ExchangeFaultPlane, ChurnWithInjectRepairRacingSessionsStaysSound) {
           const svc::Outcome o = ex.call({in, out, 0, 0}, s);
           if (!o.connected()) continue;
           // Under the shared lock no fault event can intervene: the path
-          // must be fully alive w.r.t. the CURRENT failed set.
+          // must be fully alive w.r.t. the CURRENT failed set. A hop is
+          // carried by any non-open forward sibling (normal or welded) or
+          // by a welded switch conducting against its direction.
           const auto path = ex.path_of(o.id);
           EXPECT_FALSE(path.empty());
           for (std::size_t i = 0; i + 1 < path.size(); ++i) {
@@ -680,6 +1271,13 @@ TEST(ExchangeFaultPlane, ChurnWithInjectRepairRacingSessionsStaysSound) {
             for (std::size_t k = 0; k < eids.size(); ++k)
               if (tgts[k] == path[i + 1] && !failed_now[eids[k]])
                 hop_alive = true;
+            if (!hop_alive) {
+              const auto reids = net.g.in_edges(path[i]);
+              const auto rsrcs = net.g.in_sources(path[i]);
+              for (std::size_t k = 0; k < reids.size(); ++k)
+                if (rsrcs[k] == path[i + 1] && stuck_now[reids[k]])
+                  hop_alive = true;
+            }
             EXPECT_TRUE(hop_alive)
                 << "session " << s << " path crosses a dead switch";
           }
@@ -697,6 +1295,7 @@ TEST(ExchangeFaultPlane, ChurnWithInjectRepairRacingSessionsStaysSound) {
       std::unique_lock<std::shared_mutex> lk(plane);
       const svc::FaultImpact impact = ex.apply(ev);
       failed_now[ev.edge] = ev.kind == fault::FaultEvent::Kind::kFail;
+      stuck_now[ev.edge] = ev.kind == fault::FaultEvent::Kind::kStuckOn;
       for (const auto& re : impact.reroutes)
         if (re.connected()) strays.push_back(re);
       std::this_thread::yield();

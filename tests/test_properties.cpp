@@ -226,8 +226,13 @@ INSTANTIATE_TEST_SUITE_P(
                       fault::FaultModel{0.0, 0.01}, fault::FaultModel{0.05, 0.01},
                       fault::FaultModel{0.2, 0.1}),
     [](const auto& info) {
-      return "o" + std::to_string(static_cast<int>(info.param.eps_open * 1000)) +
-             "c" + std::to_string(static_cast<int>(info.param.eps_closed * 1000));
+      // Built by append rather than operator+ chaining: GCC 12's inliner
+      // flags the rvalue operator+ chain with a spurious -Wrestrict.
+      std::string name = "o";
+      name += std::to_string(static_cast<int>(info.param.eps_open * 1000));
+      name += "c";
+      name += std::to_string(static_cast<int>(info.param.eps_closed * 1000));
+      return name;
     });
 
 // ---------------------------------------------------------------------

@@ -141,7 +141,8 @@ TEST(GridConduction, MonotoneInP) {
 }
 
 TEST(GridConduction, ExactRejectsHugeRows) {
-  EXPECT_THROW(grid_conduction_exact({30, 4, false}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)grid_conduction_exact({30, 4, false}, 0.5),
+               std::invalid_argument);
 }
 
 TEST(ShortProbability, MatchesAnalyticOnChain) {
@@ -263,7 +264,8 @@ TEST(Amplifier, InvalidArguments) {
 
 TEST(DeltaScaling, Formula) {
   EXPECT_DOUBLE_EQ(scaled_epsilon_for_delta(0.1, 0.25, 0.5), 0.05);
-  EXPECT_THROW(scaled_epsilon_for_delta(0.1, 0.5, 0.25), std::invalid_argument);
+  EXPECT_THROW((void)scaled_epsilon_for_delta(0.1, 0.5, 0.25),
+               std::invalid_argument);
 }
 
 TEST(Substitution, AccountingMatchesSection3) {

@@ -35,7 +35,8 @@ TEST(SuperconcentratorExhaustive, BrokenCrossbarIsNot) {
 
 TEST(SuperconcentratorExhaustive, WorkLimitThrows) {
   const auto net = networks::build_crossbar(40);
-  EXPECT_THROW(is_superconcentrator_exhaustive(net, 10), std::invalid_argument);
+  EXPECT_THROW((void)is_superconcentrator_exhaustive(net, 10),
+               std::invalid_argument);
 }
 
 TEST(SuperconcentratorRandom, RecursiveConstructionPasses) {
