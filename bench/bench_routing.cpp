@@ -220,6 +220,11 @@ struct ScalingPoint {
   [[nodiscard]] double calls_per_sec() const {
     return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
   }
+  [[nodiscard]] double visits_per_connect() const {
+    return stats.connect_calls ? static_cast<double>(stats.vertices_visited) /
+                                     static_cast<double>(stats.connect_calls)
+                               : 0.0;
+  }
 };
 
 ScalingPoint concurrent_churn(const graph::Network& net, unsigned threads,
@@ -313,6 +318,11 @@ struct BatchedPoint {
   std::uint64_t deferred = 0, refused = 0, epochs = 0;
   [[nodiscard]] double calls_per_sec() const {
     return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
+  }
+  [[nodiscard]] double visits_per_connect() const {
+    return stats.connect_calls ? static_cast<double>(stats.vertices_visited) /
+                                     static_cast<double>(stats.connect_calls)
+                               : 0.0;
   }
 };
 
@@ -604,6 +614,7 @@ int run_json_smoke(const std::string& path, unsigned max_threads,
           << static_cast<std::uint64_t>(p.calls_per_sec())
           << ", \"speedup_vs_1t\": "
           << (base_1t > 0 ? p.calls_per_sec() / base_1t : 0.0)
+          << ", \"visits_per_connect\": " << p.visits_per_connect()
           << ", \"claim_conflicts\": " << p.stats.claim_conflicts
           << ", \"search_retries\": " << p.stats.search_retries << ", "
           << reject_key(svc::RejectReason::kContention,
@@ -632,6 +643,8 @@ int run_json_smoke(const std::string& path, unsigned max_threads,
           << static_cast<std::uint64_t>(p.calls_per_sec())
           << ", \"epochs\": " << p.epochs << ", \"deferred\": " << p.deferred
           << ", \"refused\": " << p.refused
+          << ", \"visits_per_connect\": " << p.visits_per_connect()
+          << ", \"wave_epochs\": " << p.stats.wave_epochs
           << ", \"claim_conflicts\": " << p.stats.claim_conflicts << ", "
           << reject_key(svc::RejectReason::kContention,
                         p.stats.rejected_contention)
@@ -647,6 +660,32 @@ int run_json_smoke(const std::string& path, unsigned max_threads,
                 << ")\n";
     }
     out << "  ]},\n";
+
+    // Wave-plane showcase on the DEEP network: cantor-k7's searches explore
+    // ~1000 vertices per solo connect, so one shared wave per admission
+    // chunk is where the visit amortization shows up the most. One big
+    // window (batch 512 across the sessions = 64-request waves at x8),
+    // same epoch mix as the k5 series.
+    const auto k7 = batched_churn(networks::build_cantor({7, 0}), max_threads,
+                                  512, bench::scaled(20'000));
+    out << "  \"batched_admission_k7\": {\"network\": \"cantor-k7\", "
+        << "\"sessions\": " << max_threads << ", \"points\": [\n"
+        << "    {\"batch\": " << k7.batch << ", \"connects\": " << k7.connects
+        << ", \"calls_per_sec\": "
+        << static_cast<std::uint64_t>(k7.calls_per_sec())
+        << ", \"epochs\": " << k7.epochs << ", \"deferred\": " << k7.deferred
+        << ", \"refused\": " << k7.refused
+        << ", \"visits_per_connect\": " << k7.visits_per_connect()
+        << ", \"wave_epochs\": " << k7.stats.wave_epochs
+        << ", \"claim_conflicts\": " << k7.stats.claim_conflicts << ", "
+        << reject_key(svc::RejectReason::kContention,
+                      k7.stats.rejected_contention)
+        << "}\n  ]},\n";
+    std::cout << "batched churn cantor-k7 batch=" << k7.batch << " x"
+              << max_threads << " sessions: "
+              << static_cast<std::uint64_t>(k7.calls_per_sec())
+              << " calls/sec (" << k7.visits_per_connect()
+              << " visits/connect)\n";
   }
 
   // Degraded-mode series: the same batched churn with the fault plane

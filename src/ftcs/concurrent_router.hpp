@@ -85,6 +85,21 @@
 // A 1-worker ConcurrentRouter is path-for-path identical to GreedyRouter:
 // both run the same search (ftcs/search.hpp) and with no contention the
 // claim phase always succeeds on the first attempt.
+//
+// WAVE MODE (epoch-wave routing): Worker::connect_wave routes a whole
+// priority-ordered admission window through ONE shared search wave
+// (detail::wave_search) instead of N independent searches — legal because
+// the strictly-nonblocking guarantee means window-mates race only on
+// occupancy, never feasibility. Steps 1/3/4/5 are unchanged per request:
+// terminals are CAS-acquired as tentative holds up front (a slot held by an
+// unresolved window-mate DEFERS the claimant instead of rejecting it, which
+// is exactly the verdict order sequential routing would produce), settled
+// paths are claimed vertex-by-vertex in canonical order and overlay-
+// re-validated, and a claim/overlay conflict demotes ONLY that request into
+// the next wave — per-item demotions are bounded by kMaxClaimRetries, as
+// today. A wave round that settles nothing routes its head solo, so every
+// round resolves at least one request and the round count is bounded by the
+// window size.
 #pragma once
 
 #include <cstdint>
@@ -130,6 +145,12 @@ class ConcurrentRouter {
     /// Steps 1-5 above. Returns kNoCall on busy terminal, no idle path, or
     /// claim-retry exhaustion (see stats). Allocation-free.
     CallId connect(std::uint32_t in, std::uint32_t out);
+    /// WAVE MODE (see the header comment): routes a priority-ordered window
+    /// of `n` requests as one shared search wave per round. Per item the
+    /// verdict alphabet matches connect(): `call` set on success, `reject`
+    /// set otherwise (kTerminal / kNoPath / kContention). Same ownership
+    /// contract as connect() — one thread per worker at a time.
+    void connect_wave(WaveItem* items, std::size_t n);
     /// Releases a call made through THIS worker. Allocation-free.
     void disconnect(CallId call);
 
@@ -159,12 +180,31 @@ class ConcurrentRouter {
 
     explicit Worker(ConcurrentRouter& r);
 
+    /// Steps 2-5 with the terminal slots ALREADY held by the caller: dirty-
+    /// snapshot search, canonical claim, overlay re-validation, settle.
+    /// Releases both terminal slots on any reject. On kNone, `id` is the new
+    /// call.
+    WaveReject connect_held(std::uint32_t in, std::uint32_t out, CallId& id);
+    /// Step 5 once every vertex of path_buf_ is owned: threads the shared
+    /// successor array and records the call in the private table.
+    CallId settle_owned(std::uint32_t in, std::uint32_t out);
+
+    static constexpr std::uint32_t kNoItem = static_cast<std::uint32_t>(-1);
+
     ConcurrentRouter* r_;
     detail::SearchScratch scratch_;
     std::vector<graph::VertexId> path_buf_;   // settled path, src..dst
     std::vector<graph::VertexId> claim_buf_;  // same vertices, ascending id
     std::vector<Call> calls_;
     std::vector<CallId> free_slots_;
+    // Wave scratch (connect_wave only): src/dst/meet/total per wave entry,
+    // slot -> window item index, per-item admission/demotion bookkeeping,
+    // and terminal-slot -> holding-item maps for the defer discipline.
+    std::vector<graph::VertexId> wave_src_, wave_dst_, wave_meet_;
+    std::vector<std::uint32_t> wave_total_, wave_slot_;
+    std::vector<std::uint8_t> wave_admitted_;
+    std::vector<std::uint8_t> wave_attempts_;
+    std::vector<std::uint32_t> in_holder_, out_holder_;
     std::size_t active_ = 0;
     std::size_t busy_count_ = 0;
     RouterStats stats_;
@@ -184,6 +224,12 @@ class ConcurrentRouter {
   [[nodiscard]] bool is_busy(graph::VertexId v) const {
     return busy_.test(v, std::memory_order_acquire);
   }
+
+  /// A/B switch for the direction-optimizing frontier (ftcs/search.hpp).
+  /// Plain bool read by every worker's searches — set it BEFORE concurrent
+  /// routing starts (same quiescence contract as kill_vertex). Default on.
+  void set_direction_optimize(bool on) noexcept { dir_opt_ = on; }
+  [[nodiscard]] bool direction_optimize() const noexcept { return dir_opt_; }
 
   // ------------------------------------------------------ liveness overlay
   // See the header comment for the memory-ordering and quiescence contract.
@@ -259,6 +305,7 @@ class ConcurrentRouter {
   // Shared successor array threading every active path; entry v is owned by
   // the holder of busy bit v (see the memory-ordering contract above).
   std::vector<graph::VertexId> path_next_;
+  bool dir_opt_ = true;         // direction-optimizing frontier A/B switch
   std::deque<Worker> workers_;  // deque: stable addresses for worker(w) refs
 };
 

@@ -1,5 +1,6 @@
 #include "graph/csr.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "graph/digraph.hpp"
@@ -25,6 +26,8 @@ CsrGraph::CsrGraph(const GraphBuilder& b) {
         out_offsets_[v] + static_cast<std::uint32_t>(b.out_degree(v));
     in_offsets_[v + 1] =
         in_offsets_[v] + static_cast<std::uint32_t>(b.in_degree(v));
+    max_out_degree_ = std::max(max_out_degree_, b.out_degree(v));
+    max_in_degree_ = std::max(max_in_degree_, b.in_degree(v));
   }
   for (VertexId v = 0; v < vertex_count_; ++v) {
     std::uint32_t o = out_offsets_[v];

@@ -23,11 +23,30 @@ struct RejectSnapshot {
   }
 };
 
+/// Wave verdicts are reported per-request by the routers (no counter
+/// diffing needed — a batch bumps many counters at once, so RejectSnapshot
+/// cannot attribute them).
+RejectReason to_reject(core::WaveReject r) noexcept {
+  switch (r) {
+    case core::WaveReject::kTerminal:
+      return RejectReason::kTerminalBusy;
+    case core::WaveReject::kContention:
+      return RejectReason::kContention;
+    case core::WaveReject::kNoPath:
+      return RejectReason::kNoPath;
+    case core::WaveReject::kNone:
+      break;
+  }
+  return RejectReason::kNone;
+}
+
 class GreedyEngine final : public Engine {
  public:
   GreedyEngine(const graph::Network& net, std::vector<std::uint8_t> blocked,
-               std::vector<std::uint8_t> blocked_edges)
-      : router_(net, std::move(blocked), std::move(blocked_edges)) {}
+               std::vector<std::uint8_t> blocked_edges, bool direction_optimize)
+      : router_(net, std::move(blocked), std::move(blocked_edges)) {
+    router_.set_direction_optimize(direction_optimize);
+  }
 
   [[nodiscard]] unsigned sessions() const noexcept override { return 1; }
 
@@ -38,6 +57,22 @@ class GreedyEngine final : public Engine {
       return {kNoRawCall, before.classify(router_.stats()), 0};
     return {call, RejectReason::kNone,
             static_cast<std::uint32_t>(router_.path_length(call))};
+  }
+
+  void connect_wave(unsigned, WaveEntry* entries, std::size_t n) override {
+    wave_buf_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      wave_buf_[i].in = entries[i].in;
+      wave_buf_[i].out = entries[i].out;
+    }
+    router_.connect_wave(wave_buf_.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const core::WaveItem& it = wave_buf_[i];
+      entries[i].result =
+          it.call == core::GreedyRouter::kNoCall
+              ? Connect{kNoRawCall, to_reject(it.reject), 0}
+              : Connect{it.call, RejectReason::kNone, it.path_length};
+    }
   }
 
   void disconnect(unsigned, RawCall call) override { router_.disconnect(call); }
@@ -84,14 +119,19 @@ class GreedyEngine final : public Engine {
 
  private:
   core::GreedyRouter router_;
+  std::vector<core::WaveItem> wave_buf_;  // single session: no sharing
 };
 
 class ConcurrentEngine final : public Engine {
  public:
   ConcurrentEngine(const graph::Network& net, unsigned sessions,
                    std::vector<std::uint8_t> blocked,
-                   std::vector<std::uint8_t> blocked_edges)
-      : router_(net, sessions, std::move(blocked), std::move(blocked_edges)) {}
+                   std::vector<std::uint8_t> blocked_edges,
+                   bool direction_optimize)
+      : router_(net, sessions, std::move(blocked), std::move(blocked_edges)),
+        wave_buf_(router_.worker_count()) {
+    router_.set_direction_optimize(direction_optimize);
+  }
 
   [[nodiscard]] unsigned sessions() const noexcept override {
     return router_.worker_count();
@@ -106,6 +146,24 @@ class ConcurrentEngine final : public Engine {
       return {kNoRawCall, before.classify(worker.stats()), 0};
     return {call, RejectReason::kNone,
             static_cast<std::uint32_t>(worker.path_length(call))};
+  }
+
+  void connect_wave(unsigned session, WaveEntry* entries,
+                    std::size_t n) override {
+    auto& buf = wave_buf_[session];  // per-session: sessions run concurrently
+    buf.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      buf[i].in = entries[i].in;
+      buf[i].out = entries[i].out;
+    }
+    router_.worker(session).connect_wave(buf.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const core::WaveItem& it = buf[i];
+      entries[i].result =
+          it.call == core::ConcurrentRouter::kNoCall
+              ? Connect{kNoRawCall, to_reject(it.reject), 0}
+              : Connect{it.call, RejectReason::kNone, it.path_length};
+    }
   }
 
   void disconnect(unsigned session, RawCall call) override {
@@ -157,6 +215,7 @@ class ConcurrentEngine final : public Engine {
 
  private:
   core::ConcurrentRouter router_;
+  std::vector<std::vector<core::WaveItem>> wave_buf_;  // one per session
 };
 
 }  // namespace
@@ -164,13 +223,15 @@ class ConcurrentEngine final : public Engine {
 std::unique_ptr<Engine> make_engine(Backend backend, const graph::Network& net,
                                     unsigned sessions,
                                     std::vector<std::uint8_t> blocked,
-                                    std::vector<std::uint8_t> blocked_edges) {
+                                    std::vector<std::uint8_t> blocked_edges,
+                                    bool direction_optimize) {
   if (backend == Backend::kGreedy)
     return std::make_unique<GreedyEngine>(net, std::move(blocked),
-                                          std::move(blocked_edges));
+                                          std::move(blocked_edges),
+                                          direction_optimize);
   return std::make_unique<ConcurrentEngine>(
       net, sessions == 0 ? 1 : sessions, std::move(blocked),
-      std::move(blocked_edges));
+      std::move(blocked_edges), direction_optimize);
 }
 
 }  // namespace ftcs::svc

@@ -40,6 +40,15 @@ class Engine {
     std::uint32_t path_length = 0;
   };
 
+  /// One request of an admission window for connect_wave(); in/out are
+  /// inputs, result is filled in place with the same verdict alphabet as
+  /// connect().
+  struct WaveEntry {
+    std::uint32_t in = 0;
+    std::uint32_t out = 0;
+    Connect result;
+  };
+
   virtual ~Engine() = default;
 
   [[nodiscard]] virtual unsigned sessions() const noexcept = 0;
@@ -47,6 +56,16 @@ class Engine {
   /// or kContention.
   virtual Connect connect(unsigned session, std::uint32_t in,
                           std::uint32_t out) = 0;
+  /// Routes a priority-ordered window on `session` as ONE search wave where
+  /// the backend supports it (both routers do — see connect_wave in their
+  /// headers); the default falls back to per-request connect() so custom
+  /// engines stay correct. Same serialization contract as connect(): one
+  /// thread per session at a time.
+  virtual void connect_wave(unsigned session, WaveEntry* entries,
+                            std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i)
+      entries[i].result = connect(session, entries[i].in, entries[i].out);
+  }
   virtual void disconnect(unsigned session, RawCall call) = 0;
   [[nodiscard]] virtual std::vector<graph::VertexId> path_of(
       unsigned session, RawCall call) = 0;
@@ -79,9 +98,13 @@ class Engine {
 
 /// Builds the backend over `net` (which must outlive the engine).
 /// `sessions` is clamped to 1 for the greedy backend.
+/// `direction_optimize` is the A/B switch for the direction-optimizing
+/// frontier (ftcs/search.hpp); off reproduces the classic top-down search
+/// instruction-for-instruction.
 [[nodiscard]] std::unique_ptr<Engine> make_engine(
     Backend backend, const graph::Network& net, unsigned sessions,
     std::vector<std::uint8_t> blocked = {},
-    std::vector<std::uint8_t> blocked_edges = {});
+    std::vector<std::uint8_t> blocked_edges = {},
+    bool direction_optimize = true);
 
 }  // namespace ftcs::svc

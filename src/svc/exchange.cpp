@@ -27,10 +27,11 @@ Exchange::Exchange(const graph::Network* net,
     : owned_net_(std::move(owned)),
       net_(owned_net_ ? owned_net_.get() : net),
       engine_(make_engine(cfg.backend, *net_, cfg.sessions,
-                          std::move(cfg.blocked),
-                          std::move(cfg.blocked_edges))),
+                          std::move(cfg.blocked), std::move(cfg.blocked_edges),
+                          cfg.direction_optimize)),
       admission_(cfg.admission ? std::move(cfg.admission)
                                : std::make_unique<UnboundedAdmission>()),
+      wave_drain_(cfg.wave_drain),
       id_(next_exchange_id.fetch_add(1, std::memory_order_relaxed)),
       sessions_(engine_->sessions()) {}
 
@@ -263,6 +264,30 @@ std::size_t Exchange::drain() {
   const auto route_chunk = [&](unsigned s) {
     const std::size_t lo = m * s / s_count;
     const std::size_t hi = m * (s + 1) / s_count;
+    if (wave_drain_ && hi - lo > 1) {
+      // Wave plane: the whole chunk rides ONE search wave; callbacks fire
+      // after the wave settles (still from the task that owns the session,
+      // in window order).
+      std::vector<Engine::WaveEntry> wave(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        wave[i - lo].in = batch[i].req.input;
+        wave[i - lo].out = batch[i].req.output;
+      }
+      engine_->connect_wave(s, wave.data(), wave.size());
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Engine::Connect& c = wave[i - lo].result;
+        Outcome& o = outs[i];
+        o.tag = batch[i].req.tag;
+        o.session = s;
+        o.deferrals = batch[i].deferrals;
+        o.reject = c.reject;
+        o.path_length = c.path_length;
+        if (c.reject == RejectReason::kNone)
+          o.id = issue_handle(s, c.call, batch[i].req);
+        if (batch[i].done) batch[i].done(o);
+      }
+      return;
+    }
     for (std::size_t i = lo; i < hi; ++i) {
       outs[i] = route_one(batch[i].req, s, batch[i].deferrals);
       if (batch[i].done) batch[i].done(outs[i]);

@@ -1,0 +1,335 @@
+// Direction-optimizing frontier (ftcs/search.hpp) equivalence pins.
+//
+// The dir-opt search is an A/B dispatch: set_direction_optimize(false)
+// reproduces the classic top-down body instruction-for-instruction, ON adds
+// the bottom-up bitmap sweep when a frontier outgrows the unvisited set.
+// Both must stamp the SAME vertex set per level (the sweep probes exactly
+// the edges the top-down expansion would relax), so on contraction-free
+// traces the two modes agree on every observable: verdicts, call ids, path
+// lengths, visit counts, books. Under welds (runtime contraction) the
+// 0-1 cost labels become discovery-order dependent, so the welded pins
+// assert verdict parity and per-hop path validity, not exact costs.
+//
+//  - Fixed-trace A/B equivalence on cantor, both engines (GreedyRouter and
+//    one-worker ConcurrentRouter), healthy and degraded (failed switches).
+//  - A fan-out network that deterministically trips the bottom-up
+//    heuristic (bottom_up_levels > 0), healthy + welded + degraded, both
+//    engines — including the sweep's reverse-conduction probe.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ftcs/concurrent_router.hpp"
+#include "ftcs/router.hpp"
+#include "networks/cantor.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs {
+namespace {
+
+/// Is u -> v traversable for a settled path: a usable forward switch, or a
+/// usable stuck-on (welded) switch v -> u conducting in reverse.
+template <class Router>
+bool hop_ok(const Router& r, const graph::CsrGraph& g, graph::VertexId u,
+            graph::VertexId v) {
+  {
+    const auto eids = g.out_edges(u);
+    const auto tgts = g.out_targets(u);
+    for (std::size_t i = 0; i < eids.size(); ++i)
+      if (tgts[i] == v && r.edge_usable(eids[i])) return true;
+  }
+  const auto eids = g.out_edges(v);
+  const auto tgts = g.out_targets(v);
+  for (std::size_t i = 0; i < eids.size(); ++i)
+    if (tgts[i] == u && r.edge_usable(eids[i]) && r.edge_contracted(eids[i]))
+      return true;
+  return false;
+}
+
+template <class Router>
+void expect_valid_path(const Router& r, const graph::CsrGraph& g,
+                       const std::vector<graph::VertexId>& path) {
+  ASSERT_GE(path.size(), 2u);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    EXPECT_TRUE(hop_ok(r, g, path[i], path[i + 1]))
+        << "hop " << path[i] << " -> " << path[i + 1] << " is not an edge";
+}
+
+/// Drives the same fixed request trace through a dir-opt and a top-down
+/// router and asserts every observable matches. Works for GreedyRouter and
+/// ConcurrentRouter::Worker (identical connect/disconnect/path_of shape).
+template <class Session>
+void run_equivalence_trace(Session& dir_opt, Session& top_down,
+                           std::uint32_t terminals, std::uint64_t seed,
+                           std::size_t ops) {
+  constexpr auto kNone = static_cast<std::uint32_t>(-1);  // both routers'
+                                                          // kNoCall value
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> active_a, active_b;
+  std::size_t accepted = 0;
+  for (std::size_t op = 0; op < ops; ++op) {
+    if (!active_a.empty() && rng.below(4) == 0) {
+      const auto idx = rng.below(active_a.size());
+      dir_opt.disconnect(active_a[idx]);
+      top_down.disconnect(active_b[idx]);
+      active_a[idx] = active_a.back();
+      active_a.pop_back();
+      active_b[idx] = active_b.back();
+      active_b.pop_back();
+      continue;
+    }
+    const auto in = static_cast<std::uint32_t>(rng.below(terminals));
+    const auto out = static_cast<std::uint32_t>(rng.below(terminals));
+    const auto ca = dir_opt.connect(in, out);
+    const auto cb = top_down.connect(in, out);
+    ASSERT_EQ(ca == kNone, cb == kNone)
+        << "accept/reject divergence at op " << op;
+    if (ca == kNone) continue;
+    ASSERT_EQ(ca, cb) << "slot allocation divergence at op " << op;
+    // Same shortest cost; the vertex sequence may differ only by the
+    // sweep's tie-breaks, and both settle, so busy evolution must agree.
+    EXPECT_EQ(dir_opt.path_of(ca), top_down.path_of(cb))
+        << "path divergence at op " << op;
+    active_a.push_back(ca);
+    active_b.push_back(cb);
+    ++accepted;
+  }
+  ASSERT_GT(accepted, 0u);
+}
+
+/// Full-book comparison for the contraction-free traces: everything the
+/// baseline search reports must match; the per-direction split is only
+/// recorded by the dir-opt body and must add up to the shared total.
+void expect_books_match(const core::RouterStats& a, const core::RouterStats& b) {
+  EXPECT_EQ(a.connect_calls, b.connect_calls);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.rejected_terminal, b.rejected_terminal);
+  EXPECT_EQ(a.rejected_no_path, b.rejected_no_path);
+  EXPECT_EQ(a.disconnects, b.disconnects);
+  EXPECT_EQ(a.vertices_visited, b.vertices_visited);
+  EXPECT_EQ(a.path_vertices, b.path_vertices);
+  EXPECT_EQ(a.visits_forward + a.visits_backward, a.vertices_visited);
+  EXPECT_EQ(b.visits_forward, 0u);   // baseline body records no split
+  EXPECT_EQ(b.visits_backward, 0u);
+  EXPECT_EQ(b.bottom_up_levels, 0u);
+}
+
+TEST(DirOptSearch, GreedyFixedTraceEquivalence) {
+  const auto net = networks::build_cantor({4, 0});
+  core::GreedyRouter a(net);  // dir-opt is the default
+  core::GreedyRouter b(net);
+  b.set_direction_optimize(false);
+  ASSERT_TRUE(a.direction_optimize());
+  run_equivalence_trace(a, b, static_cast<std::uint32_t>(net.inputs.size()),
+                        2024, 800);
+  expect_books_match(a.stats(), b.stats());
+  EXPECT_EQ(a.busy_vertices(), b.busy_vertices());
+}
+
+TEST(DirOptSearch, ConcurrentOneWorkerFixedTraceEquivalence) {
+  const auto net = networks::build_cantor({4, 0});
+  core::ConcurrentRouter a(net, 1);
+  core::ConcurrentRouter b(net, 1);
+  b.set_direction_optimize(false);
+  run_equivalence_trace(a.worker(0), b.worker(0),
+                        static_cast<std::uint32_t>(net.inputs.size()), 2024,
+                        800);
+  expect_books_match(a.stats(), b.stats());
+  EXPECT_EQ(a.busy_vertices(), b.busy_vertices());
+}
+
+TEST(DirOptSearch, GreedyDegradedOverlayEquivalence) {
+  const auto net = networks::build_cantor({4, 0});
+  core::GreedyRouter a(net);
+  core::GreedyRouter b(net);
+  b.set_direction_optimize(false);
+  // Fail a deterministic spread of switches on BOTH routers; contraction
+  // stays off, so costs stay unit and the full books must still match.
+  for (graph::EdgeId e = 3; e < net.g.edge_count(); e += 17) {
+    a.fail_edge(e);
+    b.fail_edge(e);
+  }
+  run_equivalence_trace(a, b, static_cast<std::uint32_t>(net.inputs.size()),
+                        4711, 800);
+  expect_books_match(a.stats(), b.stats());
+}
+
+// ---------------------------------------------------------------------------
+// Bottom-up trigger coverage. Bidirectional frontiers on the layered nets
+// stay near-balanced, so the heuristic rarely fires there; this fan-out net
+// makes it fire deterministically: after one hop the forward frontier {hub}
+// carries `mids` edges while almost every vertex is still unvisited, so
+//   fedges * alpha * V > (V - stamped) * E
+// holds at the second forward level.
+//
+//   in -> hub -> mid[0..mids) -> join -> out      (+ optionally back -> hub
+//   and back -> join, giving the sweep a reverse-conduction probe target
+//   when back->hub is welded shut).
+// ---------------------------------------------------------------------------
+
+struct Star {
+  graph::Network net;
+  graph::VertexId in, hub, join, out, back;
+  graph::EdgeId back_to_hub;  // the weldable reverse conductor
+};
+
+Star build_star(std::size_t mids, bool with_back) {
+  graph::NetworkBuilder nb;
+  Star s;
+  s.in = nb.g.add_vertex();
+  s.hub = nb.g.add_vertex();
+  std::vector<graph::VertexId> mid(mids);
+  for (auto& m : mid) m = nb.g.add_vertex();
+  s.join = nb.g.add_vertex();
+  s.out = nb.g.add_vertex();
+  s.back = graph::kNoVertex;
+  s.back_to_hub = static_cast<graph::EdgeId>(-1);
+  nb.g.add_edge(s.in, s.hub);
+  for (const auto m : mid) nb.g.add_edge(s.hub, m);
+  for (const auto m : mid) nb.g.add_edge(m, s.join);
+  nb.g.add_edge(s.join, s.out);
+  if (with_back) {
+    s.back = nb.g.add_vertex();
+    s.back_to_hub = nb.g.add_edge(s.back, s.hub);  // points AWAY from out
+    nb.g.add_edge(s.back, s.join);
+  }
+  nb.inputs = {s.in};
+  nb.outputs = {s.out};
+  nb.name = "fanout-star";
+  s.net = nb.finalize();
+  return s;
+}
+
+TEST(DirOptSearch, BottomUpSweepFiresAndMatchesTopDown) {
+  const auto star = build_star(256, false);
+  core::GreedyRouter a(star.net);
+  core::GreedyRouter b(star.net);
+  b.set_direction_optimize(false);
+
+  const auto ca = a.connect(0, 0);
+  const auto cb = b.connect(0, 0);
+  ASSERT_NE(ca, core::GreedyRouter::kNoCall);
+  ASSERT_NE(cb, core::GreedyRouter::kNoCall);
+  EXPECT_EQ(a.path_length(ca), b.path_length(cb));
+  EXPECT_EQ(a.path_length(ca), 5u);  // in, hub, mid, join, out
+  expect_valid_path(a, star.net.g, a.path_of(ca));
+  EXPECT_GT(a.stats().bottom_up_levels, 0u)
+      << "the fan-out level should have tripped the bottom-up heuristic";
+  EXPECT_EQ(b.stats().bottom_up_levels, 0u);
+  EXPECT_EQ(a.stats().vertices_visited, b.stats().vertices_visited);
+  a.disconnect(ca);
+  b.disconnect(cb);
+
+  // Degraded: fail most of the fan. Both modes must still route through a
+  // surviving mid and agree on the books.
+  for (graph::EdgeId e = 1; e <= 256; e += 2) {  // hub->mid edges are 1..256
+    a.fail_edge(e);
+    b.fail_edge(e);
+  }
+  const auto da = a.connect(0, 0);
+  const auto db = b.connect(0, 0);
+  ASSERT_NE(da, core::GreedyRouter::kNoCall);
+  ASSERT_NE(db, core::GreedyRouter::kNoCall);
+  EXPECT_EQ(a.path_length(da), b.path_length(db));
+  expect_valid_path(a, star.net.g, a.path_of(da));
+  a.disconnect(da);
+  b.disconnect(db);
+}
+
+TEST(DirOptSearch, BottomUpSweepConcurrentWorkerMatches) {
+  const auto star = build_star(256, false);
+  core::ConcurrentRouter a(star.net, 1);
+  core::ConcurrentRouter b(star.net, 1);
+  b.set_direction_optimize(false);
+  auto& wa = a.worker(0);
+  auto& wb = b.worker(0);
+  const auto ca = wa.connect(0, 0);
+  const auto cb = wb.connect(0, 0);
+  ASSERT_NE(ca, core::ConcurrentRouter::kNoCall);
+  ASSERT_NE(cb, core::ConcurrentRouter::kNoCall);
+  EXPECT_EQ(wa.path_length(ca), wb.path_length(cb));
+  expect_valid_path(a, star.net.g, wa.path_of(ca));
+  EXPECT_GT(a.stats().bottom_up_levels, 0u);
+  EXPECT_EQ(a.stats().vertices_visited, b.stats().vertices_visited);
+  wa.disconnect(ca);
+  wb.disconnect(cb);
+}
+
+TEST(DirOptSearch, BottomUpWeldedOverlayStaysEquivalent) {
+  // Weld back->hub shut: it conducts both ways for free, so the cheapest
+  // route is in, hub, back, join, out (2 unit hops + the weld + join->out)
+  // and the forward sweep can only discover `back` through its
+  // reverse-conduction probe (back's only in-edge is from nothing; its
+  // out-edge points INTO the frontier).
+  const auto star = build_star(256, true);
+  core::GreedyRouter a(star.net);
+  core::GreedyRouter b(star.net);
+  b.set_direction_optimize(false);
+  a.contract_edge(star.back_to_hub);
+  b.contract_edge(star.back_to_hub);
+
+  const auto ca = a.connect(0, 0);
+  const auto cb = b.connect(0, 0);
+  ASSERT_NE(ca, core::GreedyRouter::kNoCall);
+  ASSERT_NE(cb, core::GreedyRouter::kNoCall);
+  EXPECT_GT(a.stats().bottom_up_levels, 0u);
+  // Welded costs are discovery-order dependent: pin verdicts and validity,
+  // not exact hop sequences.
+  expect_valid_path(a, star.net.g, a.path_of(ca));
+  expect_valid_path(b, star.net.g, b.path_of(cb));
+  a.disconnect(ca);
+  b.disconnect(cb);
+  EXPECT_EQ(a.busy_vertices(), 0u);
+  EXPECT_EQ(b.busy_vertices(), 0u);
+
+  // Same weld on the concurrent engine's worker.
+  core::ConcurrentRouter c(star.net, 1);
+  c.contract_edge(star.back_to_hub);
+  auto& wc = c.worker(0);
+  const auto cc = wc.connect(0, 0);
+  ASSERT_NE(cc, core::ConcurrentRouter::kNoCall);
+  expect_valid_path(c, star.net.g, wc.path_of(cc));
+  wc.disconnect(cc);
+  EXPECT_EQ(c.busy_vertices(), 0u);
+}
+
+TEST(DirOptSearch, GreedyWeldedTraceVerdictParity) {
+  // Stateless welded trace on cantor: route one pair at a time (connect,
+  // check, disconnect) with a handful of switches stuck on. Costs may
+  // tie-break differently between the modes, but reachability — and hence
+  // every verdict — must agree, and every settled path must be electrically
+  // sound hop by hop.
+  const auto net = networks::build_cantor({4, 0});
+  core::GreedyRouter a(net);
+  core::GreedyRouter b(net);
+  b.set_direction_optimize(false);
+  for (graph::EdgeId e = 5; e < net.g.edge_count(); e += 29) {
+    a.contract_edge(e);
+    b.contract_edge(e);
+  }
+  const auto n = static_cast<std::uint32_t>(net.inputs.size());
+  util::Xoshiro256 rng(99);
+  std::size_t routed = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto in = static_cast<std::uint32_t>(rng.below(n));
+    const auto out = static_cast<std::uint32_t>(rng.below(n));
+    const auto ca = a.connect(in, out);
+    const auto cb = b.connect(in, out);
+    ASSERT_EQ(ca == core::GreedyRouter::kNoCall,
+              cb == core::GreedyRouter::kNoCall)
+        << "welded verdict divergence at trial " << trial;
+    if (ca == core::GreedyRouter::kNoCall) continue;
+    expect_valid_path(a, net.g, a.path_of(ca));
+    expect_valid_path(b, net.g, b.path_of(cb));
+    a.disconnect(ca);
+    b.disconnect(cb);
+    ++routed;
+  }
+  ASSERT_GT(routed, 0u);
+  EXPECT_EQ(a.busy_vertices(), 0u);
+  EXPECT_EQ(b.busy_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace ftcs

@@ -1,0 +1,160 @@
+// Wave routing under real contention AND a racing fault plane. Four
+// concurrent sessions route admission windows with connect_wave while a
+// fifth thread flips switches open-failed/repaired and welded/un-welded
+// (the connect-safe overlay subset — kill_vertex needs quiescence and is
+// exercised by the Exchange fault-plane tests). Run under TSan in CI (this
+// file carries the `tsan` ctest label via FTCS_TSAN_TESTS), this is the
+// data-race proof of the wave claim path: terminal CAS holds, the
+// holder-map defer discipline, window-order claims with demotion, and the
+// dirty overlay snapshots taken per wave round.
+//
+// Invariants at quiescence mirror the per-request churn stress: no vertex
+// on two active paths, busy accounting balances against the settled path
+// lengths, the verdict counters partition connect_calls, and a full drain
+// returns the network to all-idle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ftcs/concurrent_router.hpp"
+#include "ftcs/router.hpp"
+#include "networks/cantor.hpp"
+#include "util/prng.hpp"
+
+namespace ftcs {
+namespace {
+
+/// First edge id from u to v (sentinel: edge_count).
+graph::EdgeId edge_between(const graph::CsrGraph& g, graph::VertexId u,
+                           graph::VertexId v) {
+  const auto eids = g.out_edges(u);
+  const auto tgts = g.out_targets(u);
+  for (std::size_t i = 0; i < eids.size(); ++i)
+    if (tgts[i] == v) return eids[i];
+  return static_cast<graph::EdgeId>(g.edge_count());
+}
+
+TEST(WaveChurn, WavesRacingFlipsKeepClaimInvariants) {
+  const auto net = networks::build_cantor({5, 0});
+  constexpr unsigned kWorkers = 4;
+  constexpr std::size_t kWindows = 250;
+  constexpr std::size_t kWindow = 8;
+  core::ConcurrentRouter router(net, kWorkers);
+  const auto n = static_cast<std::uint32_t>(net.inputs.size());
+
+  // Disjoint flip sets off a probe's paths: first hops flip open/repaired,
+  // second hops flip welded/un-welded.
+  std::vector<graph::EdgeId> doomed, welded;
+  {
+    core::GreedyRouter probe(net);
+    for (std::uint32_t i = 0; i + 1 < n; i += 2) {
+      const auto c = probe.connect(i, i + 1);
+      if (c == core::GreedyRouter::kNoCall) continue;
+      const auto path = probe.path_of(c);
+      if (path.size() >= 3) {
+        doomed.push_back(edge_between(net.g, path[0], path[1]));
+        welded.push_back(edge_between(net.g, path[1], path[2]));
+      }
+      probe.disconnect(c);
+    }
+  }
+  ASSERT_FALSE(doomed.empty());
+  ASSERT_FALSE(welded.empty());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers + 1);
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      auto& w = router.worker(t);
+      util::Xoshiro256 rng(util::derive_seed(1291, t));
+      std::vector<core::ConcurrentRouter::CallId> mine;
+      std::vector<core::WaveItem> items(kWindow);
+      for (std::size_t window = 0; window < kWindows; ++window) {
+        for (auto& it : items) {
+          it = core::WaveItem{};
+          it.in = static_cast<std::uint32_t>(rng.below(n));
+          it.out = static_cast<std::uint32_t>(rng.below(n));
+        }
+        w.connect_wave(items.data(), items.size());
+        for (const auto& it : items) {
+          if (it.call == core::ConcurrentRouter::kNoCall) continue;
+          EXPECT_EQ(it.path_length, w.path_length(it.call));
+          mine.push_back(it.call);
+        }
+        // Churn some calls back out so slots and vertices recycle under
+        // the racing flips.
+        for (std::size_t k = 0; k < mine.size();) {
+          if (rng.below(3) == 0) {
+            w.disconnect(mine[k]);
+            mine[k] = mine.back();
+            mine.pop_back();
+          } else {
+            ++k;
+          }
+        }
+      }
+      // Leave `mine` connected: the quiescent invariant sweep below wants
+      // live claims to audit (the final drain releases them).
+    });
+  }
+  threads.emplace_back([&] {
+    util::Xoshiro256 rng(util::derive_seed(1291, 99));
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const auto e : doomed) router.fail_edge(e);
+      std::this_thread::yield();
+      for (const auto e : welded) router.contract_edge(e);
+      std::this_thread::yield();
+      for (const auto e : doomed) router.repair_edge(e);
+      for (const auto e : welded) router.uncontract_edge(e);
+      std::this_thread::yield();
+    }
+  });
+  for (unsigned t = 0; t < kWorkers; ++t) threads[t].join();
+  stop.store(true, std::memory_order_release);
+  threads.back().join();
+
+  // Quiescent claim invariants, exactly as the per-request churn stress.
+  std::vector<int> owner(net.g.vertex_count(), -1);
+  std::size_t total_path_vertices = 0;
+  std::size_t total_active = 0;
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    auto& worker = router.worker(t);
+    for (const auto id : worker.active_call_ids()) {
+      const auto path = worker.path_of(id);
+      ASSERT_EQ(path.size(), worker.path_length(id));
+      ASSERT_FALSE(path.empty());
+      total_path_vertices += path.size();
+      ++total_active;
+      for (const auto v : path) {
+        EXPECT_EQ(owner[v], -1)
+            << "vertex " << v << " claimed by workers " << owner[v] << " and "
+            << t;
+        owner[v] = static_cast<int>(t);
+        EXPECT_TRUE(router.is_busy(v));
+      }
+    }
+  }
+  EXPECT_EQ(router.active_calls(), total_active);
+  EXPECT_EQ(router.busy_vertices(), total_path_vertices);
+
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.connect_calls, stats.accepted + stats.rejected_terminal +
+                                     stats.rejected_no_path +
+                                     stats.rejected_contention);
+  EXPECT_EQ(stats.accepted - stats.disconnects, total_active);
+  EXPECT_GT(stats.wave_epochs, 0u);
+
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    auto& worker = router.worker(t);
+    for (const auto id : worker.active_call_ids()) worker.disconnect(id);
+  }
+  EXPECT_EQ(router.active_calls(), 0u);
+  EXPECT_EQ(router.busy_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace ftcs

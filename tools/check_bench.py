@@ -1,23 +1,30 @@
 #!/usr/bin/env python3
 """Bench-regression gate for BENCH_routing.json.
 
-Compares the calls/sec series of a fresh smoke run against the committed
-baseline file and fails (exit 1) on a regression beyond the tolerance,
-replacing the eyeball-only `cat` the CI bench step used to end with.
+Compares a fresh smoke run against the committed baseline file and fails
+(exit 1) on a regression beyond the tolerance, replacing the eyeball-only
+`cat` the CI bench step used to end with.
 
-What is compared (every series keyed so runs with different sweeps still
-match up):
+Two metric families are gated independently:
+  - calls/sec (throughput, higher is better)
+  - visits/connect (search work per request, LOWER is better — the wave /
+    direction-optimizing machinery's win; a silent visit blow-up precedes a
+    throughput loss on bigger networks)
+
+Series keyed so runs with different sweeps still match up:
   - the aggregate "calls_per_sec"
   - per-network churn points        (networks[].name)
   - the thread-scaling curve        (thread_scaling.points[].threads)
   - the batched-admission series    (batched_admission.points[].batch)
+  - the deep-network wave point     (batched_admission_k7.points[].batch)
   - the degraded-mode series        (degraded_mode.points[].eps)
 
 Runner noise policy: individual points on shared CI boxes are noisy, so the
-gate trips on the GEOMETRIC MEAN of the matched current/baseline ratios
-dropping below (1 - tolerance); any single point falling below half its
-baseline trips it too (that is never noise at 30% tolerance). Points present
-in only one file are reported and skipped.
+gate trips on the GEOMETRIC MEAN of the matched improvement ratios dropping
+below (1 - tolerance); any single point falling below half its baseline
+(throughput) or doubling its baseline (visits) trips it too — that is never
+noise at 30% tolerance. Points present in only one file are reported and
+skipped, so adding a series stays backward-compatible.
 
 Usage:
   tools/check_bench.py --baseline BENCH_committed.json \
@@ -37,23 +44,72 @@ def load(path: str) -> dict:
         return json.load(fh)
 
 
-def series_points(doc: dict) -> dict[str, float]:
-    """Flattens every calls/sec measurement into {key: calls_per_sec}."""
+def series_points(doc: dict, metric: str) -> dict[str, float]:
+    """Flattens every `metric` measurement into {key: value}."""
     points: dict[str, float] = {}
-    if "calls_per_sec" in doc:
+    if metric == "calls_per_sec" and "calls_per_sec" in doc:
         points["aggregate"] = float(doc["calls_per_sec"])
+
+    def take(key: str, row: dict) -> None:
+        if metric in row:
+            points[key] = float(row[metric])
+
     for row in doc.get("networks", []):
-        points[f"churn/{row['name']}"] = float(row["calls_per_sec"])
-    scaling = doc.get("thread_scaling", {})
-    for p in scaling.get("points", []):
-        points[f"threads/{p['threads']}"] = float(p["calls_per_sec"])
-    batched = doc.get("batched_admission", {})
-    for p in batched.get("points", []):
-        points[f"batch/{p['batch']}"] = float(p["calls_per_sec"])
-    degraded = doc.get("degraded_mode", {})
-    for p in degraded.get("points", []):
-        points[f"faults/eps={p['eps']:g}"] = float(p["calls_per_sec"])
+        take(f"churn/{row['name']}", row)
+    for p in doc.get("thread_scaling", {}).get("points", []):
+        take(f"threads/{p['threads']}", p)
+    for p in doc.get("batched_admission", {}).get("points", []):
+        take(f"batch/{p['batch']}", p)
+    for p in doc.get("batched_admission_k7", {}).get("points", []):
+        take(f"batch_k7/{p['batch']}", p)
+    for p in doc.get("degraded_mode", {}).get("points", []):
+        take(f"faults/eps={p['eps']:g}", p)
     return points
+
+
+def gate(label: str, base: dict[str, float], cur: dict[str, float],
+         floor: float, lower_is_better: bool, required: bool) -> bool:
+    """Prints the comparison table; returns False on a gate trip."""
+    shared = sorted(k for k in base if k in cur and base[k] > 0 and cur[k] > 0)
+    for key in sorted(set(base) ^ set(cur)):
+        side = "baseline" if key in base else "current"
+        print(f"check_bench: note: {label} '{key}' only in the {side} file; "
+              "skipped")
+    if not shared:
+        if required:
+            print(f"check_bench: no comparable {label} points between the "
+                  "baseline and current files", file=sys.stderr)
+            return False
+        # visits/connect is absent from pre-wave baselines: skipping the
+        # whole family keeps old baselines comparable.
+        print(f"check_bench: no comparable {label} points; family skipped")
+        return True
+
+    worst_key, worst_ratio = None, math.inf
+    log_sum = 0.0
+    print(f"[{label}]")
+    print(f"{'series':<24} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for key in shared:
+        # Normalized so ratio > 1 is always an improvement.
+        ratio = (base[key] / cur[key]) if lower_is_better \
+            else (cur[key] / base[key])
+        log_sum += math.log(ratio)
+        if ratio < worst_ratio:
+            worst_key, worst_ratio = key, ratio
+        print(f"{key:<24} {base[key]:>12.1f} {cur[key]:>12.1f} {ratio:>7.2f}")
+    geomean = math.exp(log_sum / len(shared))
+    print(f"geometric mean ratio over {len(shared)} points: {geomean:.3f} "
+          f"(gate: >= {floor:.2f}); worst: {worst_key} at {worst_ratio:.2f}")
+
+    if geomean < floor:
+        print(f"check_bench: FAIL — {label} regressed "
+              f"{(1.0 - geomean) * 100:.0f}% overall", file=sys.stderr)
+        return False
+    if worst_ratio < 0.5:
+        print(f"check_bench: FAIL — {label} '{worst_key}' fell to "
+              f"{worst_ratio * 100:.0f}% of its baseline", file=sys.stderr)
+        return False
+    return True
 
 
 def main() -> int:
@@ -64,47 +120,30 @@ def main() -> int:
                     help="the smoke run's BENCH_routing.json")
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="allowed fractional regression of the geometric "
-                         "mean (default 0.30)")
+                         "mean, per metric family (default 0.30)")
     args = ap.parse_args()
 
     try:
-        base = series_points(load(args.baseline))
-        cur = series_points(load(args.current))
-    except (OSError, ValueError, KeyError) as exc:
+        base_doc = load(args.baseline)
+        cur_doc = load(args.current)
+    except (OSError, ValueError) as exc:
         print(f"check_bench: cannot parse inputs: {exc}", file=sys.stderr)
         return 1
 
-    shared = sorted(k for k in base if k in cur and base[k] > 0 and cur[k] > 0)
-    if not shared:
-        print("check_bench: no comparable calls/sec points between "
-              f"{args.baseline} and {args.current}", file=sys.stderr)
-        return 1
-    for key in sorted(set(base) ^ set(cur)):
-        side = "baseline" if key in base else "current"
-        print(f"check_bench: note: '{key}' only in the {side} file; skipped")
-
-    worst_key, worst_ratio = None, math.inf
-    log_sum = 0.0
-    print(f"{'series':<24} {'baseline':>12} {'current':>12} {'ratio':>7}")
-    for key in shared:
-        ratio = cur[key] / base[key]
-        log_sum += math.log(ratio)
-        if ratio < worst_ratio:
-            worst_key, worst_ratio = key, ratio
-        print(f"{key:<24} {base[key]:>12.0f} {cur[key]:>12.0f} {ratio:>7.2f}")
-    geomean = math.exp(log_sum / len(shared))
     floor = 1.0 - args.tolerance
-    print(f"geometric mean ratio over {len(shared)} points: {geomean:.3f} "
-          f"(gate: >= {floor:.2f}); worst: {worst_key} at {worst_ratio:.2f}")
-
-    if geomean < floor:
-        print(f"check_bench: FAIL — calls/sec regressed "
-              f"{(1.0 - geomean) * 100:.0f}% overall "
-              f"(tolerance {args.tolerance * 100:.0f}%)", file=sys.stderr)
+    try:
+        ok = gate("calls/sec",
+                  series_points(base_doc, "calls_per_sec"),
+                  series_points(cur_doc, "calls_per_sec"),
+                  floor, lower_is_better=False, required=True)
+        ok &= gate("visits/connect",
+                   series_points(base_doc, "visits_per_connect"),
+                   series_points(cur_doc, "visits_per_connect"),
+                   floor, lower_is_better=True, required=False)
+    except (ValueError, KeyError) as exc:
+        print(f"check_bench: cannot parse inputs: {exc}", file=sys.stderr)
         return 1
-    if worst_ratio < 0.5:
-        print(f"check_bench: FAIL — '{worst_key}' fell to "
-              f"{worst_ratio * 100:.0f}% of its baseline", file=sys.stderr)
+    if not ok:
         return 1
     print("check_bench: OK")
     return 0
