@@ -13,9 +13,14 @@
 // fault plane (--faults=EPS: the batched churn degraded by live switch
 // fail/repair events, eps swept in decades). BM_GreedyConnect vs
 // BM_ExchangeCall isolates the facade's handle + classification overhead
-// over the raw router.
+// over the raw router. The locality plane gets its own A/B series: the
+// relabel pair (builder-order vs finalize(kLocality) ids, same churn) and
+// the affinity sweep (drain pool pinned none/spread/compact with homed
+// sessions). --repeat=K records the median-of-K run per point and stamps
+// "repeats" into the JSON so the regression gate can tighten.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <barrier>
 #include <chrono>
 #include <cstdlib>
@@ -26,6 +31,9 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/cpu_topology.hpp"
 
 #include "bench_common.hpp"
 #include "fault/fault_instance.hpp"
@@ -172,6 +180,23 @@ struct ChurnMeasure {
   }
 };
 
+/// --repeat=K noise control: runs `run` K times and keeps the run with the
+/// MEDIAN calls/sec (the whole measurement rides along, so every recorded
+/// counter comes from one coherent run, not a mix). K=1 is a plain call.
+template <class F>
+auto median_of(std::size_t repeats, F&& run) {
+  auto first = run();
+  if (repeats <= 1) return first;
+  std::vector<decltype(first)> samples;
+  samples.reserve(repeats);
+  samples.push_back(std::move(first));
+  for (std::size_t r = 1; r < repeats; ++r) samples.push_back(run());
+  std::sort(samples.begin(), samples.end(), [](const auto& a, const auto& b) {
+    return a.calls_per_sec() < b.calls_per_sec();
+  });
+  return samples[samples.size() / 2];
+}
+
 ChurnMeasure churn_workload(const std::string& name, const graph::Network& net,
                             std::size_t ops) {
   svc::Exchange exchange(net, {});
@@ -316,6 +341,9 @@ struct BatchedPoint {
   double seconds = 0.0;
   core::RouterStats stats;
   std::uint64_t deferred = 0, refused = 0, epochs = 0;
+  // What the affinity request degraded to on this host (kNone unless the
+  // point asked for pinning and the plan fit the box).
+  util::AffinityPolicy effective = util::AffinityPolicy::kNone;
   [[nodiscard]] double calls_per_sec() const {
     return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
   }
@@ -326,11 +354,16 @@ struct BatchedPoint {
   }
 };
 
-BatchedPoint batched_churn(const graph::Network& net, unsigned sessions,
-                           std::size_t batch, std::size_t total_ops) {
+BatchedPoint batched_churn(
+    const graph::Network& net, unsigned sessions, std::size_t batch,
+    std::size_t total_ops,
+    util::AffinityPolicy affinity = util::AffinityPolicy::kNone,
+    bool home_sessions = false) {
   svc::ExchangeConfig cfg;
   cfg.backend = svc::Backend::kConcurrent;
   cfg.sessions = sessions;
+  cfg.affinity = affinity;
+  cfg.home_sessions = home_sessions;
   svc::Exchange exchange(net, std::move(cfg));
   const auto n = static_cast<std::uint32_t>(net.inputs.size());
   util::Xoshiro256 rng(util::derive_seed(33, batch));
@@ -383,6 +416,7 @@ BatchedPoint batched_churn(const graph::Network& net, unsigned sessions,
   p.deferred = st.deferred;
   p.refused = st.refused;
   p.epochs = st.epochs;
+  p.effective = exchange.affinity();
   return p;
 }
 
@@ -540,13 +574,20 @@ std::string reject_key(svc::RejectReason reason, std::uint64_t count) {
 }
 
 int run_json_smoke(const std::string& path, unsigned max_threads,
-                   std::size_t max_batch, double max_faults) {
+                   std::size_t max_batch, double max_faults,
+                   std::size_t repeats) {
   std::vector<ChurnMeasure> rows;
-  rows.push_back(churn_workload("cantor-k5", networks::build_cantor({5, 0}),
-                                bench::scaled(100'000)));
-  rows.push_back(churn_workload("cantor-k7", networks::build_cantor({7, 0}),
-                                bench::scaled(20'000)));
-  rows.push_back(churn_workload("ft-nu2", shared_ft(2).net, bench::scaled(10'000)));
+  rows.push_back(median_of(repeats, [&] {
+    return churn_workload("cantor-k5", networks::build_cantor({5, 0}),
+                          bench::scaled(100'000));
+  }));
+  rows.push_back(median_of(repeats, [&] {
+    return churn_workload("cantor-k7", networks::build_cantor({7, 0}),
+                          bench::scaled(20'000));
+  }));
+  rows.push_back(median_of(repeats, [&] {
+    return churn_workload("ft-nu2", shared_ft(2).net, bench::scaled(10'000));
+  }));
 
   std::size_t total_connects = 0;
   double total_seconds = 0.0;
@@ -721,6 +762,110 @@ int run_json_smoke(const std::string& path, unsigned max_threads,
     out << "  ]},\n";
   }
 
+  // Locality-relabel A/B: the same churn on the builder-order network and
+  // on its finalize(kLocality) image. Visits/connect must be IDENTICAL
+  // (routing is the exact image under the permutation — pinned by
+  // tests/test_relabel.cpp); the calls/sec delta is purely the stage-major
+  // id layout paying off in cache lines.
+  {
+    struct RelabelRow {
+      const char* network;
+      const char* mode;
+      ChurnMeasure m;
+    };
+    std::vector<RelabelRow> rl;
+    const auto pair_for = [&](const char* nm, const networks::CantorParams& cp,
+                              std::size_t ops) {
+      const auto base = networks::build_cantor(cp);
+      const auto hot = graph::relabel_locality(base);
+      rl.push_back({nm, "none", median_of(repeats, [&] {
+                      return churn_workload(nm, base, ops);
+                    })});
+      rl.push_back({nm, "locality", median_of(repeats, [&] {
+                      return churn_workload(nm, hot, ops);
+                    })});
+    };
+    pair_for("cantor-k5", {5, 0}, bench::scaled(100'000));
+    pair_for("cantor-k7", {7, 0}, bench::scaled(20'000));
+
+    out << "  \"relabel\": {\"points\": [\n";
+    for (std::size_t i = 0; i < rl.size(); ++i) {
+      const auto& r = rl[i];
+      out << "    {\"network\": \"" << r.network << "\", \"mode\": \""
+          << r.mode << "\", \"connects\": " << r.m.connects
+          << ", \"calls_per_sec\": "
+          << static_cast<std::uint64_t>(r.m.calls_per_sec())
+          << ", \"visits_per_connect\": " << r.m.visits_per_connect()
+          << ", \"mean_path_vertices\": " << r.m.mean_path_vertices() << "}"
+          << (i + 1 < rl.size() ? "," : "") << "\n";
+    }
+    out << "  ]},\n";
+    for (std::size_t i = 0; i + 1 < rl.size(); i += 2)
+      std::cout << "relabel churn " << rl[i].network << ": none "
+                << static_cast<std::uint64_t>(rl[i].m.calls_per_sec())
+                << " -> locality "
+                << static_cast<std::uint64_t>(rl[i + 1].m.calls_per_sec())
+                << " calls/sec (x"
+                << (rl[i].m.calls_per_sec() > 0
+                        ? rl[i + 1].m.calls_per_sec() / rl[i].m.calls_per_sec()
+                        : 0.0)
+                << ", visits/connect " << rl[i].m.visits_per_connect()
+                << " vs " << rl[i + 1].m.visits_per_connect() << ")\n";
+  }
+
+  // Affinity A/B: the batched wave churn with the drain pool pinned under
+  // each policy (sessions homed to terminal ranges so a pinned worker's CAS
+  // traffic stays in its own cache domain). The REQUESTED policy keys the
+  // series so baselines recorded on different hosts still line up; the
+  // EFFECTIVE policy records what the host actually honored (small boxes
+  // degrade every request to "none" — then the three points are an honest
+  // noise floor).
+  if (max_threads >= 1) {
+    const auto net = networks::build_cantor({5, 0});
+    struct AffinityRow {
+      util::AffinityPolicy policy;
+      BatchedPoint p;
+    };
+    std::vector<AffinityRow> rows_a;
+    for (const auto pol :
+         {util::AffinityPolicy::kNone, util::AffinityPolicy::kSpread,
+          util::AffinityPolicy::kCompact}) {
+      rows_a.push_back({pol, median_of(repeats, [&] {
+                          return batched_churn(net, max_threads, 256,
+                                               bench::scaled(100'000), pol,
+                                               /*home_sessions=*/true);
+                        })});
+      // Pinning is process-wide pool state: reset between points so each
+      // request is applied against an unpinned pool.
+      util::ThreadPool::global().apply_affinity(util::AffinityPolicy::kNone);
+    }
+    out << "  \"affinity_scaling\": {\"network\": \"cantor-k5\", \"sessions\": "
+        << max_threads << ", \"batch\": 256, \"home_sessions\": true, "
+        << "\"points\": [\n";
+    for (std::size_t i = 0; i < rows_a.size(); ++i) {
+      const auto& r = rows_a[i];
+      out << "    {\"policy\": \"" << util::to_string(r.policy)
+          << "\", \"effective\": \"" << util::to_string(r.p.effective)
+          << "\", \"connects\": " << r.p.connects << ", \"calls_per_sec\": "
+          << static_cast<std::uint64_t>(r.p.calls_per_sec())
+          << ", \"visits_per_connect\": " << r.p.visits_per_connect()
+          << ", \"wave_epochs\": " << r.p.stats.wave_epochs
+          << ", \"claim_conflicts\": " << r.p.stats.claim_conflicts << ", "
+          << reject_key(svc::RejectReason::kContention,
+                        r.p.stats.rejected_contention)
+          << "}" << (i + 1 < rows_a.size() ? "," : "") << "\n";
+      std::cout << "affinity churn cantor-k5 policy="
+                << util::to_string(r.policy) << " (effective "
+                << util::to_string(r.p.effective) << ") x" << max_threads
+                << " sessions: "
+                << static_cast<std::uint64_t>(r.p.calls_per_sec())
+                << " calls/sec (conflicts " << r.p.stats.claim_conflicts
+                << ")\n";
+    }
+    out << "  ]},\n";
+  }
+
+  out << "  \"repeats\": " << repeats << ",\n";
   out << "  \"calls_per_sec\": " << static_cast<std::uint64_t>(aggregate) << ",\n";
   out << "  \"baseline_calls_per_sec\": " << static_cast<std::uint64_t>(baseline)
       << ",\n";
@@ -739,6 +884,7 @@ int main(int argc, char** argv) {
   unsigned max_threads = 0;   // 0 = no thread-scaling curve
   std::size_t max_batch = 0;  // 0 = no batched-admission series
   double max_faults = 0.0;    // 0 = no degraded-mode series
+  std::size_t repeats = 1;    // --repeat=K: median-of-K per recorded point
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
@@ -754,6 +900,10 @@ int main(int argc, char** argv) {
       const double v = std::strtod(arg.c_str() + 9, nullptr);
       if (v > 0) max_faults = v;
     }
+    if (arg.rfind("--repeat=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 9, nullptr, 10);
+      if (v >= 1) repeats = static_cast<std::size_t>(v);
+    }
   }
   // --threads / --batch / --faults without --json still record to the
   // default path.
@@ -762,7 +912,8 @@ int main(int argc, char** argv) {
     json_path = "BENCH_routing.json";
   if ((max_batch > 0 || max_faults > 0) && max_threads == 0) max_threads = 8;
   if (!json_path.empty())
-    return run_json_smoke(json_path, max_threads, max_batch, max_faults);
+    return run_json_smoke(json_path, max_threads, max_batch, max_faults,
+                          repeats);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_success_table();

@@ -16,8 +16,13 @@ ConcurrentRouter::ConcurrentRouter(const graph::Network& net, unsigned workers,
     if (blocked_.test(v)) busy_.set(v);  // blocked bits are never released
   if (!blocked_edges.empty())
     blocked_edges_.assign_bytes(blocked_edges.data(), blocked_edges.size());
-  in_busy_.resize(net.inputs.size());
-  out_busy_.resize(net.outputs.size());
+  // Terminal slots are the claim locks every session CASes on admission;
+  // cache-line padding keeps one session's slot traffic from invalidating
+  // the lines of 63 neighbouring slots (small bitsets, so the 8x word
+  // spread costs bytes, not cache reach).
+  in_busy_.resize(net.inputs.size(), util::AtomicBitset::Padding::kCacheLine);
+  out_busy_.resize(net.outputs.size(),
+                   util::AtomicBitset::Padding::kCacheLine);
   // Overlay state is sized up front: AtomicBitset::resize is not thread-safe
   // and the overlay must be flippable while workers are live.
   dead_edges_.resize(net.g.edge_count());
@@ -30,12 +35,23 @@ ConcurrentRouter::ConcurrentRouter(const graph::Network& net, unsigned workers,
 }
 
 ConcurrentRouter::Worker::Worker(ConcurrentRouter& r) : r_(&r) {
+  // Deliberately no allocation here: the constructor runs on whatever
+  // thread builds the router (make_engine's caller), and first-touching the
+  // session scratch there would home every worker's pages to that thread's
+  // NUMA node. ensure_scratch() builds it on the owning thread instead.
+}
+
+void ConcurrentRouter::Worker::ensure_scratch() {
+  if (scratch_ready_) return;
+  scratch_ready_ = true;
+  ConcurrentRouter& r = *r_;
   const std::size_t v_count = r.net_->g.vertex_count();
   scratch_.init(v_count);
   path_buf_.reserve(v_count);
   claim_buf_.reserve(v_count);
   // Worst case one worker carries every call; reserving that bound keeps
-  // connect()/disconnect() allocation-free (as in GreedyRouter).
+  // connect()/disconnect() allocation-free (as in GreedyRouter) from the
+  // second call on.
   const std::size_t max_calls =
       std::min(r.net_->inputs.size(), r.net_->outputs.size()) + 1;
   calls_.reserve(max_calls);
@@ -54,6 +70,7 @@ ConcurrentRouter::Worker::Worker(ConcurrentRouter& r) : r_(&r) {
 ConcurrentRouter::CallId ConcurrentRouter::Worker::connect(std::uint32_t in,
                                                            std::uint32_t out) {
   ConcurrentRouter& r = *r_;
+  ensure_scratch();
   ++stats_.connect_calls;
 
   // 1. Terminal acquire: input slot, then output slot.
@@ -217,6 +234,7 @@ ConcurrentRouter::CallId ConcurrentRouter::Worker::settle_owned(
 
 void ConcurrentRouter::Worker::connect_wave(WaveItem* items, std::size_t n) {
   ConcurrentRouter& r = *r_;
+  ensure_scratch();
   for (std::size_t i = 0; i < n; ++i) {
     ++stats_.connect_calls;
     items[i].call = kNoCall;

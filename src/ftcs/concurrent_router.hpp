@@ -111,6 +111,7 @@
 #include "graph/digraph.hpp"
 #include "util/atomic_bitset.hpp"
 #include "util/bitset.hpp"
+#include "util/cpu_topology.hpp"
 
 namespace ftcs::core {
 
@@ -125,8 +126,12 @@ class ConcurrentRouter {
   static constexpr unsigned kMaxClaimRetries = 16;
 
   /// `workers` fixes the session count (>= 1). `blocked` / `blocked_edges`
-  /// as in GreedyRouter. The network must outlive the router; all scratch
-  /// (global and per-worker) is allocated here, once.
+  /// as in GreedyRouter. The network must outlive the router; GLOBAL scratch
+  /// is allocated here, once. Per-worker scratch is built lazily on the
+  /// worker's FIRST connect/connect_wave — on the thread that owns the
+  /// session — so with a pinned thread pool the scratch pages first-touch
+  /// onto the owning worker's NUMA node instead of the constructing
+  /// thread's.
   ConcurrentRouter(const graph::Network& net, unsigned workers,
                    std::vector<std::uint8_t> blocked = {},
                    std::vector<std::uint8_t> blocked_edges = {});
@@ -139,11 +144,14 @@ class ConcurrentRouter {
   ConcurrentRouter& operator=(ConcurrentRouter&&) = delete;
 
   /// One routing session; use from ONE thread at a time. Obtained via
-  /// worker(w); lives as long as the router.
-  class Worker {
+  /// worker(w); lives as long as the router. Cache-line aligned so one
+  /// session's hot state (stats counters, call table heads) never
+  /// false-shares with its neighbours in the workers_ deque.
+  class alignas(util::kCacheLineBytes) Worker {
    public:
     /// Steps 1-5 above. Returns kNoCall on busy terminal, no idle path, or
-    /// claim-retry exhaustion (see stats). Allocation-free.
+    /// claim-retry exhaustion (see stats). Allocation-free after this
+    /// worker's first call (which first-touch builds the session scratch).
     CallId connect(std::uint32_t in, std::uint32_t out);
     /// WAVE MODE (see the header comment): routes a priority-ordered window
     /// of `n` requests as one shared search wave per round. Per item the
@@ -180,6 +188,11 @@ class ConcurrentRouter {
 
     explicit Worker(ConcurrentRouter& r);
 
+    /// Builds the session scratch (search arrays, call table, wave maps) on
+    /// first use, i.e. on the thread that owns this session — the
+    /// first-touch point for every page the hot path walks.
+    void ensure_scratch();
+
     /// Steps 2-5 with the terminal slots ALREADY held by the caller: dirty-
     /// snapshot search, canonical claim, overlay re-validation, settle.
     /// Releases both terminal slots on any reject. On kNone, `id` is the new
@@ -207,6 +220,7 @@ class ConcurrentRouter {
     std::vector<std::uint32_t> in_holder_, out_holder_;
     std::size_t active_ = 0;
     std::size_t busy_count_ = 0;
+    bool scratch_ready_ = false;
     RouterStats stats_;
   };
 

@@ -7,6 +7,14 @@
 // edge table. Edge ids and per-vertex incidence order are exactly those of
 // the builder, so finalizing preserves iteration order — and therefore the
 // deterministic behaviour of every BFS tie-break — bit for bit.
+//
+// The permuted constructor applies a vertex relabeling (perm[old] = new) to
+// BOTH direction arrays while keeping edge ids and per-vertex incidence
+// order untouched: the relabeled graph is the exact image of the original
+// under the permutation, so any deterministic traversal visits the same
+// edges in the same order with only the vertex names changed. Used by the
+// locality relabel pass (graph/digraph.hpp) to pack traversal frontiers
+// into contiguous ids.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +31,9 @@ class CsrGraph {
  public:
   CsrGraph() = default;
   explicit CsrGraph(const GraphBuilder& b);
+  /// Relabeled finalize: vertex old-id v becomes perm[v] (a bijection over
+  /// [0, vertex_count)). Edge ids and incidence order are preserved.
+  CsrGraph(const GraphBuilder& b, std::span<const VertexId> perm);
 
   [[nodiscard]] std::size_t vertex_count() const noexcept { return vertex_count_; }
   [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
@@ -71,6 +82,8 @@ class CsrGraph {
   [[nodiscard]] std::size_t max_in_degree() const noexcept { return max_in_degree_; }
 
  private:
+  void build(const GraphBuilder& b, const VertexId* perm);
+
   std::size_t vertex_count_ = 0;
   std::vector<Edge> edges_;                          // dense, builder order
   std::vector<std::uint32_t> out_offsets_;           // size V+1

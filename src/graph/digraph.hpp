@@ -67,6 +67,19 @@ class GraphBuilder {
   std::vector<std::vector<EdgeId>> in_;
 };
 
+/// Vertex-id layout chosen at finalize time.
+///  kNone     — ids are builder-insertion order, preserved bit for bit.
+///  kLocality — stage-major BFS relabel: a level-synchronized BFS from the
+///              inputs assigns new ids in discovery order, so every search
+///              frontier occupies a contiguous id range (contiguous cache
+///              lines in SearchScratch, the busy bitsets and the successor
+///              array). Edge ids and incidence order are preserved, so
+///              routing on the relabeled graph is the exact image of
+///              routing on the original under the permutation.
+enum class RelabelMode : std::uint8_t { kNone, kLocality };
+
+[[nodiscard]] const char* to_string(RelabelMode m) noexcept;
+
 /// A finalized circuit-switching network: an immutable CSR graph plus
 /// distinguished terminal vertices. `stage[v]` is the construction stage of
 /// v (or -1 when the construction is not staged); all §6 networks are
@@ -77,6 +90,15 @@ struct Network {
   std::vector<VertexId> outputs;
   std::vector<std::int32_t> stage;  // may be empty if unstaged
   std::string name;
+  // Locality relabel bookkeeping (empty when finalized with kNone). The
+  // terminal lists above are already remapped, so callers addressing
+  // terminals by index — the whole svc/ API surface — see stable ids; these
+  // arrays exist for diagnostics and for translating externally recorded
+  // builder-id traces.
+  std::vector<VertexId> hot_of;   ///< hot_of[builder id] = relabeled id
+  std::vector<VertexId> cold_of;  ///< cold_of[relabeled id] = builder id
+
+  [[nodiscard]] bool relabeled() const noexcept { return !hot_of.empty(); }
 
   [[nodiscard]] std::size_t size() const noexcept { return g.edge_count(); }
   [[nodiscard]] bool is_input(VertexId v) const;
@@ -99,10 +121,28 @@ struct NetworkBuilder {
   std::vector<std::int32_t> stage;  // may be empty if unstaged
   std::string name;
 
-  /// Finalizes into an immutable Network. The builder stays valid.
-  [[nodiscard]] Network finalize() const {
-    return Network{g.finalize(), inputs, outputs, stage, name};
-  }
+  /// Finalizes into an immutable Network. The builder stays valid. With
+  /// RelabelMode::kLocality the vertex ids are permuted stage-major (see
+  /// RelabelMode); terminal lists and stage labels are remapped so the
+  /// terminal-index API surface is unchanged, and the old↔new permutation
+  /// is retained on the Network.
+  [[nodiscard]] Network finalize(RelabelMode mode = RelabelMode::kNone) const;
 };
+
+/// Relabels an already-finalized (unrelabeled) network with the locality
+/// permutation — the post-hoc form of finalize(kLocality) for networks
+/// produced by the networks/ constructors. Exact: CSR preserves the
+/// builder's incidence order (per-vertex lists are ascending edge-id
+/// order), so the reconstructed builder reproduces it bit for bit.
+/// Precondition: !net.relabeled().
+[[nodiscard]] Network relabel_locality(const Network& net);
+
+/// The stage-major BFS permutation finalize(kLocality) applies: perm[old] =
+/// new, assigned in level-synchronized discovery order of a multi-source BFS
+/// from `sources` (incidence order within a level, so the order is
+/// deterministic). Vertices unreachable from the sources keep their relative
+/// builder order after all reached ones. Exposed for tests.
+[[nodiscard]] std::vector<VertexId> locality_permutation(
+    const GraphBuilder& g, std::span<const VertexId> sources);
 
 }  // namespace ftcs::graph

@@ -150,7 +150,7 @@ class ConcurrentEngine final : public Engine {
 
   void connect_wave(unsigned session, WaveEntry* entries,
                     std::size_t n) override {
-    auto& buf = wave_buf_[session];  // per-session: sessions run concurrently
+    auto& buf = wave_buf_[session].items;  // per-session: run concurrently
     buf.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       buf[i].in = entries[i].in;
@@ -214,8 +214,15 @@ class ConcurrentEngine final : public Engine {
   }
 
  private:
+  // One wave buffer per session, cache-line aligned: sessions resize and
+  // fill their buffers concurrently during drain, and unpadded vector
+  // headers would false-share lines across neighbouring sessions.
+  struct alignas(util::kCacheLineBytes) SessionWaveBuf {
+    std::vector<core::WaveItem> items;
+  };
+
   core::ConcurrentRouter router_;
-  std::vector<std::vector<core::WaveItem>> wave_buf_;  // one per session
+  std::vector<SessionWaveBuf> wave_buf_;  // one per session
 };
 
 }  // namespace

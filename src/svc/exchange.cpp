@@ -32,8 +32,16 @@ Exchange::Exchange(const graph::Network* net,
       admission_(cfg.admission ? std::move(cfg.admission)
                                : std::make_unique<UnboundedAdmission>()),
       wave_drain_(cfg.wave_drain),
+      home_sessions_(cfg.home_sessions),
       id_(next_exchange_id.fetch_add(1, std::memory_order_relaxed)),
-      sessions_(engine_->sessions()) {}
+      sessions_(engine_->sessions()) {
+  // Pin the drain pool up front: every worker has re-pinned by the time
+  // apply_affinity returns, so the first drain's lazily built session
+  // scratch already first-touches on the pinned cpus. apply_affinity
+  // reports the post-degrade policy (kNone on hosts that cannot honor it).
+  if (cfg.affinity != util::AffinityPolicy::kNone)
+    affinity_ = util::ThreadPool::global().apply_affinity(cfg.affinity);
+}
 
 // ------------------------------------------------------------------ handles
 
@@ -257,25 +265,51 @@ std::size_t Exchange::drain() {
   const std::size_t m = batch.size();
   const unsigned s_count = engine_->sessions();
   std::vector<Outcome> outs(m);
-  // Deterministic contiguous partition: session s routes batch indices
-  // [m*s/S, m*(s+1)/S). Each pool task owns exactly one session, so the
-  // per-session handle shards stay single-threaded; callbacks for a
-  // request fire from the task that routed it.
+  // Partition the window across sessions: session s routes the batch
+  // indices in order[start[s], start[s+1]). Default is the deterministic
+  // contiguous split by arrival index ([m*s/S, m*(s+1)/S)); with
+  // home_sessions each request instead goes to the session owning its
+  // INPUT terminal's range, so one session's claim CASes land in its own
+  // slice of the terminal bitsets (its own cache domain once the pool is
+  // pinned). The grouping sort is stable, so FIFO order within a session
+  // is preserved. Either way each pool task owns exactly one session —
+  // the per-session handle shards stay single-threaded and callbacks for
+  // a request fire from the task that routed it.
+  std::vector<std::uint32_t> order(m);
+  std::vector<std::size_t> start(s_count + 1, 0);
+  if (home_sessions_ && s_count > 1) {
+    const std::size_t n_in = net_->inputs.size();
+    const auto home = [&](std::uint32_t input) {
+      const std::size_t s = static_cast<std::size_t>(input) * s_count / n_in;
+      return static_cast<unsigned>(
+          std::min<std::size_t>(s, s_count - 1));  // clamp bad inputs
+    };
+    for (std::size_t i = 0; i < m; ++i) ++start[home(batch[i].req.input) + 1];
+    for (unsigned s = 0; s < s_count; ++s) start[s + 1] += start[s];
+    std::vector<std::size_t> cursor(start.begin(), start.end() - 1);
+    for (std::size_t i = 0; i < m; ++i)
+      order[cursor[home(batch[i].req.input)]++] =
+          static_cast<std::uint32_t>(i);
+  } else {
+    std::iota(order.begin(), order.end(), 0u);
+    for (unsigned s = 0; s <= s_count; ++s) start[s] = m * s / s_count;
+  }
   const auto route_chunk = [&](unsigned s) {
-    const std::size_t lo = m * s / s_count;
-    const std::size_t hi = m * (s + 1) / s_count;
+    const std::size_t lo = start[s];
+    const std::size_t hi = start[s + 1];
     if (wave_drain_ && hi - lo > 1) {
       // Wave plane: the whole chunk rides ONE search wave; callbacks fire
       // after the wave settles (still from the task that owns the session,
       // in window order).
       std::vector<Engine::WaveEntry> wave(hi - lo);
-      for (std::size_t i = lo; i < hi; ++i) {
-        wave[i - lo].in = batch[i].req.input;
-        wave[i - lo].out = batch[i].req.output;
+      for (std::size_t k = lo; k < hi; ++k) {
+        wave[k - lo].in = batch[order[k]].req.input;
+        wave[k - lo].out = batch[order[k]].req.output;
       }
       engine_->connect_wave(s, wave.data(), wave.size());
-      for (std::size_t i = lo; i < hi; ++i) {
-        const Engine::Connect& c = wave[i - lo].result;
+      for (std::size_t k = lo; k < hi; ++k) {
+        const std::size_t i = order[k];
+        const Engine::Connect& c = wave[k - lo].result;
         Outcome& o = outs[i];
         o.tag = batch[i].req.tag;
         o.session = s;
@@ -288,7 +322,8 @@ std::size_t Exchange::drain() {
       }
       return;
     }
-    for (std::size_t i = lo; i < hi; ++i) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      const std::size_t i = order[k];
       outs[i] = route_one(batch[i].req, s, batch[i].deferrals);
       if (batch[i].done) batch[i].done(outs[i]);
     }

@@ -52,6 +52,7 @@
 #include "svc/call.hpp"
 #include "svc/engine.hpp"
 #include "util/bitset.hpp"
+#include "util/cpu_topology.hpp"
 
 namespace ftcs::svc {
 
@@ -152,6 +153,20 @@ struct ExchangeConfig {
   /// A/B switch for the direction-optimizing frontier (see make_engine);
   /// off reproduces the classic top-down search.
   bool direction_optimize = true;
+  /// Worker-pinning policy applied to util::ThreadPool::global() at
+  /// construction (the pool that drain() routes on). kNone leaves the pool
+  /// untouched; kSpread/kCompact pin its workers (see util/cpu_topology.hpp)
+  /// and auto-degrade back to kNone when the host cannot honor the plan
+  /// (fewer physical cores than pool workers — the CI case). NOTE: the
+  /// global pool is process-wide state; the last Exchange to set a non-None
+  /// policy wins.
+  util::AffinityPolicy affinity = util::AffinityPolicy::kNone;
+  /// Batched plane: partition each drain() window by the request's INPUT
+  /// terminal (session s owns inputs [n*s/S, n*(s+1)/S)) instead of by
+  /// arrival index. A session's terminal-slot CAS traffic then stays inside
+  /// its own word range of the claim bitsets — with a pinned pool, inside
+  /// its own cache domain. Off preserves the arrival-order partition.
+  bool home_sessions = false;
 };
 
 class Exchange {
@@ -253,6 +268,11 @@ class Exchange {
   [[nodiscard]] unsigned sessions() const noexcept {
     return engine_->sessions();
   }
+  /// Pinning policy in effect on the global pool after construction (post
+  /// auto-degrade); kNone when the config did not request pinning.
+  [[nodiscard]] util::AffinityPolicy affinity() const noexcept {
+    return affinity_;
+  }
   [[nodiscard]] const graph::Network& network() const noexcept { return *net_; }
   [[nodiscard]] bool input_idle(std::uint32_t in) const {
     return engine_->input_idle(in);
@@ -337,6 +357,8 @@ class Exchange {
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<AdmissionPolicy> admission_;
   bool wave_drain_ = true;
+  bool home_sessions_ = false;
+  util::AffinityPolicy affinity_ = util::AffinityPolicy::kNone;
   std::uint32_t id_;  // process-unique, tagged into every CallId
   std::vector<Session> sessions_;
 

@@ -12,6 +12,14 @@
 //   - test(i) defaults to relaxed: cheap dirty reads for optimistic search
 //     passes that are re-validated by a later try_set().
 // Sized at construction; resize() is NOT thread-safe (call before sharing).
+//
+// Layout: dense by default (64 flags per 8-byte word, the right shape for
+// the big busy bitsets that searches scan). Padding::kCacheLine spreads the
+// words one per cache line instead — an 8x size cost that is the right
+// trade for SMALL, CONTENDED bitsets used as claim locks (the terminal
+// slots): with dense words, 64 unrelated claim CASes false-share one line
+// and every acquisition broadcasts invalidations to all workers parked on
+// neighbouring slots.
 #pragma once
 
 #include <atomic>
@@ -24,15 +32,24 @@ namespace ftcs::util {
 
 class AtomicBitset {
  public:
+  /// Word placement: kDense packs words back to back; kCacheLine gives each
+  /// 64-bit word its own cache line (see the header comment).
+  enum class Padding : std::uint8_t { kDense, kCacheLine };
+
   AtomicBitset() = default;
-  explicit AtomicBitset(std::size_t bits) { resize(bits); }
+  explicit AtomicBitset(std::size_t bits, Padding pad = Padding::kDense) {
+    resize(bits, pad);
+  }
 
   /// Not thread-safe; establish size (all bits clear) before sharing.
-  void resize(std::size_t bits) {
+  void resize(std::size_t bits, Padding pad = Padding::kDense) {
     bits_ = bits;
     word_count_ = (bits + 63) / 64;
-    words_ = std::make_unique<std::atomic<std::uint64_t>[]>(word_count_);
-    for (std::size_t w = 0; w < word_count_; ++w)
+    // 64-byte line / 8-byte word = stride of 8 words in padded mode.
+    stride_shift_ = pad == Padding::kCacheLine ? 3u : 0u;
+    const std::size_t slots = word_count_ << stride_shift_;
+    words_ = std::make_unique<std::atomic<std::uint64_t>[]>(slots);
+    for (std::size_t w = 0; w < slots; ++w)
       words_[w].store(0, std::memory_order_relaxed);
   }
 
@@ -41,7 +58,7 @@ class AtomicBitset {
 
   [[nodiscard]] bool test(std::size_t i, std::memory_order order =
                                              std::memory_order_relaxed) const noexcept {
-    return (words_[i >> 6].load(order) >> (i & 63)) & 1u;
+    return (words_[slot(i)].load(order) >> (i & 63)) & 1u;
   }
 
   /// Atomic test-and-set. Returns true iff the bit was clear (the caller now
@@ -50,20 +67,20 @@ class AtomicBitset {
   [[nodiscard]] bool try_set(std::size_t i) noexcept {
     const std::uint64_t mask = std::uint64_t{1} << (i & 63);
     const std::uint64_t prev =
-        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+        words_[slot(i)].fetch_or(mask, std::memory_order_acq_rel);
     return (prev & mask) == 0;
   }
 
   /// Unconditional set (relaxed) — for single-threaded initialization only.
   void set(std::size_t i) noexcept {
-    words_[i >> 6].fetch_or(std::uint64_t{1} << (i & 63),
-                            std::memory_order_relaxed);
+    words_[slot(i)].fetch_or(std::uint64_t{1} << (i & 63),
+                             std::memory_order_relaxed);
   }
 
   /// Clears the bit, publishing the owner's writes (release).
   void reset(std::size_t i) noexcept {
-    words_[i >> 6].fetch_and(~(std::uint64_t{1} << (i & 63)),
-                             std::memory_order_release);
+    words_[slot(i)].fetch_and(~(std::uint64_t{1} << (i & 63)),
+                              std::memory_order_release);
   }
 
   /// Number of set bits (relaxed snapshot; exact only at quiescence).
@@ -71,7 +88,7 @@ class AtomicBitset {
     std::size_t c = 0;
     for (std::size_t w = 0; w < word_count_; ++w)
       c += static_cast<std::size_t>(__builtin_popcountll(
-          words_[w].load(std::memory_order_relaxed)));
+          words_[w << stride_shift_].load(std::memory_order_relaxed)));
     return c;
   }
 
@@ -91,8 +108,13 @@ class AtomicBitset {
   }
 
  private:
+  [[nodiscard]] std::size_t slot(std::size_t i) const noexcept {
+    return (i >> 6) << stride_shift_;
+  }
+
   std::size_t bits_ = 0;
   std::size_t word_count_ = 0;
+  unsigned stride_shift_ = 0;  // 0 dense, 3 one word per cache line
   std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
 };
 

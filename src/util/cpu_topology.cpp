@@ -1,0 +1,229 @@
+#include "util/cpu_topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace ftcs::util {
+
+namespace {
+
+/// Reads a small text file whole; empty string on any failure.
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream f(p);
+  if (!f) return {};
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+/// Parses a sysfs cpulist ("0-3,5,7-9") into cpu ids. Returns empty on any
+/// malformed token — callers treat empty as "fall back".
+std::vector<unsigned> parse_cpulist(const std::string& text) {
+  std::vector<unsigned> cpus;
+  std::size_t i = 0;
+  const auto read_num = [&](unsigned& out) {
+    if (i >= text.size() || text[i] < '0' || text[i] > '9') return false;
+    unsigned long v = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9')
+      v = v * 10 + static_cast<unsigned long>(text[i++] - '0');
+    out = static_cast<unsigned>(v);
+    return true;
+  };
+  while (i < text.size()) {
+    unsigned lo = 0;
+    if (!read_num(lo)) return {};
+    unsigned hi = lo;
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      if (!read_num(hi) || hi < lo) return {};
+    }
+    for (unsigned c = lo; c <= hi; ++c) cpus.push_back(c);
+    if (i < text.size()) {
+      if (text[i] != ',' && text[i] != '\n' && text[i] != ' ') return {};
+      ++i;
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+/// Parses the integer in a one-value sysfs file; `fallback` on failure.
+int parse_int_file(const std::filesystem::path& p, int fallback) {
+  const std::string text = slurp(p);
+  if (text.empty()) return fallback;
+  int v = 0;
+  if (std::sscanf(text.c_str(), "%d", &v) != 1) return fallback;
+  return v;
+}
+
+/// NUMA node of one cpu: sysfs exposes it as a `node<K>` entry inside the
+/// cpu's directory. Returns 0 when absent (single-node box or fake tree).
+int scan_node_link(const std::filesystem::path& cpu_dir) {
+  std::error_code ec;
+  for (const auto& ent :
+       std::filesystem::directory_iterator(cpu_dir, ec)) {
+    const std::string name = ent.path().filename().string();
+    if (name.size() > 4 && name.compare(0, 4, "node") == 0) {
+      int v = 0;
+      if (std::sscanf(name.c_str() + 4, "%d", &v) == 1 && v >= 0) return v;
+    }
+  }
+  return 0;
+}
+
+CpuTopology flat_fallback() {
+  CpuTopology topo;
+  unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  topo.cpus.reserve(n);
+  for (unsigned c = 0; c < n; ++c)
+    topo.cpus.push_back({c, static_cast<int>(c), 0, false});
+  topo.core_count = n;
+  topo.node_count = 1;
+  topo.from_sysfs = false;
+  return topo;
+}
+
+}  // namespace
+
+CpuTopology CpuTopology::discover(const std::string& sysfs_cpu_root) {
+  const std::filesystem::path root(sysfs_cpu_root);
+  const std::vector<unsigned> online = parse_cpulist(slurp(root / "online"));
+  if (online.empty()) return flat_fallback();
+
+  CpuTopology topo;
+  topo.from_sysfs = true;
+  // Dense core index keyed by (package, core_id): core_id alone repeats
+  // across packages on multi-socket boxes.
+  std::map<std::pair<int, int>, int> core_index;
+  int max_node = 0;
+  for (unsigned id : online) {
+    const std::filesystem::path cpu_dir = root / ("cpu" + std::to_string(id));
+    const int core_id =
+        parse_int_file(cpu_dir / "topology" / "core_id", static_cast<int>(id));
+    const int package =
+        parse_int_file(cpu_dir / "topology" / "physical_package_id", 0);
+    const int node = scan_node_link(cpu_dir);
+    const auto [it, fresh] = core_index.try_emplace(
+        {package, core_id}, static_cast<int>(core_index.size()));
+    topo.cpus.push_back({id, it->second, node, !fresh});
+    max_node = std::max(max_node, node);
+  }
+  topo.core_count = static_cast<unsigned>(core_index.size());
+  topo.node_count = static_cast<unsigned>(max_node) + 1;
+  return topo;
+}
+
+int CpuTopology::node_of(unsigned id) const noexcept {
+  for (const Cpu& c : cpus)
+    if (c.id == id) return c.node;
+  return -1;
+}
+
+const char* to_string(AffinityPolicy p) noexcept {
+  switch (p) {
+    case AffinityPolicy::kSpread: return "spread";
+    case AffinityPolicy::kCompact: return "compact";
+    case AffinityPolicy::kNone: break;
+  }
+  return "none";
+}
+
+bool affinity_from_string(std::string_view s, AffinityPolicy& out) noexcept {
+  if (s == "none") { out = AffinityPolicy::kNone; return true; }
+  if (s == "spread") { out = AffinityPolicy::kSpread; return true; }
+  if (s == "compact") { out = AffinityPolicy::kCompact; return true; }
+  return false;
+}
+
+std::vector<unsigned> plan_affinity(const CpuTopology& topo, unsigned workers,
+                                    AffinityPolicy policy) {
+  if (policy == AffinityPolicy::kNone || workers == 0) return {};
+  if (!pinning_supported()) return {};
+  // One worker per physical core, never an SMT pair: oversubscribed pinning
+  // is strictly worse than letting the scheduler float (CI's 1-2 core
+  // runners hit this path and run unpinned).
+  if (workers > topo.core_count) return {};
+
+  // Core primaries only (workers <= core_count guarantees enough of them).
+  std::vector<CpuTopology::Cpu> primaries;
+  for (const auto& c : topo.cpus)
+    if (!c.smt_secondary) primaries.push_back(c);
+
+  std::vector<unsigned> plan;
+  plan.reserve(workers);
+  if (policy == AffinityPolicy::kCompact) {
+    // Fill node by node; within a node keep kernel cpu order (shares L3).
+    std::stable_sort(primaries.begin(), primaries.end(),
+                     [](const auto& a, const auto& b) { return a.node < b.node; });
+    for (unsigned w = 0; w < workers; ++w) plan.push_back(primaries[w].id);
+    return plan;
+  }
+  // kSpread: round-robin across nodes so memory bandwidth is spread evenly.
+  std::vector<std::vector<unsigned>> per_node(topo.node_count);
+  for (const auto& c : primaries)
+    if (static_cast<unsigned>(c.node) < per_node.size())
+      per_node[static_cast<unsigned>(c.node)].push_back(c.id);
+  std::vector<std::size_t> cursor(per_node.size(), 0);
+  std::size_t node = 0;
+  while (plan.size() < workers) {
+    bool advanced = false;
+    for (std::size_t tries = 0; tries < per_node.size() && plan.size() < workers;
+         ++tries, node = (node + 1) % per_node.size()) {
+      auto& bucket = per_node[node];
+      if (cursor[node] < bucket.size()) {
+        plan.push_back(bucket[cursor[node]++]);
+        advanced = true;
+      }
+    }
+    if (!advanced) break;  // fewer primaries than expected: degrade
+  }
+  if (plan.size() != workers) return {};
+  return plan;
+}
+
+bool pinning_supported() noexcept {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool pin_current_thread(unsigned cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+bool unpin_current_thread() noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  // The kernel intersects the mask with the online set, so setting every
+  // representable cpu restores "anywhere".
+  for (unsigned c = 0; c < CPU_SETSIZE; ++c) CPU_SET(c, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ftcs::util

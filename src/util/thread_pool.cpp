@@ -34,20 +34,41 @@ struct ThreadPool::Impl {
     std::shared_ptr<Batch> batch;
     std::size_t index;
   };
-  struct WorkerQueue {
+  // Cache-line aligned: adjacent deque heads otherwise share a line and the
+  // owner-pop / thief-steal mutex traffic false-shares across workers.
+  struct alignas(kCacheLineBytes) WorkerQueue {
     std::mutex m;
     std::deque<Task> q;
+  };
+  // Hot cross-thread counters each get their own line for the same reason.
+  struct alignas(kCacheLineBytes) PaddedCounter {
+    std::atomic<std::size_t> v{0};
   };
 
   std::vector<WorkerQueue> queues;
   std::vector<std::thread> workers;
   std::mutex park_m;
   std::condition_variable park_cv;
-  std::atomic<std::size_t> pending{0};  // tasks sitting in some deque
+  PaddedCounter pending;  // tasks sitting in some deque
   std::atomic<bool> stop{false};
-  std::atomic<std::size_t> spray{0};  // round-robin cursor for submissions
+  PaddedCounter spray;  // round-robin cursor for submissions
 
-  explicit Impl(unsigned threads) : queues(threads == 0 ? 1 : threads) {
+  // Affinity plan. pin_plan/home_node/policy are guarded by park_m;
+  // pin_epoch bumps publish a new plan and wake parked workers, each worker
+  // self-pins at the top of its loop and acks, and the applier blocks until
+  // every worker has acked — so when apply_affinity() returns, all workers
+  // run on their planned cpus and later allocations first-touch there.
+  std::vector<unsigned> pin_plan;  // cpu per worker; empty = unpinned
+  std::vector<int> home_node;     // node per worker; -1 = unpinned
+  AffinityPolicy policy{AffinityPolicy::kNone};
+  std::atomic<std::uint64_t> pin_epoch{0};
+  std::atomic<std::size_t> pin_acks{0};
+  std::mutex ack_m;
+  std::condition_variable ack_cv;
+
+  explicit Impl(unsigned threads)
+      : queues(threads == 0 ? 1 : threads),
+        home_node(threads, -1) {
     workers.reserve(threads);
     for (unsigned t = 0; t < threads; ++t)
       workers.emplace_back([this, t] { worker_loop(t); });
@@ -81,7 +102,7 @@ struct ThreadPool::Impl {
     if (wq.q.empty()) return false;
     out = std::move(wq.q.back());
     wq.q.pop_back();
-    pending.fetch_sub(1, std::memory_order_relaxed);
+    pending.v.fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -101,7 +122,7 @@ struct ThreadPool::Impl {
     }
     out = std::move(loot.front());
     loot.pop_front();
-    pending.fetch_sub(1, std::memory_order_relaxed);
+    pending.v.fetch_sub(1, std::memory_order_relaxed);
     if (!loot.empty() && v != w) {
       auto& wq = queues[w];
       std::lock_guard<std::mutex> lk(wq.m);
@@ -123,24 +144,78 @@ struct ThreadPool::Impl {
     return false;
   }
 
+  /// Self-pins worker `w` when a new plan has been published. Runs on the
+  /// worker thread so anything the worker allocates afterwards first-touch
+  /// lands on the pinned cpu's node.
+  void maybe_repin(unsigned w, std::uint64_t& applied) {
+    const std::uint64_t e = pin_epoch.load(std::memory_order_acquire);
+    if (e == applied) return;
+    bool pinned = false;
+    unsigned cpu = 0;
+    {
+      std::lock_guard<std::mutex> lk(park_m);
+      if (w < pin_plan.size()) {
+        pinned = true;
+        cpu = pin_plan[w];
+      }
+    }
+    if (pinned)
+      pin_current_thread(cpu);
+    else
+      unpin_current_thread();
+    applied = e;
+    pin_acks.fetch_add(1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(ack_m);  // pairs with applier's wait
+    }
+    ack_cv.notify_all();
+  }
+
   void worker_loop(unsigned w) {
     t_inside_pool_worker = true;
+    std::uint64_t applied_epoch = 0;
     Task task;
     while (true) {
+      maybe_repin(w, applied_epoch);
       if (find_task(w, task)) {
         execute(task);
         task.batch.reset();
         continue;
       }
       std::unique_lock<std::mutex> lk(park_m);
-      park_cv.wait(lk, [this] {
+      park_cv.wait(lk, [this, applied_epoch] {
         return stop.load(std::memory_order_acquire) ||
-               pending.load(std::memory_order_acquire) > 0;
+               pending.v.load(std::memory_order_acquire) > 0 ||
+               pin_epoch.load(std::memory_order_acquire) != applied_epoch;
       });
       if (stop.load(std::memory_order_acquire) &&
-          pending.load(std::memory_order_acquire) == 0)
+          pending.v.load(std::memory_order_acquire) == 0)
         return;
     }
+  }
+
+  AffinityPolicy apply_affinity(AffinityPolicy requested,
+                                const CpuTopology& topo) {
+    std::vector<unsigned> plan = plan_affinity(
+        topo, static_cast<unsigned>(workers.size()), requested);
+    const AffinityPolicy effective =
+        plan.empty() ? AffinityPolicy::kNone : requested;
+    {
+      std::lock_guard<std::mutex> lk(park_m);
+      pin_plan = std::move(plan);
+      home_node.assign(workers.size(), -1);
+      for (std::size_t w = 0; w < pin_plan.size(); ++w)
+        home_node[w] = topo.node_of(pin_plan[w]);
+      policy = effective;
+      pin_acks.store(0, std::memory_order_relaxed);
+      pin_epoch.fetch_add(1, std::memory_order_release);
+    }
+    park_cv.notify_all();
+    std::unique_lock<std::mutex> lk(ack_m);
+    ack_cv.wait(lk, [this] {
+      return pin_acks.load(std::memory_order_acquire) >= workers.size();
+    });
+    return effective;
   }
 
   void run(std::size_t count, const std::function<void(std::size_t)>& fn) {
@@ -159,9 +234,9 @@ struct ThreadPool::Impl {
     // must never underflow. During the push window pending can exceed the
     // number of visible tasks — workers then spin through one empty
     // find_task pass, which is transient and bounded by the push loop.
-    pending.fetch_add(count, std::memory_order_release);
+    pending.v.fetch_add(count, std::memory_order_release);
     const unsigned n = static_cast<unsigned>(queues.size());
-    std::size_t cursor = spray.fetch_add(count, std::memory_order_relaxed);
+    std::size_t cursor = spray.v.fetch_add(count, std::memory_order_relaxed);
     for (std::size_t i = 0; i < count; ++i, ++cursor) {
       auto& wq = queues[cursor % n];
       std::lock_guard<std::mutex> lk(wq.m);
@@ -209,6 +284,26 @@ unsigned ThreadPool::thread_count() const noexcept {
 void ThreadPool::run(std::size_t count,
                      const std::function<void(std::size_t)>& task) {
   impl_->run(count, task);
+}
+
+AffinityPolicy ThreadPool::apply_affinity(AffinityPolicy policy) {
+  return apply_affinity(policy, CpuTopology::discover());
+}
+
+AffinityPolicy ThreadPool::apply_affinity(AffinityPolicy policy,
+                                          const CpuTopology& topo) {
+  return impl_->apply_affinity(policy, topo);
+}
+
+AffinityPolicy ThreadPool::affinity() const {
+  std::lock_guard<std::mutex> lk(impl_->park_m);
+  return impl_->policy;
+}
+
+int ThreadPool::worker_node(unsigned w) const {
+  std::lock_guard<std::mutex> lk(impl_->park_m);
+  if (w >= impl_->home_node.size()) return -1;
+  return impl_->home_node[w];
 }
 
 }  // namespace ftcs::util

@@ -18,6 +18,11 @@ Series keyed so runs with different sweeps still match up:
   - the batched-admission series    (batched_admission.points[].batch)
   - the deep-network wave point     (batched_admission_k7.points[].batch)
   - the degraded-mode series        (degraded_mode.points[].eps)
+  - the locality-relabel pairs      (relabel.points[].network + .mode)
+  - the affinity sweep              (affinity_scaling.points[].policy —
+                                     keyed by the REQUESTED policy, so
+                                     baselines from hosts that degraded to
+                                     "none" still line up)
 
 Runner noise policy: individual points on shared CI boxes are noisy, so the
 gate trips on the GEOMETRIC MEAN of the matched improvement ratios dropping
@@ -26,9 +31,15 @@ below (1 - tolerance); any single point falling below half its baseline
 noise at 30% tolerance. Points present in only one file are reported and
 skipped, so adding a series stays backward-compatible.
 
+When BOTH files were recorded with --repeat >= 3 (the bench stamps the
+"repeats" key), each point is already a median-of-K and most run-to-run
+noise is gone, so the tolerance tightens to 2/3 of the requested value
+(default 0.30 -> 0.20).
+
 Usage:
   tools/check_bench.py --baseline BENCH_committed.json \
       --current BENCH_routing.json [--tolerance 0.30]
+  tools/check_bench.py --self-test
 """
 
 from __future__ import annotations
@@ -64,6 +75,10 @@ def series_points(doc: dict, metric: str) -> dict[str, float]:
         take(f"batch_k7/{p['batch']}", p)
     for p in doc.get("degraded_mode", {}).get("points", []):
         take(f"faults/eps={p['eps']:g}", p)
+    for p in doc.get("relabel", {}).get("points", []):
+        take(f"relabel/{p['network']}/{p['mode']}", p)
+    for p in doc.get("affinity_scaling", {}).get("points", []):
+        take(f"affinity/{p['policy']}", p)
     return points
 
 
@@ -112,16 +127,86 @@ def gate(label: str, base: dict[str, float], cur: dict[str, float],
     return True
 
 
+def effective_tolerance(tolerance: float, base_doc: dict,
+                        cur_doc: dict) -> float:
+    """Tightens the tolerance to 2/3 when both runs are median-of-K, K>=3."""
+    base_reps = int(base_doc.get("repeats", 1))
+    cur_reps = int(cur_doc.get("repeats", 1))
+    if base_reps >= 3 and cur_reps >= 3:
+        tightened = tolerance * 2.0 / 3.0
+        print(f"check_bench: both runs are median-of-{min(base_reps, cur_reps)}"
+              f"+; tolerance tightened {tolerance:.2f} -> {tightened:.2f}")
+        return tightened
+    return tolerance
+
+
+def self_test() -> int:
+    """Pure-python pins of the gate arithmetic (run by CI before gating)."""
+    doc = {
+        "calls_per_sec": 1000,
+        "repeats": 3,
+        "networks": [
+            {"name": "n1", "calls_per_sec": 100, "visits_per_connect": 10.0},
+        ],
+        "thread_scaling": {"points": [
+            {"threads": 2, "calls_per_sec": 150, "visits_per_connect": 9.0},
+        ]},
+        "relabel": {"points": [
+            {"network": "n1", "mode": "none", "calls_per_sec": 100,
+             "visits_per_connect": 10.0},
+            {"network": "n1", "mode": "locality", "calls_per_sec": 140,
+             "visits_per_connect": 10.0},
+        ]},
+        "affinity_scaling": {"points": [
+            {"policy": "spread", "effective": "none", "calls_per_sec": 120,
+             "visits_per_connect": 8.0},
+        ]},
+    }
+    pts = series_points(doc, "calls_per_sec")
+    expect = {"aggregate": 1000.0, "churn/n1": 100.0, "threads/2": 150.0,
+              "relabel/n1/none": 100.0, "relabel/n1/locality": 140.0,
+              "affinity/spread": 120.0}
+    assert pts == expect, f"series_points mismatch: {pts}"
+
+    # Identical files pass at any tolerance; a uniform 40% loss trips the
+    # 30% geomean gate; a single halved point trips the worst-point gate
+    # even when the geomean survives.
+    assert gate("t", pts, dict(pts), 0.70, False, True)
+    lost = {k: v * 0.6 for k, v in pts.items()}
+    assert not gate("t", pts, lost, 0.70, False, True)
+    one_bad = dict(pts)
+    one_bad["churn/n1"] = pts["churn/n1"] * 0.49
+    assert not gate("t", pts, one_bad, 0.70, False, True)
+    # visits: LOWER is better — a uniform drop is an improvement.
+    better = {k: v * 0.5 for k, v in pts.items()}
+    assert gate("t", pts, better, 0.70, True, False)
+
+    # Repeat-aware tightening: on at both >=3, off when either side is a
+    # single run.
+    assert abs(effective_tolerance(0.30, doc, doc) - 0.20) < 1e-9
+    assert effective_tolerance(0.30, doc, {"repeats": 1}) == 0.30
+    assert effective_tolerance(0.30, {}, doc) == 0.30
+
+    print("check_bench: self-test OK")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True,
-                    help="committed BENCH_routing.json")
-    ap.add_argument("--current", required=True,
-                    help="the smoke run's BENCH_routing.json")
+    ap.add_argument("--baseline", help="committed BENCH_routing.json")
+    ap.add_argument("--current", help="the smoke run's BENCH_routing.json")
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="allowed fractional regression of the geometric "
-                         "mean, per metric family (default 0.30)")
+                         "mean, per metric family (default 0.30; tightened "
+                         "to 2/3 when both runs record repeats >= 3)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the gate's own arithmetic pins and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error("--baseline and --current are required (or use --self-test)")
 
     try:
         base_doc = load(args.baseline)
@@ -130,7 +215,7 @@ def main() -> int:
         print(f"check_bench: cannot parse inputs: {exc}", file=sys.stderr)
         return 1
 
-    floor = 1.0 - args.tolerance
+    floor = 1.0 - effective_tolerance(args.tolerance, base_doc, cur_doc)
     try:
         ok = gate("calls/sec",
                   series_points(base_doc, "calls_per_sec"),
