@@ -26,6 +26,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -43,6 +44,7 @@
 #include "ftcs/router.hpp"
 #include "ftcs/verify.hpp"
 #include "networks/cantor.hpp"
+#include "networks/crossbar.hpp"
 #include "svc/admission.hpp"
 #include "svc/exchange.hpp"
 #include "util/prng.hpp"
@@ -552,6 +554,129 @@ std::vector<DegradedPoint> degraded_series(const graph::Network& net,
   return series;
 }
 
+// ---------------------------------------------------------------------------
+// --policy=overlay admission A/B: the SAME bursty fault storm served twice
+// through the batched plane — once behind a static FixedWindowAdmission,
+// once behind the overlay-aware decorator over the same window. One drain()
+// per tick (not drain_all): the overlay policy's whole mechanism is leaving
+// the surplus queued while the topology is degraded, so the series must let
+// a backlog exist. Repairs lag failures (mean repair = a third of the run),
+// the tail sweep-repairs whatever the schedule left down, and both runs
+// then drain their backlog to empty — every submitted request gets routed
+// or rejected under BOTH policies, so the reject books are comparable.
+// "Hard" rejects = no-path + refused: the requests the exchange burned into
+// dead topology (or bounced), versus deferring them to post-repair epochs.
+
+struct PolicyPoint {
+  const char* policy = "static";
+  std::size_t connects = 0;
+  double seconds = 0.0;
+  core::RouterStats stats;
+  std::uint64_t deferred = 0, refused = 0, epochs = 0;
+  std::uint64_t injected = 0, stuck = 0, repaired = 0, killed = 0;
+  [[nodiscard]] double calls_per_sec() const {
+    return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
+  }
+  [[nodiscard]] double visits_per_connect() const {
+    return stats.connect_calls ? static_cast<double>(stats.vertices_visited) /
+                                     static_cast<double>(stats.connect_calls)
+                               : 0.0;
+  }
+  [[nodiscard]] std::uint64_t hard_rejects() const {
+    return stats.rejected_no_path + refused;
+  }
+};
+
+PolicyPoint policy_churn(const graph::Network& net, unsigned sessions,
+                         bool overlay, double eps, std::size_t ticks,
+                         std::size_t arrivals_per_tick, std::size_t window) {
+  svc::ExchangeConfig cfg;
+  cfg.backend = svc::Backend::kConcurrent;
+  cfg.sessions = sessions;
+  if (overlay)
+    cfg.admission = std::make_unique<svc::OverlayAdaptiveAdmission>(window);
+  else
+    cfg.admission = std::make_unique<svc::FixedWindowAdmission>(window);
+  svc::Exchange exchange(net, std::move(cfg));
+  const auto n = static_cast<std::uint32_t>(net.inputs.size());
+  util::Xoshiro256 rng(util::derive_seed(91, overlay ? 1 : 0));
+
+  // Bursty storm: hazards run for the whole horizon but crews take a third
+  // of the run per fix, so damage accumulates mid-run and clears late.
+  // Open failures only — the A/B is about admission into DEAD topology, and
+  // stuck-on welds never block a search.
+  const auto schedule = fault::FaultSchedule::from_model(
+      fault::FaultModel{eps, 0.0}, net.g.edge_count(),
+      /*horizon=*/static_cast<double>(ticks),
+      /*mean_repair=*/static_cast<double>(ticks) / 3.0, /*seed=*/177);
+  std::size_t fault_idx = 0;
+
+  std::vector<std::vector<svc::CallId>> active(sessions);
+  const auto on_done = [&active](const svc::Outcome& o) {
+    if (o.connected()) active[o.session].push_back(o.id);
+  };
+  const auto hangup_third = [&] {
+    util::ThreadPool::global().run(sessions, [&](std::size_t s) {
+      auto& mine = active[s];
+      util::Xoshiro256 vrng(util::derive_seed(93, s));
+      std::size_t drop = mine.size() / 3;
+      while (drop-- > 0 && !mine.empty()) {
+        const auto idx = vrng() % mine.size();
+        exchange.hangup(mine[idx]);
+        mine[idx] = mine.back();
+        mine.pop_back();
+      }
+    });
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t tick = 1; tick <= ticks; ++tick) {
+    while (fault_idx < schedule.events().size() &&
+           schedule.events()[fault_idx].time <= static_cast<double>(tick)) {
+      const svc::FaultImpact impact =
+          exchange.apply(schedule.events()[fault_idx]);
+      ++fault_idx;
+      for (const auto& re : impact.reroutes)
+        if (re.connected()) active[re.session].push_back(re.id);
+    }
+    for (std::size_t b = 0; b < arrivals_per_tick; ++b) {
+      const auto in = static_cast<std::uint32_t>(rng() % n);
+      const auto out = static_cast<std::uint32_t>(rng() % n);
+      exchange.submit({in, out}, on_done);
+    }
+    exchange.drain();  // ONE epoch: surplus stays queued for healthier ticks
+    hangup_third();
+  }
+  // The crews finish: sweep-repair every switch (repairing a healthy one is
+  // a no-op), then serve the deferred backlog to empty. The storm's damage
+  // is gone, so whatever a policy queued instead of burning now routes.
+  for (graph::EdgeId e = 0; e < net.g.edge_count(); ++e)
+    exchange.repair({static_cast<double>(ticks) + 1.0, e,
+                     fault::FaultEvent::Kind::kRepair});
+  while (exchange.pending() > 0) {
+    exchange.drain();
+    hangup_third();
+  }
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const svc::ExchangeStats st = exchange.stats();
+  PolicyPoint p;
+  p.policy = overlay ? "overlay" : "static";
+  p.connects = static_cast<std::size_t>(st.admitted);
+  p.seconds = dt;
+  p.stats = st.router;
+  p.deferred = st.deferred;
+  p.refused = st.refused;
+  p.epochs = st.epochs;
+  p.injected = st.faults_injected;
+  p.stuck = st.faults_stuck;
+  p.repaired = st.faults_repaired;
+  p.killed = st.calls_killed_by_fault;
+  return p;
+}
+
 /// Extracts `"key": <number>` from a JSON-ish text; returns -1 if absent.
 double extract_number(const std::string& text, const std::string& key) {
   const auto pos = text.find("\"" + key + "\"");
@@ -575,7 +700,7 @@ std::string reject_key(svc::RejectReason reason, std::uint64_t count) {
 
 int run_json_smoke(const std::string& path, unsigned max_threads,
                    std::size_t max_batch, double max_faults,
-                   std::size_t repeats) {
+                   std::size_t repeats, bool policy_overlay) {
   std::vector<ChurnMeasure> rows;
   rows.push_back(median_of(repeats, [&] {
     return churn_workload("cantor-k5", networks::build_cantor({5, 0}),
@@ -762,6 +887,58 @@ int run_json_smoke(const std::string& path, unsigned max_threads,
     out << "  ]},\n";
   }
 
+  // Admission-policy A/B: the bursty storm served behind the static window
+  // and behind the overlay-aware decorator. The acceptance metric is
+  // hard_rejects (no-path + refused): the overlay point defers work while
+  // switches are down and routes it post-repair instead of burning it.
+  // The network is deliberately diversity-poor — a crossbar has exactly one
+  // switch per terminal pair, so a dead switch IS a no-path for its pair
+  // until the crew arrives; on the paper's FT networks the storm would have
+  // to sever a terminal entirely before static admission burns a request.
+  if (policy_overlay && max_threads >= 1) {
+    const auto net = networks::build_crossbar(32);
+    const double eps = max_faults > 0 ? max_faults : 1e-3;
+    const std::size_t ticks = 240, arrivals = 16, window = 64;
+    std::vector<PolicyPoint> pts;
+    for (const bool overlay : {false, true})
+      pts.push_back(median_of(repeats, [&] {
+        return policy_churn(net, max_threads, overlay, eps, ticks, arrivals,
+                            window);
+      }));
+    const auto& st = pts[0];
+    const auto& ov = pts[1];
+    out << "  \"admission_policy\": {\"network\": \"crossbar-32\", \"sessions\": "
+        << max_threads << ", \"eps\": " << eps << ", \"window\": " << window
+        << ", \"ticks\": " << ticks << ", \"arrivals_per_tick\": " << arrivals
+        << ", \"points\": [\n";
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const auto& p = pts[i];
+      out << "    {\"policy\": \"" << p.policy << "\", \"connects\": "
+          << p.connects << ", \"calls_per_sec\": "
+          << static_cast<std::uint64_t>(p.calls_per_sec())
+          << ", \"visits_per_connect\": " << p.visits_per_connect()
+          << ", \"hard_rejects\": " << p.hard_rejects() << ", "
+          << reject_key(svc::RejectReason::kNoPath, p.stats.rejected_no_path)
+          << ", \"refused\": " << p.refused << ", \"deferred\": " << p.deferred
+          << ", \"epochs\": " << p.epochs << ", \"faults_injected\": "
+          << p.injected << ", \"stuck_injected\": " << p.stuck
+          << ", \"calls_killed_by_fault\": " << p.killed << "}"
+          << (i + 1 < pts.size() ? "," : "") << "\n";
+      std::cout << "admission policy crossbar-32 " << p.policy << ": "
+                << p.hard_rejects() << " hard rejects ("
+                << p.stats.rejected_no_path << " no-path, " << p.refused
+                << " refused), " << p.deferred << " deferrals, "
+                << static_cast<std::uint64_t>(p.calls_per_sec())
+                << " calls/sec\n";
+    }
+    out << "  ], \"overlay_hard_reject_ratio\": "
+        << (st.hard_rejects() > 0
+                ? static_cast<double>(ov.hard_rejects()) /
+                      static_cast<double>(st.hard_rejects())
+                : 1.0)
+        << "},\n";
+  }
+
   // Locality-relabel A/B: the same churn on the builder-order network and
   // on its finalize(kLocality) image. Visits/connect must be IDENTICAL
   // (routing is the exact image under the permutation — pinned by
@@ -885,6 +1062,7 @@ int main(int argc, char** argv) {
   std::size_t max_batch = 0;  // 0 = no batched-admission series
   double max_faults = 0.0;    // 0 = no degraded-mode series
   std::size_t repeats = 1;    // --repeat=K: median-of-K per recorded point
+  bool policy_overlay = false;  // --policy=overlay: admission A/B series
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
@@ -904,16 +1082,18 @@ int main(int argc, char** argv) {
       const long v = std::strtol(arg.c_str() + 9, nullptr, 10);
       if (v >= 1) repeats = static_cast<std::size_t>(v);
     }
+    if (arg == "--policy=overlay") policy_overlay = true;
   }
-  // --threads / --batch / --faults without --json still record to the
-  // default path.
-  if ((max_threads > 0 || max_batch > 0 || max_faults > 0) &&
+  // --threads / --batch / --faults / --policy without --json still record
+  // to the default path.
+  if ((max_threads > 0 || max_batch > 0 || max_faults > 0 || policy_overlay) &&
       json_path.empty())
     json_path = "BENCH_routing.json";
-  if ((max_batch > 0 || max_faults > 0) && max_threads == 0) max_threads = 8;
+  if ((max_batch > 0 || max_faults > 0 || policy_overlay) && max_threads == 0)
+    max_threads = 8;
   if (!json_path.empty())
     return run_json_smoke(json_path, max_threads, max_batch, max_faults,
-                          repeats);
+                          repeats, policy_overlay);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_success_table();

@@ -18,9 +18,31 @@
 // the batched plane; the episode reports killed vs rerouted vs dropped.
 // With `sessions` > 1 the episode serves traffic through the batched
 // multi-session admission plane instead of the single immediate session.
+//
+//   $ ./telephone_exchange --daemon [sessions]
+//
+// Daemon mode: the FT exchange runs live — a serving thread pumps Poisson
+// call churn through the batched plane epoch after epoch — while THIS
+// process's stdin is the operator console, bridged to the serving thread by
+// ops::ControlPlane's command queue. Line protocol (one command per line):
+//   inject E | weld E | repair E   fault plane on switch (edge id) E
+//   grow N                         hitless-growth stub (typed unsupported)
+//   query                          health gauges + headline counters
+//   snapshot prom|json             metrics scrape, fenced by marker lines
+//                                  (tools/check_metrics.py validates them)
+//   quiesce                        drain the admission queue to empty
+//   quit                           stop serving and exit
+// Acks print as `ack <command> ...` lines; the session transcript is the
+// CI artifact.
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "fault/fault_instance.hpp"
 #include "fault/schedule.hpp"
@@ -28,7 +50,10 @@
 #include "ftcs/traffic.hpp"
 #include "networks/benes.hpp"
 #include "networks/clos.hpp"
+#include "ops/command_queue.hpp"
+#include "ops/control.hpp"
 #include "svc/exchange.hpp"
+#include "util/prng.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -56,10 +81,186 @@ ftcs::core::TrafficReport run_day(const ftcs::graph::Network& net,
   return simulate_traffic(exchange, p);
 }
 
+// ------------------------------------------------------------- daemon mode
+
+/// The serving loop: owns every session (the drain contract), so it is the
+/// one thread that runs admission epochs, applies operator fault commands
+/// (ControlPlane::pump between epochs), and hangs up expiring calls.
+void serve_loop(ftcs::svc::Exchange& exchange, ftcs::ops::ControlPlane& control,
+                unsigned sessions, std::atomic<bool>& stop) {
+  namespace svc = ftcs::svc;
+  const auto n =
+      static_cast<std::uint32_t>(exchange.network().inputs.size());
+  ftcs::util::Xoshiro256 rng(0xDA3E0);
+  std::vector<std::vector<svc::CallId>> active(sessions);
+  const auto on_done = [&active](const svc::Outcome& o) {
+    if (o.connected()) active[o.session].push_back(o.id);
+  };
+  while (!stop.load(std::memory_order_acquire)) {
+    control.pump();  // operator commands land at the epoch boundary
+    for (int a = 0; a < 4; ++a) {
+      const auto in = static_cast<std::uint32_t>(rng() % n);
+      const auto out = static_cast<std::uint32_t>(rng() % n);
+      const auto pri = static_cast<std::uint8_t>(rng() & 3u);
+      exchange.submit({in, out, pri, 0}, on_done);
+    }
+    exchange.drain();
+    for (auto& mine : active) {  // ~1/4 of held calls hang up per epoch
+      std::size_t drop = mine.size() / 4;
+      while (drop-- > 0 && !mine.empty()) {
+        const auto idx = rng() % mine.size();
+        exchange.hangup(mine[idx]);
+        mine[idx] = mine.back();
+        mine.pop_back();
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  control.pump();  // any commands posted while we noticed `stop`
+  for (auto& mine : active)
+    for (const auto id : mine) exchange.hangup(id);
+}
+
+void print_ack(const ftcs::ops::Ack& a) {
+  namespace ops = ftcs::ops;
+  std::ostringstream line;
+  line << "ack " << ops::to_string(a.kind);
+  switch (a.status) {
+    case ops::AckStatus::kOk: break;
+    case ops::AckStatus::kNoop: line << " noop"; break;
+    case ops::AckStatus::kUnsupported: line << " unsupported"; break;
+  }
+  switch (a.kind) {
+    case ops::CommandKind::kInject:
+    case ops::CommandKind::kRepair:
+      line << " killed=" << a.calls_killed << " rerouted="
+           << a.reroute_succeeded << " dropped=" << a.reroute_failed;
+      if (a.alarm)
+        line << (a.alarm->raised ? " SHORT-ALARM terminals " : " short-cleared terminals ")
+             << a.alarm->a << "," << a.alarm->b << " trigger=" << a.alarm->trigger;
+      break;
+    case ops::CommandKind::kQuery:
+      line << " submitted=" << a.stats.submitted << " admitted="
+           << a.stats.admitted << " hangups=" << a.stats.hangups
+           << " killed=" << a.stats.calls_killed_by_fault
+           << " shorts=" << a.stats.shorts_raised;
+      break;
+    case ops::CommandKind::kQuiesce:
+      line << " drained=" << a.drained;
+      break;
+    case ops::CommandKind::kGrow:
+    case ops::CommandKind::kSnapshot:
+      break;
+  }
+  line << " | active=" << a.active_calls << " pending=" << a.pending
+       << " down=" << a.failed_switches << " welded=" << a.stuck_switches
+       << " shorted=" << (a.shorted ? 1 : 0);
+  std::cout << line.str() << "\n";
+  if (a.kind == ops::CommandKind::kGrow && !a.text.empty())
+    std::cout << "  " << a.text << "\n";
+  std::cout.flush();
+}
+
+int run_daemon(unsigned sessions) {
+  using namespace ftcs;
+  const auto ft = core::build_ft_network(core::FtParams::sim(2, 8, 6, 1, 5));
+  svc::ExchangeConfig cfg;
+  cfg.backend = svc::Backend::kConcurrent;
+  cfg.sessions = sessions;
+  cfg.qos_immediate = true;
+  // Per-class setup SLAs, tightest for the premium class: epochs settle in
+  // microseconds here, so these are generous — violations indicate a stall.
+  cfg.class_deadlines = {0.0, 0.25, 0.1, 0.05};
+  svc::Exchange exchange(ft.net, std::move(cfg));
+  ops::ControlPlane control(exchange, "telephone-exchange");
+  const auto edges = exchange.network().g.edge_count();
+
+  std::cout << "telephone exchange daemon: " << ft.net.g.vertex_count()
+            << " vertices, " << edges << " switches, " << sessions
+            << " sessions; commands on stdin (quit to stop)\n";
+  std::cout.flush();
+
+  std::atomic<bool> stop{false};
+  std::thread server(
+      [&] { serve_loop(exchange, control, sessions, stop); });
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb.empty()) continue;
+    if (verb == "quit") break;
+    ops::Command cmd;
+    if (verb == "inject" || verb == "weld" || verb == "repair") {
+      std::uint64_t edge = edges;
+      in >> edge;
+      if (edge >= edges) {
+        std::cout << "error: " << verb << " needs a switch id < " << edges
+                  << "\n";
+        continue;
+      }
+      cmd.kind = verb == "repair" ? ops::CommandKind::kRepair
+                                  : ops::CommandKind::kInject;
+      cmd.event = {0.0, static_cast<graph::EdgeId>(edge),
+                   verb == "weld"     ? fault::FaultEvent::Kind::kStuckOn
+                   : verb == "inject" ? fault::FaultEvent::Kind::kFail
+                                      : fault::FaultEvent::Kind::kRepair};
+    } else if (verb == "grow") {
+      cmd.kind = ops::CommandKind::kGrow;
+      in >> cmd.arg;
+    } else if (verb == "query") {
+      cmd.kind = ops::CommandKind::kQuery;
+    } else if (verb == "snapshot") {
+      std::string fmt;
+      in >> fmt;
+      cmd.kind = ops::CommandKind::kSnapshot;
+      cmd.arg = static_cast<std::uint64_t>(fmt == "json"
+                                               ? ops::SnapshotFormat::kJson
+                                               : ops::SnapshotFormat::kPrometheus);
+    } else if (verb == "quiesce") {
+      cmd.kind = ops::CommandKind::kQuiesce;
+    } else {
+      std::cout << "error: unknown command '" << verb
+                << "' (inject|weld|repair|grow|query|snapshot|quiesce|quit)\n";
+      continue;
+    }
+    const ops::Ack ack = control.queue().wait(control.queue().post(cmd));
+    if (ack.kind == ops::CommandKind::kSnapshot) {
+      const bool is_json =
+          static_cast<ops::SnapshotFormat>(cmd.arg) == ops::SnapshotFormat::kJson;
+      std::cout << (is_json ? "=== metrics json begin ==="
+                            : "=== metrics prometheus begin ===")
+                << "\n"
+                << ack.text
+                << (ack.text.empty() || ack.text.back() == '\n' ? "" : "\n")
+                << (is_json ? "=== metrics json end ==="
+                            : "=== metrics prometheus end ===")
+                << "\n";
+      std::cout.flush();
+    } else {
+      print_ack(ack);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  server.join();
+  exchange.drain_all();
+  const auto st = exchange.stats();
+  std::cout << "daemon done: " << st.submitted << " submitted, " << st.admitted
+            << " admitted, " << st.hangups << " hangups, "
+            << st.calls_killed_by_fault << " killed by faults, "
+            << st.shorts_raised << " short alarms\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ftcs;
+  if (argc > 1 && std::string(argv[1]) == "--daemon") {
+    const int s = argc > 2 ? std::atoi(argv[2]) : 4;
+    return run_daemon(s > 0 ? static_cast<unsigned>(s) : 4u);
+  }
   const int years = argc > 1 ? std::atoi(argv[1]) : 12;
   const int sessions_arg = argc > 2 ? std::atoi(argv[2]) : 1;
   const unsigned sessions = sessions_arg > 0 ? static_cast<unsigned>(sessions_arg) : 1;

@@ -1,0 +1,50 @@
+#include "ops/command_queue.hpp"
+
+namespace ftcs::ops {
+
+CmdTicket CommandQueue::post(const Command& cmd) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const CmdTicket t = next_++;
+  queue_.push_back(Posted{cmd, t});
+  return t;
+}
+
+std::optional<Ack> CommandQueue::try_ack(CmdTicket ticket) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = acks_.find(ticket);
+  if (it == acks_.end()) return std::nullopt;
+  Ack a = std::move(it->second);
+  acks_.erase(it);
+  return a;
+}
+
+Ack CommandQueue::wait(CmdTicket ticket) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return acks_.find(ticket) != acks_.end(); });
+  const auto it = acks_.find(ticket);
+  Ack a = std::move(it->second);
+  acks_.erase(it);
+  return a;
+}
+
+std::size_t CommandQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+std::vector<CommandQueue::Posted> CommandQueue::take_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Posted> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+void CommandQueue::deliver(CmdTicket ticket, Ack ack) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    acks_.emplace(ticket, std::move(ack));
+  }
+  cv_.notify_all();
+}
+
+}  // namespace ftcs::ops

@@ -1,0 +1,66 @@
+#include "ops/control.hpp"
+
+namespace ftcs::ops {
+
+void ControlPlane::fill_gauges(Ack& a) const {
+  a.active_calls = ex_->active_calls();
+  a.pending = ex_->pending();
+  a.failed_switches = ex_->failed_switch_count();
+  a.stuck_switches = ex_->stuck_switch_count();
+  a.shorted = ex_->shorted();
+}
+
+Ack ControlPlane::execute(const Command& cmd) {
+  Ack a;
+  a.kind = cmd.kind;
+  switch (cmd.kind) {
+    case CommandKind::kInject:
+    case CommandKind::kRepair: {
+      const std::size_t down_before = ex_->failed_switch_count();
+      svc::FaultImpact impact = cmd.kind == CommandKind::kInject
+                                    ? ex_->inject(cmd.event)
+                                    : ex_->repair(cmd.event);
+      if (ex_->failed_switch_count() == down_before)
+        a.status = AckStatus::kNoop;  // idempotent: already in that state
+      a.calls_killed = impact.calls_killed();
+      a.reroute_succeeded = impact.reroute_succeeded;
+      a.reroute_failed = impact.reroute_failed;
+      a.killed = std::move(impact.killed);
+      a.reroutes = std::move(impact.reroutes);
+      a.alarm = impact.alarm;
+      break;
+    }
+    case CommandKind::kGrow:
+      a.status = AckStatus::kUnsupported;
+      a.text =
+          "hitless growth is ROADMAP item 1; the command feed acks the stub "
+          "so operator tooling can ship ahead of it";
+      break;
+    case CommandKind::kQuery:
+      a.stats = ex_->stats();
+      break;
+    case CommandKind::kSnapshot:
+      a.text = static_cast<SnapshotFormat>(cmd.arg) == SnapshotFormat::kJson
+                   ? metrics_.scrape_json(*ex_)
+                   : metrics_.scrape_prometheus(*ex_);
+      break;
+    case CommandKind::kQuiesce:
+      a.drained = ex_->drain_all();
+      a.stats = ex_->stats();
+      break;
+  }
+  fill_gauges(a);
+  return a;
+}
+
+std::size_t ControlPlane::pump() {
+  const std::vector<CommandQueue::Posted> cmds = queue_.take_all();
+  for (const CommandQueue::Posted& p : cmds) {
+    Ack a = execute(p.cmd);
+    a.seq = p.ticket;
+    queue_.deliver(p.ticket, std::move(a));
+  }
+  return cmds.size();
+}
+
+}  // namespace ftcs::ops

@@ -1,0 +1,45 @@
+// ops::ControlPlane — executes the operator command feed against a live
+// Exchange, at epoch boundaries, under drain()'s threading contract.
+//
+// Ownership model: the ControlPlane owns the CommandQueue and a
+// MetricsRegistry; the Exchange is borrowed and must outlive it. Producers
+// grab queue() and post from any thread; the serving thread — the one that
+// currently owns every session (the same one calling drain()/inject()) —
+// calls pump() between epochs. pump() take_all()s, executes each command in
+// post order, and delivers the typed acks. Nothing here adds locks around
+// the Exchange: the contract is positional (WHO calls pump), exactly like
+// the fault plane's, and the TSan churn test pins it.
+#pragma once
+
+#include <cstddef>
+
+#include "ops/command_queue.hpp"
+#include "ops/metrics.hpp"
+
+namespace ftcs::ops {
+
+class ControlPlane {
+ public:
+  explicit ControlPlane(svc::Exchange& ex, std::string instance = "exchange")
+      : ex_(&ex), metrics_(std::move(instance)) {}
+
+  /// The operator-facing feed: post() from any thread.
+  [[nodiscard]] CommandQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Drains and executes every queued command; returns how many ran.
+  /// MUST be called under the drain contract (one thread, owns every
+  /// session, no concurrent immediate calls).
+  std::size_t pump();
+
+ private:
+  Ack execute(const Command& cmd);
+  /// Cheap health gauges every ack carries.
+  void fill_gauges(Ack& a) const;
+
+  svc::Exchange* ex_;
+  CommandQueue queue_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace ftcs::ops

@@ -1,0 +1,60 @@
+// Metrics export for soak runs: periodic ExchangeStats/RouterStats deltas
+// and the per-class latency histograms, serialized as JSON or Prometheus
+// text exposition (version 0.0.4).
+//
+// MetricsRegistry is delta-stateful: each sample() diffs the exchange's
+// monotone counters against the previous scrape, so a periodic scraper gets
+// per-interval activity without keeping its own books. Totals are emitted
+// alongside (Prometheus counters ARE totals; the deltas ride as a labeled
+// gauge family for scrapers that want them pre-computed). The caller must
+// hold the drain contract when sampling a live exchange — stats() is exact
+// at quiescence, and the ops control plane scrapes at epoch boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/exchange.hpp"
+
+namespace ftcs::ops {
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::string instance = "exchange")
+      : instance_(std::move(instance)) {}
+
+  struct Sample {
+    svc::ExchangeStats total;  // counters since construction/reset
+    svc::ExchangeStats delta;  // since the previous sample()
+    std::size_t active_calls = 0;
+    std::size_t pending = 0;
+    std::size_t failed_switches = 0;
+    std::size_t stuck_switches = 0;
+    bool shorted = false;
+    std::uint64_t scrape_seq = 0;
+  };
+
+  /// Scrapes the exchange and advances the delta baseline.
+  Sample sample(const svc::Exchange& ex);
+
+  /// Prometheus text exposition of one sample.
+  [[nodiscard]] std::string prometheus(const Sample& s) const;
+  /// JSON sibling of the same sample (totals + delta + class books).
+  [[nodiscard]] std::string json(const Sample& s) const;
+
+  std::string scrape_prometheus(const svc::Exchange& ex) {
+    return prometheus(sample(ex));
+  }
+  std::string scrape_json(const svc::Exchange& ex) { return json(sample(ex)); }
+
+  [[nodiscard]] const std::string& instance() const noexcept {
+    return instance_;
+  }
+
+ private:
+  std::string instance_;
+  svc::ExchangeStats last_{};
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace ftcs::ops

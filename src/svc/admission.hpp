@@ -15,8 +15,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 namespace ftcs::svc {
 
@@ -31,6 +34,11 @@ struct EpochFeedback {
   std::uint64_t rejected_contention_last = 0;  // retry-budget rejects, delta
   double last_epoch_seconds = 0.0;  // wall time the previous epoch spent
                                     // routing (0 before the first epoch)
+  // Fault-plane health, read at the epoch boundary (overlay-aware policies):
+  std::size_t failed_switches = 0;  // switches currently down, either mode
+  std::size_t stuck_switches = 0;   // the welded (stuck-on) subset
+  std::uint64_t overlay_conflicts_last = 0;  // searches that aborted on the
+                                             // liveness overlay, delta
 };
 
 class AdmissionPolicy {
@@ -163,6 +171,69 @@ class DeadlineAdmission final : public AdmissionPolicy {
   std::size_t min_, max_;
   double grow_below_;
   std::size_t max_queue_;
+};
+
+/// Overlay-aware decorator: wraps any inner policy and derates its window
+/// while the TOPOLOGY is degraded, instead of discovering rejects the hard
+/// way. Two signals, both from the fault plane at the epoch boundary:
+///   - failed_switches: each down switch derates the inner window by
+///     (1 - per_fault_shrink), compounding, floored at min_scale — a
+///     storm-damaged network is offered proportionally less work, and the
+///     surplus stays queued (Deferred) for post-repair epochs rather than
+///     burning searches into dead topology.
+///   - overlay_conflicts delta: searches that actually hit the liveness
+///     overlay last epoch above `conflict_high_rate` per admitted call
+///     halve the window once more — the damage is in the traffic's way,
+///     not just on the books.
+/// The window never drops below 1 (a non-empty queue always drains) and
+/// recovers automatically as repair() brings failed_switches down. Composes
+/// with ConflictAdaptiveAdmission / DeadlineAdmission as the inner policy:
+/// their AIMD / deadline feedback still governs the healthy-topology window.
+class OverlayAdaptiveAdmission final : public AdmissionPolicy {
+ public:
+  explicit OverlayAdaptiveAdmission(std::unique_ptr<AdmissionPolicy> inner,
+                                    double per_fault_shrink = 0.05,
+                                    double min_scale = 1.0 / 16.0,
+                                    double conflict_high_rate = 0.05)
+      : inner_(std::move(inner)),
+        per_fault_shrink_(per_fault_shrink),
+        min_scale_(min_scale),
+        high_(conflict_high_rate) {}
+  /// Convenience: overlay-aware fixed window (the bench's static baseline
+  /// with derating bolted on).
+  explicit OverlayAdaptiveAdmission(std::size_t window,
+                                    double per_fault_shrink = 0.05,
+                                    double min_scale = 1.0 / 16.0,
+                                    double conflict_high_rate = 0.05)
+      : OverlayAdaptiveAdmission(
+            std::make_unique<FixedWindowAdmission>(window), per_fault_shrink,
+            min_scale, conflict_high_rate) {}
+
+  [[nodiscard]] std::size_t epoch_window(const EpochFeedback& fb) override {
+    std::size_t w = inner_->epoch_window(fb);
+    if (fb.failed_switches > 0 && w > 1) {
+      double scale = std::pow(1.0 - per_fault_shrink_,
+                              static_cast<double>(fb.failed_switches));
+      scale = std::max(scale, min_scale_);
+      w = static_cast<std::size_t>(static_cast<double>(w) * scale);
+    }
+    if (fb.admitted_last > 0) {
+      const double rate = static_cast<double>(fb.overlay_conflicts_last) /
+                          static_cast<double>(fb.admitted_last);
+      if (rate > high_) w /= 2;
+    }
+    return std::max<std::size_t>(1, w);
+  }
+  [[nodiscard]] std::size_t max_queue_depth() const noexcept override {
+    return inner_->max_queue_depth();
+  }
+  [[nodiscard]] AdmissionPolicy& inner() noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<AdmissionPolicy> inner_;
+  double per_fault_shrink_;
+  double min_scale_;
+  double high_;
 };
 
 }  // namespace ftcs::svc

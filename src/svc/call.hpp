@@ -9,7 +9,10 @@
 // reused integer slots.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 namespace ftcs::svc {
 
@@ -32,7 +35,9 @@ enum class RejectReason : std::uint8_t {
                      // receives — informative, not a handle misuse
 };
 
-/// Canonical spelling, used verbatim in tables and JSON keys.
+/// Canonical spelling, used verbatim in tables and JSON keys. The switch
+/// deliberately has NO default: adding an enumerator without a spelling is
+/// a -Werror=switch build break, not a silent "unknown".
 [[nodiscard]] constexpr const char* to_string(RejectReason r) noexcept {
   switch (r) {
     case RejectReason::kNone: return "accepted";
@@ -45,7 +50,30 @@ enum class RejectReason : std::uint8_t {
     case RejectReason::kBadSession: return "bad_session";
     case RejectReason::kFaulted: return "killed_by_fault";
   }
-  return "unknown";
+  return "unknown";  // unreachable for in-range values; keeps -Wreturn-type quiet
+}
+
+/// Every enumerator, for code that iterates the reject books (metrics
+/// export, round-trip tests). Must stay in sync with the enum — the
+/// to_string switch above breaks the build first when one is added.
+inline constexpr RejectReason kAllRejectReasons[] = {
+    RejectReason::kNone,          RejectReason::kTerminalBusy,
+    RejectReason::kNoPath,        RejectReason::kContention,
+    RejectReason::kRefused,       RejectReason::kStaleHandle,
+    RejectReason::kForeignHandle, RejectReason::kBadSession,
+    RejectReason::kFaulted,
+};
+inline constexpr std::size_t kRejectReasonCount =
+    sizeof(kAllRejectReasons) / sizeof(kAllRejectReasons[0]);
+
+/// Inverse of to_string over the canonical spellings; nullopt for anything
+/// else. Round-trip (from_string(to_string(r)) == r) is pinned by tests.
+[[nodiscard]] constexpr std::optional<RejectReason> reject_reason_from_string(
+    std::string_view s) noexcept {
+  for (RejectReason r : kAllRejectReasons) {
+    if (s == to_string(r)) return r;
+  }
+  return std::nullopt;
 }
 
 /// A connect request: terminal indices into the network's input/output

@@ -33,6 +33,8 @@ Exchange::Exchange(const graph::Network* net,
                                : std::make_unique<UnboundedAdmission>()),
       wave_drain_(cfg.wave_drain),
       home_sessions_(cfg.home_sessions),
+      qos_immediate_(cfg.qos_immediate),
+      class_deadlines_(cfg.class_deadlines),
       id_(next_exchange_id.fetch_add(1, std::memory_order_relaxed)),
       sessions_(engine_->sessions()) {
   // Pin the drain pool up front: every worker has re-pinned by the time
@@ -95,6 +97,19 @@ Outcome Exchange::route_one(const CallRequest& req, unsigned session,
   return o;
 }
 
+void Exchange::record_class(ops::ClassBook& book, std::uint8_t priority,
+                            const Outcome& o, double setup_seconds) const {
+  ops::ClassStats& c = book[ops::qos_class(priority)];
+  if (o.connected()) {
+    ++c.served;
+    c.setup.record(setup_seconds);
+    const double deadline = class_deadlines_[ops::qos_class(priority)];
+    if (deadline > 0.0 && setup_seconds > deadline) ++c.sla_violations;
+  } else {
+    ++c.rejected;
+  }
+}
+
 Outcome Exchange::call(const CallRequest& req, unsigned session) {
   if (session >= engine_->sessions()) {
     // Counted with the handle misuses: without this, a caller fanning out
@@ -107,7 +122,14 @@ Outcome Exchange::call(const CallRequest& req, unsigned session) {
     o.reject = RejectReason::kBadSession;
     return o;
   }
-  return route_one(req, session, 0);
+  if (!qos_immediate_) return route_one(req, session, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Outcome o = route_one(req, session, 0);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  record_class(sessions_[session].classes, req.priority, o, secs);
+  return o;
 }
 
 RejectReason Exchange::hangup(CallId id) {
@@ -171,6 +193,7 @@ Ticket Exchange::submit_impl(const CallRequest& req, CompletionFn done) {
       refused = true;
       ++refused_;
       ++completed_count_;
+      ++batched_classes_[ops::qos_class(req.priority)].rejected;
       if (!done) {
         Outcome o;
         o.reject = RejectReason::kRefused;
@@ -178,7 +201,8 @@ Ticket Exchange::submit_impl(const CallRequest& req, CompletionFn done) {
         completed_.emplace(ticket, o);
       }
     } else {
-      queue_.push_back(Pending{req, ticket, std::move(done), 0});
+      queue_.push_back(Pending{req, ticket, std::move(done), 0,
+                               std::chrono::steady_clock::now()});
       queue_high_water_ = std::max<std::uint64_t>(queue_high_water_,
                                                   queue_.size());
     }
@@ -250,6 +274,12 @@ std::size_t Exchange::drain() {
     fb.claim_conflicts_last = last_conflicts_;
     fb.rejected_contention_last = last_contention_;
     fb.last_epoch_seconds = last_epoch_seconds_;
+    // Fault-plane health for overlay-aware policies. Same threading domain
+    // as inject()/repair() (both live in drain()'s contract), so the plain
+    // reads are safe.
+    fb.failed_switches = failed_switch_count_;
+    fb.stuck_switches = stuck_switch_count_;
+    fb.overlay_conflicts_last = last_overlay_;
     const std::size_t window = admission_->epoch_window(fb);
     if (window == 0) return 0;
     batch = take_window(window);
@@ -337,18 +367,24 @@ std::size_t Exchange::drain() {
         });
   }
   const core::RouterStats after = engine_->stats();
-  const double epoch_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double epoch_seconds = std::chrono::duration<double>(t1 - t0).count();
 
   {
     std::lock_guard<std::mutex> lk(front_mu_);
-    for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t i = 0; i < m; ++i) {
       if (!batch[i].done) completed_.emplace(batch[i].ticket, outs[i]);
+      // Setup latency = submit -> epoch settle: every outcome of this epoch
+      // shares the settle stamp (one clock read), the queue wait dominates.
+      record_class(
+          batched_classes_, batch[i].req.priority, outs[i],
+          std::chrono::duration<double>(t1 - batch[i].submitted_at).count());
+    }
     completed_count_ += m;
     last_admitted_ = m;
     last_conflicts_ = after.claim_conflicts - before.claim_conflicts;
     last_contention_ = after.rejected_contention - before.rejected_contention;
+    last_overlay_ = after.overlay_conflicts - before.overlay_conflicts;
     last_epoch_seconds_ = epoch_seconds;
   }
   return m;
@@ -387,6 +423,7 @@ void Exchange::ensure_fault_state() {
   is_terminal_.assign(net_->g.vertex_count(), 0);
   for (const graph::VertexId v : net_->inputs) is_terminal_[v] = 1;
   for (const graph::VertexId v : net_->outputs) is_terminal_[v] = 1;
+  welds_.emplace(*net_);
 }
 
 bool Exchange::path_alive(const std::vector<graph::VertexId>& path,
@@ -522,6 +559,20 @@ FaultImpact Exchange::inject(const fault::FaultEvent& ev) {
     ++stuck_switch_count_;
     ++faults_stuck_;
     engine_->contract_edge(ev.edge);
+    if (welds_->add_weld(ev.edge)) {
+      // This weld bridged two terminals into one electrical node: the
+      // Lemma 7 catastrophe, raised at the triggering inject.
+      const auto pair = welds_->shorted_pair();
+      fault::ShortAlarm al;
+      al.a = pair ? pair->first : graph::kNoVertex;
+      al.b = pair ? pair->second : graph::kNoVertex;
+      al.trigger = ev.edge;
+      al.raised = true;
+      al.seq = ++alarm_seq_;
+      ++shorts_raised_;
+      last_alarm_ = al;
+      impact.alarm = al;
+    }
     return impact;
   }
 
@@ -566,6 +617,19 @@ FaultImpact Exchange::repair(const fault::FaultEvent& ev) {
     --stuck_switch_count_;
     ++faults_repaired_;
     engine_->uncontract_edge(ev.edge);
+    if (welds_->remove_weld(ev.edge)) {
+      // The clearing repair: the last terminal bridge dissolved. Echo the
+      // pair the raise reported so operators can correlate the two.
+      fault::ShortAlarm al;
+      al.a = last_alarm_ ? last_alarm_->a : graph::kNoVertex;
+      al.b = last_alarm_ ? last_alarm_->b : graph::kNoVertex;
+      al.trigger = ev.edge;
+      al.raised = false;
+      al.seq = ++alarm_seq_;
+      ++shorts_cleared_;
+      last_alarm_ = al;
+      impact.alarm = al;
+    }
     reap_victims(impact, {});
     reroute_victims(impact);
     return impact;
@@ -600,8 +664,14 @@ ExchangeStats Exchange::stats() const {
     st.refused = refused_;
     st.epochs = epochs_;
     st.queue_high_water = queue_high_water_;
+    for (std::size_t c = 0; c < ops::kQosClasses; ++c)
+      st.classes[c] += batched_classes_[c];
   }
-  for (const Session& s : sessions_) st.hangups += s.hangups;
+  for (const Session& s : sessions_) {
+    st.hangups += s.hangups;
+    for (std::size_t c = 0; c < ops::kQosClasses; ++c)
+      st.classes[c] += s.classes[c];
+  }
   st.handle_errors = handle_errors_.load(std::memory_order_relaxed);
   st.faults_injected = faults_injected_;
   st.faults_stuck = faults_stuck_;
@@ -609,6 +679,8 @@ ExchangeStats Exchange::stats() const {
   st.calls_killed_by_fault = calls_killed_by_fault_;
   st.reroute_succeeded = reroute_succeeded_;
   st.reroute_failed = reroute_failed_;
+  st.shorts_raised = shorts_raised_;
+  st.shorts_cleared = shorts_cleared_;
   return st;
 }
 
@@ -618,12 +690,19 @@ void Exchange::reset_stats() {
   submitted_ = admitted_ = completed_count_ = deferred_ = refused_ = 0;
   epochs_ = queue_high_water_ = 0;
   last_admitted_ = 0;
-  last_conflicts_ = last_contention_ = 0;
+  last_conflicts_ = last_contention_ = last_overlay_ = 0;
   last_epoch_seconds_ = 0.0;
-  for (Session& s : sessions_) s.hangups = 0;
+  batched_classes_ = {};
+  for (Session& s : sessions_) {
+    s.hangups = 0;
+    s.classes = {};
+  }
   handle_errors_.store(0, std::memory_order_relaxed);
   faults_injected_ = faults_stuck_ = faults_repaired_ = 0;
   calls_killed_by_fault_ = reroute_succeeded_ = reroute_failed_ = 0;
+  shorts_raised_ = shorts_cleared_ = 0;
+  // The weld tracker and last_alarm_ are live state, not counters: the
+  // short condition does not vanish because the books were reset.
 }
 
 }  // namespace ftcs::svc

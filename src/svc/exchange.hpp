@@ -37,7 +37,9 @@
 //   - stats() aggregates are exact at quiescence, like the engines'.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -48,6 +50,8 @@
 #include <vector>
 
 #include "fault/schedule.hpp"
+#include "fault/weld_components.hpp"
+#include "ops/latency.hpp"
 #include "svc/admission.hpp"
 #include "svc/call.hpp"
 #include "svc/engine.hpp"
@@ -79,6 +83,13 @@ struct ExchangeStats {
   std::uint64_t calls_killed_by_fault = 0; // live calls torn down by inject()
   std::uint64_t reroute_succeeded = 0;     // victims re-admitted and carried
   std::uint64_t reroute_failed = 0;        // victims whose re-admission failed
+  // Lemma 7 transitions observed by the live weld tracker:
+  std::uint64_t shorts_raised = 0;   // healthy -> terminals shorted
+  std::uint64_t shorts_cleared = 0;  // shorted -> healthy again
+  // Per-class QoS books: setup-latency histogram + served/rejected/SLA
+  // tallies per service class. Batched-plane calls are always booked;
+  // immediate-plane calls opt in via ExchangeConfig::qos_immediate.
+  ops::ClassBook classes{};
 
   ExchangeStats& operator+=(const ExchangeStats& o) noexcept {
     router += o.router;
@@ -99,6 +110,9 @@ struct ExchangeStats {
     calls_killed_by_fault += o.calls_killed_by_fault;
     reroute_succeeded += o.reroute_succeeded;
     reroute_failed += o.reroute_failed;
+    shorts_raised += o.shorts_raised;
+    shorts_cleared += o.shorts_cleared;
+    for (std::size_t c = 0; c < ops::kQosClasses; ++c) classes[c] += o.classes[c];
     return *this;
   }
   /// Delta of monotone counters (queue_high_water is kept, not subtracted).
@@ -118,6 +132,9 @@ struct ExchangeStats {
     calls_killed_by_fault -= o.calls_killed_by_fault;
     reroute_succeeded -= o.reroute_succeeded;
     reroute_failed -= o.reroute_failed;
+    shorts_raised -= o.shorts_raised;
+    shorts_cleared -= o.shorts_cleared;
+    for (std::size_t c = 0; c < ops::kQosClasses; ++c) classes[c] -= o.classes[c];
     return *this;
   }
 };
@@ -132,6 +149,10 @@ struct FaultImpact {
   std::vector<Outcome> reroutes;  // index-aligned with killed
   std::uint64_t reroute_succeeded = 0;
   std::uint64_t reroute_failed = 0;
+  /// Set iff THIS event flipped the Lemma 7 short state: raised==true on
+  /// the stuck-on inject that first bridged two terminals, raised==false
+  /// on the repair that dissolved the last bridge.
+  std::optional<fault::ShortAlarm> alarm;
   [[nodiscard]] std::size_t calls_killed() const noexcept {
     return killed.size();
   }
@@ -167,6 +188,14 @@ struct ExchangeConfig {
   /// its own word range of the claim bitsets — with a pinned pool, inside
   /// its own cache domain. Off preserves the arrival-order partition.
   bool home_sessions = false;
+  /// Per-class SLA deadlines in seconds (0 = that class carries no SLA). A
+  /// served call whose setup latency exceeds its class deadline counts into
+  /// ClassStats::sla_violations. Deadlines index by ops::qos_class().
+  std::array<double, ops::kQosClasses> class_deadlines{};
+  /// Book setup latency on the IMMEDIATE plane too (adds two clock reads
+  /// per call() on that hot path, hence opt-in). The batched plane always
+  /// keeps its books — there the timestamps amortize over whole epochs.
+  bool qos_immediate = false;
 };
 
 class Exchange {
@@ -263,6 +292,18 @@ class Exchange {
   [[nodiscard]] std::size_t stuck_switch_count() const noexcept {
     return stuck_switch_count_;
   }
+  /// Live Lemma 7 state: true while the current weld chain contracts two
+  /// distinct terminals into one electrical node. Equivalent to
+  /// FaultInstance::terminals_shorted() on the accumulated fault set.
+  [[nodiscard]] bool shorted() const noexcept {
+    return welds_ && welds_->shorted();
+  }
+  /// The most recent short transition (raise or clear); nullopt before the
+  /// first. While shorted(), this is the active raise.
+  [[nodiscard]] const std::optional<fault::ShortAlarm>& last_short_alarm()
+      const noexcept {
+    return last_alarm_;
+  }
 
   // ------------------------------------------------------- introspection
   [[nodiscard]] unsigned sessions() const noexcept {
@@ -314,12 +355,18 @@ class Exchange {
     std::vector<Slot> slots;
     std::vector<std::uint32_t> free;
     std::uint64_t hangups = 0;
+    // Immediate-plane QoS book (filled only with cfg.qos_immediate);
+    // single-threaded by the session contract, merged by stats().
+    ops::ClassBook classes{};
   };
   struct Pending {
     CallRequest req;
     Ticket ticket = 0;
     CompletionFn done;  // may be empty -> pollable
     std::uint32_t deferrals = 0;
+    // Submit timestamp: batched setup latency is submit -> epoch
+    // completion, so the SLA sees queue wait plus routing.
+    std::chrono::steady_clock::time_point submitted_at{};
   };
 
   Exchange(const graph::Network* net, std::unique_ptr<graph::Network> owned,
@@ -351,6 +398,9 @@ class Exchange {
   /// Pops the admitted window (priority-ordered) off the queue. Caller
   /// holds front_mu_.
   std::vector<Pending> take_window(std::size_t window);
+  /// Books one outcome into `book` under the request's service class.
+  void record_class(ops::ClassBook& book, std::uint8_t priority,
+                    const Outcome& o, double setup_seconds) const;
 
   std::unique_ptr<graph::Network> owned_net_;  // set only for the owning ctor
   const graph::Network* net_;
@@ -358,6 +408,8 @@ class Exchange {
   std::unique_ptr<AdmissionPolicy> admission_;
   bool wave_drain_ = true;
   bool home_sessions_ = false;
+  bool qos_immediate_ = false;
+  std::array<double, ops::kQosClasses> class_deadlines_{};
   util::AffinityPolicy affinity_ = util::AffinityPolicy::kNone;
   std::uint32_t id_;  // process-unique, tagged into every CallId
   std::vector<Session> sessions_;
@@ -372,8 +424,10 @@ class Exchange {
                 deferred_ = 0, refused_ = 0, epochs_ = 0, queue_high_water_ = 0;
   // Previous epoch's engine feedback for the admission policy.
   std::size_t last_admitted_ = 0;
-  std::uint64_t last_conflicts_ = 0, last_contention_ = 0;
+  std::uint64_t last_conflicts_ = 0, last_contention_ = 0, last_overlay_ = 0;
   double last_epoch_seconds_ = 0.0;
+  // Batched-plane QoS book (guarded by front_mu_, like the queue counters).
+  ops::ClassBook batched_classes_{};
   // Fault-plane bookkeeping (same single-owner contract as the sessions;
   // sized lazily by the first event). A vertex is §6-faulty while any
   // incident switch is OPEN-failed — vertex_fault_degree_ counts those
@@ -387,6 +441,13 @@ class Exchange {
   std::uint64_t faults_injected_ = 0, faults_stuck_ = 0, faults_repaired_ = 0,
                 calls_killed_by_fault_ = 0, reroute_succeeded_ = 0,
                 reroute_failed_ = 0;
+  // Live Lemma 7 tracking (same single-owner contract; sized with the rest
+  // of the fault bookkeeping). last_alarm_ is state, not a counter: it
+  // survives reset_stats().
+  std::optional<fault::WeldComponents> welds_;
+  std::optional<fault::ShortAlarm> last_alarm_;
+  std::uint64_t alarm_seq_ = 0;
+  std::uint64_t shorts_raised_ = 0, shorts_cleared_ = 0;
   // Null-handle and foreign-handle checks touch only immutable fields
   // (id_, sessions_.size()), so THOSE misuses are detected safely from any
   // thread and the counter is atomic. Stale-handle detection reads the

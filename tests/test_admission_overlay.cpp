@@ -1,0 +1,148 @@
+// OverlayAdaptiveAdmission: the fault-plane-aware decorator. Unit tests
+// drive epoch_window directly with synthetic EpochFeedback; integration
+// tests run it inside an Exchange and watch the window shrink under
+// inject() and recover after repair() — including composed over the
+// ConflictAdaptive and Deadline inner policies it is meant to wrap.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fault/schedule.hpp"
+#include "networks/crossbar.hpp"
+#include "svc/admission.hpp"
+#include "svc/exchange.hpp"
+
+namespace ftcs {
+namespace {
+
+using svc::EpochFeedback;
+
+TEST(OverlayAdmission, HealthyTopologyPassesInnerWindowThrough) {
+  svc::OverlayAdaptiveAdmission p(/*window=*/64);
+  EpochFeedback fb;
+  fb.queued = 1000;
+  EXPECT_EQ(p.epoch_window(fb), 64u);
+  // A clean previous epoch (no overlay hits) changes nothing either.
+  fb.admitted_last = 64;
+  fb.overlay_conflicts_last = 0;
+  EXPECT_EQ(p.epoch_window(fb), 64u);
+}
+
+TEST(OverlayAdmission, DegradedTopologyShrinksCompoundinglyWithFloor) {
+  svc::OverlayAdaptiveAdmission p(/*window=*/64, /*per_fault_shrink=*/0.05,
+                                  /*min_scale=*/1.0 / 16.0);
+  EpochFeedback fb;
+  fb.queued = 1000;
+  fb.failed_switches = 1;
+  const std::size_t w1 = p.epoch_window(fb);  // 64 * 0.95 = 60
+  EXPECT_LT(w1, 64u);
+  EXPECT_GE(w1, 60u);
+  fb.failed_switches = 10;
+  const std::size_t w10 = p.epoch_window(fb);  // 64 * 0.95^10 ~ 38
+  EXPECT_LT(w10, w1);
+  // Catastrophic damage bottoms out at min_scale, not zero: 64/16 = 4.
+  fb.failed_switches = 500;
+  EXPECT_EQ(p.epoch_window(fb), 4u);
+  // The window never reports below 1 even from a window of 1.
+  svc::OverlayAdaptiveAdmission tiny(/*window=*/1);
+  EXPECT_EQ(tiny.epoch_window(fb), 1u);
+}
+
+TEST(OverlayAdmission, OverlayConflictRateHalvesOnTopOfDerating) {
+  svc::OverlayAdaptiveAdmission p(/*window=*/64, /*per_fault_shrink=*/0.05,
+                                  /*min_scale=*/1.0 / 16.0,
+                                  /*conflict_high_rate=*/0.05);
+  EpochFeedback fb;
+  fb.queued = 1000;
+  fb.failed_switches = 1;  // derate to 60
+  fb.admitted_last = 100;
+  fb.overlay_conflicts_last = 4;  // 4% — under the 5% bar
+  EXPECT_EQ(p.epoch_window(fb), 60u);
+  fb.overlay_conflicts_last = 10;  // 10% — the damage is in traffic's way
+  EXPECT_EQ(p.epoch_window(fb), 30u);
+  // Recovery: repairs bring failed_switches to 0 and conflicts stop.
+  fb.failed_switches = 0;
+  fb.overlay_conflicts_last = 0;
+  EXPECT_EQ(p.epoch_window(fb), 64u);
+}
+
+TEST(OverlayAdmission, ComposesOverConflictAdaptiveInner) {
+  // The inner AIMD still governs the healthy window; the overlay derating
+  // multiplies on top of whatever the inner answers.
+  auto inner = std::make_unique<svc::ConflictAdaptiveAdmission>(
+      /*initial=*/64, /*min_window=*/8, /*max_window=*/4096,
+      /*high_rate=*/0.10, /*low_rate=*/0.02);
+  auto* inner_raw = inner.get();
+  svc::OverlayAdaptiveAdmission p(std::move(inner));
+  EXPECT_EQ(&p.inner(), inner_raw);
+
+  EpochFeedback fb;
+  fb.queued = 1000;
+  fb.admitted_last = 64;
+  fb.claim_conflicts_last = 32;  // 50% conflict rate: inner halves to 32
+  fb.failed_switches = 1;        // overlay derates that to 30
+  const std::size_t w = p.epoch_window(fb);
+  EXPECT_EQ(inner_raw->current_window(), 32u);
+  EXPECT_EQ(w, 30u);
+}
+
+TEST(OverlayAdmission, ComposesOverDeadlineInner) {
+  auto inner = std::make_unique<svc::DeadlineAdmission>(
+      /*deadline_seconds=*/1.0e-3, /*initial=*/64);
+  auto* inner_raw = inner.get();
+  svc::OverlayAdaptiveAdmission p(std::move(inner));
+
+  EpochFeedback fb;
+  fb.queued = 1000;
+  fb.admitted_last = 64;
+  fb.last_epoch_seconds = 2.0e-3;  // 2x over deadline: inner scales to 32
+  fb.failed_switches = 2;          // overlay derates 32 * 0.95^2 = 28
+  const std::size_t w = p.epoch_window(fb);
+  EXPECT_EQ(inner_raw->current_window(), 32u);
+  EXPECT_EQ(w, 28u);
+  // Inner queue cap passes through the decorator (0 = unbounded here).
+  EXPECT_EQ(p.max_queue_depth(), inner_raw->max_queue_depth());
+}
+
+// Through a live Exchange: inject() faults between epochs and watch the
+// admitted-per-epoch counts derate, then repair() and watch them recover.
+TEST(OverlayAdmission, ExchangeWindowDeratesUnderInjectAndRecoversAfterRepair) {
+  const auto net = networks::build_crossbar(16);
+  svc::ExchangeConfig cfg;
+  cfg.admission = std::make_unique<svc::OverlayAdaptiveAdmission>(
+      /*window=*/8, /*per_fault_shrink=*/0.20, /*min_scale=*/1.0 / 16.0);
+  svc::Exchange ex(net, std::move(cfg));
+
+  // Measure one epoch's window: saturate the queue, drain once, count the
+  // admissions; then settle the backlog and hang everything up so the next
+  // measurement starts from a clean topology and an empty queue.
+  const auto one_epoch_admits = [&]() -> std::uint64_t {
+    std::vector<svc::Ticket> tickets;
+    for (std::uint32_t i = 0; i < 16; ++i)
+      tickets.push_back(ex.submit({i, i, 0, 0}));
+    const auto before = ex.stats().admitted;
+    ex.drain();
+    const auto admitted = ex.stats().admitted - before;
+    ex.drain_all();
+    for (const svc::Ticket t : tickets) {
+      if (const auto o = ex.poll(t); o && o->connected()) ex.hangup(o->id);
+    }
+    EXPECT_EQ(ex.active_calls(), 0u);
+    return admitted;
+  };
+
+  // Healthy: the fixed inner window of 8 admits 8.
+  EXPECT_EQ(one_epoch_admits(), 8u);
+
+  // 5 dead switches at 20% shrink: 8 * 0.8^5 = 2.6 -> 2-per-epoch.
+  using Kind = fault::FaultEvent::Kind;
+  for (graph::EdgeId e = 0; e < 5; ++e) ex.inject({0.0, e, Kind::kFail});
+  EXPECT_EQ(one_epoch_admits(), 2u);
+
+  // Repair brings the window back in the SAME process, no reset needed.
+  for (graph::EdgeId e = 0; e < 5; ++e) ex.repair({1.0, e, Kind::kRepair});
+  EXPECT_EQ(one_epoch_admits(), 8u);
+}
+
+}  // namespace
+}  // namespace ftcs

@@ -23,6 +23,9 @@ Series keyed so runs with different sweeps still match up:
                                      keyed by the REQUESTED policy, so
                                      baselines from hosts that degraded to
                                      "none" still line up)
+  - the admission-policy A/B        (admission_policy.points[].policy —
+                                     static vs overlay-aware under the
+                                     bursty fault storm)
 
 Runner noise policy: individual points on shared CI boxes are noisy, so the
 gate trips on the GEOMETRIC MEAN of the matched improvement ratios dropping
@@ -56,7 +59,13 @@ def load(path: str) -> dict:
 
 
 def series_points(doc: dict, metric: str) -> dict[str, float]:
-    """Flattens every `metric` measurement into {key: value}."""
+    """Flattens every `metric` measurement into {key: value}.
+
+    Schema drift is warned about and skipped, never fatal: a row missing
+    its key field (a series recorded by a newer/older bench than the one
+    that wrote the other file) must not KeyError the whole gate — the
+    remaining series still deserve their comparison.
+    """
     points: dict[str, float] = {}
     if metric == "calls_per_sec" and "calls_per_sec" in doc:
         points["aggregate"] = float(doc["calls_per_sec"])
@@ -65,20 +74,32 @@ def series_points(doc: dict, metric: str) -> dict[str, float]:
         if metric in row:
             points[key] = float(row[metric])
 
-    for row in doc.get("networks", []):
-        take(f"churn/{row['name']}", row)
-    for p in doc.get("thread_scaling", {}).get("points", []):
-        take(f"threads/{p['threads']}", p)
-    for p in doc.get("batched_admission", {}).get("points", []):
-        take(f"batch/{p['batch']}", p)
-    for p in doc.get("batched_admission_k7", {}).get("points", []):
-        take(f"batch_k7/{p['batch']}", p)
-    for p in doc.get("degraded_mode", {}).get("points", []):
-        take(f"faults/eps={p['eps']:g}", p)
-    for p in doc.get("relabel", {}).get("points", []):
-        take(f"relabel/{p['network']}/{p['mode']}", p)
-    for p in doc.get("affinity_scaling", {}).get("points", []):
-        take(f"affinity/{p['policy']}", p)
+    def keyed(rows: list, family: str, key_fn) -> None:
+        for row in rows:
+            try:
+                key = key_fn(row)
+            except KeyError as exc:
+                print(f"check_bench: warn: a '{family}' row is missing its "
+                      f"{exc} key; row skipped")
+                continue
+            take(key, row)
+
+    keyed(doc.get("networks", []), "networks",
+          lambda r: f"churn/{r['name']}")
+    keyed(doc.get("thread_scaling", {}).get("points", []), "thread_scaling",
+          lambda p: f"threads/{p['threads']}")
+    keyed(doc.get("batched_admission", {}).get("points", []),
+          "batched_admission", lambda p: f"batch/{p['batch']}")
+    keyed(doc.get("batched_admission_k7", {}).get("points", []),
+          "batched_admission_k7", lambda p: f"batch_k7/{p['batch']}")
+    keyed(doc.get("degraded_mode", {}).get("points", []), "degraded_mode",
+          lambda p: f"faults/eps={p['eps']:g}")
+    keyed(doc.get("relabel", {}).get("points", []), "relabel",
+          lambda p: f"relabel/{p['network']}/{p['mode']}")
+    keyed(doc.get("affinity_scaling", {}).get("points", []),
+          "affinity_scaling", lambda p: f"affinity/{p['policy']}")
+    keyed(doc.get("admission_policy", {}).get("points", []),
+          "admission_policy", lambda p: f"policy/{p['policy']}")
     return points
 
 
@@ -161,11 +182,18 @@ def self_test() -> int:
             {"policy": "spread", "effective": "none", "calls_per_sec": 120,
              "visits_per_connect": 8.0},
         ]},
+        "admission_policy": {"points": [
+            {"policy": "static", "calls_per_sec": 90, "hard_rejects": 50},
+            {"policy": "overlay", "calls_per_sec": 95, "hard_rejects": 12},
+            # Schema drift: no "policy" key — must warn and skip, not raise.
+            {"calls_per_sec": 77},
+        ]},
     }
     pts = series_points(doc, "calls_per_sec")
     expect = {"aggregate": 1000.0, "churn/n1": 100.0, "threads/2": 150.0,
               "relabel/n1/none": 100.0, "relabel/n1/locality": 140.0,
-              "affinity/spread": 120.0}
+              "affinity/spread": 120.0, "policy/static": 90.0,
+              "policy/overlay": 95.0}
     assert pts == expect, f"series_points mismatch: {pts}"
 
     # Identical files pass at any tolerance; a uniform 40% loss trips the
