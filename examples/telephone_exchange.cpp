@@ -21,11 +21,18 @@
 //
 //   $ ./telephone_exchange --daemon [sessions]
 //
-// Daemon mode: the FT exchange runs live — a serving thread pumps Poisson
-// call churn through the batched plane epoch after epoch — while THIS
-// process's stdin is the operator console, bridged to the serving thread by
-// ops::ControlPlane's command queue. Line protocol (one command per line):
-//   inject E | weld E | repair E   fault plane on switch (edge id) E
+// Daemon mode: a two-shard FEDERATION of FT exchanges runs live — a serving
+// thread pumps mixed intra-/inter-shard call churn through the batched plane
+// epoch after epoch, inter-shard calls riding trunk groups as two half-calls
+// — while THIS process's stdin is the operator console, bridged to the
+// serving thread by ops::ControlPlane's command queue. Line protocol (one
+// command per line):
+//   inject E [S] | weld E [S] | repair E [S]
+//                                  fault plane on switch (edge id) E of
+//                                  shard S (default 0)
+//   trunks                         per-trunk-group occupancy/health book
+//   tfault G L | trepair G L       fail/restore line L of trunk group G
+//                                  (an edge fault in the federation graph)
 //   grow N                         hitless-growth stub (typed unsupported)
 //   query                          health gauges + headline counters
 //   snapshot prom|json             metrics scrape, fenced by marker lines
@@ -39,6 +46,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -53,6 +61,7 @@
 #include "ops/command_queue.hpp"
 #include "ops/control.hpp"
 #include "svc/exchange.hpp"
+#include "svc/federation.hpp"
 #include "util/prng.hpp"
 #include "util/table.hpp"
 
@@ -83,42 +92,57 @@ ftcs::core::TrafficReport run_day(const ftcs::graph::Network& net,
 
 // ------------------------------------------------------------- daemon mode
 
-/// The serving loop: owns every session (the drain contract), so it is the
-/// one thread that runs admission epochs, applies operator fault commands
+/// The serving loop: owns every member session (the drain contract), so it
+/// is the one thread that runs admission epochs, applies operator commands
 /// (ControlPlane::pump between epochs), and hangs up expiring calls.
-void serve_loop(ftcs::svc::Exchange& exchange, ftcs::ops::ControlPlane& control,
-                unsigned sessions, std::atomic<bool>& stop) {
+/// Connected handles arrive via callback — intra-shard callbacks fire on
+/// member pool threads, inter-shard ones on this thread — so the landing
+/// vector is mutex-protected and drained here each epoch.
+void serve_loop(ftcs::svc::Federation& fed, ftcs::ops::ControlPlane& control,
+                std::atomic<bool>& stop) {
   namespace svc = ftcs::svc;
-  const auto n =
-      static_cast<std::uint32_t>(exchange.network().inputs.size());
+  const auto n = static_cast<std::uint32_t>(fed.input_count());
   ftcs::util::Xoshiro256 rng(0xDA3E0);
-  std::vector<std::vector<svc::CallId>> active(sessions);
-  const auto on_done = [&active](const svc::Outcome& o) {
-    if (o.connected()) active[o.session].push_back(o.id);
+  std::mutex mu;
+  std::vector<svc::FedCallId> connected;
+  const auto on_done = [&](const svc::FedOutcome& o) {
+    if (o.connected()) {
+      const std::lock_guard<std::mutex> lk(mu);
+      connected.push_back(o.id);
+    }
   };
+  std::vector<svc::FedCallId> held;
   while (!stop.load(std::memory_order_acquire)) {
     control.pump();  // operator commands land at the epoch boundary
     for (int a = 0; a < 4; ++a) {
-      const auto in = static_cast<std::uint32_t>(rng() % n);
-      const auto out = static_cast<std::uint32_t>(rng() % n);
-      const auto pri = static_cast<std::uint8_t>(rng() & 3u);
-      exchange.submit({in, out, pri, 0}, on_done);
+      svc::CallRequest req;
+      req.input = static_cast<std::uint32_t>(rng() % n);
+      req.output = static_cast<std::uint32_t>(rng() % n);
+      req.priority = static_cast<std::uint8_t>(rng() & 3u);
+      fed.submit(req, on_done);
     }
-    exchange.drain();
-    for (auto& mine : active) {  // ~1/4 of held calls hang up per epoch
-      std::size_t drop = mine.size() / 4;
-      while (drop-- > 0 && !mine.empty()) {
-        const auto idx = rng() % mine.size();
-        exchange.hangup(mine[idx]);
-        mine[idx] = mine.back();
-        mine.pop_back();
-      }
+    fed.drain();
+    {
+      const std::lock_guard<std::mutex> lk(mu);
+      held.insert(held.end(), connected.begin(), connected.end());
+      connected.clear();
+    }
+    std::size_t drop = held.size() / 4;  // ~1/4 of held calls hang up/epoch
+    while (drop-- > 0 && !held.empty()) {
+      const auto idx = rng() % held.size();
+      // A call a trunk fault already reaped acks kFaulted — typed, harmless.
+      fed.hangup(held[idx]);
+      held[idx] = held.back();
+      held.pop_back();
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   control.pump();  // any commands posted while we noticed `stop`
-  for (auto& mine : active)
-    for (const auto id : mine) exchange.hangup(id);
+  {
+    const std::lock_guard<std::mutex> lk(mu);
+    held.insert(held.end(), connected.begin(), connected.end());
+  }
+  for (const auto id : held) fed.hangup(id);
 }
 
 void print_ack(const ftcs::ops::Ack& a) {
@@ -133,6 +157,8 @@ void print_ack(const ftcs::ops::Ack& a) {
   switch (a.kind) {
     case ops::CommandKind::kInject:
     case ops::CommandKind::kRepair:
+    case ops::CommandKind::kTrunkFault:
+    case ops::CommandKind::kTrunkRepair:
       line << " killed=" << a.calls_killed << " rerouted="
            << a.reroute_succeeded << " dropped=" << a.reroute_failed;
       if (a.alarm)
@@ -150,12 +176,28 @@ void print_ack(const ftcs::ops::Ack& a) {
       break;
     case ops::CommandKind::kGrow:
     case ops::CommandKind::kSnapshot:
+    case ops::CommandKind::kTrunks:  // per-group rows print below
       break;
   }
   line << " | active=" << a.active_calls << " pending=" << a.pending
        << " down=" << a.failed_switches << " welded=" << a.stuck_switches
        << " shorted=" << (a.shorted ? 1 : 0);
+  if (!a.trunks.empty()) {  // federated plane: trunk pool + half-call gauges
+    unsigned occ = 0, usable = 0;
+    for (const auto& g : a.trunks) {
+      occ += g.occupancy;
+      usable += g.usable;
+    }
+    line << " trunks=" << occ << "/" << usable
+         << " half_calls=" << a.half_calls;
+  }
   std::cout << line.str() << "\n";
+  if (a.kind == ops::CommandKind::kTrunks)
+    for (const auto& g : a.trunks)
+      std::cout << "  group " << g.group << " " << g.from << "->" << g.to
+                << " occupancy=" << g.occupancy << "/" << g.usable << "/"
+                << g.capacity << " claims=" << g.claims
+                << " rejects=" << g.rejects << "\n";
   if (a.kind == ops::CommandKind::kGrow && !a.text.empty())
     std::cout << "  " << a.text << "\n";
   std::cout.flush();
@@ -164,25 +206,22 @@ void print_ack(const ftcs::ops::Ack& a) {
 int run_daemon(unsigned sessions) {
   using namespace ftcs;
   const auto ft = core::build_ft_network(core::FtParams::sim(2, 8, 6, 1, 5));
-  svc::ExchangeConfig cfg;
+  svc::FederationConfig cfg;
   cfg.backend = svc::Backend::kConcurrent;
   cfg.sessions = sessions;
-  cfg.qos_immediate = true;
-  // Per-class setup SLAs, tightest for the premium class: epochs settle in
-  // microseconds here, so these are generous — violations indicate a stall.
-  cfg.class_deadlines = {0.0, 0.25, 0.1, 0.05};
-  svc::Exchange exchange(ft.net, std::move(cfg));
-  ops::ControlPlane control(exchange, "telephone-exchange");
-  const auto edges = exchange.network().g.edge_count();
+  svc::Federation fed(ft.net, 2, cfg);
+  ops::ControlPlane control(fed, "telephone-exchange");
+  const auto edges = fed.member(0).network().g.edge_count();
+  const auto groups = fed.trunk_group_count();
 
-  std::cout << "telephone exchange daemon: " << ft.net.g.vertex_count()
-            << " vertices, " << edges << " switches, " << sessions
+  std::cout << "telephone exchange daemon: " << fed.shards() << " shards x "
+            << edges << " switches, " << groups << " trunk groups, "
+            << fed.input_count() << " subscriber lines, " << sessions
             << " sessions; commands on stdin (quit to stop)\n";
   std::cout.flush();
 
   std::atomic<bool> stop{false};
-  std::thread server(
-      [&] { serve_loop(exchange, control, sessions, stop); });
+  std::thread server([&] { serve_loop(fed, control, stop); });
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -206,6 +245,26 @@ int run_daemon(unsigned sessions) {
                    verb == "weld"     ? fault::FaultEvent::Kind::kStuckOn
                    : verb == "inject" ? fault::FaultEvent::Kind::kFail
                                       : fault::FaultEvent::Kind::kRepair};
+      in >> cmd.arg;  // optional target shard, default 0
+      if (cmd.arg >= fed.shards()) {
+        std::cout << "error: " << verb << " shard must be < " << fed.shards()
+                  << "\n";
+        continue;
+      }
+    } else if (verb == "trunks") {
+      cmd.kind = ops::CommandKind::kTrunks;
+    } else if (verb == "tfault" || verb == "trepair") {
+      cmd.kind = verb == "tfault" ? ops::CommandKind::kTrunkFault
+                                  : ops::CommandKind::kTrunkRepair;
+      cmd.arg = groups;
+      in >> cmd.arg >> cmd.arg2;
+      if (cmd.arg >= groups ||
+          cmd.arg2 >= fed.trunk_group(
+                          static_cast<std::uint32_t>(cmd.arg)).capacity()) {
+        std::cout << "error: " << verb << " needs GROUP < " << groups
+                  << " and LINE < that group's capacity\n";
+        continue;
+      }
     } else if (verb == "grow") {
       cmd.kind = ops::CommandKind::kGrow;
       in >> cmd.arg;
@@ -222,7 +281,8 @@ int run_daemon(unsigned sessions) {
       cmd.kind = ops::CommandKind::kQuiesce;
     } else {
       std::cout << "error: unknown command '" << verb
-                << "' (inject|weld|repair|grow|query|snapshot|quiesce|quit)\n";
+                << "' (inject|weld|repair|trunks|tfault|trepair|grow|query|"
+                   "snapshot|quiesce|quit)\n";
       continue;
     }
     const ops::Ack ack = control.queue().wait(control.queue().post(cmd));
@@ -244,12 +304,16 @@ int run_daemon(unsigned sessions) {
   }
   stop.store(true, std::memory_order_release);
   server.join();
-  exchange.drain_all();
-  const auto st = exchange.stats();
-  std::cout << "daemon done: " << st.submitted << " submitted, " << st.admitted
-            << " admitted, " << st.hangups << " hangups, "
-            << st.calls_killed_by_fault << " killed by faults, "
-            << st.shorts_raised << " short alarms\n";
+  fed.drain_all();
+  const svc::FederationStats st = fed.stats();
+  std::cout << "daemon done: " << st.members.submitted << " submitted ("
+            << st.intra_calls << " intra, " << st.inter_calls << " inter), "
+            << st.members.admitted << " admitted, " << st.members.hangups
+            << " hangups, " << st.trunks.claims << " trunk claims, "
+            << st.members.calls_killed_by_fault +
+                   st.calls_killed_by_trunk_fault
+            << " killed by faults, " << st.members.shorts_raised
+            << " short alarms\n";
   return 0;
 }
 

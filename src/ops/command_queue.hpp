@@ -25,6 +25,7 @@
 #include "fault/schedule.hpp"
 #include "fault/weld_components.hpp"
 #include "svc/exchange.hpp"
+#include "svc/trunk.hpp"
 
 namespace ftcs::ops {
 
@@ -35,6 +36,10 @@ enum class CommandKind : std::uint8_t {
   kQuery,     // health probe: stats + fault/short/queue gauges
   kSnapshot,  // metrics scrape: Prometheus or JSON text in the ack
   kQuiesce,   // drain_all() the batched queue
+  // Federation-only verbs (acked kUnsupported on a single-exchange plane):
+  kTrunks,       // per-trunk-group occupancy/health book in the ack
+  kTrunkFault,   // fail trunk line arg2 of group arg (edge fault)
+  kTrunkRepair,  // restore trunk line arg2 of group arg
 };
 
 [[nodiscard]] constexpr const char* to_string(CommandKind k) noexcept {
@@ -45,6 +50,9 @@ enum class CommandKind : std::uint8_t {
     case CommandKind::kQuery: return "query";
     case CommandKind::kSnapshot: return "snapshot";
     case CommandKind::kQuiesce: return "quiesce";
+    case CommandKind::kTrunks: return "trunks";
+    case CommandKind::kTrunkFault: return "trunk_fault";
+    case CommandKind::kTrunkRepair: return "trunk_repair";
   }
   return "unknown";
 }
@@ -57,7 +65,11 @@ struct Command {
   /// operator IS the schedule.
   fault::FaultEvent event{};
   /// kGrow: requested extra terminal pairs. kSnapshot: SnapshotFormat.
+  /// kTrunkFault/kTrunkRepair: trunk group id. kInject/kRepair on a
+  /// federated plane: target shard (0 on a single exchange).
   std::uint64_t arg = 0;
+  /// kTrunkFault/kTrunkRepair: line index within group `arg`.
+  std::uint64_t arg2 = 0;
 };
 
 enum class AckStatus : std::uint8_t {
@@ -92,6 +104,11 @@ struct Ack {
   // kQuery / kQuiesce:
   svc::ExchangeStats stats{};
   std::size_t drained = 0;  // kQuiesce: requests the final drain admitted
+  // Federated planes fill these on every ack (kTrunks exists to fetch them
+  // without side effects): the per-group trunk book and the committed
+  // inter-exchange call gauge. Empty/zero on a single-exchange plane.
+  std::vector<svc::TrunkGauge> trunks;
+  std::size_t half_calls = 0;
   // kSnapshot (serialized metrics) and kGrow (explanation):
   std::string text;
 };

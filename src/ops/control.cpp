@@ -3,6 +3,18 @@
 namespace ftcs::ops {
 
 void ControlPlane::fill_gauges(Ack& a) const {
+  if (fed_) {
+    a.active_calls = fed_->active_calls();
+    a.pending = fed_->pending();
+    for (unsigned m = 0; m < fed_->shards(); ++m) {
+      a.failed_switches += fed_->member(m).failed_switch_count();
+      a.stuck_switches += fed_->member(m).stuck_switch_count();
+      a.shorted = a.shorted || fed_->member(m).shorted();
+    }
+    a.trunks = fed_->trunk_gauges();
+    a.half_calls = fed_->active_inter_calls();
+    return;
+  }
   a.active_calls = ex_->active_calls();
   a.pending = ex_->pending();
   a.failed_switches = ex_->failed_switch_count();
@@ -16,6 +28,29 @@ Ack ControlPlane::execute(const Command& cmd) {
   switch (cmd.kind) {
     case CommandKind::kInject:
     case CommandKind::kRepair: {
+      if (fed_) {
+        // Federated fault op: Command::arg names the target shard; the
+        // ack carries the member-level impact plus the reconciliation
+        // counters (adopted/torn-down halves ride the reroute tallies).
+        const unsigned shard =
+            cmd.arg < fed_->shards() ? static_cast<unsigned>(cmd.arg) : 0;
+        svc::Exchange& m = fed_->member(shard);
+        const std::size_t down_before = m.failed_switch_count();
+        svc::FedFaultImpact impact = cmd.kind == CommandKind::kInject
+                                         ? fed_->inject(shard, cmd.event)
+                                         : fed_->repair(shard, cmd.event);
+        if (m.failed_switch_count() == down_before)
+          a.status = AckStatus::kNoop;
+        a.calls_killed = impact.member.calls_killed();
+        a.reroute_succeeded =
+            impact.member.reroute_succeeded + impact.reroute_succeeded;
+        a.reroute_failed =
+            impact.member.reroute_failed + impact.reroute_failed;
+        a.killed = std::move(impact.member.killed);
+        a.reroutes = std::move(impact.member.reroutes);
+        a.alarm = impact.member.alarm;
+        break;
+      }
       const std::size_t down_before = ex_->failed_switch_count();
       svc::FaultImpact impact = cmd.kind == CommandKind::kInject
                                     ? ex_->inject(cmd.event)
@@ -37,17 +72,53 @@ Ack ControlPlane::execute(const Command& cmd) {
           "so operator tooling can ship ahead of it";
       break;
     case CommandKind::kQuery:
-      a.stats = ex_->stats();
+      a.stats = fed_ ? fed_->stats().members : ex_->stats();
       break;
     case CommandKind::kSnapshot:
-      a.text = static_cast<SnapshotFormat>(cmd.arg) == SnapshotFormat::kJson
-                   ? metrics_.scrape_json(*ex_)
-                   : metrics_.scrape_prometheus(*ex_);
+      if (fed_) {
+        a.text = static_cast<SnapshotFormat>(cmd.arg) == SnapshotFormat::kJson
+                     ? metrics_.scrape_json(*fed_)
+                     : metrics_.scrape_prometheus(*fed_);
+      } else {
+        a.text = static_cast<SnapshotFormat>(cmd.arg) == SnapshotFormat::kJson
+                     ? metrics_.scrape_json(*ex_)
+                     : metrics_.scrape_prometheus(*ex_);
+      }
       break;
     case CommandKind::kQuiesce:
-      a.drained = ex_->drain_all();
-      a.stats = ex_->stats();
+      if (fed_) {
+        a.drained = fed_->drain_all();
+        a.stats = fed_->stats().members;
+      } else {
+        a.drained = ex_->drain_all();
+        a.stats = ex_->stats();
+      }
       break;
+    case CommandKind::kTrunks:
+      // Pure read: fill_gauges below supplies the per-group book.
+      if (!fed_) {
+        a.status = AckStatus::kUnsupported;
+        a.text = "trunk commands need a federated control plane";
+      }
+      break;
+    case CommandKind::kTrunkFault:
+    case CommandKind::kTrunkRepair: {
+      if (!fed_) {
+        a.status = AckStatus::kUnsupported;
+        a.text = "trunk commands need a federated control plane";
+        break;
+      }
+      const auto group = static_cast<std::uint32_t>(cmd.arg);
+      const auto line = static_cast<std::uint32_t>(cmd.arg2);
+      const svc::TrunkFaultImpact imp = cmd.kind == CommandKind::kTrunkFault
+                                            ? fed_->fail_trunk(group, line)
+                                            : fed_->repair_trunk(group, line);
+      if (!imp.applied) a.status = AckStatus::kNoop;
+      a.calls_killed = imp.killed.size();
+      a.reroute_succeeded = imp.reroute_succeeded;
+      a.reroute_failed = imp.reroute_failed;
+      break;
+    }
   }
   fill_gauges(a);
   return a;

@@ -22,6 +22,13 @@ class ControlPlane {
  public:
   explicit ControlPlane(svc::Exchange& ex, std::string instance = "exchange")
       : ex_(&ex), metrics_(std::move(instance)) {}
+  /// Federated plane: commands execute against the whole federation —
+  /// kInject/kRepair target shard Command::arg, kQuery/kQuiesce/kSnapshot
+  /// aggregate across members, and the trunk verbs (kTrunks, kTrunkFault,
+  /// kTrunkRepair) come alive. The federation must outlive the plane.
+  explicit ControlPlane(svc::Federation& fed,
+                        std::string instance = "federation")
+      : ex_(&fed.member(0)), fed_(&fed), metrics_(std::move(instance)) {}
 
   /// The operator-facing feed: post() from any thread.
   [[nodiscard]] CommandQueue& queue() noexcept { return queue_; }
@@ -38,6 +45,7 @@ class ControlPlane {
   void fill_gauges(Ack& a) const;
 
   svc::Exchange* ex_;
+  svc::Federation* fed_ = nullptr;  // set only for the federated ctor
   CommandQueue queue_;
   MetricsRegistry metrics_;
 };

@@ -82,7 +82,59 @@ std::vector<NamedReject> reject_book(const MetricsRegistry::Sample& s) {
   };
 }
 
+/// Federation-wide flat counters (front-end books + merged trunk stats);
+/// emitted only on federated samples.
+std::vector<NamedCounter> fed_counters(const MetricsRegistry::Sample& s) {
+  const svc::FederationStats& t = s.fed_total;
+  const svc::FederationStats& d = s.fed_delta;
+  return {
+      {"intra_calls_total", t.intra_calls, d.intra_calls},
+      {"inter_calls_total", t.inter_calls, d.inter_calls},
+      {"inter_connected_total", t.inter_connected, d.inter_connected},
+      {"half_calls_routed_total", t.half_calls_routed, d.half_calls_routed},
+      {"inter_hangups_total", t.inter_hangups, d.inter_hangups},
+      {"trunk_claims_total", t.trunks.claims, d.trunks.claims},
+      {"trunk_releases_total", t.trunks.releases, d.trunks.releases},
+      {"trunk_rejects_total", t.trunks.rejects, d.trunks.rejects},
+      {"trunk_faults_total", t.trunks.faults, d.trunks.faults},
+      {"trunk_repairs_total", t.trunks.repairs, d.trunks.repairs},
+      {"trunk_setup_rejects_total", t.trunk_rejects, d.trunk_rejects},
+      {"ingress_aborts_total", t.ingress_aborts, d.ingress_aborts},
+      {"egress_aborts_total", t.egress_aborts, d.egress_aborts},
+      {"calls_killed_by_trunk_fault_total", t.calls_killed_by_trunk_fault,
+       d.calls_killed_by_trunk_fault},
+      {"mates_adopted_total", t.mates_adopted, d.mates_adopted},
+      {"mates_torn_down_total", t.mates_torn_down, d.mates_torn_down},
+  };
+}
+
 }  // namespace
+
+MetricsRegistry::Sample MetricsRegistry::sample(const svc::Federation& fed) {
+  Sample s;
+  s.federated = true;
+  s.fed_total = fed.stats();
+  s.fed_delta = s.fed_total;
+  s.fed_delta -= fed_last_;
+  fed_last_ = s.fed_total;
+  // Merged member stats feed the single-exchange families unchanged.
+  s.total = s.fed_total.members;
+  s.delta = s.total;
+  s.delta -= last_;
+  last_ = s.total;
+  s.active_calls = fed.active_calls();
+  s.pending = fed.pending();
+  for (unsigned m = 0; m < fed.shards(); ++m) {
+    s.failed_switches += fed.member(m).failed_switch_count();
+    s.stuck_switches += fed.member(m).stuck_switch_count();
+    s.shorted = s.shorted || fed.member(m).shorted();
+  }
+  s.shards = fed.shards();
+  s.half_calls = fed.active_inter_calls();
+  s.trunks = fed.trunk_gauges();
+  s.scrape_seq = ++seq_;
+  return s;
+}
 
 MetricsRegistry::Sample MetricsRegistry::sample(const svc::Exchange& ex) {
   Sample s;
@@ -200,6 +252,52 @@ std::string MetricsRegistry::prometheus(const Sample& s) const {
             "ftcs_setup_latency_p99_seconds{exchange=\"%s\",class=\"%zu\"} "
             "%.9g\n",
             inst, c, s.total.classes[c].setup.quantile(0.99));
+
+  // Federation families: trunk books + half-call gauges, per group where
+  // the group identity matters (occupancy/health) and flat where a
+  // federation-wide tally is the useful shape.
+  if (s.federated) {
+    for (const NamedCounter& c : fed_counters(s)) {
+      appendf(out, "# TYPE ftcs_%s counter\n", c.name);
+      appendf(out, "ftcs_%s{exchange=\"%s\"} %" PRIu64 "\n", c.name, inst,
+              c.total);
+    }
+    appendf(out, "# TYPE ftcs_shards gauge\n");
+    appendf(out, "ftcs_shards{exchange=\"%s\"} %zu\n", inst, s.shards);
+    appendf(out, "# TYPE ftcs_half_calls_active gauge\n");
+    appendf(out, "ftcs_half_calls_active{exchange=\"%s\"} %zu\n", inst,
+            s.half_calls);
+    appendf(out, "# TYPE ftcs_trunk_group_capacity gauge\n");
+    for (const svc::TrunkGauge& g : s.trunks)
+      appendf(out,
+              "ftcs_trunk_group_capacity{exchange=\"%s\",group=\"%u\","
+              "from=\"%u\",to=\"%u\"} %u\n",
+              inst, g.group, g.from, g.to, g.capacity);
+    appendf(out, "# TYPE ftcs_trunk_group_usable gauge\n");
+    for (const svc::TrunkGauge& g : s.trunks)
+      appendf(out,
+              "ftcs_trunk_group_usable{exchange=\"%s\",group=\"%u\","
+              "from=\"%u\",to=\"%u\"} %u\n",
+              inst, g.group, g.from, g.to, g.usable);
+    appendf(out, "# TYPE ftcs_trunk_group_occupancy gauge\n");
+    for (const svc::TrunkGauge& g : s.trunks)
+      appendf(out,
+              "ftcs_trunk_group_occupancy{exchange=\"%s\",group=\"%u\","
+              "from=\"%u\",to=\"%u\"} %u\n",
+              inst, g.group, g.from, g.to, g.occupancy);
+    appendf(out, "# TYPE ftcs_trunk_group_claims_total counter\n");
+    for (const svc::TrunkGauge& g : s.trunks)
+      appendf(out,
+              "ftcs_trunk_group_claims_total{exchange=\"%s\",group=\"%u\","
+              "from=\"%u\",to=\"%u\"} %" PRIu64 "\n",
+              inst, g.group, g.from, g.to, g.claims);
+    appendf(out, "# TYPE ftcs_trunk_group_rejects_total counter\n");
+    for (const svc::TrunkGauge& g : s.trunks)
+      appendf(out,
+              "ftcs_trunk_group_rejects_total{exchange=\"%s\",group=\"%u\","
+              "from=\"%u\",to=\"%u\"} %" PRIu64 "\n",
+              inst, g.group, g.from, g.to, g.rejects);
+  }
   return out;
 }
 
@@ -239,7 +337,35 @@ std::string MetricsRegistry::json(const Sample& s) const {
             cs.setup.count(), cs.setup.sum_seconds(), cs.setup.quantile(0.50),
             cs.setup.quantile(0.99));
   }
-  out += "]}";
+  out += "]";
+  if (s.federated) {
+    appendf(out,
+            ",\"federation\":{\"shards\":%zu,\"half_calls_active\":%zu,",
+            s.shards, s.half_calls);
+    for (const char* section : {"total", "delta"}) {
+      appendf(out, "\"%s\":{", section);
+      bool first = true;
+      for (const NamedCounter& c : fed_counters(s)) {
+        appendf(out, "%s\"%s\":%" PRIu64, first ? "" : ",", c.name,
+                section[0] == 't' ? c.total : c.delta);
+        first = false;
+      }
+      appendf(out, "},");
+    }
+    out += "\"trunk_groups\":[";
+    bool first = true;
+    for (const svc::TrunkGauge& g : s.trunks) {
+      appendf(out,
+              "%s{\"group\":%u,\"from\":%u,\"to\":%u,\"capacity\":%u,"
+              "\"usable\":%u,\"occupancy\":%u,\"claims\":%" PRIu64
+              ",\"rejects\":%" PRIu64 "}",
+              first ? "" : ",", g.group, g.from, g.to, g.capacity, g.usable,
+              g.occupancy, g.claims, g.rejects);
+      first = false;
+    }
+    out += "]}";
+  }
+  out += "}";
   return out;
 }
 

@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "svc/exchange.hpp"
+#include "svc/federation.hpp"
 
 namespace ftcs::ops {
 
@@ -32,10 +34,24 @@ class MetricsRegistry {
     std::size_t stuck_switches = 0;
     bool shorted = false;
     std::uint64_t scrape_seq = 0;
+    // Federation scrape extras (sample(const Federation&)). When federated,
+    // `total`/`delta` above hold the MERGED member ExchangeStats, so every
+    // single-exchange family keeps its meaning; the trunk books and
+    // half-call gauges ride alongside as ftcs_trunk_* / half-call families.
+    bool federated = false;
+    std::size_t shards = 0;
+    std::size_t half_calls = 0;  // committed inter-exchange calls up
+    std::vector<svc::TrunkGauge> trunks;
+    svc::FederationStats fed_total{};
+    svc::FederationStats fed_delta{};
   };
 
   /// Scrapes the exchange and advances the delta baseline.
   Sample sample(const svc::Exchange& ex);
+  /// Federation flavour: merged member stats plus the trunk/half-call books
+  /// (same delta-stateful contract; do not interleave the two flavours on
+  /// one registry — the baseline is shared).
+  Sample sample(const svc::Federation& fed);
 
   /// Prometheus text exposition of one sample.
   [[nodiscard]] std::string prometheus(const Sample& s) const;
@@ -51,9 +67,17 @@ class MetricsRegistry {
     return instance_;
   }
 
+  std::string scrape_prometheus(const svc::Federation& fed) {
+    return prometheus(sample(fed));
+  }
+  std::string scrape_json(const svc::Federation& fed) {
+    return json(sample(fed));
+  }
+
  private:
   std::string instance_;
   svc::ExchangeStats last_{};
+  svc::FederationStats fed_last_{};
   std::uint64_t seq_ = 0;
 };
 

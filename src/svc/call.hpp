@@ -33,6 +33,8 @@ enum class RejectReason : std::uint8_t {
   kFaulted,          // call was torn down by the fault plane (a component on
                      // its path died); also the ack a hangup of that handle
                      // receives — informative, not a handle misuse
+  kTrunkBusy,        // federation: no usable trunk line toward the callee's
+                     // exchange (every group toward it is full or faulted)
 };
 
 /// Canonical spelling, used verbatim in tables and JSON keys. The switch
@@ -49,6 +51,7 @@ enum class RejectReason : std::uint8_t {
     case RejectReason::kForeignHandle: return "foreign_handle";
     case RejectReason::kBadSession: return "bad_session";
     case RejectReason::kFaulted: return "killed_by_fault";
+    case RejectReason::kTrunkBusy: return "rejected_trunk";
   }
   return "unknown";  // unreachable for in-range values; keeps -Wreturn-type quiet
 }
@@ -61,7 +64,7 @@ inline constexpr RejectReason kAllRejectReasons[] = {
     RejectReason::kNoPath,        RejectReason::kContention,
     RejectReason::kRefused,       RejectReason::kStaleHandle,
     RejectReason::kForeignHandle, RejectReason::kBadSession,
-    RejectReason::kFaulted,
+    RejectReason::kFaulted,       RejectReason::kTrunkBusy,
 };
 inline constexpr std::size_t kRejectReasonCount =
     sizeof(kAllRejectReasons) / sizeof(kAllRejectReasons[0]);

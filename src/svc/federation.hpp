@@ -1,0 +1,458 @@
+// ftcs::svc::Federation — N member Exchanges joined by trunk groups, serving
+// one sharded terminal space as a single switching system.
+//
+// The paper's recursive construction legalizes this layer: a network of
+// strictly-nonblocking exchanges, joined by dedicated links, is itself a
+// switching network. Federation is the service-level expression of that
+// recursion — terminals are sharded across member exchanges (the same
+// contiguous-range map as ExchangeConfig::home_sessions uses for sessions:
+// global terminal g lives on shard g / S at local index g % S), and a call
+// either stays inside one member or crosses a trunk:
+//
+//   - INTRA-SHARD (the hot path): shard(in) == shard(out). The request is
+//     delegated verbatim to the home member — two integer divisions and a
+//     compare before the ordinary Exchange path, the same zero-cost gate
+//     discipline as the routers' liveness overlay. No federation state is
+//     touched and no slot is allocated; the returned handle wraps the
+//     member's own generation-tagged CallId.
+//
+//   - INTER-SHARD: a TWO-PHASE setup of two half-calls plus a trunk claim,
+//     in a fixed order with reverse-order release on any failure:
+//       1. claim a trunk line toward the callee's shard (least-loaded group
+//          first — TrunkGroup::score() —, rotating first-free line scan);
+//          no line anywhere -> RejectReason::kTrunkBusy, stage kTrunk.
+//       2. route the INGRESS half in the caller's member: local input ->
+//          the line's egress port. Failure releases the line (stage
+//          kIngress, the member's own typed reject).
+//       3. route the EGRESS half in the callee's member: the line's ingress
+//          port -> local output. Failure hangs up the ingress half, then
+//          releases the line (stage kEgress).
+//     Only after all three commit is a federation slot allocated; no
+//     partial state survives a failed setup. Teardown is the exact
+//     reverse: egress hangup, ingress hangup, trunk release.
+//
+// Both planes exist, mirroring Exchange: call()/hangup() immediate, and a
+// batched submit()/drain() plane that stages trunk claims on the drain
+// thread and routes all half-calls through each member's OWN batched
+// admission plane (one member drain_all per epoch, members in sequence —
+// member-internal session parallelism still applies), then reconciles:
+// an epoch that connected only one half of a call hangs the survivor up
+// and releases the trunk before the outcome is delivered.
+//
+// Fault planes compose:
+//   - a TRUNK fault is an edge fault of the federation graph: fail_trunk()
+//     removes the line from the pool, tears down both half-calls of any
+//     riding call (typed kFaulted, the retained federation handle gets the
+//     informative kFaulted ack), releases the line, and re-admits the
+//     original end-to-end request through the batched plane (drain_all) —
+//     the same kill -> re-admit discipline as Exchange::inject.
+//   - a MEMBER fault goes through Federation::inject/repair, which forwards
+//     to the member and then reconciles half-call victims: a half the
+//     member rerouted in place is ADOPTED (the trunk line, and therefore
+//     the half's far terminal, was still reserved, so the reroute lands on
+//     the same ports and the inter-call survives); a half the member could
+//     not carry tears down its mate and the trunk, and the whole call is
+//     re-admitted end-to-end.
+//
+// Threading contract (the Exchange rules, lifted one level): submit() and
+// poll() are thread-safe; call()/hangup()/drain()/drain_all() and every
+// fault operation run from one thread at a time, which transitively owns
+// every member session (Federation touches multiple members per call, so
+// immediate-plane serialization is global, not per-session).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/exchange.hpp"
+#include "svc/trunk.hpp"
+
+namespace ftcs::svc {
+
+/// Which setup stage rejected an inter-shard call; kNone on success and on
+/// intra-shard rejects (the member's verdict needs no stage).
+enum class FedStage : std::uint8_t { kNone = 0, kTrunk, kIngress, kEgress };
+
+[[nodiscard]] constexpr const char* to_string(FedStage s) noexcept {
+  switch (s) {
+    case FedStage::kNone: return "none";
+    case FedStage::kTrunk: return "trunk";
+    case FedStage::kIngress: return "ingress";
+    case FedStage::kEgress: return "egress";
+  }
+  return "unknown";
+}
+
+/// Federation-level counter block: the merged member ExchangeStats plus the
+/// trunk books and the two-phase setup/teardown tallies. Mergeable and
+/// delta-able like ExchangeStats, so metrics scrapes stay exact.
+struct FederationStats {
+  ExchangeStats members;   // merged across every member exchange
+  TrunkGroupStats trunks;  // merged across every trunk group
+  // Federation front-end books:
+  std::uint64_t intra_calls = 0;      // requests served on the intra fast path
+  std::uint64_t inter_calls = 0;      // inter-shard setups attempted
+  std::uint64_t inter_connected = 0;  // trunk + both halves committed
+  std::uint64_t trunk_rejects = 0;    // setups bounced kTrunkBusy
+  std::uint64_t ingress_aborts = 0;   // setups that released the trunk after
+                                      // the ingress half failed
+  std::uint64_t egress_aborts = 0;    // setups that tore down ingress + trunk
+                                      // after the egress half failed
+  std::uint64_t half_calls_routed = 0;  // member half-calls that connected
+  std::uint64_t inter_hangups = 0;      // committed inter calls torn down
+  // Composed fault plane:
+  std::uint64_t calls_killed_by_trunk_fault = 0;
+  std::uint64_t mates_adopted = 0;    // member-rerouted halves re-bound into
+                                      // their federation slot
+  std::uint64_t mates_torn_down = 0;  // surviving halves torn down because
+                                      // their mate died uncarried
+  std::uint64_t reroute_succeeded = 0;  // end-to-end re-admissions carried
+  std::uint64_t reroute_failed = 0;
+  std::uint64_t handle_errors = 0;  // federation-level misuse (null/foreign/
+                                    // stale federation handles)
+
+  FederationStats& operator+=(const FederationStats& o) noexcept {
+    members += o.members;
+    trunks += o.trunks;
+    intra_calls += o.intra_calls;
+    inter_calls += o.inter_calls;
+    inter_connected += o.inter_connected;
+    trunk_rejects += o.trunk_rejects;
+    ingress_aborts += o.ingress_aborts;
+    egress_aborts += o.egress_aborts;
+    half_calls_routed += o.half_calls_routed;
+    inter_hangups += o.inter_hangups;
+    calls_killed_by_trunk_fault += o.calls_killed_by_trunk_fault;
+    mates_adopted += o.mates_adopted;
+    mates_torn_down += o.mates_torn_down;
+    reroute_succeeded += o.reroute_succeeded;
+    reroute_failed += o.reroute_failed;
+    handle_errors += o.handle_errors;
+    return *this;
+  }
+  /// Delta of monotone counters (ExchangeStats::queue_high_water keeps the
+  /// high-water-mark semantics of its own operator-=).
+  FederationStats& operator-=(const FederationStats& o) noexcept {
+    members -= o.members;
+    trunks -= o.trunks;
+    intra_calls -= o.intra_calls;
+    inter_calls -= o.inter_calls;
+    inter_connected -= o.inter_connected;
+    trunk_rejects -= o.trunk_rejects;
+    ingress_aborts -= o.ingress_aborts;
+    egress_aborts -= o.egress_aborts;
+    half_calls_routed -= o.half_calls_routed;
+    inter_hangups -= o.inter_hangups;
+    calls_killed_by_trunk_fault -= o.calls_killed_by_trunk_fault;
+    mates_adopted -= o.mates_adopted;
+    mates_torn_down -= o.mates_torn_down;
+    reroute_succeeded -= o.reroute_succeeded;
+    reroute_failed -= o.reroute_failed;
+    handle_errors -= o.handle_errors;
+    return *this;
+  }
+};
+
+class Federation;
+
+/// Generation-tagged federation call handle. An intra-shard handle wraps
+/// the member's CallId directly (no federation slot — the hot path stays
+/// allocation- and bookkeeping-free); an inter-shard handle names a
+/// federation slot whose generation detects stale/double hangups exactly
+/// like Exchange's CallId does.
+class FedCallId {
+ public:
+  constexpr FedCallId() = default;
+  [[nodiscard]] constexpr bool valid() const noexcept { return kind_ != 0; }
+  /// True for a handle of a call that crossed a trunk.
+  [[nodiscard]] constexpr bool inter() const noexcept { return kind_ == 2; }
+  /// Home shard of the caller (both shards for intra calls).
+  [[nodiscard]] constexpr std::uint32_t shard() const noexcept {
+    return shard_;
+  }
+  friend constexpr bool operator==(FedCallId, FedCallId) noexcept = default;
+
+ private:
+  friend class Federation;
+  std::uint32_t kind_ = 0;       // 0 null, 1 intra, 2 inter
+  std::uint32_t federation_ = 0; // issuing Federation's id; 0 = null
+  std::uint32_t shard_ = 0;      // intra: home shard; inter: caller's shard
+  std::uint32_t slot_ = 0;       // inter: federation slot index
+  std::uint32_t gen_ = 0;        // inter: slot generation at issue
+  CallId local_{};               // intra: the member's own handle
+};
+
+/// Result of serving one federation CallRequest (global terminal indices).
+struct FedOutcome {
+  FedCallId id{};
+  RejectReason reject = RejectReason::kNone;
+  FedStage stage = FedStage::kNone;  // inter setup stage that rejected
+  std::uint32_t shard_in = 0, shard_out = 0;
+  std::uint32_t trunk_group = kNoTrunkGroup;  // claimed group, when committed
+  std::uint32_t path_length = 0;  // vertices; inter: both halves summed
+  std::uint32_t deferrals = 0;    // admission epochs spent queued (batched)
+  std::uint64_t tag = 0;          // CallRequest::tag, echoed
+  [[nodiscard]] constexpr bool connected() const noexcept {
+    return reject == RejectReason::kNone;
+  }
+  static constexpr std::uint32_t kNoTrunkGroup = static_cast<std::uint32_t>(-1);
+};
+
+/// What a trunk fault (or repair) did: the federation-graph analogue of
+/// FaultImpact. killed[i] is the typed kFaulted outcome of the inter call
+/// that rode the line; reroutes[i] is its end-to-end re-admission.
+struct TrunkFaultImpact {
+  std::uint32_t group = 0;
+  std::uint32_t line = 0;
+  bool applied = false;   // the operation changed line state (false on an
+                          // idempotent repeat or out-of-range coordinates)
+  bool was_busy = false;  // the line carried a call when it failed
+  std::vector<FedOutcome> killed;
+  std::vector<FedOutcome> reroutes;
+  std::uint64_t reroute_succeeded = 0;
+  std::uint64_t reroute_failed = 0;
+  [[nodiscard]] std::size_t calls_killed() const noexcept {
+    return killed.size();
+  }
+};
+
+/// What a member fault did, federation-wide: the member's own FaultImpact
+/// plus the half-call reconciliation (adopted reroutes, mates torn down,
+/// end-to-end re-admissions). killed/reroutes list FEDERATION-level deaths:
+/// intra victims wrapped, plus inter calls whose half could not be carried.
+struct FedFaultImpact {
+  FaultImpact member;  // the member exchange's own report
+  std::uint64_t halves_hit = 0;      // member victims that were half-calls
+  std::uint64_t mates_adopted = 0;   // halves rerouted in place and re-bound
+  std::uint64_t mates_torn_down = 0; // inter calls killed outright
+  std::vector<FedOutcome> killed;
+  std::vector<FedOutcome> reroutes;  // index-aligned with killed
+  std::uint64_t reroute_succeeded = 0;
+  std::uint64_t reroute_failed = 0;
+};
+
+struct FederationConfig {
+  /// Member engine selection, forwarded to every member's ExchangeConfig.
+  Backend backend = Backend::kGreedy;
+  unsigned sessions = 1;
+  bool wave_drain = true;
+  bool direction_optimize = true;
+  /// Subscriber terminals per member: locals [0, subscribers) of both the
+  /// input and output lists; the remaining ports are the trunk pool. 0 =
+  /// every port is a subscriber for a 1-shard federation, else 3/4 of the
+  /// ports (the classic line/trunk concentration split).
+  std::uint32_t subscribers = 0;
+  /// Trunk graph shape: full mesh (every ordered shard pair gets a direct
+  /// group — small federations) or a bidirectional ring (each member trunks
+  /// only to its neighbours — the metro topology that scales to thousands
+  /// of shards without N^2 groups; offered traffic must match).
+  enum class Topology : std::uint8_t { kFullMesh, kRing };
+  Topology topology = Topology::kFullMesh;
+  /// Parallel trunk groups per ordered peer pair (>1 exercises the
+  /// least-loaded group tiebreak; capacity is dealt round-robin).
+  std::uint32_t groups_per_peer = 1;
+  /// Factory for each member's admission policy; null = UnboundedAdmission.
+  std::function<std::unique_ptr<AdmissionPolicy>()> member_admission;
+};
+
+class Federation {
+ public:
+  /// Builds `shards` member exchanges over the SHARED member network (one
+  /// immutable CSR serves every member — each member owns only its busy
+  /// state) and deals the trunk ports into groups per the config topology.
+  /// `member_net` must outlive the federation.
+  Federation(const graph::Network& member_net, unsigned shards,
+             FederationConfig cfg = {});
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  // ------------------------------------------------------------ shard map
+  [[nodiscard]] unsigned shards() const noexcept {
+    return static_cast<unsigned>(members_.size());
+  }
+  [[nodiscard]] Exchange& member(unsigned i) { return *members_[i]; }
+  [[nodiscard]] const Exchange& member(unsigned i) const {
+    return *members_[i];
+  }
+  /// Subscriber terminals per member (S in the shard map).
+  [[nodiscard]] std::uint32_t subscribers_per_member() const noexcept {
+    return subs_;
+  }
+  /// Federation-wide subscriber terminal count (shards * S); global ids
+  /// [0, input_count()) are valid CallRequest inputs/outputs.
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return std::size_t{subs_} * members_.size();
+  }
+  [[nodiscard]] std::size_t output_count() const noexcept {
+    return input_count();
+  }
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t global) const noexcept {
+    return global / subs_;
+  }
+  [[nodiscard]] std::uint32_t local_of(std::uint32_t global) const noexcept {
+    return global % subs_;
+  }
+  [[nodiscard]] std::uint32_t global_of(std::uint32_t shard,
+                                        std::uint32_t local) const noexcept {
+    return shard * subs_ + local;
+  }
+
+  // ----------------------------------------------------------- immediate
+  /// Serves the request now (global terminal indices). Single-threaded,
+  /// like drain() — an inter-shard call touches two members and the trunk
+  /// books.
+  FedOutcome call(const CallRequest& req);
+  /// Tears a call down: intra delegates to the member; inter releases in
+  /// reverse setup order (egress half, ingress half, trunk line). kFaulted
+  /// acks a handle whose call the fault plane already killed.
+  RejectReason hangup(FedCallId id);
+
+  // ------------------------------------------------------------- batched
+  using FedCompletionFn = std::function<void(const FedOutcome&)>;
+  /// Enqueues a request; thread-safe. Outcomes become pollable after the
+  /// drain() epoch that serves them.
+  Ticket submit(const CallRequest& req);
+  Ticket submit(const CallRequest& req, FedCompletionFn done);
+  /// Runs one federation admission epoch: stages every queued request
+  /// (trunk claims happen here, on the drain thread), drains every member's
+  /// batched plane, reconciles half-call verdicts (two-phase abort on a
+  /// one-sided epoch), and delivers outcomes. Returns requests admitted.
+  std::size_t drain();
+  /// Drains until the federation queue is empty.
+  std::size_t drain_all();
+  [[nodiscard]] std::optional<FedOutcome> poll(Ticket ticket);
+  [[nodiscard]] std::size_t pending() const;
+
+  // --------------------------------------------------------- fault plane
+  /// Edge fault of the federation graph: fails line `line` of `group`,
+  /// tears down the riding call (typed kFaulted, both halves) and re-admits
+  /// it end-to-end through the batched plane.
+  TrunkFaultImpact fail_trunk(std::uint32_t group, std::uint32_t line);
+  /// Restores a failed line to the claimable pool.
+  TrunkFaultImpact repair_trunk(std::uint32_t group, std::uint32_t line);
+  /// Member fault, federation-reconciled (see file comment).
+  FedFaultImpact inject(unsigned shard, const fault::FaultEvent& ev);
+  FedFaultImpact repair(unsigned shard, const fault::FaultEvent& ev);
+
+  // ------------------------------------------------------- introspection
+  [[nodiscard]] std::size_t trunk_group_count() const noexcept {
+    return groups_.size();
+  }
+  [[nodiscard]] const TrunkGroup& trunk_group(std::uint32_t g) const {
+    return groups_[g];
+  }
+  /// Group ids serving the ordered pair (from, to); empty when the
+  /// topology has no direct trunks between them.
+  [[nodiscard]] std::vector<std::uint32_t> groups_between(
+      std::uint32_t from, std::uint32_t to) const;
+  /// Operator-facing per-group book (ops control plane / metrics).
+  [[nodiscard]] std::vector<TrunkGauge> trunk_gauges() const;
+  /// Live calls across every member (half-calls count once per member).
+  [[nodiscard]] std::size_t active_calls() const;
+  /// Committed inter-shard calls currently up (== trunk lines claimed).
+  [[nodiscard]] std::size_t active_inter_calls() const noexcept {
+    return live_inter_;
+  }
+  /// Sum of the members' busy-vertex books (zero at federation quiescence).
+  [[nodiscard]] std::size_t busy_vertices() const;
+  [[nodiscard]] bool input_idle(std::uint32_t global) const {
+    return members_[shard_of(global)]->input_idle(local_of(global));
+  }
+  [[nodiscard]] bool output_idle(std::uint32_t global) const {
+    return members_[shard_of(global)]->output_idle(local_of(global));
+  }
+  /// Merged member + trunk + front-end counters. Exact at quiescence.
+  [[nodiscard]] FederationStats stats() const;
+  void reset_stats();
+
+ private:
+  struct InterSlot {
+    std::uint32_t gen = 1;
+    bool live = false;
+    bool retired_by_fault = false;  // one-generation memory, as in Exchange
+    std::uint32_t sa = 0, sb = 0;
+    std::uint32_t group = 0, line = 0;
+    CallId ingress{}, egress{};
+    CallRequest req;  // original GLOBAL request, for fault re-admission
+  };
+  struct FedPending {
+    CallRequest req;
+    Ticket ticket = 0;
+    FedCompletionFn done;
+  };
+  /// Per-epoch staging record for one queued request.
+  struct EpochRec {
+    FedPending pending;
+    bool inter = false;
+    bool resolved = false;  // verdict already delivered at staging time
+    std::uint32_t sa = 0, sb = 0, la = 0, lb = 0;
+    std::uint32_t group = 0, line = 0;
+    Outcome ingress{}, egress{};  // written by member completion callbacks
+  };
+
+  /// Claims a line toward `to` from `from`'s groups, least-loaded first.
+  /// Returns {group, line} or nullopt.
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> claim_trunk(
+      std::uint32_t from, std::uint32_t to);
+  /// The committed-call bookkeeping shared by both planes.
+  FedCallId commit_inter(const CallRequest& req, std::uint32_t sa,
+                         std::uint32_t sb, std::uint32_t group,
+                         std::uint32_t line, CallId ingress, CallId egress);
+  /// Tears down a live inter slot (reverse order) and retires it. The
+  /// trunk line's busy bit is released; `by_fault` sets the one-generation
+  /// kFaulted memory.
+  void teardown_inter(std::uint32_t slot, bool by_fault);
+  RejectReason check_inter_handle(FedCallId id) const;
+  /// Wraps a member outcome as an intra-shard federation outcome.
+  FedOutcome wrap_intra(std::uint32_t shard, const Outcome& o) const;
+  /// Re-admits `req` end-to-end through the batched plane; returns the
+  /// re-admission outcome and books the reroute counters into `succeeded` /
+  /// `failed`.
+  FedOutcome readmit(const CallRequest& req, std::uint64_t& succeeded,
+                     std::uint64_t& failed);
+  /// Shared half-call reconciliation behind inject()/repair().
+  void reconcile_member_impact(unsigned shard, FedFaultImpact& out);
+  void deliver(FedPending&& p, const FedOutcome& o);
+
+  const graph::Network* net_;
+  std::uint32_t subs_ = 0;
+  std::uint32_t id_;  // process-unique, tagged into every FedCallId
+  std::vector<std::unique_ptr<Exchange>> members_;
+  std::vector<TrunkGroup> groups_;
+  /// out_peers_[a] = {(b, group ids a->b)}, in topology order.
+  struct PeerGroups {
+    std::uint32_t to = 0;
+    std::vector<std::uint32_t> groups;
+  };
+  std::vector<std::vector<PeerGroups>> out_peers_;
+  /// line_owner_[g][l] = inter slot riding the line, or kNoOwner.
+  std::vector<std::vector<std::uint32_t>> line_owner_;
+  static constexpr std::uint32_t kNoOwner = static_cast<std::uint32_t>(-1);
+
+  std::vector<InterSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_inter_ = 0;
+
+  // Batched front-end (guarded by front_mu_, never held while routing).
+  mutable std::mutex front_mu_;
+  std::deque<FedPending> queue_;
+  std::unordered_map<Ticket, FedOutcome> completed_;
+  Ticket next_ticket_ = 1;
+
+  // Front-end counters (drain-contract thread only, except where noted).
+  std::uint64_t intra_calls_ = 0, inter_calls_ = 0, inter_connected_ = 0,
+                trunk_rejects_ = 0, ingress_aborts_ = 0, egress_aborts_ = 0,
+                half_calls_routed_ = 0, inter_hangups_ = 0,
+                calls_killed_by_trunk_fault_ = 0, mates_adopted_ = 0,
+                mates_torn_down_ = 0, reroute_succeeded_ = 0,
+                reroute_failed_ = 0, handle_errors_ = 0;
+};
+
+}  // namespace ftcs::svc

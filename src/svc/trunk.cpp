@@ -1,0 +1,46 @@
+#include "svc/trunk.hpp"
+
+namespace ftcs::svc {
+
+std::optional<std::uint32_t> TrunkGroup::claim() {
+  const auto n = capacity();
+  for (std::uint32_t probe = 0; probe < n; ++probe) {
+    const std::uint32_t i = (cursor_ + probe) % n;
+    if (busy_.test(i) || faulted_.test(i)) continue;
+    busy_.set(i);
+    ++occupancy_;
+    cursor_ = (i + 1) % n;
+    if (penalty_ > 0) --penalty_;  // additive decrease on success
+    ++stats_.claims;
+    return i;
+  }
+  // Multiplicative increase on congestion, capped: the group re-enters the
+  // front of the selection order only after draining for a while.
+  penalty_ = penalty_ >= kPenaltyCap / 2 ? kPenaltyCap : penalty_ * 2 + 1;
+  ++stats_.rejects;
+  return std::nullopt;
+}
+
+void TrunkGroup::release(std::uint32_t i) {
+  if (!busy_.test(i)) return;
+  busy_.reset(i);
+  --occupancy_;
+  ++stats_.releases;
+}
+
+bool TrunkGroup::fault(std::uint32_t i) {
+  if (faulted_.test(i)) return false;
+  faulted_.set(i);
+  --usable_;
+  ++stats_.faults;
+  return busy_.test(i);
+}
+
+void TrunkGroup::repair(std::uint32_t i) {
+  if (!faulted_.test(i)) return;
+  faulted_.reset(i);
+  ++usable_;
+  ++stats_.repairs;
+}
+
+}  // namespace ftcs::svc

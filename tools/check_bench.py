@@ -100,6 +100,10 @@ def series_points(doc: dict, metric: str) -> dict[str, float]:
           "affinity_scaling", lambda p: f"affinity/{p['policy']}")
     keyed(doc.get("admission_policy", {}).get("points", []),
           "admission_policy", lambda p: f"policy/{p['policy']}")
+    keyed(doc.get("federation_scaling", {}).get("points", []),
+          "federation_scaling",
+          lambda p: (f"federation/{p['part']}/{p['topology']}/"
+                     f"{p['shards']}x{p['member']}/f={p['inter_fraction']:g}"))
     return points
 
 
@@ -148,6 +152,50 @@ def gate(label: str, base: dict[str, float], cur: dict[str, float],
     return True
 
 
+def check_federation(doc: dict) -> bool:
+    """Structural acceptance of the federation series in the CURRENT run.
+
+    Two properties are absolute, not baseline-relative, so they get their
+    own gate: the fixed-plant shard sweep must show aggregate calls/sec
+    rising monotonically from 1 exchange to 8 with at least 3x total (the
+    recursion's algorithmic win), and the 1-shard federation must price the
+    intra-shard fast path at noise level against a raw Exchange.
+    """
+    fed = doc.get("federation_scaling")
+    if not fed:
+        return True  # pre-federation file: nothing to check
+    sweep = sorted((p for p in fed.get("points", [])
+                    if p.get("part") == "sweep"),
+                   key=lambda p: int(p["shards"]))
+    ok = True
+    if sweep:
+        rates = [(int(p["shards"]), float(p["calls_per_sec"])) for p in sweep]
+        for (s0, r0), (s1, r1) in zip(rates, rates[1:]):
+            if r1 <= r0:
+                print(f"check_bench: FAIL — federation sweep not monotone: "
+                      f"{s1} shards ({r1:.0f}/s) <= {s0} shards ({r0:.0f}/s)",
+                      file=sys.stderr)
+                ok = False
+        speedup = rates[-1][1] / rates[0][1] if rates[0][1] > 0 else 0.0
+        print(f"federation sweep: {rates[0][0]} -> {rates[-1][0]} shards, "
+              f"{speedup:.2f}x aggregate calls/sec")
+        if rates[-1][0] >= 8 and speedup < 3.0:
+            print(f"check_bench: FAIL — federation sweep reached only "
+                  f"{speedup:.2f}x at {rates[-1][0]} shards (need >= 3x)",
+                  file=sys.stderr)
+            ok = False
+    gate_row = fed.get("intra_gate", {})
+    if gate_row:
+        ratio = float(gate_row.get("ratio", 0.0))
+        print(f"federation intra gate: ratio {ratio:.3f}")
+        if ratio < 0.8:
+            print(f"check_bench: FAIL — federated intra path at "
+                  f"{ratio:.2f}x of the raw exchange (need >= 0.8)",
+                  file=sys.stderr)
+            ok = False
+    return ok
+
+
 def effective_tolerance(tolerance: float, base_doc: dict,
                         cur_doc: dict) -> float:
     """Tightens the tolerance to 2/3 when both runs are median-of-K, K>=3."""
@@ -188,13 +236,45 @@ def self_test() -> int:
             # Schema drift: no "policy" key — must warn and skip, not raise.
             {"calls_per_sec": 77},
         ]},
+        "federation_scaling": {"points": [
+            # Nested shard/trunk keys: the key must carry part, topology,
+            # shard count, member network, and the inter-traffic fraction.
+            {"part": "sweep", "topology": "mesh", "shards": 1,
+             "member": "cantor-k8", "inter_fraction": 0.1,
+             "calls_per_sec": 100, "visits_per_connect": 2400.0},
+            {"part": "sweep", "topology": "mesh", "shards": 8,
+             "member": "cantor-k5", "inter_fraction": 0.1,
+             "calls_per_sec": 400, "visits_per_connect": 200.0},
+            {"part": "scaleout", "topology": "ring", "shards": 4096,
+             "member": "cantor-k5", "inter_fraction": 0.1,
+             "calls_per_sec": 220, "visits_per_connect": 250.0},
+        ], "intra_gate": {"ratio": 0.95}},
     }
     pts = series_points(doc, "calls_per_sec")
     expect = {"aggregate": 1000.0, "churn/n1": 100.0, "threads/2": 150.0,
               "relabel/n1/none": 100.0, "relabel/n1/locality": 140.0,
               "affinity/spread": 120.0, "policy/static": 90.0,
-              "policy/overlay": 95.0}
+              "policy/overlay": 95.0,
+              "federation/sweep/mesh/1xcantor-k8/f=0.1": 100.0,
+              "federation/sweep/mesh/8xcantor-k5/f=0.1": 400.0,
+              "federation/scaleout/ring/4096xcantor-k5/f=0.1": 220.0}
     assert pts == expect, f"series_points mismatch: {pts}"
+
+    # Federation structural gate: the pinned doc passes (4x at 8 shards,
+    # gate ratio 0.95); a sagging middle point breaks monotonicity; a weak
+    # 8-shard speedup or a slow intra path each trip their own check.
+    assert check_federation(doc)
+    assert check_federation({})  # pre-federation files are fine
+    import copy
+    bad = copy.deepcopy(doc)
+    bad["federation_scaling"]["points"][1]["calls_per_sec"] = 90
+    assert not check_federation(bad)
+    weak = copy.deepcopy(doc)
+    weak["federation_scaling"]["points"][1]["calls_per_sec"] = 250
+    assert not check_federation(weak)
+    slow_gate = copy.deepcopy(doc)
+    slow_gate["federation_scaling"]["intra_gate"]["ratio"] = 0.5
+    assert not check_federation(slow_gate)
 
     # Identical files pass at any tolerance; a uniform 40% loss trips the
     # 30% geomean gate; a single halved point trips the worst-point gate
@@ -253,6 +333,7 @@ def main() -> int:
                    series_points(base_doc, "visits_per_connect"),
                    series_points(cur_doc, "visits_per_connect"),
                    floor, lower_is_better=True, required=False)
+        ok &= check_federation(cur_doc)
     except (ValueError, KeyError) as exc:
         print(f"check_bench: cannot parse inputs: {exc}", file=sys.stderr)
         return 1

@@ -55,6 +55,20 @@ REQUIRED_FAMILIES = [
     "ftcs_setup_latency_seconds",
     "ftcs_setup_latency_p50_seconds",
     "ftcs_setup_latency_p99_seconds",
+    # Federation families: the daemon serves a multi-exchange federation,
+    # so trunk books and half-call gauges must be on every scrape.
+    "ftcs_intra_calls_total",
+    "ftcs_inter_calls_total",
+    "ftcs_half_calls_routed_total",
+    "ftcs_trunk_claims_total",
+    "ftcs_trunk_rejects_total",
+    "ftcs_trunk_faults_total",
+    "ftcs_shards",
+    "ftcs_half_calls_active",
+    "ftcs_trunk_group_capacity",
+    "ftcs_trunk_group_usable",
+    "ftcs_trunk_group_occupancy",
+    "ftcs_trunk_group_claims_total",
 ]
 
 SAMPLE_RE = re.compile(
@@ -216,9 +230,18 @@ def self_test() -> int:
             kind = "gauge" if "latency_p" in fam or fam in (
                 "ftcs_active_calls", "ftcs_pending_requests",
                 "ftcs_failed_switches", "ftcs_stuck_switches", "ftcs_shorted",
-                "ftcs_scrape_delta") else "counter"
+                "ftcs_scrape_delta", "ftcs_shards", "ftcs_half_calls_active",
+                "ftcs_trunk_group_capacity", "ftcs_trunk_group_usable",
+                "ftcs_trunk_group_occupancy") else "counter"
             good += f"# TYPE {fam} {kind}\n{fam}{{exchange=\"t\"}} 4\n"
     assert check_prometheus(good) == [], check_prometheus(good)
+
+    # A scrape without the federation trunk book is rejected.
+    no_trunks = good.replace(
+        "# TYPE ftcs_trunk_group_occupancy gauge\n"
+        'ftcs_trunk_group_occupancy{exchange="t"} 4\n', "")
+    assert any("ftcs_trunk_group_occupancy" in e
+               for e in check_prometheus(no_trunks))
 
     # Each corruption is caught: undeclared family, non-cumulative buckets,
     # missing +Inf, count mismatch, descending le.
