@@ -16,8 +16,11 @@
 // over the raw router. The locality plane gets its own A/B series: the
 // relabel pair (builder-order vs finalize(kLocality) ids, same churn) and
 // the affinity sweep (drain pool pinned none/spread/compact with homed
-// sessions). --repeat=K records the median-of-K run per point and stamps
-// "repeats" into the JSON so the regression gate can tighten.
+// sessions). --grow records the hitless-growth series: churn calls/sec
+// before/during/after doubling the exchange live, with the merge's quiesce
+// pause and a measured (must-be-zero) kill count. --repeat=K records the
+// median-of-K run per point and stamps "repeats" into the JSON so the
+// regression gate can tighten.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -230,6 +233,104 @@ ChurnMeasure churn_workload(const std::string& name, const graph::Network& net,
   const double dt =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return {name, connects, dt, exchange.stats().router};
+}
+
+// ---------------------------------------------------------------------------
+// --grow: hitless-growth series. One Exchange on cantor-k5 serves immediate
+// churn in three phases: `before` on the base topology; `during`, a timed
+// window that brackets the Exchange::grow merge itself (half the ops, the
+// grow, the other half dialing the doubled line range); `after`, steady
+// state on the grown topology. calls_killed is MEASURED — active_calls()
+// immediately before vs after the merge — so the recorded 0 is an
+// observation, not a copy of the report's by-design field.
+
+struct GrowthPhase {
+  const char* phase = "";
+  std::size_t connects = 0;
+  double seconds = 0.0;
+  // `during` only:
+  double quiesce_ms = 0.0;
+  std::uint64_t calls_remapped = 0;
+  std::uint64_t calls_killed = 0;
+  std::size_t switches_added = 0;
+  [[nodiscard]] double calls_per_sec() const {
+    return seconds > 0 ? static_cast<double>(connects) / seconds : 0.0;
+  }
+};
+
+struct GrowthMeasure {
+  std::string base_name;
+  std::string grown_name;
+  std::vector<GrowthPhase> phases;
+  // median_of keys on the during-phase rate — the window the gate watches.
+  [[nodiscard]] double calls_per_sec() const {
+    return phases.size() > 1 ? phases[1].calls_per_sec() : 0.0;
+  }
+};
+
+GrowthMeasure growth_churn(std::size_t ops) {
+  const auto base = networks::build_cantor({5, 0});
+  svc::Exchange exchange(base, {});
+  util::Xoshiro256 rng(util::derive_seed(29, 0));
+  std::vector<svc::CallId> active;
+  std::size_t connects = 0;
+  const auto step = [&](std::uint32_t lines) {
+    if (!active.empty() && (rng() & 3u) == 0) {
+      const auto idx = rng() % active.size();
+      exchange.hangup(active[idx]);  // pre-growth handles stay valid after
+      active[idx] = active.back();
+      active.pop_back();
+    } else {
+      const auto in = static_cast<std::uint32_t>(rng() % lines);
+      const auto out = static_cast<std::uint32_t>(rng() % lines);
+      const svc::Outcome o = exchange.call({in, out});
+      ++connects;
+      if (o.connected()) active.push_back(o.id);
+    }
+  };
+  const auto elapsed = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const auto n0 = static_cast<std::uint32_t>(base.inputs.size());
+  GrowthMeasure m;
+  m.base_name = base.name;
+  for (std::size_t i = 0; i < ops / 10; ++i) step(n0);  // warmup
+
+  connects = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) step(n0);
+  m.phases.push_back({"before", connects, elapsed(t0)});
+
+  // Plan outside the window (planning is operator-side work); the merge —
+  // the only part live calls can feel — is inside.
+  svc::GrowthPlan plan;
+  plan.grown = networks::grow_cantor(exchange.network(), {5, 0});
+  GrowthPhase during;
+  during.phase = "during";
+  connects = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops / 2; ++i) step(n0);
+  const std::size_t live_before = exchange.active_calls();
+  const svc::TopologyOutcome out =
+      exchange.apply(svc::TopologyEvent::make_grow(plan));
+  const std::size_t live_after = exchange.active_calls();
+  const auto n1 = static_cast<std::uint32_t>(exchange.input_count());
+  for (std::size_t i = 0; i < ops / 2; ++i) step(n1);
+  during.seconds = elapsed(t0);
+  during.connects = connects;
+  during.quiesce_ms = out.growth->quiesce_seconds * 1e3;
+  during.calls_remapped = out.growth->calls_remapped;
+  during.calls_killed = live_before - live_after;
+  during.switches_added = out.growth->switches_added;
+  m.phases.push_back(during);
+  m.grown_name = exchange.network().name;
+
+  connects = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) step(n1);
+  m.phases.push_back({"after", connects, elapsed(t0)});
+  return m;
 }
 
 // ---------------------------------------------------------------------------
@@ -698,7 +799,7 @@ std::string reject_key(svc::RejectReason reason, std::uint64_t count) {
   return key;
 }
 
-int run_json_smoke(const std::string& path, unsigned max_threads,
+int run_json_smoke(const std::string& path, unsigned max_threads, bool grow_series,
                    std::size_t max_batch, double max_faults,
                    std::size_t repeats, bool policy_overlay) {
   std::vector<ChurnMeasure> rows;
@@ -1042,6 +1143,40 @@ int run_json_smoke(const std::string& path, unsigned max_threads,
     out << "  ]},\n";
   }
 
+  // Hitless-growth series (--grow): calls/sec before/during/after doubling
+  // the exchange under churn, plus the merge's quiesce pause and the
+  // MEASURED kill count (tools/check_bench.py fails the build unless it
+  // is exactly 0 — the hitless contract as a perf gate).
+  if (grow_series) {
+    const GrowthMeasure gm = median_of(repeats, [&] {
+      return growth_churn(bench::scaled(100'000));
+    });
+    out << "  \"growth\": {\"network\": \"" << gm.base_name
+        << "\", \"grown\": \"" << gm.grown_name << "\", \"points\": [\n";
+    for (std::size_t i = 0; i < gm.phases.size(); ++i) {
+      const auto& p = gm.phases[i];
+      out << "    {\"phase\": \"" << p.phase << "\", \"connects\": "
+          << p.connects << ", \"calls_per_sec\": "
+          << static_cast<std::uint64_t>(p.calls_per_sec());
+      if (std::string(p.phase) == "during")
+        out << ", \"quiesce_ms\": " << p.quiesce_ms << ", \"calls_remapped\": "
+            << p.calls_remapped << ", \"calls_killed\": " << p.calls_killed
+            << ", \"switches_added\": " << p.switches_added;
+      out << "}" << (i + 1 < gm.phases.size() ? "," : "") << "\n";
+    }
+    out << "  ]},\n";
+    std::cout << "growth churn " << gm.base_name << " -> " << gm.grown_name
+              << ": before "
+              << static_cast<std::uint64_t>(gm.phases[0].calls_per_sec())
+              << " during "
+              << static_cast<std::uint64_t>(gm.phases[1].calls_per_sec())
+              << " after "
+              << static_cast<std::uint64_t>(gm.phases[2].calls_per_sec())
+              << " calls/sec; quiesce " << gm.phases[1].quiesce_ms << " ms, "
+              << gm.phases[1].calls_remapped << " remapped, "
+              << gm.phases[1].calls_killed << " killed\n";
+  }
+
   out << "  \"repeats\": " << repeats << ",\n";
   out << "  \"calls_per_sec\": " << static_cast<std::uint64_t>(aggregate) << ",\n";
   out << "  \"baseline_calls_per_sec\": " << static_cast<std::uint64_t>(baseline)
@@ -1063,6 +1198,7 @@ int main(int argc, char** argv) {
   double max_faults = 0.0;    // 0 = no degraded-mode series
   std::size_t repeats = 1;    // --repeat=K: median-of-K per recorded point
   bool policy_overlay = false;  // --policy=overlay: admission A/B series
+  bool grow_series = false;     // --grow: hitless-growth series
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
@@ -1083,17 +1219,19 @@ int main(int argc, char** argv) {
       if (v >= 1) repeats = static_cast<std::size_t>(v);
     }
     if (arg == "--policy=overlay") policy_overlay = true;
+    if (arg == "--grow") grow_series = true;
   }
-  // --threads / --batch / --faults / --policy without --json still record
-  // to the default path.
-  if ((max_threads > 0 || max_batch > 0 || max_faults > 0 || policy_overlay) &&
+  // --threads / --batch / --faults / --policy / --grow without --json still
+  // record to the default path.
+  if ((max_threads > 0 || max_batch > 0 || max_faults > 0 || policy_overlay ||
+       grow_series) &&
       json_path.empty())
     json_path = "BENCH_routing.json";
   if ((max_batch > 0 || max_faults > 0 || policy_overlay) && max_threads == 0)
     max_threads = 8;
   if (!json_path.empty())
-    return run_json_smoke(json_path, max_threads, max_batch, max_faults,
-                          repeats, policy_overlay);
+    return run_json_smoke(json_path, max_threads, grow_series, max_batch,
+                          max_faults, repeats, policy_overlay);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_success_table();

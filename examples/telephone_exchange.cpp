@@ -19,6 +19,12 @@
 // With `sessions` > 1 the episode serves traffic through the batched
 // multi-session admission plane instead of the single immediate session.
 //
+// After the outage, a GROWTH EPISODE: a fully loaded 32-line Cantor
+// exchange is doubled to 64 lines while every call is up
+// (networks::grow_cantor builds the append-only superset topology;
+// Exchange::grow remaps the live calls through the old->new id map under
+// a sub-millisecond quiesce — calls_killed_by_growth stays 0 by design).
+//
 //   $ ./telephone_exchange --daemon [sessions]
 //
 // Daemon mode: a two-shard FEDERATION of FT exchanges runs live — a serving
@@ -33,7 +39,8 @@
 //   trunks                         per-trunk-group occupancy/health book
 //   tfault G L | trepair G L       fail/restore line L of trunk group G
 //                                  (an edge fault in the federation graph)
-//   grow N                         hitless-growth stub (typed unsupported)
+//   grow N                         hitless growth (federated plane: typed
+//                                  unsupported until ROADMAP item 2c)
 //   query                          health gauges + headline counters
 //   snapshot prom|json             metrics scrape, fenced by marker lines
 //                                  (tools/check_metrics.py validates them)
@@ -41,6 +48,14 @@
 //   quit                           stop serving and exit
 // Acks print as `ack <command> ...` lines; the session transcript is the
 // CI artifact.
+//
+//   $ ./telephone_exchange --daemon-solo [sessions]
+//
+// Solo daemon: one Cantor exchange ("cantor-32-m5") instead of the
+// federation, same stdin console (the trunk verbs ack kUnsupported). Here
+// `grow` is LIVE: the default planner doubles the exchange to 64 lines
+// mid-churn and the ack reports switches added, calls remapped, calls
+// killed (always 0) and the quiesce wall time.
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -57,6 +72,7 @@
 #include "ftcs/ft_network.hpp"
 #include "ftcs/traffic.hpp"
 #include "networks/benes.hpp"
+#include "networks/cantor.hpp"
 #include "networks/clos.hpp"
 #include "ops/command_queue.hpp"
 #include "ops/control.hpp"
@@ -175,6 +191,13 @@ void print_ack(const ftcs::ops::Ack& a) {
       line << " drained=" << a.drained;
       break;
     case ops::CommandKind::kGrow:
+      if (a.growth && a.growth->applied)
+        line << " switches+=" << a.growth->switches_added << " lines+="
+             << a.growth->inputs_added << " remapped="
+             << a.growth->calls_remapped << " killed="
+             << a.growth->calls_killed << " quiesce_ms="
+             << a.growth->quiesce_seconds * 1e3;
+      break;
     case ops::CommandKind::kSnapshot:
     case ops::CommandKind::kTrunks:  // per-group rows print below
       break;
@@ -317,6 +340,158 @@ int run_daemon(unsigned sessions) {
   return 0;
 }
 
+// -------------------------------------------------------- solo daemon mode
+
+/// Single-exchange serving loop, same drain contract as the federated one.
+/// The subscriber-line count is re-read every epoch: a kGrow command pumped
+/// at the boundary doubles it, and the very next epoch's churn dials the
+/// new lines.
+void solo_serve_loop(ftcs::svc::Exchange& ex, ftcs::ops::ControlPlane& control,
+                     std::atomic<bool>& stop) {
+  namespace svc = ftcs::svc;
+  ftcs::util::Xoshiro256 rng(0x50701);
+  std::mutex mu;
+  std::vector<svc::CallId> connected;
+  const auto on_done = [&](const svc::Outcome& o) {
+    if (o.connected()) {
+      const std::lock_guard<std::mutex> lk(mu);
+      connected.push_back(o.id);
+    }
+  };
+  std::vector<svc::CallId> held;
+  std::uint64_t tag = 1;
+  while (!stop.load(std::memory_order_acquire)) {
+    control.pump();  // operator commands (including grow) land here
+    const auto n = static_cast<std::uint32_t>(ex.input_count());
+    for (int a = 0; a < 4; ++a) {
+      svc::CallRequest req;
+      req.input = static_cast<std::uint32_t>(rng() % n);
+      req.output = static_cast<std::uint32_t>(rng() % n);
+      req.priority = static_cast<std::uint8_t>(rng() & 3u);
+      req.tag = tag++;
+      ex.submit(req, on_done);
+    }
+    ex.drain_all();
+    {
+      const std::lock_guard<std::mutex> lk(mu);
+      held.insert(held.end(), connected.begin(), connected.end());
+      connected.clear();
+    }
+    std::size_t drop = held.size() / 4;
+    while (drop-- > 0 && !held.empty()) {
+      const auto idx = rng() % held.size();
+      ex.hangup(held[idx]);  // handles survive growth: remapped, not stale
+      held[idx] = held.back();
+      held.pop_back();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  control.pump();
+  {
+    const std::lock_guard<std::mutex> lk(mu);
+    held.insert(held.end(), connected.begin(), connected.end());
+  }
+  for (const auto id : held) ex.hangup(id);
+}
+
+int run_daemon_solo(unsigned sessions) {
+  using namespace ftcs;
+  // Kept alive for the Exchange's borrowed pre-growth phase; after a grow
+  // the exchange owns its (grown) network internally.
+  const auto cantor = networks::build_cantor({5, 0});  // "cantor-32-m5"
+  svc::ExchangeConfig cfg;
+  cfg.backend = svc::Backend::kConcurrent;
+  cfg.sessions = sessions;
+  svc::Exchange ex(cantor, std::move(cfg));
+  ops::ControlPlane control(ex, "telephone-exchange-solo");
+  // REPL-side bound for switch-id validation. The serving thread owns the
+  // live network, so the console tracks the edge count through grow acks
+  // instead of peeking at ex.network().
+  std::uint64_t edges = cantor.g.edge_count();
+
+  std::cout << "telephone exchange daemon (solo): " << cantor.name << ", "
+            << edges << " switches, " << cantor.inputs.size()
+            << " subscriber lines, " << sessions
+            << " sessions; commands on stdin (quit to stop; 'grow' doubles "
+               "the exchange live)\n";
+  std::cout.flush();
+
+  std::atomic<bool> stop{false};
+  std::thread server([&] { solo_serve_loop(ex, control, stop); });
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb.empty()) continue;
+    if (verb == "quit") break;
+    ops::Command cmd;
+    if (verb == "inject" || verb == "weld" || verb == "repair") {
+      std::uint64_t edge = edges;
+      in >> edge;
+      if (edge >= edges) {
+        std::cout << "error: " << verb << " needs a switch id < " << edges
+                  << "\n";
+        continue;
+      }
+      cmd.kind = verb == "repair" ? ops::CommandKind::kRepair
+                                  : ops::CommandKind::kInject;
+      cmd.event = {0.0, static_cast<graph::EdgeId>(edge),
+                   verb == "weld"     ? fault::FaultEvent::Kind::kStuckOn
+                   : verb == "inject" ? fault::FaultEvent::Kind::kFail
+                                      : fault::FaultEvent::Kind::kRepair};
+    } else if (verb == "grow") {
+      cmd.kind = ops::CommandKind::kGrow;
+      in >> cmd.arg;
+    } else if (verb == "query") {
+      cmd.kind = ops::CommandKind::kQuery;
+    } else if (verb == "snapshot") {
+      std::string fmt;
+      in >> fmt;
+      cmd.kind = ops::CommandKind::kSnapshot;
+      cmd.arg = static_cast<std::uint64_t>(fmt == "json"
+                                               ? ops::SnapshotFormat::kJson
+                                               : ops::SnapshotFormat::kPrometheus);
+    } else if (verb == "quiesce") {
+      cmd.kind = ops::CommandKind::kQuiesce;
+    } else {
+      std::cout << "error: unknown command '" << verb
+                << "' (inject|weld|repair|grow|query|snapshot|quiesce|quit)\n";
+      continue;
+    }
+    const ops::Ack ack = control.queue().wait(control.queue().post(cmd));
+    if (ack.kind == ops::CommandKind::kGrow && ack.growth &&
+        ack.growth->applied)
+      edges += ack.growth->switches_added;  // new switch ids are now valid
+    if (ack.kind == ops::CommandKind::kSnapshot) {
+      const bool is_json =
+          static_cast<ops::SnapshotFormat>(cmd.arg) == ops::SnapshotFormat::kJson;
+      std::cout << (is_json ? "=== metrics json begin ==="
+                            : "=== metrics prometheus begin ===")
+                << "\n"
+                << ack.text
+                << (ack.text.empty() || ack.text.back() == '\n' ? "" : "\n")
+                << (is_json ? "=== metrics json end ==="
+                            : "=== metrics prometheus end ===")
+                << "\n";
+      std::cout.flush();
+    } else {
+      print_ack(ack);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  server.join();
+  ex.drain_all();
+  const svc::ExchangeStats st = ex.stats();
+  std::cout << "daemon done: " << st.submitted << " submitted, " << st.admitted
+            << " admitted, " << st.hangups << " hangups, " << st.growths
+            << " growths (" << st.calls_remapped_by_growth << " calls remapped, "
+            << st.calls_killed_by_growth << " killed), "
+            << st.calls_killed_by_fault << " killed by faults\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,6 +499,10 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "--daemon") {
     const int s = argc > 2 ? std::atoi(argv[2]) : 4;
     return run_daemon(s > 0 ? static_cast<unsigned>(s) : 4u);
+  }
+  if (argc > 1 && std::string(argv[1]) == "--daemon-solo") {
+    const int s = argc > 2 ? std::atoi(argv[2]) : 4;
+    return run_daemon_solo(s > 0 ? static_cast<unsigned>(s) : 4u);
   }
   const int years = argc > 1 ? std::atoi(argv[1]) : 12;
   const int sessions_arg = argc > 2 ? std::atoi(argv[2]) : 1;
@@ -421,6 +600,52 @@ int main(int argc, char** argv) {
             << "  " << svc::to_string(svc::RejectReason::kNoPath) << ":        "
             << report.service.router.rejected_no_path
             << " (degraded topology, incl. failed reroutes)\n";
+
+  // ------------------------------------------------------- growth episode
+  // Demand outgrew the office: double a fully loaded Cantor exchange from
+  // 32 to 64 subscriber lines with every line on a call. grow_cantor wraps
+  // each Beneš plane into a Beneš(k+1) and appends one fresh plane —
+  // append-only, so every pre-growth switch id survives — and
+  // Exchange::grow remaps the 32 live paths through the old->new vertex
+  // map under a brief quiesce. No call drops: calls_killed_by_growth is
+  // exported precisely so that invariant is observable.
+  const auto cantor = networks::build_cantor({5, 0});  // "cantor-32-m5"
+  svc::Exchange growing(cantor);
+  std::vector<svc::CallId> up;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    // (13i + 5) mod 32 is a permutation: all 32 pairs connect (the Cantor
+    // network is strictly nonblocking), saturating every line.
+    const auto o = growing.call(
+        {i, static_cast<std::uint32_t>((13 * i + 5) % 32), 0, i + 1});
+    if (o.connected()) up.push_back(o.id);
+  }
+  svc::GrowthPlan plan;
+  plan.grown = networks::grow_cantor(growing.network(), {5, 0});
+  const svc::TopologyOutcome gout =
+      growing.apply(svc::TopologyEvent::make_grow(plan));
+  const svc::GrowthReport& grown = *gout.growth;
+  // The new lines are in service the instant grow returns.
+  std::size_t new_line_calls = 0;
+  for (std::uint32_t i = 32; i < 64; ++i)
+    if (growing.call({i, static_cast<std::uint32_t>(95 - i), 0, 1000 + i})
+            .connected())
+      ++new_line_calls;
+  for (const auto id : up) growing.hangup(id);  // remapped handles, not stale
+  const std::size_t still_up = growing.active_calls();
+  std::cout << "\n== growth episode: doubling a saturated Cantor exchange ==\n"
+            << "  " << cantor.name << " -> " << growing.network().name
+            << " with " << up.size() << "/32 lines on live calls\n"
+            << "  switches added:            " << grown.switches_added
+            << " (+" << grown.inputs_added << " in / +" << grown.outputs_added
+            << " out lines)\n"
+            << "  live calls remapped:       " << grown.calls_remapped
+            << ", killed by growth: " << growing.stats().calls_killed_by_growth
+            << " (hitless by design)\n"
+            << "  quiesce window:            " << grown.quiesce_seconds * 1e3
+            << " ms\n"
+            << "  calls placed on new lines: " << new_line_calls << "/32\n"
+            << "  after hanging up every pre-growth call: " << still_up
+            << " calls up (the new lines' calls, on untouched paths)\n";
 
   std::cout << "\nReading: blocking probability (blocked/offered calls). The Beneš\n"
                "blocks even when new — it is rearrangeable, not strictly\n"

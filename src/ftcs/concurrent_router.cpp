@@ -41,6 +41,83 @@ ConcurrentRouter::Worker::Worker(ConcurrentRouter& r) : r_(&r) {
   // NUMA node. ensure_scratch() builds it on the owning thread instead.
 }
 
+void ConcurrentRouter::grow(const graph::Network& net,
+                            std::span<const graph::VertexId> vmap) {
+  const std::size_t old_v = net_->g.vertex_count();
+  const std::size_t old_e = net_->g.edge_count();
+  const std::size_t v_count = net.g.vertex_count();
+  const std::size_t e_count = net.g.edge_count();
+
+  // Plain vertex-indexed bitsets become their exact image under vmap
+  // (appended vertices start clear: idle, alive, unclaimed).
+  const auto remap_vertex_bits = [&](util::Bitset& b) {
+    if (b.empty()) return;
+    util::Bitset grown(v_count);
+    for (std::size_t v = 0; v < old_v; ++v)
+      if (b.test(v)) grown.set(vmap[v]);
+    b = std::move(grown);
+  };
+  remap_vertex_bits(blocked_);
+  remap_vertex_bits(dead_vertices_);
+  remap_vertex_bits(fault_claimed_);
+  if (!blocked_edges_.empty()) {
+    util::Bitset grown(e_count);
+    const std::size_t lim = std::min(old_e, blocked_edges_.size());
+    for (std::size_t e = 0; e < lim; ++e)
+      if (blocked_edges_.test(e)) grown.set(e);
+    blocked_edges_ = std::move(grown);
+  }
+
+  // Atomic bitsets cannot resize in place (resize() allocates fresh zeroed
+  // words): snapshot the held bits, rebuild at the grown size, re-set. All
+  // loads are exact under the quiescence contract.
+  std::vector<graph::VertexId> held;
+  for (std::size_t v = 0; v < old_v; ++v)
+    if (busy_.test(v)) held.push_back(vmap[v]);
+  busy_.resize(v_count);
+  for (const graph::VertexId v : held) busy_.set(v);
+
+  const auto rebuild_edge_bits = [&](util::AtomicBitset& b) {
+    std::vector<graph::EdgeId> set_ids;
+    for (std::size_t e = 0; e < old_e; ++e)
+      if (b.test(e)) set_ids.push_back(static_cast<graph::EdgeId>(e));
+    b.resize(e_count);
+    for (const graph::EdgeId e : set_ids) b.set(e);
+  };
+  rebuild_edge_bits(dead_edges_);
+  rebuild_edge_bits(contracted_edges_);
+
+  // Terminal claim slots: old indices keep their meaning (prefix-stable
+  // terminal lists), appended slots start idle. Padding as at construction.
+  const auto rebuild_slots = [](util::AtomicBitset& b, std::size_t count) {
+    std::vector<std::size_t> taken;
+    for (std::size_t i = 0; i < b.size(); ++i)
+      if (b.test(i)) taken.push_back(i);
+    b.resize(count, util::AtomicBitset::Padding::kCacheLine);
+    for (const std::size_t i : taken) b.set(i);
+  };
+  rebuild_slots(in_busy_, net.inputs.size());
+  rebuild_slots(out_busy_, net.outputs.size());
+
+  // Shared successor array: the active paths' exact image.
+  std::vector<graph::VertexId> next(v_count, graph::kNoVertex);
+  for (std::size_t v = 0; v < old_v; ++v)
+    if (path_next_[v] != graph::kNoVertex) next[vmap[v]] = vmap[path_next_[v]];
+  path_next_ = std::move(next);
+
+  // Per-worker session state: remap live call heads in place; invalidate
+  // the scratch so each session rebuilds it lazily at the grown size on its
+  // OWNING thread (ensure_scratch), preserving NUMA first-touch. Call slot
+  // tables are untouched, so raw call ids stay valid across growth.
+  for (Worker& w : workers_) {
+    for (Worker::Call& c : w.calls_)
+      if (c.head != graph::kNoVertex) c.head = vmap[c.head];
+    w.scratch_ready_ = false;
+  }
+
+  net_ = &net;
+}
+
 void ConcurrentRouter::Worker::ensure_scratch() {
   if (scratch_ready_) return;
   scratch_ready_ = true;

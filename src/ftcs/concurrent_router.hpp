@@ -104,6 +104,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "ftcs/router.hpp"
@@ -269,6 +270,19 @@ class ConcurrentRouter {
   /// Revives a dead vertex (releases the busy bit iff fault-claimed).
   /// QUIESCENT ONLY.
   void revive_vertex(graph::VertexId v);
+
+  /// Hitless growth: rebinds the router to the grown network `net`,
+  /// carrying every live call on every worker across. Same contract as
+  /// GreedyRouter::grow (vmap per graph::GrownNetwork; call ids survive;
+  /// the new network must outlive the router), with the concurrent
+  /// specifics: the shared atomic bitsets are REBUILT at the grown size
+  /// (AtomicBitset::resize clears, so live bits are snapshotted and re-set
+  /// through vmap), and every worker's session scratch is invalidated so
+  /// its next connect first-touches the grown arrays on the owning thread
+  /// — the NUMA discipline of construction, preserved across growth.
+  /// QUIESCENT ONLY: no connect/disconnect/wave in flight on ANY worker —
+  /// the kill_vertex/drain() contract the Exchange's growth path holds.
+  void grow(const graph::Network& net, std::span<const graph::VertexId> vmap);
 
   [[nodiscard]] bool vertex_dead(graph::VertexId v) const {
     return dead_vertices_.test(v);

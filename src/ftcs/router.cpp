@@ -40,6 +40,73 @@ GreedyRouter::GreedyRouter(const graph::Network& net,
   out_hold_.assign(net.outputs.size(), 0);
 }
 
+void GreedyRouter::grow(const graph::Network& net,
+                        std::span<const graph::VertexId> vmap) {
+  const std::size_t old_v = net_->g.vertex_count();
+  const std::size_t old_e = net_->g.edge_count();
+  const std::size_t v_count = net.g.vertex_count();
+  const std::size_t e_count = net.g.edge_count();
+
+  // Vertex-indexed bitsets become their exact image under vmap (new ids
+  // start clear: appended vertices are idle and unblocked). Lazily-sized
+  // overlay registries that never materialized stay empty.
+  const auto remap_vertex_bits = [&](util::Bitset& b) {
+    if (b.empty()) return;
+    util::Bitset grown(v_count);
+    for (std::size_t v = 0; v < old_v; ++v)
+      if (b.test(v)) grown.set(vmap[v]);
+    b = std::move(grown);
+  };
+  remap_vertex_bits(blocked_);
+  remap_vertex_bits(busy_);
+  remap_vertex_bits(dead_);
+  remap_vertex_bits(fault_claimed_);
+  // Edge-indexed bitsets extend in place: edge ids are stable, appended
+  // switches are healthy.
+  const auto extend_edge_bits = [&](util::Bitset& b) {
+    if (b.empty()) return;
+    util::Bitset grown(e_count);
+    const std::size_t lim = std::min(old_e, b.size());
+    for (std::size_t e = 0; e < lim; ++e)
+      if (b.test(e)) grown.set(e);
+    b = std::move(grown);
+  };
+  extend_edge_bits(blocked_edges_);
+  extend_edge_bits(dead_edges_);
+  extend_edge_bits(contracted_edges_);
+  extend_edge_bits(static_edges_);
+
+  // Successor array and call heads: the active paths' exact image.
+  std::vector<graph::VertexId> next(v_count, graph::kNoVertex);
+  for (std::size_t v = 0; v < old_v; ++v)
+    if (path_next_[v] != graph::kNoVertex) next[vmap[v]] = vmap[path_next_[v]];
+  path_next_ = std::move(next);
+  for (Call& c : calls_)
+    if (c.head != graph::kNoVertex) c.head = vmap[c.head];
+
+  // Terminal slots: old indices keep their meaning (prefix-stable terminal
+  // lists), appended slots start idle.
+  in_busy_.resize(net.inputs.size(), 0);
+  out_busy_.resize(net.outputs.size(), 0);
+  in_hold_.assign(net.inputs.size(), 0);
+  out_hold_.assign(net.outputs.size(), 0);
+
+  // Re-establish the allocation-free reserves at the grown bounds.
+  scratch_.init(v_count);
+  const std::size_t max_calls =
+      std::min(net.inputs.size(), net.outputs.size()) + 1;
+  calls_.reserve(max_calls);
+  free_slots_.reserve(max_calls);
+  wave_src_.reserve(max_calls);
+  wave_dst_.reserve(max_calls);
+  wave_meet_.reserve(max_calls);
+  wave_total_.reserve(max_calls);
+  wave_slot_.reserve(max_calls);
+  wave_path_.reserve(v_count);
+
+  net_ = &net;
+}
+
 void GreedyRouter::ensure_overlay() {
   if (!dead_.empty()) return;
   const std::size_t v_count = net_->g.vertex_count();

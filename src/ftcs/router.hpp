@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "ftcs/search.hpp"
@@ -173,6 +174,18 @@ class GreedyRouter {
 
   /// Releases a call and frees its path. Allocation-free.
   void disconnect(CallId call);
+
+  /// Hitless growth: rebinds the router to the grown network `net`, carrying
+  /// every live call across. `vmap` maps each old vertex id to its grown id
+  /// (the graph::GrownNetwork contract: injective, edge ids stable, terminal
+  /// indices prefix-stable). All vertex-indexed state — busy/blocked masks,
+  /// the overlay registries, the successor array, call heads — is remapped
+  /// through vmap; edge-indexed state extends in place at its stable ids;
+  /// terminal slots extend with idle tail entries. Call ids survive
+  /// unchanged (slot tables are never reordered), so existing handles stay
+  /// valid. QUIESCENT ONLY: no connect/disconnect in flight — the same
+  /// contract as kill_vertex(). The new network must outlive the router.
+  void grow(const graph::Network& net, std::span<const graph::VertexId> vmap);
 
   [[nodiscard]] bool input_idle(std::uint32_t in) const;
   [[nodiscard]] bool output_idle(std::uint32_t out) const;

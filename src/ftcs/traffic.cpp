@@ -137,7 +137,11 @@ TrafficReport simulate_traffic(svc::Exchange& exchange,
       now = t;
       advance(now);
       settle_buckets(now);
-      const svc::FaultImpact impact = exchange.apply(fault_events[fault_idx]);
+      // Through the unified topology-mutation seam (the same dispatch the
+      // ops command feed uses), so the replay path is the one CI exercises.
+      const svc::TopologyOutcome out = exchange.apply(
+          svc::TopologyEvent::make_fault(fault_events[fault_idx]));
+      const svc::FaultImpact& impact = out.fault;
       ++fault_idx;
       settle_impact(impact);
       settle_buckets(now);

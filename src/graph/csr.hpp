@@ -26,6 +26,7 @@
 namespace ftcs::graph {
 
 class GraphBuilder;
+class CsrDelta;
 
 class CsrGraph {
  public:
@@ -34,6 +35,17 @@ class CsrGraph {
   /// Relabeled finalize: vertex old-id v becomes perm[v] (a bijection over
   /// [0, vertex_count)). Edge ids and incidence order are preserved.
   CsrGraph(const GraphBuilder& b, std::span<const VertexId> perm);
+  /// Merge finalize for hitless growth: rebuilds the CSR arrays with the
+  /// delta's appended vertices and edges folded in, in one O(V + E + Δ)
+  /// pass. Base vertex ids and edge ids are preserved verbatim; every base
+  /// vertex's incidence list keeps its original order as a PREFIX, with the
+  /// appended edges following in ascending edge-id order — exactly the
+  /// layout a GraphBuilder replay of base-then-delta insertions produces.
+  CsrGraph(const CsrGraph& base, const CsrDelta& delta);
+  /// Relabeled copy: vertex old-id v becomes perm[v] (a bijection over
+  /// [0, vertex_count)). Edge ids and incidence order are preserved — the
+  /// post-merge analogue of the relabeled builder finalize.
+  CsrGraph(const CsrGraph& src, std::span<const VertexId> perm);
 
   [[nodiscard]] std::size_t vertex_count() const noexcept { return vertex_count_; }
   [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
@@ -83,6 +95,7 @@ class CsrGraph {
 
  private:
   void build(const GraphBuilder& b, const VertexId* perm);
+  void build_relabeled(const CsrGraph& src, const VertexId* perm);
 
   std::size_t vertex_count_ = 0;
   std::vector<Edge> edges_;                          // dense, builder order

@@ -1,0 +1,92 @@
+// Append-only growth segment over a finalized CsrGraph — the write side of
+// hitless capacity growth.
+//
+// A CsrDelta re-opens an immutable CSR graph for construction: it snapshots
+// the base vertex/edge counts and buffers new vertices and edges (whose
+// endpoints may be base OR new ids) with the same dense-id discipline as
+// GraphBuilder. Nothing in the base is ever modified or re-ordered — base
+// vertex ids, edge ids and per-vertex incidence prefixes all survive the
+// merge verbatim, which is exactly the id-stability contract the live-call
+// remap in the routers depends on (see svc/README.md, "Hitless growth").
+//
+// Merging is CsrGraph's delta constructor (graph/csr.hpp): a single
+// O(V + E + Δ) pass that rebuilds the flat offset arrays with every base
+// vertex's incidence list as a prefix (base edges in their original order,
+// appended edges after, ascending edge id) — the same order a GraphBuilder
+// replay of base-then-delta insertions would produce, so deterministic
+// traversals on untouched regions are bit-for-bit unchanged.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace ftcs::graph {
+
+class CsrDelta {
+ public:
+  /// Opens a growth segment over `base`; the base must not change while the
+  /// delta is open (it is immutable by construction).
+  explicit CsrDelta(const CsrGraph& base)
+      : base_vertices_(base.vertex_count()), base_edges_(base.edge_count()) {}
+
+  /// Appends one vertex; ids continue densely after the base.
+  VertexId add_vertex() {
+    return static_cast<VertexId>(base_vertices_ + added_vertices_++);
+  }
+  /// Appends `count` vertices, returns the id of the first.
+  VertexId add_vertices(std::size_t count) {
+    const auto first = static_cast<VertexId>(base_vertices_ + added_vertices_);
+    added_vertices_ += count;
+    return first;
+  }
+  /// Appends one edge; endpoints may be base or delta vertices. Edge ids
+  /// continue densely after the base.
+  EdgeId add_edge(VertexId from, VertexId to) {
+    assert(from < vertex_count() && to < vertex_count());
+    added_edges_.push_back({from, to});
+    return static_cast<EdgeId>(base_edges_ + added_edges_.size() - 1);
+  }
+
+  void reserve(std::size_t vertices, std::size_t edges) {
+    added_edges_.reserve(edges);
+    (void)vertices;  // vertices are a counter; nothing to reserve
+  }
+
+  [[nodiscard]] std::size_t base_vertex_count() const noexcept {
+    return base_vertices_;
+  }
+  [[nodiscard]] std::size_t base_edge_count() const noexcept {
+    return base_edges_;
+  }
+  [[nodiscard]] std::size_t added_vertex_count() const noexcept {
+    return added_vertices_;
+  }
+  [[nodiscard]] std::size_t added_edge_count() const noexcept {
+    return added_edges_.size();
+  }
+  /// Merged totals (base + delta).
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return base_vertices_ + added_vertices_;
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return base_edges_ + added_edges_.size();
+  }
+  /// Appended edges in insertion (= ascending id) order; edge base_E + i is
+  /// added_edges()[i].
+  [[nodiscard]] std::span<const Edge> added_edges() const noexcept {
+    return added_edges_;
+  }
+
+ private:
+  std::size_t base_vertices_ = 0;
+  std::size_t base_edges_ = 0;
+  std::size_t added_vertices_ = 0;
+  std::vector<Edge> added_edges_;
+};
+
+}  // namespace ftcs::graph

@@ -62,8 +62,35 @@ std::vector<VertexId> locality_permutation(const GraphBuilder& g,
   return perm;
 }
 
-Network NetworkBuilder::finalize(RelabelMode mode) const {
-  if (mode == RelabelMode::kNone)
+std::vector<VertexId> locality_permutation(const CsrGraph& g,
+                                           std::span<const VertexId> sources) {
+  const std::size_t n = g.vertex_count();
+  constexpr VertexId kUnassigned = static_cast<VertexId>(-1);
+  std::vector<VertexId> perm(n, kUnassigned);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  VertexId next = 0;
+  for (VertexId s : sources)
+    if (perm[s] == kUnassigned) {
+      perm[s] = next++;
+      queue.push_back(s);
+    }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    for (const VertexId to : g.out_targets(v)) {
+      if (perm[to] == kUnassigned) {
+        perm[to] = next++;
+        queue.push_back(to);
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v)
+    if (perm[v] == kUnassigned) perm[v] = next++;
+  return perm;
+}
+
+Network NetworkBuilder::finalize(FinalizeOptions opts) const {
+  if (opts.relabel == RelabelMode::kNone)
     return Network{g.finalize(), inputs, outputs, stage, name, {}, {}};
 
   std::vector<VertexId> perm = locality_permutation(g, inputs);
@@ -83,6 +110,56 @@ Network NetworkBuilder::finalize(RelabelMode mode) const {
   for (VertexId v = 0; v < n; ++v) net.cold_of[perm[v]] = v;
   net.hot_of = std::move(perm);
   return net;
+}
+
+GrownNetwork NetworkDelta::finalize_grown(FinalizeOptions opts) const {
+  const std::size_t old_v = base_->g.vertex_count();
+  const std::size_t n = delta_.vertex_count();
+
+  CsrGraph merged(base_->g, delta_);
+
+  std::vector<VertexId> inputs = base_->inputs;
+  inputs.insert(inputs.end(), new_inputs_.begin(), new_inputs_.end());
+  std::vector<VertexId> outputs = base_->outputs;
+  outputs.insert(outputs.end(), new_outputs_.begin(), new_outputs_.end());
+
+  std::vector<std::int32_t> stage;
+  if (restage_) {
+    stage = *restage_;
+  } else if (!base_->stage.empty() || !new_stage_.empty()) {
+    stage = base_->stage;
+    stage.resize(old_v, -1);
+    stage.insert(stage.end(), new_stage_.begin(), new_stage_.end());
+  }
+
+  GrownNetwork out;
+  if (opts.relabel == RelabelMode::kNone) {
+    out.net = Network{std::move(merged), std::move(inputs), std::move(outputs),
+                      std::move(stage), name_, {}, {}};
+    out.vmap.resize(old_v);
+    for (VertexId v = 0; v < old_v; ++v) out.vmap[v] = v;
+    return out;
+  }
+
+  // Locality growth: relabel the MERGED graph stage-major. The permutation
+  // restricted to old ids is the vmap; hot_of/cold_of translate merged
+  // (pre-relabel) ids, the grown analogue of builder-id traces.
+  std::vector<VertexId> perm = locality_permutation(merged, inputs);
+  out.net.g = CsrGraph(merged, perm);
+  out.net.name = name_;
+  out.net.inputs.reserve(inputs.size());
+  for (VertexId v : inputs) out.net.inputs.push_back(perm[v]);
+  out.net.outputs.reserve(outputs.size());
+  for (VertexId v : outputs) out.net.outputs.push_back(perm[v]);
+  if (!stage.empty()) {
+    out.net.stage.resize(n);
+    for (VertexId v = 0; v < n; ++v) out.net.stage[perm[v]] = stage[v];
+  }
+  out.net.cold_of.resize(n);
+  for (VertexId v = 0; v < n; ++v) out.net.cold_of[perm[v]] = v;
+  out.vmap.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(old_v));
+  out.net.hot_of = std::move(perm);
+  return out;
 }
 
 Network relabel_locality(const Network& net) {

@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/delta.hpp"
 #include "graph/types.hpp"
 
 namespace ftcs::graph {
@@ -80,6 +82,12 @@ enum class RelabelMode : std::uint8_t { kNone, kLocality };
 
 [[nodiscard]] const char* to_string(RelabelMode m) noexcept;
 
+/// Finalize-time knobs, gathered in one options struct so new flags compose
+/// without another positional overload (the growth/relabel API redesign).
+struct FinalizeOptions {
+  RelabelMode relabel = RelabelMode::kNone;
+};
+
 /// A finalized circuit-switching network: an immutable CSR graph plus
 /// distinguished terminal vertices. `stage[v]` is the construction stage of
 /// v (or -1 when the construction is not staged); all §6 networks are
@@ -122,11 +130,89 @@ struct NetworkBuilder {
   std::string name;
 
   /// Finalizes into an immutable Network. The builder stays valid. With
-  /// RelabelMode::kLocality the vertex ids are permuted stage-major (see
-  /// RelabelMode); terminal lists and stage labels are remapped so the
-  /// terminal-index API surface is unchanged, and the old↔new permutation
-  /// is retained on the Network.
-  [[nodiscard]] Network finalize(RelabelMode mode = RelabelMode::kNone) const;
+  /// FinalizeOptions::relabel == kLocality the vertex ids are permuted
+  /// stage-major (see RelabelMode); terminal lists and stage labels are
+  /// remapped so the terminal-index API surface is unchanged, and the
+  /// old↔new permutation is retained on the Network.
+  [[nodiscard]] Network finalize(FinalizeOptions opts = {}) const;
+  /// Deprecated positional form, kept one PR for callers that pass the
+  /// relabel mode directly; prefer finalize(FinalizeOptions{...}).
+  [[nodiscard]] Network finalize(RelabelMode mode) const {
+    return finalize(FinalizeOptions{mode});
+  }
+};
+
+/// Result of growing a finalized network: the merged network plus the
+/// old→new vertex-id map the live-call remap threads every piece of
+/// vertex-indexed engine state through. Contracts (what the routers'
+/// grow() verbs and svc::Exchange::grow validate):
+///   - vmap.size() == old vertex count; vmap is injective into the grown
+///     id space (identity when finalized with RelabelMode::kNone);
+///   - edge ids are stable: grown edge e < old edge count connects exactly
+///     {vmap[old from], vmap[old to]};
+///   - terminal indices are prefix-stable: grown inputs[i] ==
+///     vmap[old inputs[i]] for every old i (outputs likewise) — external
+///     terminal ids survive the re-id.
+struct GrownNetwork {
+  Network net;
+  std::vector<VertexId> vmap;  ///< vmap[old id] = grown id
+};
+
+/// Re-opens a finalized Network for append-only growth — the network-level
+/// wrapper over graph::CsrDelta that also tracks new terminals and stage
+/// labels. All ids are the BASE network's current (possibly relabeled) ids;
+/// new vertices continue densely after them. finalize_grown() merges in one
+/// O(V + E + Δ) pass and never touches the base.
+class NetworkDelta {
+ public:
+  /// The base must outlive the delta and stay unchanged (it is immutable).
+  explicit NetworkDelta(const Network& base)
+      : base_(&base), delta_(base.g), name_(base.name) {}
+
+  /// Appends one vertex with construction stage `stage` (-1 = unstaged).
+  VertexId add_vertex(std::int32_t stage = -1) {
+    new_stage_.push_back(stage);
+    return delta_.add_vertex();
+  }
+  /// Appends `count` vertices at one stage, returns the id of the first.
+  VertexId add_vertices(std::size_t count, std::int32_t stage = -1) {
+    new_stage_.insert(new_stage_.end(), count, stage);
+    return delta_.add_vertices(count);
+  }
+  /// Appends one switch; endpoints may be base or delta vertices.
+  EdgeId add_edge(VertexId from, VertexId to) {
+    return delta_.add_edge(from, to);
+  }
+  /// Registers a new terminal: appended AFTER the base terminals, so every
+  /// pre-growth terminal index keeps its meaning.
+  void add_input(VertexId v) { new_inputs_.push_back(v); }
+  void add_output(VertexId v) { new_outputs_.push_back(v); }
+  /// Replaces the merged stage vector wholesale (size must be the grown
+  /// vertex count). Growth may legitimately restage OLD vertices — wrapping
+  /// a plane inserts stages before and after it — and stage labels are
+  /// diagnostic metadata, not part of the id-stability contract.
+  void restage(std::vector<std::int32_t> stages) { restage_ = std::move(stages); }
+  void rename(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const CsrDelta& delta() const noexcept { return delta_; }
+  [[nodiscard]] const Network& base() const noexcept { return *base_; }
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return delta_.vertex_count();
+  }
+
+  /// Merges base + delta into a GrownNetwork. With relabel == kNone the
+  /// vmap is the identity over old ids; with kLocality the merged graph is
+  /// relabeled stage-major and vmap is the permutation restricted to old
+  /// ids. Both uphold the GrownNetwork contracts above.
+  [[nodiscard]] GrownNetwork finalize_grown(FinalizeOptions opts = {}) const;
+
+ private:
+  const Network* base_;
+  CsrDelta delta_;
+  std::vector<VertexId> new_inputs_, new_outputs_;
+  std::vector<std::int32_t> new_stage_;
+  std::optional<std::vector<std::int32_t>> restage_;
+  std::string name_;
 };
 
 /// Relabels an already-finalized (unrelabeled) network with the locality
@@ -144,5 +230,11 @@ struct NetworkBuilder {
 /// builder order after all reached ones. Exposed for tests.
 [[nodiscard]] std::vector<VertexId> locality_permutation(
     const GraphBuilder& g, std::span<const VertexId> sources);
+
+/// CSR overload — identical BFS over the finalized incidence arrays (same
+/// deterministic order: CSR preserves builder incidence order). Used by
+/// finalize_grown(), where no builder exists.
+[[nodiscard]] std::vector<VertexId> locality_permutation(
+    const CsrGraph& g, std::span<const VertexId> sources);
 
 }  // namespace ftcs::graph

@@ -22,4 +22,31 @@ struct CantorParams {
 
 [[nodiscard]] graph::Network build_cantor(const CantorParams& params);
 
+/// Hitless growth step: doubles a canonical Cantor network (built by
+/// build_cantor(base_params), possibly relabeled) from n = 2^k to 2n
+/// terminals by APPEND-ONLY construction — the live-capacity analogue of
+/// the containment observation that the depth-(k+1) network contains the
+/// depth-k network.
+///
+/// Per existing Beneš plane: a sibling Beneš(k) plus outer columns wrap the
+/// plane into a full Beneš(k+1) (the old plane becomes the low half of
+/// stages 1..2k+1 — the bit arithmetic of the inner stages is unchanged),
+/// and one fresh complete Beneš(k+1) plane is added, for m+1 planes of
+/// Beneš(k+1) — Cantor's theorem for k+1 when the base used the default
+/// m = k. The grown graph is a strict SUPERSET of canonical
+/// build_cantor({k+1, m+1}) (the legacy direct input→plane switches remain
+/// as shortcuts), so strict nonblockingness is preserved: appended switches
+/// only add paths.
+///
+/// Old terminal indices keep their meaning (new terminals append after
+/// them) and every pre-growth edge id survives — the GrownNetwork contract
+/// the engines' live-call remap requires. Throws std::invalid_argument if
+/// `base` is not structurally the canonical build_cantor(base_params)
+/// network (in particular: a network that was already grown, whose extra
+/// shortcut switches fail the edge-count check — re-growing a grown
+/// exchange is ROADMAP follow-up, not silent corruption).
+[[nodiscard]] graph::GrownNetwork grow_cantor(const graph::Network& base,
+                                              const CantorParams& base_params,
+                                              graph::FinalizeOptions opts = {});
+
 }  // namespace ftcs::networks

@@ -32,7 +32,8 @@ namespace ftcs::ops {
 enum class CommandKind : std::uint8_t {
   kInject,    // apply Command::event (kFail or kStuckOn) via Exchange::inject
   kRepair,    // apply Command::event via Exchange::repair
-  kGrow,      // hitless growth stub: acked kUnsupported until ROADMAP item 1
+  kGrow,      // hitless growth: plan via the plane's GrowthPlanner, apply
+              // through Exchange::grow; the ack carries the GrowthReport
   kQuery,     // health probe: stats + fault/short/queue gauges
   kSnapshot,  // metrics scrape: Prometheus or JSON text in the ack
   kQuiesce,   // drain_all() the batched queue
@@ -64,7 +65,8 @@ struct Command {
   /// kInject/kRepair payload. event.time is informational here — the
   /// operator IS the schedule.
   fault::FaultEvent event{};
-  /// kGrow: requested extra terminal pairs. kSnapshot: SnapshotFormat.
+  /// kGrow: planner hint (0 = planner default, i.e. double the exchange).
+  /// kSnapshot: SnapshotFormat.
   /// kTrunkFault/kTrunkRepair: trunk group id. kInject/kRepair on a
   /// federated plane: target shard (0 on a single exchange).
   std::uint64_t arg = 0;
@@ -75,7 +77,8 @@ struct Command {
 enum class AckStatus : std::uint8_t {
   kOk,
   kNoop,         // idempotent fault op found the switch already in state
-  kUnsupported,  // typed stub (kGrow)
+  kUnsupported,  // the plane cannot run this verb here (trunk verbs on a
+                 // single exchange, growth without a plan, federated growth)
 };
 
 /// One typed ack per command, delivered at the epoch boundary that executed
@@ -109,7 +112,11 @@ struct Ack {
   // inter-exchange call gauge. Empty/zero on a single-exchange plane.
   std::vector<svc::TrunkGauge> trunks;
   std::size_t half_calls = 0;
-  // kSnapshot (serialized metrics) and kGrow (explanation):
+  // kGrow: the applied (or rejected) growth — switches/ports added, calls
+  // remapped, calls killed (always 0), quiesce wall time.
+  std::optional<svc::GrowthReport> growth;
+  // kSnapshot (serialized metrics) and kGrow (human-readable summary or
+  // rejection reason):
   std::string text;
 };
 

@@ -1,6 +1,34 @@
 #include "ops/control.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "networks/cantor.hpp"
+
 namespace ftcs::ops {
+
+namespace {
+
+/// Default kGrow planner: double a canonical Cantor exchange. The network
+/// name ("cantor-<n>-m<m>") carries the parameters; anything else —
+/// including an exchange already grown past its canonical shape — is
+/// declined (grow_cantor itself re-validates structurally and throws).
+std::optional<svc::GrowthPlan> plan_cantor_doubling(const svc::Exchange& ex) {
+  unsigned n = 0, m = 0;
+  if (std::sscanf(ex.network().name.c_str(), "cantor-%u-m%u", &n, &m) != 2)
+    return std::nullopt;
+  if (n == 0 || (n & (n - 1)) != 0) return std::nullopt;
+  networks::CantorParams params;
+  params.k = 0;
+  for (unsigned t = n; t > 1; t >>= 1) ++params.k;
+  params.copies = m;
+  svc::GrowthPlan plan;
+  plan.grown = networks::grow_cantor(ex.network(), params);
+  return plan;
+}
+
+}  // namespace
 
 void ControlPlane::fill_gauges(Ack& a) const {
   if (fed_) {
@@ -65,12 +93,50 @@ Ack ControlPlane::execute(const Command& cmd) {
       a.alarm = impact.alarm;
       break;
     }
-    case CommandKind::kGrow:
-      a.status = AckStatus::kUnsupported;
-      a.text =
-          "hitless growth is ROADMAP item 1; the command feed acks the stub "
-          "so operator tooling can ship ahead of it";
+    case CommandKind::kGrow: {
+      if (fed_) {
+        a.status = AckStatus::kUnsupported;
+        a.text =
+            "federated growth is ROADMAP item 2c; grow the members "
+            "individually through per-exchange control planes";
+        break;
+      }
+      std::optional<svc::GrowthPlan> plan;
+      try {
+        plan = planner_ ? planner_(*ex_, cmd.arg) : plan_cantor_doubling(*ex_);
+      } catch (const std::invalid_argument& e) {
+        a.status = AckStatus::kUnsupported;
+        a.text = std::string("growth planning failed: ") + e.what();
+        break;
+      }
+      if (!plan) {
+        a.status = AckStatus::kUnsupported;
+        a.text = "no growth plan for topology '" + ex_->network().name +
+                 "' (the default planner doubles canonical Cantor exchanges; "
+                 "set_growth_planner for anything else)";
+        break;
+      }
+      // Through the unified topology-mutation seam — the same dispatch the
+      // fault replay and the traffic harness use.
+      svc::TopologyOutcome out =
+          ex_->apply(svc::TopologyEvent::make_grow(*plan));
+      a.growth = std::move(out.growth);
+      if (!a.growth || !a.growth->applied) {
+        a.status = AckStatus::kUnsupported;
+        a.text = a.growth ? a.growth->error : "growth produced no report";
+        break;
+      }
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "grew to %s: +%zu switches, +%zu/+%zu ports, %" PRIu64
+                    " calls remapped, %" PRIu64 " killed, quiesce %.3f ms",
+                    ex_->network().name.c_str(), a.growth->switches_added,
+                    a.growth->inputs_added, a.growth->outputs_added,
+                    a.growth->calls_remapped, a.growth->calls_killed,
+                    a.growth->quiesce_seconds * 1e3);
+      a.text = buf;
       break;
+    }
     case CommandKind::kQuery:
       a.stats = fed_ ? fed_->stats().members : ex_->stats();
       break;

@@ -12,11 +12,22 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <optional>
 
 #include "ops/command_queue.hpp"
 #include "ops/metrics.hpp"
 
 namespace ftcs::ops {
+
+/// Produces the GrowthPlan a kGrow command applies: given the live exchange
+/// and the command's arg (planner hint; 0 = planner default), return the
+/// plan, or nullopt when no growth is possible for this topology. May throw
+/// std::invalid_argument with a reason — the plane turns either into a
+/// typed kUnsupported ack. Runs on the pumping thread under the drain
+/// contract, right before Exchange::grow applies the plan.
+using GrowthPlanner = std::function<std::optional<svc::GrowthPlan>(
+    const svc::Exchange&, std::uint64_t arg)>;
 
 class ControlPlane {
  public:
@@ -34,6 +45,14 @@ class ControlPlane {
   [[nodiscard]] CommandQueue& queue() noexcept { return queue_; }
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
 
+  /// Overrides how kGrow commands plan the grown topology. The default
+  /// planner doubles a canonical Cantor exchange (networks::grow_cantor,
+  /// recognized by its "cantor-N-MM" network name) and declines anything
+  /// else with a typed kUnsupported ack.
+  void set_growth_planner(GrowthPlanner planner) {
+    planner_ = std::move(planner);
+  }
+
   /// Drains and executes every queued command; returns how many ran.
   /// MUST be called under the drain contract (one thread, owns every
   /// session, no concurrent immediate calls).
@@ -48,6 +67,7 @@ class ControlPlane {
   svc::Federation* fed_ = nullptr;  // set only for the federated ctor
   CommandQueue queue_;
   MetricsRegistry metrics_;
+  GrowthPlanner planner_;  // empty -> default Cantor-doubling planner
 };
 
 }  // namespace ftcs::ops

@@ -47,6 +47,11 @@ std::vector<NamedCounter> flat_counters(const MetricsRegistry::Sample& s) {
       {"reroute_failed_total", t.reroute_failed, d.reroute_failed},
       {"shorts_raised_total", t.shorts_raised, d.shorts_raised},
       {"shorts_cleared_total", t.shorts_cleared, d.shorts_cleared},
+      {"growths_total", t.growths, d.growths},
+      {"growth_calls_remapped_total", t.calls_remapped_by_growth,
+       d.calls_remapped_by_growth},
+      {"growth_calls_killed_total", t.calls_killed_by_growth,
+       d.calls_killed_by_growth},
       {"router_connect_calls_total", t.router.connect_calls,
        d.router.connect_calls},
       {"router_accepted_total", t.router.accepted, d.router.accepted},

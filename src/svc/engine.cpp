@@ -117,6 +117,11 @@ class GreedyEngine final : public Engine {
     return router_.edge_contracted(e);
   }
 
+  void grow(const graph::Network& net,
+            std::span<const graph::VertexId> vmap) override {
+    router_.grow(net, vmap);
+  }
+
  private:
   core::GreedyRouter router_;
   std::vector<core::WaveItem> wave_buf_;  // single session: no sharing
@@ -213,6 +218,11 @@ class ConcurrentEngine final : public Engine {
     return router_.edge_contracted(e);
   }
 
+  void grow(const graph::Network& net,
+            std::span<const graph::VertexId> vmap) override {
+    router_.grow(net, vmap);
+  }
+
  private:
   // One wave buffer per session, cache-line aligned: sessions resize and
   // fill their buffers concurrently during drain, and unpadded vector
@@ -227,18 +237,15 @@ class ConcurrentEngine final : public Engine {
 
 }  // namespace
 
-std::unique_ptr<Engine> make_engine(Backend backend, const graph::Network& net,
-                                    unsigned sessions,
-                                    std::vector<std::uint8_t> blocked,
-                                    std::vector<std::uint8_t> blocked_edges,
-                                    bool direction_optimize) {
-  if (backend == Backend::kGreedy)
-    return std::make_unique<GreedyEngine>(net, std::move(blocked),
-                                          std::move(blocked_edges),
-                                          direction_optimize);
+std::unique_ptr<Engine> make_engine(const graph::Network& net,
+                                    EngineOptions opts) {
+  if (opts.backend == Backend::kGreedy)
+    return std::make_unique<GreedyEngine>(net, std::move(opts.blocked),
+                                          std::move(opts.blocked_edges),
+                                          opts.direction_optimize);
   return std::make_unique<ConcurrentEngine>(
-      net, sessions == 0 ? 1 : sessions, std::move(blocked),
-      std::move(blocked_edges), direction_optimize);
+      net, opts.sessions == 0 ? 1 : opts.sessions, std::move(opts.blocked),
+      std::move(opts.blocked_edges), opts.direction_optimize);
 }
 
 }  // namespace ftcs::svc

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ftcs/router.hpp"
@@ -94,17 +95,46 @@ class Engine {
   [[nodiscard]] virtual bool vertex_dead(graph::VertexId v) const = 0;
   [[nodiscard]] virtual bool edge_usable(graph::EdgeId e) const = 0;
   [[nodiscard]] virtual bool edge_contracted(graph::EdgeId e) const = 0;
+
+  /// Hitless growth: rebinds the backend to the grown network, remapping
+  /// every live call and all vertex/edge-indexed state through `vmap` (see
+  /// the routers' grow() contracts — raw call ids survive). QUIESCENT ONLY:
+  /// the caller holds every session, as for drain()/kill_vertex. The new
+  /// network must outlive the engine.
+  virtual void grow(const graph::Network& net,
+                    std::span<const graph::VertexId> vmap) = 0;
+};
+
+/// Backend construction knobs, gathered in one options struct so growth /
+/// relabel / direction-optimize flags compose without another positional
+/// overload (the topology-mutation API redesign). Defaults reproduce
+/// make_engine's historical behaviour.
+struct EngineOptions {
+  Backend backend = Backend::kGreedy;
+  /// Session count; clamped to 1 for the greedy backend, and 0 means 1.
+  unsigned sessions = 1;
+  /// Static fault masks, consumed by the backend (as in the routers).
+  std::vector<std::uint8_t> blocked;
+  std::vector<std::uint8_t> blocked_edges;
+  /// A/B switch for the direction-optimizing frontier (ftcs/search.hpp);
+  /// off reproduces the classic top-down search instruction-for-instruction.
+  bool direction_optimize = true;
 };
 
 /// Builds the backend over `net` (which must outlive the engine).
-/// `sessions` is clamped to 1 for the greedy backend.
-/// `direction_optimize` is the A/B switch for the direction-optimizing
-/// frontier (ftcs/search.hpp); off reproduces the classic top-down search
-/// instruction-for-instruction.
-[[nodiscard]] std::unique_ptr<Engine> make_engine(
+[[nodiscard]] std::unique_ptr<Engine> make_engine(const graph::Network& net,
+                                                  EngineOptions opts);
+
+/// Deprecated positional form, kept one PR; prefer
+/// make_engine(net, EngineOptions{...}).
+[[nodiscard]] inline std::unique_ptr<Engine> make_engine(
     Backend backend, const graph::Network& net, unsigned sessions,
     std::vector<std::uint8_t> blocked = {},
     std::vector<std::uint8_t> blocked_edges = {},
-    bool direction_optimize = true);
+    bool direction_optimize = true) {
+  return make_engine(net, EngineOptions{backend, sessions, std::move(blocked),
+                                        std::move(blocked_edges),
+                                        direction_optimize});
+}
 
 }  // namespace ftcs::svc

@@ -26,6 +26,16 @@ Series keyed so runs with different sweeps still match up:
   - the admission-policy A/B        (admission_policy.points[].policy —
                                      static vs overlay-aware under the
                                      bursty fault storm)
+  - the hitless-growth series       (growth.points[].phase — churn rate
+                                     before/during/after doubling the
+                                     exchange live; `during` also carries
+                                     the structural gate below)
+
+The growth series additionally gets an absolute structural gate: the
+`during` point's calls_killed must be EXACTLY 0 (the hitless contract,
+measured — not copied from the report), its quiesce_ms non-negative, and
+a growth that remapped no calls while churn was up is suspicious enough
+to fail.
 
 Runner noise policy: individual points on shared CI boxes are noisy, so the
 gate trips on the GEOMETRIC MEAN of the matched improvement ratios dropping
@@ -100,6 +110,8 @@ def series_points(doc: dict, metric: str) -> dict[str, float]:
           "affinity_scaling", lambda p: f"affinity/{p['policy']}")
     keyed(doc.get("admission_policy", {}).get("points", []),
           "admission_policy", lambda p: f"policy/{p['policy']}")
+    keyed(doc.get("growth", {}).get("points", []), "growth",
+          lambda p: f"growth/{p['phase']}")
     keyed(doc.get("federation_scaling", {}).get("points", []),
           "federation_scaling",
           lambda p: (f"federation/{p['part']}/{p['topology']}/"
@@ -196,6 +208,50 @@ def check_federation(doc: dict) -> bool:
     return ok
 
 
+def check_growth(doc: dict) -> bool:
+    """Structural acceptance of the hitless-growth series in the CURRENT run.
+
+    The hitless contract is absolute, not baseline-relative: the `during`
+    window — which brackets the live Exchange::grow merge — must record
+    calls_killed == 0 (a MEASURED active-call delta across the merge, so a
+    nonzero value means real dropped calls), a non-negative quiesce pause,
+    and at least one live call actually remapped (a growth that found no
+    calls to carry over proves nothing about hitlessness).
+    """
+    growth = doc.get("growth")
+    if not growth:
+        return True  # pre-growth file: nothing to check
+    during = [p for p in growth.get("points", [])
+              if p.get("phase") == "during"]
+    if not during:
+        print("check_bench: FAIL — growth series has no 'during' point",
+              file=sys.stderr)
+        return False
+    ok = True
+    for p in during:
+        killed = int(p.get("calls_killed", -1))
+        quiesce = float(p.get("quiesce_ms", -1.0))
+        remapped = int(p.get("calls_remapped", 0))
+        print(f"growth gate: {growth.get('network', '?')} -> "
+              f"{growth.get('grown', '?')}: killed={killed} "
+              f"remapped={remapped} quiesce={quiesce:.3f} ms")
+        if killed != 0:
+            print(f"check_bench: FAIL — growth killed {killed} live calls "
+                  "(the hitless contract requires exactly 0)",
+                  file=sys.stderr)
+            ok = False
+        if quiesce < 0.0:
+            print("check_bench: FAIL — growth quiesce_ms missing or "
+                  "negative", file=sys.stderr)
+            ok = False
+        if remapped <= 0:
+            print("check_bench: FAIL — growth remapped no live calls; the "
+                  "series did not exercise the hitless path",
+                  file=sys.stderr)
+            ok = False
+    return ok
+
+
 def effective_tolerance(tolerance: float, base_doc: dict,
                         cur_doc: dict) -> float:
     """Tightens the tolerance to 2/3 when both runs are median-of-K, K>=3."""
@@ -236,6 +292,14 @@ def self_test() -> int:
             # Schema drift: no "policy" key — must warn and skip, not raise.
             {"calls_per_sec": 77},
         ]},
+        "growth": {"network": "cantor-32-m5", "grown": "cantor-64-m6",
+                   "points": [
+            {"phase": "before", "calls_per_sec": 200},
+            {"phase": "during", "calls_per_sec": 110, "quiesce_ms": 0.05,
+             "calls_remapped": 18, "calls_killed": 0,
+             "switches_added": 6784},
+            {"phase": "after", "calls_per_sec": 120},
+        ]},
         "federation_scaling": {"points": [
             # Nested shard/trunk keys: the key must carry part, topology,
             # shard count, member network, and the inter-traffic fraction.
@@ -255,6 +319,8 @@ def self_test() -> int:
               "relabel/n1/none": 100.0, "relabel/n1/locality": 140.0,
               "affinity/spread": 120.0, "policy/static": 90.0,
               "policy/overlay": 95.0,
+              "growth/before": 200.0, "growth/during": 110.0,
+              "growth/after": 120.0,
               "federation/sweep/mesh/1xcantor-k8/f=0.1": 100.0,
               "federation/sweep/mesh/8xcantor-k5/f=0.1": 400.0,
               "federation/scaleout/ring/4096xcantor-k5/f=0.1": 220.0}
@@ -275,6 +341,22 @@ def self_test() -> int:
     slow_gate = copy.deepcopy(doc)
     slow_gate["federation_scaling"]["intra_gate"]["ratio"] = 0.5
     assert not check_federation(slow_gate)
+
+    # Growth structural gate: the pinned doc passes; a single killed call
+    # fails absolutely; a growth that remapped nothing fails; a growth
+    # series with no `during` point fails; pre-growth files pass.
+    assert check_growth(doc)
+    assert check_growth({})
+    killer = copy.deepcopy(doc)
+    killer["growth"]["points"][1]["calls_killed"] = 1
+    assert not check_growth(killer)
+    idle = copy.deepcopy(doc)
+    idle["growth"]["points"][1]["calls_remapped"] = 0
+    assert not check_growth(idle)
+    headless = copy.deepcopy(doc)
+    headless["growth"]["points"] = [p for p in headless["growth"]["points"]
+                                    if p["phase"] != "during"]
+    assert not check_growth(headless)
 
     # Identical files pass at any tolerance; a uniform 40% loss trips the
     # 30% geomean gate; a single halved point trips the worst-point gate
@@ -334,6 +416,7 @@ def main() -> int:
                    series_points(cur_doc, "visits_per_connect"),
                    floor, lower_is_better=True, required=False)
         ok &= check_federation(cur_doc)
+        ok &= check_growth(cur_doc)
     except (ValueError, KeyError) as exc:
         print(f"check_bench: cannot parse inputs: {exc}", file=sys.stderr)
         return 1

@@ -55,8 +55,19 @@ REQUIRED_FAMILIES = [
     "ftcs_setup_latency_seconds",
     "ftcs_setup_latency_p50_seconds",
     "ftcs_setup_latency_p99_seconds",
-    # Federation families: the daemon serves a multi-exchange federation,
-    # so trunk books and half-call gauges must be on every scrape.
+    # Hitless-growth families: growths applied, live calls remapped through
+    # the old->new id map, and calls killed by growth (0 by design — the
+    # counter exists so the invariant is observable on every scrape).
+    "ftcs_growths_total",
+    "ftcs_growth_calls_remapped_total",
+    "ftcs_growth_calls_killed_total",
+]
+
+# Federation families: the default daemon serves a multi-exchange
+# federation, so trunk books and half-call gauges must be on every scrape.
+# A solo (single-exchange) daemon legitimately has none of these —
+# --solo drops them from the requirement.
+FEDERATION_FAMILIES = [
     "ftcs_intra_calls_total",
     "ftcs_inter_calls_total",
     "ftcs_half_calls_routed_total",
@@ -70,6 +81,7 @@ REQUIRED_FAMILIES = [
     "ftcs_trunk_group_occupancy",
     "ftcs_trunk_group_claims_total",
 ]
+REQUIRED_FAMILIES += FEDERATION_FAMILIES
 
 SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
@@ -97,8 +109,11 @@ def base_family(name: str) -> str:
     return name
 
 
-def check_prometheus(text: str) -> list[str]:
+def check_prometheus(text: str,
+                     required: list[str] | None = None) -> list[str]:
     """Returns a list of violations (empty = clean)."""
+    if required is None:
+        required = REQUIRED_FAMILIES
     errors: list[str] = []
     declared: dict[str, str] = {}  # family -> kind
     # histogram series: (family, labels-minus-le) -> [(le, count)]
@@ -183,7 +198,7 @@ def check_prometheus(text: str) -> list[str]:
             errors.append(f"{tag}: +Inf bucket {vals[-1]:g} != _count "
                           f"{counts[key]:g}")
 
-    for family in REQUIRED_FAMILIES:
+    for family in required:
         if family not in seen_families:
             errors.append(f"required family '{family}' absent")
     return errors
@@ -236,12 +251,28 @@ def self_test() -> int:
             good += f"# TYPE {fam} {kind}\n{fam}{{exchange=\"t\"}} 4\n"
     assert check_prometheus(good) == [], check_prometheus(good)
 
-    # A scrape without the federation trunk book is rejected.
-    no_trunks = good.replace(
-        "# TYPE ftcs_trunk_group_occupancy gauge\n"
-        'ftcs_trunk_group_occupancy{exchange="t"} 4\n', "")
+    # A scrape without the federation trunk book is rejected — unless the
+    # requirement is the --solo set, which still demands the growth
+    # families (hitlessness must be observable on a lone exchange too).
+    no_trunks = good
+    for fam in FEDERATION_FAMILIES:
+        kind = "gauge" if fam in (
+            "ftcs_shards", "ftcs_half_calls_active",
+            "ftcs_trunk_group_capacity", "ftcs_trunk_group_usable",
+            "ftcs_trunk_group_occupancy") else "counter"
+        no_trunks = no_trunks.replace(
+            f"# TYPE {fam} {kind}\n{fam}{{exchange=\"t\"}} 4\n", "")
     assert any("ftcs_trunk_group_occupancy" in e
                for e in check_prometheus(no_trunks))
+    solo_required = [f for f in REQUIRED_FAMILIES
+                     if f not in FEDERATION_FAMILIES]
+    assert check_prometheus(no_trunks, solo_required) == [], \
+        check_prometheus(no_trunks, solo_required)
+    no_growth = no_trunks.replace(
+        "# TYPE ftcs_growths_total counter\n"
+        'ftcs_growths_total{exchange="t"} 4\n', "")
+    assert any("ftcs_growths_total" in e
+               for e in check_prometheus(no_growth, solo_required))
 
     # Each corruption is caught: undeclared family, non-cumulative buckets,
     # missing +Inf, count mismatch, descending le.
@@ -286,6 +317,9 @@ def main() -> int:
                     "(or raw Prometheus text)")
     ap.add_argument("--require-json", action="store_true",
                     help="also require a JSON snapshot block in the log")
+    ap.add_argument("--solo", action="store_true",
+                    help="single-exchange session: do not require the "
+                         "federation/trunk families")
     ap.add_argument("--self-test", action="store_true")
     args = ap.parse_args()
     if args.self_test:
@@ -299,7 +333,10 @@ def main() -> int:
     prom = extract_block(text, PROM_BEGIN, PROM_END)
     if prom is None:
         prom = text  # raw exposition file
-    errors = check_prometheus(prom)
+    required = [f for f in REQUIRED_FAMILIES
+                if f not in FEDERATION_FAMILIES] if args.solo \
+        else REQUIRED_FAMILIES
+    errors = check_prometheus(prom, required)
 
     js = extract_block(text, JSON_BEGIN, JSON_END)
     if js is not None:
